@@ -1,0 +1,97 @@
+//! Fig. 5 (a/b) — required communication vs circuit depth and vs qubit
+//! count, at the paper's FULL scale (scheduling is pure pre-computation).
+//!
+//! Upper panels: number of global-to-local swaps from our scheduler
+//! (worst-case stage finding, as in the paper). Lower panels: number of
+//! global gates the per-gate scheme of \[5\] would communicate for —
+//! dashed = worst case (random 1q gates assumed dense), solid = the
+//! actual ("median") instance.
+//!
+//! `fig5_comm_scaling depth` sweeps depth 10..50 on 42-qubit circuits for
+//! 29–32 local qubits (Fig. 5a); `fig5_comm_scaling qubits` sweeps
+//! {30, 36, 42, 45, 49} qubits at depth 25 (Fig. 5b). Default: both.
+
+use qsim_bench::harness::*;
+use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim_sched::{global_gate_count, plan, SchedulerConfig};
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+    let kmax = arg_u32("--kmax", 4);
+    let seed = arg_u32("--seed", 0) as u64;
+    if mode == "depth" || mode == "both" {
+        fig5a(kmax, seed);
+    }
+    if mode == "qubits" || mode == "both" {
+        fig5b(kmax, seed);
+    }
+}
+
+fn fig5a(kmax: u32, seed: u64) {
+    println!("# Fig. 5a — 42-qubit (7x6) circuits, depth 10..50");
+    row(&[
+        cell("depth", 6),
+        cell("l=29", 6),
+        cell("l=30", 6),
+        cell("l=31", 6),
+        cell("l=32", 6),
+        cell("gg-worst", 9),
+        cell("gg-median", 10),
+    ]);
+    for depth in (10..=50).step_by(5) {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 7,
+            cols: 6,
+            depth,
+            seed,
+        });
+        let mut cells = vec![cell(depth, 6)];
+        for l in [29u32, 30, 31, 32] {
+            let s = plan(&c, &SchedulerConfig::distributed(l, kmax));
+            cells.push(cell(s.n_swaps(), 6));
+        }
+        cells.push(cell(global_gate_count(&c, 30, true), 9));
+        cells.push(cell(global_gate_count(&c, 30, false), 10));
+        row(&cells);
+    }
+    println!("# paper shape: swaps grow ~1..3 over this range, mostly independent");
+    println!("# of l; global gates grow ~linearly to ~200 (worst case).");
+}
+
+fn fig5b(kmax: u32, seed: u64) {
+    println!("# Fig. 5b — depth-25 circuits, 30..49 qubits (30 local)");
+    row(&[
+        cell("grid", 6),
+        cell("qubits", 7),
+        cell("swaps l=29", 11),
+        cell("l=30", 6),
+        cell("l=31", 6),
+        cell("l=32", 6),
+        cell("gg-worst", 9),
+        cell("gg-median", 10),
+    ]);
+    for (rows, cols) in [(6u32, 5u32), (6, 6), (7, 6), (9, 5), (7, 7)] {
+        let n = rows * cols;
+        let c = supremacy_circuit(&SupremacySpec {
+            rows,
+            cols,
+            depth: 25,
+            seed,
+        });
+        let mut cells = vec![cell(format!("{rows}x{cols}"), 6), cell(n, 7)];
+        for l in [29u32, 30, 31, 32] {
+            let l = l.min(n);
+            if l == n {
+                cells.push(cell("-", if l == 29 { 11 } else { 6 }));
+                continue;
+            }
+            let s = plan(&c, &SchedulerConfig::distributed(l, kmax));
+            cells.push(cell(s.n_swaps(), if l == 29 { 11 } else { 6 }));
+        }
+        let l = 30.min(n - 1).max(1);
+        cells.push(cell(global_gate_count(&c, l, true), 9));
+        cells.push(cell(global_gate_count(&c, l, false), 10));
+        row(&cells);
+    }
+    println!("# paper: 1-2 swaps up to 45 qubits, 2 for 49; global gates ~50-140.");
+}

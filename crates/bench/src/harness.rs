@@ -1,0 +1,145 @@
+//! Shared measurement utilities for the figure/table binaries.
+
+use qsim_kernels::apply::{apply_gate, KernelConfig};
+use qsim_util::c64;
+use qsim_util::flops::{gate_flops, gflops};
+use qsim_util::matrix::GateMatrix;
+use qsim_util::stats::{summarize, time_reps};
+use qsim_util::Xoshiro256;
+
+/// A random dense k-qubit gate (unitarity is irrelevant for timing).
+pub fn random_gate(k: u32, seed: u64) -> GateMatrix<f64> {
+    let d = 1usize << k;
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    GateMatrix::from_rows(
+        k,
+        (0..d * d)
+            .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect(),
+    )
+}
+
+/// A random normalized state of 2^n amplitudes.
+pub fn random_state(n: u32, seed: u64) -> Vec<c64> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut v: Vec<c64> = (0..1usize << n)
+        .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+        .collect();
+    let norm: f64 = v.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    let inv = 1.0 / norm;
+    v.iter_mut().for_each(|a| *a = a.scale(inv));
+    v
+}
+
+/// Median GFLOPS of applying a dense k-qubit gate at `qubits` to a 2^n
+/// state under `cfg`.
+pub fn measure_kernel_gflops(
+    n: u32,
+    qubits: &[u32],
+    cfg: &KernelConfig,
+    warmup: usize,
+    reps: usize,
+) -> f64 {
+    let k = qubits.len() as u32;
+    let m = random_gate(k, 0xbeef ^ k as u64);
+    let mut state = random_state(n, 0xfeed ^ n as u64);
+    let med = summarize(&time_reps(warmup, reps, || {
+        apply_gate(&mut state, qubits, &m, cfg);
+    }))
+    .median;
+    gflops(gate_flops(n, k), med)
+}
+
+/// Median GFLOPS of an arbitrary full-sweep kernel function.
+pub fn measure_fn_gflops(
+    n: u32,
+    qubits: &[u32],
+    warmup: usize,
+    reps: usize,
+    mut f: impl FnMut(&mut [c64], &[u32]),
+) -> f64 {
+    let k = qubits.len() as u32;
+    let mut state = random_state(n, 0x1dea ^ n as u64);
+    let med = summarize(&time_reps(warmup, reps, || {
+        f(&mut state, qubits);
+    }))
+    .median;
+    gflops(gate_flops(n, k), med)
+}
+
+/// Low-order operand list `[0, 1, .., k-1]`.
+pub fn low_order_qubits(k: u32) -> Vec<u32> {
+    (0..k).collect()
+}
+
+/// High-order operand list `[n-k, .., n-1]`.
+pub fn high_order_qubits(n: u32, k: u32) -> Vec<u32> {
+    (n - k..n).collect()
+}
+
+/// Print a row of a paper-style table.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("  "));
+}
+
+/// Fixed-width cell.
+pub fn cell(s: impl std::fmt::Display, width: usize) -> String {
+    format!("{:>width$}", s.to_string(), width = width)
+}
+
+/// Parse `--nXX`-style CLI overrides: returns the value after `name` if
+/// present (`--state-qubits 22` or `--state-qubits=22`).
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(rest) = a.strip_prefix(&format!("{name}=")) {
+            return Some(rest.to_string());
+        }
+        if a == name {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// Parse a u32 CLI override with default.
+pub fn arg_u32(name: &str, default: u32) -> u32 {
+    arg_value(name)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {name}")))
+        .unwrap_or(default)
+}
+
+/// True when a bare flag is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_measurement_is_positive() {
+        let cfg = KernelConfig::sequential();
+        let g = measure_kernel_gflops(12, &[0], &cfg, 0, 2);
+        assert!(g > 0.0 && g.is_finite());
+    }
+
+    #[test]
+    fn qubit_lists() {
+        assert_eq!(low_order_qubits(3), vec![0, 1, 2]);
+        assert_eq!(high_order_qubits(10, 3), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn random_state_is_normalized() {
+        let s = random_state(10, 1);
+        let norm: f64 = s.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_formats_right_aligned() {
+        assert_eq!(cell("ab", 5), "   ab");
+    }
+}

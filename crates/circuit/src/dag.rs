@@ -1,0 +1,215 @@
+//! Per-qubit dependency tracking.
+//!
+//! "Gates acting on the same qubit never commute for quantum supremacy
+//! circuits by design … Nevertheless, we can reorder gates which act on
+//! different qubits as they commute trivially." (§3.6.1). The dependency
+//! structure of a circuit is therefore exactly the per-qubit program
+//! order: gate `g` is *ready* when it is the earliest unexecuted gate on
+//! every one of its qubits. [`DependencyTracker`] maintains that frontier
+//! for the scheduler's greedy passes.
+
+use crate::circuit::Circuit;
+
+/// Tracks which gates are ready/executed under per-qubit ordering.
+#[derive(Clone, Debug)]
+pub struct DependencyTracker {
+    /// Gate indices touching each qubit, in program order.
+    chains: Vec<Vec<usize>>,
+    /// Next unexecuted position within each qubit's chain.
+    cursor: Vec<usize>,
+    /// Qubits of each gate (cached).
+    gate_qubits: Vec<Vec<u32>>,
+    executed: Vec<bool>,
+    n_executed: usize,
+}
+
+impl DependencyTracker {
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.n_qubits() as usize;
+        let mut chains = vec![Vec::new(); n];
+        let mut gate_qubits = Vec::with_capacity(circuit.len());
+        for (gi, g) in circuit.gates().iter().enumerate() {
+            let qs = g.qubits();
+            for &q in &qs {
+                chains[q as usize].push(gi);
+            }
+            gate_qubits.push(qs);
+        }
+        Self {
+            cursor: vec![0; n],
+            executed: vec![false; circuit.len()],
+            n_executed: 0,
+            chains,
+            gate_qubits,
+        }
+    }
+
+    /// Total number of gates.
+    pub fn n_gates(&self) -> usize {
+        self.executed.len()
+    }
+
+    /// Is gate `gi` at the front of all its qubits' chains?
+    pub fn is_ready(&self, gi: usize) -> bool {
+        !self.executed[gi]
+            && self.gate_qubits[gi].iter().all(|&q| {
+                let chain = &self.chains[q as usize];
+                let cur = self.cursor[q as usize];
+                cur < chain.len() && chain[cur] == gi
+            })
+    }
+
+    /// Mark a ready gate as executed, advancing its qubits' cursors.
+    /// Panics if the gate is not ready (scheduling bug).
+    pub fn execute(&mut self, gi: usize) {
+        assert!(self.is_ready(gi), "gate {gi} executed out of order");
+        for &q in &self.gate_qubits[gi] {
+            self.cursor[q as usize] += 1;
+        }
+        self.executed[gi] = true;
+        self.n_executed += 1;
+    }
+
+    /// Has gate `gi` been executed?
+    pub fn is_executed(&self, gi: usize) -> bool {
+        self.executed[gi]
+    }
+
+    /// All gates executed?
+    pub fn is_done(&self) -> bool {
+        self.n_executed == self.executed.len()
+    }
+
+    pub fn n_remaining(&self) -> usize {
+        self.executed.len() - self.n_executed
+    }
+
+    /// Current frontier: every ready gate, in program order.
+    pub fn ready_gates(&self) -> Vec<usize> {
+        // The frontier is a subset of the chain fronts; dedupe via scan.
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (q, chain) in self.chains.iter().enumerate() {
+            if let Some(&gi) = chain.get(self.cursor[q]) {
+                if seen.insert(gi) && self.is_ready(gi) {
+                    out.push(gi);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Next unexecuted gate on qubit `q`, if any.
+    pub fn next_on_qubit(&self, q: u32) -> Option<usize> {
+        self.chains[q as usize].get(self.cursor[q as usize]).copied()
+    }
+
+    /// The qubits of gate `gi` (cached accessor for schedulers).
+    pub fn qubits_of(&self, gi: usize) -> &[u32] {
+        &self.gate_qubits[gi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn sample() -> Circuit {
+        // q0: H --- CZ(0,1) --- T
+        // q1:       CZ(0,1) --- H
+        // q2: X ---------------- CZ(1,2)? no: build explicit
+        let mut c = Circuit::new(3);
+        c.h(0); // 0
+        c.x(2); // 1
+        c.cz(0, 1); // 2
+        c.t(0); // 3
+        c.h(1); // 4
+        c.cz(1, 2); // 5
+        c
+    }
+
+    #[test]
+    fn initial_frontier() {
+        let t = DependencyTracker::new(&sample());
+        // H(0) and X(2) are ready; CZ(0,1) waits on H(0) but q1 side is
+        // free — still not ready because q0's front is H.
+        assert_eq!(t.ready_gates(), vec![0, 1]);
+        assert!(t.is_ready(0));
+        assert!(!t.is_ready(2));
+    }
+
+    #[test]
+    fn execution_unlocks_dependents() {
+        let mut t = DependencyTracker::new(&sample());
+        t.execute(0);
+        assert!(t.is_ready(2), "CZ ready after H");
+        t.execute(2);
+        assert_eq!(t.ready_gates(), vec![1, 3, 4]);
+        t.execute(4);
+        // CZ(1,2) needs X(2) executed too.
+        assert!(!t.is_ready(5));
+        t.execute(1);
+        assert!(t.is_ready(5));
+        t.execute(5);
+        t.execute(3);
+        assert!(t.is_done());
+        assert_eq!(t.n_remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_execution_panics() {
+        let mut t = DependencyTracker::new(&sample());
+        t.execute(2); // CZ before H(0)
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn double_execution_panics() {
+        let mut t = DependencyTracker::new(&sample());
+        t.execute(0);
+        t.execute(0);
+    }
+
+    #[test]
+    fn commuting_gates_any_order() {
+        // Gates on disjoint qubits can execute in any order.
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3);
+        let mut t = DependencyTracker::new(&c);
+        assert_eq!(t.ready_gates(), vec![0, 1, 2, 3]);
+        t.execute(3);
+        t.execute(0);
+        t.execute(2);
+        t.execute(1);
+        assert!(t.is_done());
+    }
+
+    #[test]
+    fn next_on_qubit_walks_chain() {
+        let mut t = DependencyTracker::new(&sample());
+        assert_eq!(t.next_on_qubit(0), Some(0));
+        t.execute(0);
+        assert_eq!(t.next_on_qubit(0), Some(2));
+        assert_eq!(t.next_on_qubit(1), Some(2));
+        assert_eq!(t.next_on_qubit(2), Some(1));
+    }
+
+    #[test]
+    fn serialized_supremacy_order_is_valid() {
+        // Executing any circuit in program order must always succeed.
+        let c = crate::supremacy::supremacy_circuit(&crate::supremacy::SupremacySpec {
+            rows: 3,
+            cols: 3,
+            depth: 12,
+            seed: 5,
+        });
+        let mut t = DependencyTracker::new(&c);
+        for gi in 0..c.len() {
+            t.execute(gi);
+        }
+        assert!(t.is_done());
+    }
+}

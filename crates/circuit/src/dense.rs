@@ -1,0 +1,195 @@
+//! Dense reference simulator — the workspace's ground truth.
+//!
+//! Builds the explicit 2^n × 2^n embedded matrix of every gate (§2 of the
+//! paper: Kronecker products with identities) and multiplies it into the
+//! state. O(4^n) per gate, so usable only for n ≲ 12 — exactly its job:
+//! every optimized execution path (kernels, fused clusters, scheduled
+//! circuits, the distributed simulator, the baseline simulator) is tested
+//! against this module.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use qsim_util::complex::Complex;
+use qsim_util::matrix::GateMatrix;
+use qsim_util::Real;
+
+/// Hard cap: 2^12 × 2^12 dense matrices are already 256 MB of work per
+/// gate; anything larger is a test-suite bug.
+pub const MAX_DENSE_QUBITS: u32 = 12;
+
+/// The all-zeros initial state |0…0⟩.
+pub fn zero_state<T: Real>(n: u32) -> Vec<Complex<T>> {
+    assert!(n <= MAX_DENSE_QUBITS + 20, "state too large");
+    let mut v = vec![Complex::zero(); 1usize << n];
+    v[0] = Complex::one();
+    v
+}
+
+/// The uniform superposition 2^{−n/2}·(1,…,1)ᵀ — the state after the
+/// initial Hadamard layer, which the paper's simulator starts from
+/// directly (§3.6).
+pub fn uniform_state<T: Real>(n: u32) -> Vec<Complex<T>> {
+    let len = 1usize << n;
+    let amp = T::ONE / T::from_usize(len).sqrt();
+    vec![Complex::new(amp, T::ZERO); len]
+}
+
+/// Apply one gate via its dense embedded matrix.
+pub fn apply_gate_dense<T: Real>(state: &mut [Complex<T>], n: u32, gate: &Gate) {
+    assert!(n <= MAX_DENSE_QUBITS, "dense reference limited to {MAX_DENSE_QUBITS} qubits");
+    assert_eq!(state.len(), 1usize << n);
+    let small: GateMatrix<T> = gate.matrix();
+    let big = small.embed(n, &gate.qubits());
+    let d = state.len();
+    let mut out = vec![Complex::zero(); d];
+    for (r, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::zero();
+        for c in 0..d {
+            let m = big.get(r, c);
+            if m != Complex::zero() {
+                acc += m * state[c];
+            }
+        }
+        *o = acc;
+    }
+    state.copy_from_slice(&out);
+}
+
+/// Run a whole circuit from |0…0⟩ and return the final state.
+pub fn simulate_dense<T: Real>(circuit: &Circuit) -> Vec<Complex<T>> {
+    let n = circuit.n_qubits();
+    let mut state = zero_state::<T>(n);
+    for g in circuit.gates() {
+        apply_gate_dense(&mut state, n, g);
+    }
+    state
+}
+
+/// Output probabilities |α_i|².
+pub fn probabilities<T: Real>(state: &[Complex<T>]) -> Vec<T> {
+    state.iter().map(|a| a.norm_sqr()).collect()
+}
+
+/// Shannon entropy of the output distribution in bits — the observable
+/// the paper computes for the 36-qubit Edison run (§4.2.2).
+pub fn entropy<T: Real>(state: &[Complex<T>]) -> T {
+    let mut h = T::ZERO;
+    for a in state {
+        let p = a.norm_sqr();
+        if p > T::ZERO {
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supremacy::{supremacy_circuit, SupremacySpec};
+    use qsim_util::c64;
+
+    #[test]
+    fn zero_and_uniform_states() {
+        let z = zero_state::<f64>(3);
+        assert_eq!(z[0], c64::one());
+        assert!(z[1..].iter().all(|&a| a == c64::zero()));
+        let u = uniform_state::<f64>(3);
+        let norm: f64 = u.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+        assert!((u[5].re - 1.0 / 8f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let s = simulate_dense::<f64>(&c);
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((s[0] - c64::new(r, 0.0)).abs() < 1e-12);
+        assert!((s[3] - c64::new(r, 0.0)).abs() < 1e-12);
+        assert!(s[1].abs() < 1e-12 && s[2].abs() < 1e-12);
+        // Entropy of a Bell state's computational distribution is 1 bit.
+        assert!((entropy(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_layer_gives_uniform_state() {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.h(q);
+        }
+        let s = simulate_dense::<f64>(&c);
+        let u = uniform_state::<f64>(4);
+        assert!(qsim_util::complex::max_dist(&s, &u) < 1e-12);
+    }
+
+    #[test]
+    fn ghz_probabilities() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).cnot(1, 2);
+        let s = simulate_dense::<f64>(&c);
+        let p = probabilities(&s);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[7] - 0.5).abs() < 1e-12);
+        assert!(p[1..7].iter().all(|&x| x < 1e-12));
+    }
+
+    #[test]
+    fn supremacy_circuit_preserves_norm_and_entangles() {
+        let spec = SupremacySpec {
+            rows: 3,
+            cols: 3,
+            depth: 14,
+            seed: 2,
+        };
+        let c = supremacy_circuit(&spec);
+        let s = simulate_dense::<f64>(&c);
+        let norm: f64 = s.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-10);
+        // Deep random circuits approach Porter–Thomas: entropy close to
+        // (n − 1/ln2·(1−γ)) ≈ n − 0.61 bits; far above a product state's.
+        let h = entropy(&s);
+        assert!(h > 7.0, "entropy {h} too low for a deep 9-qubit circuit");
+        assert!(h <= 9.0 + 1e-9);
+    }
+
+    #[test]
+    fn cz_phase_only_affects_11_component() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cz(0, 1);
+        let s = simulate_dense::<f64>(&c);
+        assert!((s[0].re - 0.5).abs() < 1e-12);
+        assert!((s[1].re - 0.5).abs() < 1e-12);
+        assert!((s[2].re - 0.5).abs() < 1e-12);
+        assert!((s[3].re + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_half_twice_equals_x() {
+        let mut c1 = Circuit::new(1);
+        c1.sqrt_x(0).sqrt_x(0);
+        let mut c2 = Circuit::new(1);
+        c2.x(0);
+        let a = simulate_dense::<f64>(&c1);
+        let b = simulate_dense::<f64>(&c2);
+        assert!(qsim_util::complex::max_dist(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn f32_reference_close_to_f64() {
+        let spec = SupremacySpec {
+            rows: 2,
+            cols: 3,
+            depth: 10,
+            seed: 9,
+        };
+        let c = supremacy_circuit(&spec);
+        let a = simulate_dense::<f64>(&c);
+        let b = simulate_dense::<f32>(&c);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x.re - y.re as f64).abs() < 1e-4);
+            assert!((x.im - y.im as f64).abs() < 1e-4);
+        }
+    }
+}

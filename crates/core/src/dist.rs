@@ -1,0 +1,497 @@
+//! The distributed simulator (§3.4–3.6).
+//!
+//! Executes a [`Schedule`] across `2^g` fabric ranks. Each rank owns a
+//! 2^l-amplitude slice of the physical state: bit positions `0..l` index
+//! within the slice, positions `l..n` are the rank id. Per stage:
+//!
+//! * **clusters** run the fused k-qubit kernels on the local slice — all
+//!   ranks execute identical operations (SPMD);
+//! * **diagonal ops** with global operands become rank-conditional local
+//!   phases (§3.5): the global bits are read from the rank id and the
+//!   diagonal is reduced to the local operands (or to a pure scalar);
+//! * **swaps** are realized exactly as §3.4 describes: a local bit
+//!   permutation bringing the outgoing qubits to the highest-order local
+//!   positions, one all-to-all over `MPI_COMM_WORLD`, and the inverse
+//!   permutation placing the incoming qubits at the vacated slots.
+
+use crate::state::StateVector;
+use qsim_circuit::Circuit;
+use qsim_kernels::apply::KernelConfig;
+use qsim_net::collective::{all_reduce_sum, all_to_all, Communicator};
+use qsim_net::fabric::{run_cluster, FabricStats, RankCtx};
+use qsim_sched::{DiagonalOp, Schedule, StageOp, SwapOp};
+use qsim_util::bits::BitPermutation;
+use qsim_util::c64;
+use qsim_util::complex::Complex;
+use std::time::Instant;
+
+/// Distributed run configuration.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Rank count; must equal `2^(n − schedule.local_qubits)`.
+    pub n_ranks: usize,
+    pub kernel: KernelConfig,
+    /// Gather the full state to rank 0 and return it in logical basis
+    /// order (small n only; used by tests and examples).
+    pub gather_state: bool,
+}
+
+/// Results of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistOutcome {
+    /// Σ|α|², reduced across ranks.
+    pub norm: f64,
+    /// Shannon entropy (bits) of the outcome distribution (§4.2.2).
+    pub entropy: f64,
+    /// Wall-clock of the rank bodies (max over ranks), seconds.
+    pub sim_seconds: f64,
+    /// Seconds spent in the entropy reduction alone (the paper reports
+    /// 8.1 s of 99 s for this step).
+    pub entropy_seconds: f64,
+    pub fabric: FabricStats,
+    /// Full state in logical order (only when `gather_state`).
+    pub state: Option<Vec<c64>>,
+}
+
+/// The distributed engine.
+pub struct DistSimulator {
+    pub config: DistConfig,
+}
+
+impl DistSimulator {
+    pub fn new(config: DistConfig) -> Self {
+        Self { config }
+    }
+
+    /// Execute `schedule` (planned from `circuit`). The circuit is only
+    /// used for sanity checks; all operations come from the schedule.
+    /// Starts from the uniform superposition when `init_uniform` (the
+    /// §3.6 supremacy-circuit start), else |0…0⟩.
+    pub fn run(&self, circuit: &Circuit, schedule: &Schedule, init_uniform: bool) -> DistOutcome {
+        let n = schedule.n_qubits;
+        let l = schedule.local_qubits;
+        let g = n - l;
+        assert_eq!(circuit.n_qubits(), n);
+        assert_eq!(
+            self.config.n_ranks,
+            1usize << g,
+            "rank count must be 2^(n-l)"
+        );
+        assert!(l >= g, "all-to-all needs at least as many local as global qubits");
+        let cfg = &self.config.kernel;
+        let gather = self.config.gather_state;
+
+        let (rank_results, fabric) = run_cluster(self.config.n_ranks, |ctx| {
+            run_rank(ctx, schedule, init_uniform, cfg, gather)
+        });
+
+        let mut outcome = DistOutcome {
+            norm: rank_results[0].norm,
+            entropy: rank_results[0].entropy,
+            sim_seconds: rank_results
+                .iter()
+                .map(|r| r.seconds)
+                .fold(0.0, f64::max),
+            entropy_seconds: rank_results
+                .iter()
+                .map(|r| r.entropy_seconds)
+                .fold(0.0, f64::max),
+            fabric,
+            state: None,
+        };
+        if gather {
+            // Assemble physical slices, then reorder into logical basis.
+            let mut physical = vec![c64::zero(); 1usize << n];
+            for (r, res) in rank_results.iter().enumerate() {
+                let slice = res.slice.as_ref().expect("gather requested");
+                physical[r << l..(r + 1) << l].copy_from_slice(slice);
+            }
+            outcome.state = Some(physical_to_logical(&physical, schedule.final_mapping()));
+        }
+        outcome
+    }
+}
+
+struct RankResult {
+    norm: f64,
+    entropy: f64,
+    seconds: f64,
+    entropy_seconds: f64,
+    slice: Option<Vec<c64>>,
+}
+
+fn run_rank(
+    ctx: &mut RankCtx,
+    schedule: &Schedule,
+    init_uniform: bool,
+    cfg: &KernelConfig,
+    gather: bool,
+) -> RankResult {
+    let n = schedule.n_qubits;
+    let l = schedule.local_qubits;
+    let rank = ctx.rank();
+    let t0 = Instant::now();
+    let mut state = if init_uniform {
+        StateVector::<f64>::uniform_slice(l, n)
+    } else if rank == 0 {
+        StateVector::<f64>::zero(l)
+    } else {
+        StateVector::<f64>::null(l)
+    };
+
+    for stage in &schedule.stages {
+        for op in &stage.ops {
+            match op {
+                StageOp::Cluster(c) => state.apply(&c.qubits, &c.matrix, cfg),
+                StageOp::Diagonal(d) => apply_rank_diagonal(&mut state, d, rank, l),
+            }
+        }
+        if let Some(swap) = &stage.swap {
+            perform_swap(ctx, &mut state, swap, l);
+        }
+    }
+
+    // Reductions (§4.2.2: the entropy needs a final all-reduce).
+    let local_norm = state.norm_sqr();
+    let local_entropy = {
+        let mut h = 0.0f64;
+        for a in state.amplitudes() {
+            let p = a.norm_sqr();
+            if p > 0.0 {
+                h -= p * p.log2();
+            }
+        }
+        h
+    };
+    let seconds = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let norm = all_reduce_sum(ctx, local_norm);
+    let entropy = all_reduce_sum(ctx, local_entropy);
+    let entropy_seconds = t1.elapsed().as_secs_f64();
+    RankResult {
+        norm,
+        entropy,
+        seconds: t0.elapsed().as_secs_f64().max(seconds),
+        entropy_seconds,
+        slice: gather.then(|| state.amplitudes().to_vec()),
+    }
+}
+
+/// Reduce a (possibly global-operand) diagonal op to this rank's local
+/// action and apply it (§3.5).
+pub fn apply_rank_diagonal(state: &mut StateVector<f64>, d: &DiagonalOp, rank: usize, l: u32) {
+    // Split operands into local and global; global bits come from the
+    // rank id.
+    let mut local_ops: Vec<(usize, u32)> = Vec::new(); // (operand j, position)
+    let mut fixed_bits = 0usize; // operand-indexed bits from the rank
+    for (j, &p) in d.positions.iter().enumerate() {
+        if p < l {
+            local_ops.push((j, p));
+        } else {
+            let bit = (rank >> (p - l)) & 1;
+            fixed_bits |= bit << j;
+        }
+    }
+    if local_ops.is_empty() {
+        // Pure rank-conditional global phase.
+        state.apply_global_phase(d.diag[fixed_bits]);
+        return;
+    }
+    // Reduced diagonal over the local operands (preserving their order).
+    let k = local_ops.len();
+    let mut reduced = vec![Complex::zero(); 1usize << k];
+    for (x, r) in reduced.iter_mut().enumerate() {
+        let mut idx = fixed_bits;
+        for (b, &(j, _)) in local_ops.iter().enumerate() {
+            idx |= ((x >> b) & 1) << j;
+        }
+        *r = d.diag[idx];
+    }
+    let positions: Vec<u32> = local_ops.iter().map(|&(_, p)| p).collect();
+    state.apply_diagonal(&positions, &reduced);
+}
+
+/// §3.4 global-to-local swap: local permutation → all-to-all → inverse
+/// permutation.
+pub fn perform_swap(ctx: &mut RankCtx, state: &mut StateVector<f64>, swap: &SwapOp, l: u32) {
+    let g = swap.local_slots.len() as u32;
+    debug_assert!(1usize << g == ctx.n_ranks());
+    let perm = slots_to_top_permutation(&swap.local_slots, l);
+    if !perm.is_identity() {
+        state.permute_qubits(&perm);
+    }
+    let recv = all_to_all(ctx, Communicator::world(ctx), state.amplitudes());
+    state.amplitudes_mut().copy_from_slice(&recv);
+    if !perm.is_identity() {
+        state.permute_qubits(&perm.inverse());
+    }
+}
+
+/// §3.4 *partial* global-to-local swap (Fig. 3): exchange the LOW `q`
+/// global bits with the TOP `q` local bits using one group-local
+/// all-to-all per group of `2^q` ranks (ranks sharing their high `g − q`
+/// bits). `q = g` degenerates to the full swap on `MPI_COMM_WORLD`.
+///
+/// The production scheduler emits full swaps (the paper's counting unit);
+/// this entry point exposes the generalized machinery for ablations and
+/// for workloads where only a few global qubits are ever needed locally.
+pub fn perform_partial_swap(ctx: &mut RankCtx, state: &mut StateVector<f64>, q: u32, l: u32) {
+    let g = qsim_util::bits::log2_exact(ctx.n_ranks());
+    assert!(q >= 1 && q <= g, "partial swap width {q} out of range (g={g})");
+    assert!(l >= q, "need at least q local qubits");
+    let comm = Communicator::group_of(ctx.rank(), 1usize << q);
+    let recv = all_to_all(ctx, comm, state.amplitudes());
+    state.amplitudes_mut().copy_from_slice(&recv);
+}
+
+/// Build the local bit permutation taking `slots[i]` to position
+/// `l − g + i` (the highest-order local bits), keeping all other
+/// positions in ascending order.
+pub fn slots_to_top_permutation(slots: &[u32], l: u32) -> BitPermutation {
+    let g = slots.len() as u32;
+    let mut map = vec![u32::MAX; l as usize];
+    for (i, &s) in slots.iter().enumerate() {
+        map[s as usize] = l - g + i as u32;
+    }
+    let mut next = 0u32;
+    for m in map.iter_mut() {
+        if *m == u32::MAX {
+            *m = next;
+            next += 1;
+        }
+    }
+    BitPermutation::new(map)
+}
+
+/// Reorder a full physical state into logical basis order:
+/// `out[b] = physical[p]` with `p`'s bit `mapping[q]` equal to `b`'s bit
+/// `q`.
+pub fn physical_to_logical(physical: &[c64], mapping: &[u32]) -> Vec<c64> {
+    let n = mapping.len();
+    assert_eq!(physical.len(), 1usize << n);
+    let perm = BitPermutation::new(mapping.to_vec());
+    let mut out = vec![c64::zero(); physical.len()];
+    for b in 0..physical.len() {
+        out[b] = physical[perm.apply(b)];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single::{strip_initial_hadamards, SingleNodeSimulator};
+    use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+    use qsim_sched::{plan, SchedulerConfig};
+    use qsim_util::complex::max_dist;
+
+    fn dist_run(
+        rows: u32,
+        cols: u32,
+        depth: u32,
+        seed: u64,
+        l: u32,
+        kmax: u32,
+    ) -> (Vec<c64>, DistOutcome) {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows,
+            cols,
+            depth,
+            seed,
+        });
+        let n = c.n_qubits();
+        let (exec, uniform) = strip_initial_hadamards(&c);
+        assert!(uniform);
+        let schedule = plan(&exec, &SchedulerConfig::distributed(l, kmax));
+        schedule.verify(&exec);
+        let sim = DistSimulator::new(DistConfig {
+            n_ranks: 1usize << (n - l),
+            kernel: KernelConfig::sequential(),
+            gather_state: true,
+        });
+        let out = sim.run(&exec, &schedule, true);
+        // Reference: single-node run of the same circuit.
+        let single = SingleNodeSimulator::default().run(&c);
+        (single.state.amplitudes().to_vec(), out)
+    }
+
+    #[test]
+    fn distributed_matches_single_node_2_ranks() {
+        let (expect, out) = dist_run(3, 3, 14, 0, 8, 4);
+        let got = out.state.clone().unwrap();
+        assert!(max_dist(&got, &expect) < 1e-10);
+        assert!((out.norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distributed_matches_single_node_4_and_8_ranks() {
+        for l in [8u32, 7] {
+            let (expect, out) = dist_run(2, 5, 16, 3, l, 3);
+            let got = out.state.clone().unwrap();
+            assert!(
+                max_dist(&got, &expect) < 1e-10,
+                "l={l}: {}",
+                max_dist(&got, &expect)
+            );
+            assert!(out.fabric.total_bytes_sent > 0, "must actually communicate");
+        }
+    }
+
+    #[test]
+    fn entropy_reduction_matches_gathered_state() {
+        let (_, out) = dist_run(3, 3, 12, 9, 7, 3);
+        let state = out.state.clone().unwrap();
+        let mut h = 0.0;
+        for a in &state {
+            let p = a.norm_sqr();
+            if p > 0.0 {
+                h -= p * p.log2();
+            }
+        }
+        assert!((h - out.entropy).abs() < 1e-9);
+        assert!(out.entropy_seconds >= 0.0);
+    }
+
+    #[test]
+    fn slots_to_top_permutation_shapes() {
+        // l=4, slots=[0,2] -> 0->2, 2->3; others ascending: 1->0, 3->1.
+        let p = slots_to_top_permutation(&[0, 2], 4);
+        assert_eq!(p.target(0), 2);
+        assert_eq!(p.target(2), 3);
+        assert_eq!(p.target(1), 0);
+        assert_eq!(p.target(3), 1);
+        // Top slots already: identity.
+        let p2 = slots_to_top_permutation(&[2, 3], 4);
+        assert!(p2.is_identity());
+    }
+
+    #[test]
+    fn rank_diagonal_reduction() {
+        // CZ on (local 0, global l+1) with l = 2: phase -1 only on ranks
+        // with global bit 1 set, and only on local amplitudes with bit 0.
+        let d = DiagonalOp {
+            positions: vec![0, 3],
+            diag: vec![c64::one(), c64::one(), c64::one(), -c64::one()],
+            gate_indices: vec![],
+        };
+        // rank 0b10 -> global bit (3-2)=1 set.
+        let mut s = StateVector::<f64>::uniform(2);
+        apply_rank_diagonal(&mut s, &d, 0b10, 2);
+        assert!((s.amplitudes()[1].re + 0.5).abs() < 1e-12, "bit0 set flipped");
+        assert!((s.amplitudes()[0].re - 0.5).abs() < 1e-12);
+        // rank 0b01 -> global bit clear: no action.
+        let mut s2 = StateVector::<f64>::uniform(2);
+        apply_rank_diagonal(&mut s2, &d, 0b01, 2);
+        assert!((s2.amplitudes()[1].re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_global_diagonal_is_phase() {
+        // T on a global qubit: ranks with the bit set get the phase.
+        let d = DiagonalOp {
+            positions: vec![2],
+            diag: vec![c64::one(), c64::from_polar(1.0, 0.25)],
+            gate_indices: vec![],
+        };
+        let mut s = StateVector::<f64>::uniform(2);
+        apply_rank_diagonal(&mut s, &d, 0b1, 2);
+        let expect = c64::new(0.5, 0.0) * c64::from_polar(1.0, 0.25);
+        assert!((s.amplitudes()[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn physical_to_logical_reorders() {
+        // 2 qubits, mapping logical0->phys1, logical1->phys0.
+        let phys = vec![
+            c64::new(0.0, 0.0),
+            c64::new(1.0, 0.0),
+            c64::new(2.0, 0.0),
+            c64::new(3.0, 0.0),
+        ];
+        let out = physical_to_logical(&phys, &[1, 0]);
+        // logical b=01 (q0=1) -> physical bit1 set -> index 2.
+        assert_eq!(out[1].re, 2.0);
+        assert_eq!(out[2].re, 1.0);
+        assert_eq!(out[0].re, 0.0);
+        assert_eq!(out[3].re, 3.0);
+    }
+
+    #[test]
+    fn partial_swap_equals_bit_transpositions() {
+        // A q-bit partial swap must equal swapping physical positions
+        // (l−q+i) <-> (l+i) on the full index space.
+        use qsim_net::fabric::run_cluster;
+        use qsim_util::Xoshiro256;
+        let n = 8u32;
+        for (g, q) in [(2u32, 1u32), (2, 2), (3, 2)] {
+            let l = n - g;
+            let full_len = 1usize << n;
+            let mut rng = Xoshiro256::seed_from_u64(100 + (g * 10 + q) as u64);
+            let full: Vec<c64> = (0..full_len)
+                .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+                .collect();
+            let full_ref = full.clone();
+            let (slices, _) = run_cluster(1usize << g, |ctx| {
+                let r = ctx.rank();
+                let mut state = StateVector::from_amplitudes(
+                    full_ref[r << l..(r + 1) << l].to_vec(),
+                );
+                perform_partial_swap(ctx, &mut state, q, l);
+                state.amplitudes().to_vec()
+            });
+            let mut got = vec![c64::zero(); full_len];
+            for (r, s) in slices.iter().enumerate() {
+                got[r << l..(r + 1) << l].copy_from_slice(s);
+            }
+            // Expected: transpose bits (l-q+i) and (l+i).
+            let mut perm = BitPermutation::identity(n as usize);
+            for i in 0..q {
+                perm = perm.then(&BitPermutation::transposition(n as usize, l - q + i, l + i));
+            }
+            let mut expect = vec![c64::zero(); full_len];
+            perm.permute_slice(&full, &mut expect);
+            assert!(
+                max_dist(&got, &expect) < 1e-15,
+                "g={g} q={q}: {}",
+                max_dist(&got, &expect)
+            );
+        }
+    }
+
+    #[test]
+    fn partial_swap_moves_fewer_bytes_than_full() {
+        use qsim_net::fabric::run_cluster;
+        let n = 8u32;
+        let g = 3u32;
+        let l = n - g;
+        let run = |q: u32| {
+            let (_, stats) = run_cluster(1usize << g, |ctx| {
+                let mut state = StateVector::<f64>::uniform_slice(l, n);
+                perform_partial_swap(ctx, &mut state, q, l);
+            });
+            stats.total_bytes_sent
+        };
+        let b1 = run(1);
+        let b3 = run(3);
+        assert!(b1 < b3, "1-bit swap {b1} must be cheaper than full {b3}");
+        // q=1: each rank ships half its slice to its pair partner.
+        assert_eq!(b1, (1u64 << g) * (1u64 << (l - 1)) * 16);
+    }
+
+    #[test]
+    fn zero_state_init_distributed() {
+        // Identity circuit from |0..0>: amplitude must stay on rank 0.
+        let mut c = qsim_circuit::Circuit::new(4);
+        c.t(0); // phase on |..1>, no-op on |0..0>
+        let schedule = plan(&c, &SchedulerConfig::distributed(3, 2));
+        let sim = DistSimulator::new(DistConfig {
+            n_ranks: 2,
+            kernel: KernelConfig::sequential(),
+            gather_state: true,
+        });
+        let out = sim.run(&c, &schedule, false);
+        let state = out.state.unwrap();
+        assert!((state[0] - c64::one()).abs() < 1e-12);
+        assert!((out.norm - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! # qsim-core
+//!
+//! The simulators. Three execution engines share the kernels, circuits
+//! and schedules of the sibling crates:
+//!
+//! * [`single`] — single-node simulator: plans the circuit (clustering
+//!   only, no swaps) and executes fused k-qubit kernels with rayon
+//!   parallelism — the paper's §3.1–3.3 stack.
+//! * [`dist`] — the distributed simulator: executes a [`qsim_sched`]
+//!   schedule across `2^g` ranks of the [`qsim_net`] fabric, realizing
+//!   global-to-local swaps as local bit permutations around all-to-alls
+//!   (§3.4) and diagonal global gates as rank-conditional phases (§3.5).
+//! * [`baseline`] — the prior-art comparator (\[5\]/\[19\]): per-gate
+//!   execution, no fusion, global gates via two pairwise half-state
+//!   exchanges. Table 2's speedups are measured against this engine.
+//!
+//! Supporting modules: [`state`] (aligned state-vector container),
+//! [`observables`] (probabilities, entropy, sampling, cross-entropy —
+//! §4.2.2's measured quantities), [`measure`] (projective measurement and
+//! collapse) and [`noise`] (stochastic-Pauli trajectory simulation for
+//! the noise studies the paper motivates in §1).
+
+pub mod baseline;
+pub mod dist;
+pub mod emulate;
+pub mod measure;
+pub mod noise;
+pub mod observables;
+pub mod single;
+pub mod state;
+
+pub use baseline::BaselineSimulator;
+pub use dist::{DistConfig, DistOutcome, DistSimulator};
+pub use single::{SingleNodeSimulator, SingleOutcome};
+pub use state::StateVector;

@@ -1,0 +1,379 @@
+//! Single-node simulator (§3.1–3.3 stack).
+//!
+//! Plans the circuit with the scheduler (pure clustering — with every
+//! qubit local there are no swaps), then sweeps fused k-qubit kernels
+//! over the state with rayon parallelism. The qubit-mapping heuristic
+//! (§3.6.2) can be applied first; the measured 2× claim is exercised by
+//! the bench harness.
+
+use crate::state::StateVector;
+use qsim_circuit::Circuit;
+use qsim_kernels::apply::KernelConfig;
+use qsim_sched::{plan, Schedule, SchedulerConfig, StageOp};
+use qsim_util::c64;
+use std::time::Instant;
+
+/// Execution report of a single-node run.
+pub struct SingleOutcome {
+    pub state: StateVector<f64>,
+    pub schedule: Schedule,
+    /// Seconds spent executing kernels (excludes planning).
+    pub sim_seconds: f64,
+    /// Seconds spent planning (the paper's "1–3 seconds on a laptop").
+    pub plan_seconds: f64,
+}
+
+/// Single-node engine.
+pub struct SingleNodeSimulator {
+    pub kernel: KernelConfig,
+    pub kmax: u32,
+    /// Apply the §3.6.2 qubit-mapping heuristic before planning.
+    pub optimize_mapping: bool,
+}
+
+impl Default for SingleNodeSimulator {
+    fn default() -> Self {
+        Self {
+            kernel: KernelConfig::default(),
+            kmax: 4,
+            optimize_mapping: false,
+        }
+    }
+}
+
+impl SingleNodeSimulator {
+    pub fn new(kernel: KernelConfig, kmax: u32) -> Self {
+        Self {
+            kernel,
+            kmax,
+            optimize_mapping: false,
+        }
+    }
+
+    /// Build a simulator from the §3.2 autotuning feedback loop: measure
+    /// the kernel ladder on this host and adopt the resulting kmax and
+    /// block size. `n_test` trades tuning time for fidelity (12–22).
+    pub fn autotuned(n_test: u32) -> Self {
+        let threads = rayon::current_num_threads();
+        let tuned = qsim_kernels::autotune(n_test, threads);
+        Self {
+            kernel: KernelConfig {
+                block: tuned.block,
+                threads,
+                ..KernelConfig::default()
+            },
+            kmax: tuned.kmax,
+            optimize_mapping: false,
+        }
+    }
+
+    /// Run `circuit` from the uniform superposition when its first cycle
+    /// is the supremacy Hadamard layer (detected and skipped, §3.6), else
+    /// from |0…0⟩.
+    pub fn run(&self, circuit: &Circuit) -> SingleOutcome {
+        let n = circuit.n_qubits();
+        let (exec_circuit, init_uniform) = strip_initial_hadamards(circuit);
+        let mapped;
+        let exec_ref = if self.optimize_mapping {
+            let map =
+                qsim_sched::mapping::optimize_qubit_mapping(&exec_circuit, &self.plan_cfg(n));
+            mapped = exec_circuit.remapped(&map);
+            &mapped
+        } else {
+            &exec_circuit
+        };
+        let t0 = Instant::now();
+        let schedule = plan(exec_ref, &self.plan_cfg(n));
+        let plan_seconds = t0.elapsed().as_secs_f64();
+
+        let mut state = if init_uniform {
+            StateVector::<f64>::uniform(n)
+        } else {
+            StateVector::<f64>::zero(n)
+        };
+        let t1 = Instant::now();
+        execute_schedule_local(&mut state, &schedule, &self.kernel);
+        let sim_seconds = t1.elapsed().as_secs_f64();
+        SingleOutcome {
+            state,
+            schedule,
+            sim_seconds,
+            plan_seconds,
+        }
+    }
+
+    fn plan_cfg(&self, n: u32) -> SchedulerConfig {
+        SchedulerConfig::single_node(n, self.kmax)
+    }
+}
+
+/// Execute all stages of a single-node schedule on a full state.
+/// A single-node schedule has one stage and no swaps; asserts that.
+pub fn execute_schedule_local(
+    state: &mut StateVector<f64>,
+    schedule: &Schedule,
+    cfg: &KernelConfig,
+) {
+    assert_eq!(schedule.n_swaps(), 0, "local execution cannot swap");
+    for stage in &schedule.stages {
+        for op in &stage.ops {
+            match op {
+                StageOp::Cluster(c) => state.apply(&c.qubits, &c.matrix, cfg),
+                StageOp::Diagonal(d) => state.apply_diagonal(&d.positions, &d.diag),
+            }
+        }
+    }
+}
+
+/// Precision-generic variant of [`execute_schedule_local`]: cluster
+/// matrices and diagonals are converted to the state's precision on the
+/// fly (the §5 single-precision mode — 46 qubits in the footprint of 45).
+pub fn execute_schedule_local_t<T>(
+    state: &mut StateVector<T>,
+    schedule: &Schedule,
+    cfg: &KernelConfig,
+) where
+    T: qsim_util::Real + qsim_kernels::apply::ApplyDispatch,
+{
+    assert_eq!(schedule.n_swaps(), 0, "local execution cannot swap");
+    for stage in &schedule.stages {
+        for op in &stage.ops {
+            match op {
+                StageOp::Cluster(c) => {
+                    let m = c.matrix.convert::<T>();
+                    state.apply(&c.qubits, &m, cfg);
+                }
+                StageOp::Diagonal(d) => {
+                    let diag: Vec<qsim_util::Complex<T>> =
+                        d.diag.iter().map(|x| x.convert()).collect();
+                    state.apply_diagonal(&d.positions, &diag);
+                }
+            }
+        }
+    }
+}
+
+/// Run a circuit entirely in single precision (§5): same planning, f32
+/// kernels, half the memory. Returns the f32 state.
+pub fn run_single_precision(
+    circuit: &Circuit,
+    kmax: u32,
+    cfg: &KernelConfig,
+) -> StateVector<f32> {
+    let n = circuit.n_qubits();
+    let (exec, uniform) = strip_initial_hadamards(circuit);
+    let schedule = qsim_sched::plan(&exec, &SchedulerConfig::single_node(n, kmax));
+    let mut state = if uniform {
+        StateVector::<f32>::uniform(n)
+    } else {
+        StateVector::<f32>::zero(n)
+    };
+    execute_schedule_local_t(&mut state, &schedule, cfg);
+    state
+}
+
+/// If the circuit starts with a full layer of Hadamards (the supremacy
+/// cycle 0), return (circuit without them, true): the caller initializes
+/// the uniform superposition directly. Otherwise (original, false).
+pub fn strip_initial_hadamards(circuit: &Circuit) -> (Circuit, bool) {
+    let n = circuit.n_qubits();
+    let mut seen = vec![false; n as usize];
+    let mut cut = 0usize;
+    for (i, g) in circuit.gates().iter().enumerate() {
+        if let qsim_circuit::Gate::H(q) = g {
+            if !seen[*q as usize] {
+                seen[*q as usize] = true;
+                cut = i + 1;
+                if seen.iter().all(|&s| s) {
+                    break;
+                }
+                continue;
+            }
+        }
+        // A non-H gate (or repeated H) before the layer completes: no
+        // strippable layer.
+        return (circuit.clone(), false);
+    }
+    if !seen.iter().all(|&s| s) {
+        return (circuit.clone(), false);
+    }
+    let mut out = Circuit::new(n);
+    for g in &circuit.gates()[cut..] {
+        out.push(g.clone());
+    }
+    (out, true)
+}
+
+/// Convenience: final state probabilities of a small circuit, for tests.
+pub fn final_state(circuit: &Circuit) -> Vec<c64> {
+    let sim = SingleNodeSimulator::default();
+    let out = sim.run(circuit);
+    out.state.amplitudes().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_circuit::dense::simulate_dense;
+    use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+    use qsim_circuit::Gate;
+    use qsim_util::complex::max_dist;
+
+    #[test]
+    fn matches_dense_reference_on_supremacy_circuits() {
+        for seed in [0u64, 1, 2] {
+            let c = supremacy_circuit(&SupremacySpec {
+                rows: 3,
+                cols: 3,
+                depth: 14,
+                seed,
+            });
+            let expect = simulate_dense::<f64>(&c);
+            let got = final_state(&c);
+            assert!(
+                max_dist(&got, &expect) < 1e-10,
+                "seed {seed}: {}",
+                max_dist(&got, &expect)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_dense_on_structured_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(0).cnot(0, 1).t(1).cz(1, 2).sqrt_y(3).cnot(2, 3).z(0);
+        let expect = simulate_dense::<f64>(&c);
+        let got = final_state(&c);
+        assert!(max_dist(&got, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn kmax_variants_agree() {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 3,
+            cols: 4,
+            depth: 16,
+            seed: 7,
+        });
+        let mut reference: Option<Vec<qsim_util::c64>> = None;
+        for kmax in [2u32, 3, 4, 5] {
+            let sim = SingleNodeSimulator::new(KernelConfig::default(), kmax);
+            let out = sim.run(&c);
+            out.schedule.verify(&strip_initial_hadamards(&c).0);
+            let amps = out.state.amplitudes().to_vec();
+            if let Some(r) = &reference {
+                assert!(max_dist(r, &amps) < 1e-10, "kmax={kmax} diverges");
+            } else {
+                reference = Some(amps);
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_optimization_preserves_probabilities() {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 3,
+            cols: 3,
+            depth: 12,
+            seed: 5,
+        });
+        let plain = SingleNodeSimulator::default().run(&c);
+        let mut opt_sim = SingleNodeSimulator::default();
+        opt_sim.optimize_mapping = true;
+        let opt = opt_sim.run(&c);
+        // Amplitudes are permuted by the relabeling, but the probability
+        // MULTISET and entropy are invariant.
+        let mut p1: Vec<f64> = plain.state.probabilities();
+        let mut p2: Vec<f64> = opt.state.probabilities();
+        p1.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        p2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in p1.iter().zip(p2.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        assert!((plain.state.entropy() - opt.state.entropy()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn strip_detects_h_layer() {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 2,
+            cols: 3,
+            depth: 10,
+            seed: 0,
+        });
+        let (stripped, uniform) = strip_initial_hadamards(&c);
+        assert!(uniform);
+        assert_eq!(stripped.len(), c.len() - 6);
+
+        let mut c2 = Circuit::new(2);
+        c2.h(0).t(0).h(1);
+        let (same, uniform2) = strip_initial_hadamards(&c2);
+        assert!(!uniform2);
+        assert_eq!(same.len(), 3);
+    }
+
+    #[test]
+    fn norm_preserved_on_deeper_circuit() {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 4,
+            cols: 4,
+            depth: 20,
+            seed: 11,
+        });
+        let out = SingleNodeSimulator::default().run(&c);
+        assert!((out.state.norm_sqr() - 1.0).abs() < 1e-9);
+        assert!(out.sim_seconds >= 0.0 && out.plan_seconds >= 0.0);
+        // Entropy of a deep 16-qubit random circuit approaches n−0.61.
+        let h = out.state.entropy();
+        assert!(h > 13.0 && h <= 16.0, "entropy {h}");
+    }
+
+    #[test]
+    fn autotuned_simulator_is_correct() {
+        let sim = SingleNodeSimulator::autotuned(10);
+        assert!((1..=5).contains(&sim.kmax), "kmax {}", sim.kmax);
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 3,
+            cols: 3,
+            depth: 12,
+            seed: 1,
+        });
+        let expect = simulate_dense::<f64>(&c);
+        let out = sim.run(&c);
+        assert!(max_dist(out.state.amplitudes(), &expect) < 1e-10);
+    }
+
+    #[test]
+    fn single_precision_run_tracks_f64() {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 3,
+            cols: 4,
+            depth: 20,
+            seed: 6,
+        });
+        let f64_state = SingleNodeSimulator::default().run(&c).state;
+        let f32_state = run_single_precision(&c, 4, &KernelConfig::default());
+        // Per-amplitude agreement at f32 precision after ~500 gates.
+        let mut worst = 0.0f64;
+        for (a, b) in f64_state.amplitudes().iter().zip(f32_state.amplitudes()) {
+            worst = worst.max((a.re - b.re as f64).abs().max((a.im - b.im as f64).abs()));
+        }
+        assert!(worst < 5e-4, "f32 drift {worst}");
+        assert!((f32_state.norm_sqr() as f64 - 1.0).abs() < 1e-4);
+        // Entropy agreement (the paper's observable).
+        assert!((f64_state.entropy() - f32_state.entropy() as f64).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gate_by_gate_vs_scheduled_t_gate_phases() {
+        // Regression guard for diagonal fusion sign errors: T^8 = I.
+        let mut c = Circuit::new(2);
+        for _ in 0..8 {
+            c.t(0);
+        }
+        c.h(1); // force at least one dense cluster
+        let got = final_state(&c);
+        let expect = simulate_dense::<f64>(&c);
+        assert!(max_dist(&got, &expect) < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! The state-vector container.
+//!
+//! Wraps a 64-byte-aligned amplitude buffer with the operations every
+//! engine needs: initialization (|0…0⟩ or the uniform superposition the
+//! paper starts supremacy runs from, §3.6), gate application through the
+//! kernel dispatch, diagonal/specialized operations, norms and
+//! probabilities. Generic over precision (f64 default; f32 per §5).
+
+use qsim_kernels::apply::{apply_gate, ApplyDispatch, KernelConfig};
+use qsim_kernels::specialized;
+use qsim_util::bits::{log2_exact, BitPermutation};
+use qsim_util::complex::Complex;
+use qsim_util::matrix::GateMatrix;
+use qsim_util::{AlignedVec, Real};
+
+/// An n-qubit (or rank-local l-qubit) state vector.
+pub struct StateVector<T = f64> {
+    amps: AlignedVec<Complex<T>>,
+    n_qubits: u32,
+}
+
+impl<T: Real + ApplyDispatch> StateVector<T> {
+    /// |0…0⟩.
+    pub fn zero(n_qubits: u32) -> Self {
+        let mut amps = AlignedVec::new_zeroed(1usize << n_qubits);
+        amps[0] = Complex::one();
+        Self { amps, n_qubits }
+    }
+
+    /// All-zero amplitudes (for rank slices whose |0…0⟩ lives elsewhere).
+    pub fn null(n_qubits: u32) -> Self {
+        Self {
+            amps: AlignedVec::new_zeroed(1usize << n_qubits),
+            n_qubits,
+        }
+    }
+
+    /// The uniform superposition 2^{−n/2}(1,…,1)ᵀ — the state after the
+    /// initial Hadamard layer, which the simulator writes directly
+    /// instead of executing the H gates (§3.6).
+    pub fn uniform(n_qubits: u32) -> Self {
+        let len = 1usize << n_qubits;
+        let amp = Complex::new(T::ONE / T::from_usize(len).sqrt(), T::ZERO);
+        let mut amps = AlignedVec::new_zeroed(len);
+        amps.iter_mut().for_each(|a| *a = amp);
+        Self { amps, n_qubits }
+    }
+
+    /// Uniform amplitude value for a SLICE of a larger uniform state:
+    /// every amplitude is 2^{−total/2}.
+    pub fn uniform_slice(local_qubits: u32, total_qubits: u32) -> Self {
+        let len = 1usize << local_qubits;
+        let amp = Complex::new(
+            T::ONE / T::from_usize(1usize << total_qubits).sqrt(),
+            T::ZERO,
+        );
+        let mut amps = AlignedVec::new_zeroed(len);
+        amps.iter_mut().for_each(|a| *a = amp);
+        Self {
+            amps,
+            n_qubits: local_qubits,
+        }
+    }
+
+    /// Adopt an existing amplitude vector.
+    pub fn from_amplitudes(amps: Vec<Complex<T>>) -> Self {
+        let n_qubits = log2_exact(amps.len());
+        Self {
+            amps: AlignedVec::from_slice(&amps),
+            n_qubits,
+        }
+    }
+
+    #[inline]
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.amps.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex<T>] {
+        &self.amps
+    }
+
+    #[inline]
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex<T>] {
+        &mut self.amps
+    }
+
+    /// Apply a dense k-qubit gate at `qubits` using the configured kernel.
+    pub fn apply(&mut self, qubits: &[u32], m: &GateMatrix<T>, cfg: &KernelConfig) {
+        apply_gate(&mut self.amps, qubits, m, cfg);
+    }
+
+    /// Apply a diagonal gate (specialized kernel, §3.5).
+    pub fn apply_diagonal(&mut self, qubits: &[u32], diag: &[Complex<T>]) {
+        specialized::apply_diagonal(&mut self.amps, qubits, diag);
+    }
+
+    /// Multiply the whole vector by a phase.
+    pub fn apply_global_phase(&mut self, phase: Complex<T>) {
+        specialized::apply_global_phase(&mut self.amps, phase);
+    }
+
+    /// In-place bit-position permutation (local qubit reordering, §3.4).
+    pub fn permute_qubits(&mut self, perm: &BitPermutation) {
+        specialized::permute_qubits_inplace(&mut self.amps, perm);
+    }
+
+    /// Σ|α|² — must stay 1 under unitary circuits.
+    pub fn norm_sqr(&self) -> T {
+        let mut s = T::ZERO;
+        for a in self.amps.iter() {
+            s += a.norm_sqr();
+        }
+        s
+    }
+
+    /// Probability that qubit (bit position) `q` reads 1.
+    pub fn prob_one(&self, q: u32) -> T {
+        specialized::prob_one(&self.amps, q)
+    }
+
+    /// All 2^n outcome probabilities (small n only).
+    pub fn probabilities(&self) -> Vec<T> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Shannon entropy (bits) of the outcome distribution.
+    pub fn entropy(&self) -> T {
+        let mut h = T::ZERO;
+        for a in self.amps.iter() {
+            let p = a.norm_sqr();
+            if p > T::ZERO {
+                h -= p * p.log2();
+            }
+        }
+        h
+    }
+
+    /// Convert precision (f64 ↔ f32), e.g. for the §5 single-precision
+    /// mode.
+    pub fn convert<U: Real + ApplyDispatch>(&self) -> StateVector<U> {
+        StateVector::from_amplitudes(self.amps.iter().map(|a| a.convert()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_circuit::Gate;
+    use qsim_util::c64;
+
+    #[test]
+    fn initial_states() {
+        let z = StateVector::<f64>::zero(4);
+        assert_eq!(z.len(), 16);
+        assert_eq!(z.amplitudes()[0], c64::one());
+        assert!((z.norm_sqr() - 1.0).abs() < 1e-15);
+
+        let u = StateVector::<f64>::uniform(4);
+        assert!((u.norm_sqr() - 1.0).abs() < 1e-12);
+        assert!((u.entropy() - 4.0).abs() < 1e-12, "uniform entropy = n bits");
+
+        // A 2-qubit slice of a 4-qubit uniform state: norm = 4/16.
+        let s = StateVector::<f64>::uniform_slice(2, 4);
+        assert!((s.norm_sqr() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_h_gives_uniform() {
+        let mut s = StateVector::<f64>::zero(3);
+        let cfg = KernelConfig::sequential();
+        let h: GateMatrix<f64> = Gate::H(0).matrix();
+        for q in 0..3 {
+            s.apply(&[q], &h, &cfg);
+        }
+        let u = StateVector::<f64>::uniform(3);
+        assert!(qsim_util::complex::max_dist(s.amplitudes(), u.amplitudes()) < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_and_phase() {
+        let mut s = StateVector::<f64>::uniform(2);
+        s.apply_diagonal(&[0], &[c64::one(), -c64::one()]); // Z on qubit 0
+        assert!((s.amplitudes()[1].re + 0.5).abs() < 1e-12);
+        assert!((s.amplitudes()[0].re - 0.5).abs() < 1e-12);
+        s.apply_global_phase(c64::i());
+        assert!((s.amplitudes()[0].im - 0.5).abs() < 1e-12);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_moves_marginals() {
+        let mut s = StateVector::<f64>::zero(3);
+        let cfg = KernelConfig::sequential();
+        let x: GateMatrix<f64> = Gate::X(0).matrix();
+        s.apply(&[0], &x, &cfg); // |001>
+        assert!((s.prob_one(0) - 1.0).abs() < 1e-12);
+        s.permute_qubits(&BitPermutation::transposition(3, 0, 2));
+        assert!((s.prob_one(2) - 1.0).abs() < 1e-12);
+        assert!(s.prob_one(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_conversion_round_trip() {
+        let mut s = StateVector::<f64>::uniform(3);
+        s.apply_diagonal(&[1], &[c64::one(), c64::from_polar(1.0, 0.5)]);
+        let s32: StateVector<f32> = s.convert();
+        let back: StateVector<f64> = s32.convert();
+        assert!(qsim_util::complex::max_dist(s.amplitudes(), back.amplitudes()) < 1e-6);
+    }
+
+    #[test]
+    fn from_amplitudes_infers_size() {
+        let v = vec![c64::zero(); 8];
+        let s = StateVector::from_amplitudes(v);
+        assert_eq!(s.n_qubits(), 3);
+    }
+}

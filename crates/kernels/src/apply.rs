@@ -1,0 +1,290 @@
+//! Unified gate-application entry point.
+//!
+//! Simulators call [`apply_gate`] with a [`KernelConfig`]; dispatch picks
+//! the optimization step, SIMD path, block size and parallelism. The
+//! config is usually produced by [`crate::autotune::autotune`], mirroring
+//! the paper's code-generation/benchmarking feedback loop, but every knob
+//! can be set manually — the benchmark harnesses sweep them for Fig. 2.
+
+use crate::avx;
+use crate::matrix::{GateMatrix, PackedMatrix};
+use crate::opt;
+use crate::parallel;
+use qsim_util::complex::Complex;
+use qsim_util::{c64, Real};
+
+/// Which rung of the §3.1–3.2 optimization ladder to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Step 0: two state vectors, textbook product (needs external dst —
+    /// `apply_gate` emulates it with an internal scratch copy).
+    TwoVector,
+    /// Step 1: in-place, lazy evaluation.
+    InPlace,
+    /// Step 2: + Eq. (2)–(3) FMA re-association.
+    Fma,
+    /// Step 3: + register blocking and packed pre-permuted matrix.
+    Blocked,
+}
+
+/// SIMD selection.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Simd {
+    /// Portable scalar code (still FMA-re-associated at step >= 2).
+    Scalar,
+    /// Force the AVX2+FMA path (scalar when unsupported).
+    Avx2,
+    /// Best available: AVX-512 for k >= 2 when the host supports it,
+    /// else AVX2+FMA, else scalar. Only meaningful at
+    /// `OptLevel::Blocked`.
+    Auto,
+}
+
+/// Kernel dispatch configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct KernelConfig {
+    pub opt: OptLevel,
+    pub simd: Simd,
+    /// Register-blocking width for the scalar step-3 kernel.
+    pub block: usize,
+    /// Worker-thread hint; 1 forces sequential execution.
+    pub threads: usize,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self {
+            opt: OptLevel::Blocked,
+            simd: Simd::Auto,
+            block: 4,
+            threads: rayon::current_num_threads(),
+        }
+    }
+}
+
+impl KernelConfig {
+    /// Fully sequential, portable configuration (reference runs, tests).
+    pub fn sequential() -> Self {
+        Self {
+            opt: OptLevel::Blocked,
+            simd: Simd::Scalar,
+            block: 4,
+            threads: 1,
+        }
+    }
+}
+
+/// Apply a dense k-qubit gate to `state` at `qubits` under `cfg`.
+///
+/// f64 states additionally get the AVX2 path when `cfg.simd == Auto`;
+/// other precisions always use the portable kernels (the generic bound
+/// cannot name f64 specially, so `apply_gate` is specialized below via
+/// [`ApplyDispatch`]).
+pub fn apply_gate<T: Real + ApplyDispatch>(
+    state: &mut [Complex<T>],
+    qubits: &[u32],
+    m: &GateMatrix<T>,
+    cfg: &KernelConfig,
+) {
+    T::dispatch(state, qubits, m, cfg)
+}
+
+/// Sequential convenience wrapper used by tests and the reference paths.
+pub fn apply_gate_seq<T: Real + ApplyDispatch>(
+    state: &mut [Complex<T>],
+    qubits: &[u32],
+    m: &GateMatrix<T>,
+) {
+    apply_gate(state, qubits, m, &KernelConfig::sequential());
+}
+
+/// Precision-directed dispatch: f64 may take the AVX2 kernel, every other
+/// precision takes the portable path.
+pub trait ApplyDispatch: Real + Sized {
+    fn dispatch(state: &mut [Complex<Self>], qubits: &[u32], m: &GateMatrix<Self>, cfg: &KernelConfig);
+}
+
+fn dispatch_portable<T: Real>(
+    state: &mut [Complex<T>],
+    qubits: &[u32],
+    m: &GateMatrix<T>,
+    cfg: &KernelConfig,
+) {
+    match cfg.opt {
+        OptLevel::TwoVector => {
+            // Emulate the two-vector baseline: write into scratch, copy
+            // back. The extra copy is part of what Fig. 2's step 1 removes.
+            let mut dst = vec![Complex::<T>::zero(); state.len()];
+            opt::apply_twovec(state, &mut dst, qubits, m);
+            state.copy_from_slice(&dst);
+        }
+        OptLevel::InPlace => opt::apply_inplace(state, qubits, m),
+        OptLevel::Fma => opt::apply_fma(state, qubits, m),
+        OptLevel::Blocked => {
+            let (exp, pm) = opt::prepare(state.len(), qubits, m);
+            let packed = PackedMatrix::pack(&pm);
+            parallel::par_apply_blocked(state, &exp, &packed, cfg.block, cfg.threads);
+        }
+    }
+}
+
+impl ApplyDispatch for f32 {
+    fn dispatch(state: &mut [Complex<f32>], qubits: &[u32], m: &GateMatrix<f32>, cfg: &KernelConfig) {
+        // §5 single-precision mode: k >= 2 gates take the 8-lane AVX2
+        // path when available.
+        if cfg.opt == OptLevel::Blocked
+            && cfg.simd != Simd::Scalar
+            && m.k() >= 2
+            && avx::avx2_available()
+        {
+            let (exp, pm) = opt::prepare(state.len(), qubits, m);
+            let packed = crate::avxf32::PackedF32::pack(&pm);
+            parallel::par_apply_avx_f32(state, &exp, &packed, cfg.threads);
+            return;
+        }
+        dispatch_portable(state, qubits, m, cfg);
+    }
+}
+
+/// One-time measured choice between the AVX2 and AVX-512 kernels —
+/// hardware advertising AVX-512 does not always run it faster (license-
+/// based downclocking, emulation), so `Simd::Auto` trusts a micro-
+/// benchmark, not the CPUID flag. This is the paper's code-generation /
+/// benchmarking feedback loop applied to ISA selection.
+fn avx512_wins() -> bool {
+    use std::sync::OnceLock;
+    static CHOICE: OnceLock<bool> = OnceLock::new();
+    *CHOICE.get_or_init(|| {
+        if !crate::avx512::avx512_available() || !avx::avx2_available() {
+            return crate::avx512::avx512_available();
+        }
+        let n = 14u32;
+        let mut rng = qsim_util::Xoshiro256::seed_from_u64(0xa512);
+        let mut state: Vec<c64> = (0..1usize << n)
+            .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
+        let m = {
+            let d = 16;
+            GateMatrix::from_rows(
+                4,
+                (0..d * d)
+                    .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+                    .collect(),
+            )
+        };
+        let qubits = [0u32, 1, 2, 3];
+        let (exp, pm) = opt::prepare(state.len(), &qubits, &m);
+        let mut time = |f: &mut dyn FnMut(&mut [c64])| {
+            let t0 = std::time::Instant::now();
+            for _ in 0..4 {
+                f(&mut state);
+            }
+            t0.elapsed()
+        };
+        let p2 = PackedMatrix::pack(&pm);
+        let t2 = time(&mut |s| parallel::par_apply_avx(s, &exp, &p2, 4, 1));
+        let p5 = crate::avx512::Packed512::pack(&pm);
+        let t5 = time(&mut |s| parallel::par_apply_avx512(s, &exp, &p5, 1));
+        t5 < t2
+    })
+}
+
+impl ApplyDispatch for f64 {
+    fn dispatch(state: &mut [c64], qubits: &[u32], m: &GateMatrix<f64>, cfg: &KernelConfig) {
+        if cfg.opt != OptLevel::Blocked || cfg.simd == Simd::Scalar {
+            dispatch_portable(state, qubits, m, cfg);
+            return;
+        }
+        if cfg.simd == Simd::Auto && m.k() >= 2 && crate::avx512::avx512_available() && avx512_wins()
+        {
+            let (exp, pm) = opt::prepare(state.len(), qubits, m);
+            let packed = crate::avx512::Packed512::pack(&pm);
+            parallel::par_apply_avx512(state, &exp, &packed, cfg.threads);
+        } else if avx::avx2_available() {
+            let (exp, pm) = opt::prepare(state.len(), qubits, m);
+            let packed = PackedMatrix::pack(&pm);
+            parallel::par_apply_avx(state, &exp, &packed, cfg.block, cfg.threads);
+        } else {
+            dispatch_portable(state, qubits, m, cfg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_util::complex::max_dist;
+    use qsim_util::Xoshiro256;
+
+    fn random_state(n: u32, seed: u64) -> Vec<c64> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..1usize << n)
+            .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect()
+    }
+
+    fn random_matrix(k: u32, seed: u64) -> GateMatrix<f64> {
+        let d = 1usize << k;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        GateMatrix::from_rows(
+            k,
+            (0..d * d)
+                .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn all_config_combinations_agree() {
+        let n = 12;
+        let m = random_matrix(3, 5);
+        let qubits = vec![1u32, 7, 10];
+        let state0 = random_state(n, 6);
+        let mut reference = state0.clone();
+        opt::apply_fma(&mut reference, &qubits, &m);
+
+        for opt_level in [
+            OptLevel::TwoVector,
+            OptLevel::InPlace,
+            OptLevel::Fma,
+            OptLevel::Blocked,
+        ] {
+            for simd in [Simd::Scalar, Simd::Auto] {
+                for threads in [1usize, 4] {
+                    let cfg = KernelConfig {
+                        opt: opt_level,
+                        simd,
+                        block: 2,
+                        threads,
+                    };
+                    let mut s = state0.clone();
+                    apply_gate(&mut s, &qubits, &m, &cfg);
+                    assert!(
+                        max_dist(&s, &reference) < 1e-12,
+                        "cfg mismatch: {cfg:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_dispatch_works() {
+        use qsim_util::c32;
+        let m = random_matrix(2, 8).convert::<f32>();
+        let mut s: Vec<c32> = random_state(10, 9).iter().map(|a| a.convert()).collect();
+        let s0 = s.clone();
+        apply_gate(&mut s, &[2, 6], &m, &KernelConfig::default());
+        let mut expect = s0;
+        apply_gate(&mut expect, &[2, 6], &m, &KernelConfig::sequential());
+        assert!(max_dist(&s, &expect) < 1e-5);
+    }
+
+    #[test]
+    fn default_config_is_fast_path() {
+        let cfg = KernelConfig::default();
+        assert_eq!(cfg.opt, OptLevel::Blocked);
+        assert_eq!(cfg.simd, Simd::Auto);
+        assert!(cfg.threads >= 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! AVX2+FMA kernel for single-precision amplitudes.
+//!
+//! §5 of the paper: "the simulation of 46 qubits is feasible when using
+//! single-precision floating point numbers" — half the bytes per
+//! amplitude doubles the reachable state at fixed memory AND doubles the
+//! SIMD width. One 256-bit lane carries FOUR `(re, im)` f32 pairs, so the
+//! packing covers four consecutive temp-vector rows per matrix entry,
+//! with the same two-FMA Eq. (2)–(3) structure as the f64 paths.
+
+use crate::matrix::GateMatrix;
+use crate::opt;
+use qsim_util::bits::IndexExpander;
+use qsim_util::complex::Complex;
+use qsim_util::AlignedVec;
+
+#[allow(non_camel_case_types)]
+type c32 = Complex<f32>;
+
+/// f32 matrix packed for 256-bit lanes: per (row quad, input), 16 floats:
+/// `(m_R, m_R)` for rows 4L..4L+3 then `(−m_I, m_I)` for the same rows.
+pub struct PackedF32 {
+    k: u32,
+    data: AlignedVec<f32>,
+}
+
+impl PackedF32 {
+    /// Pack a (pre-permuted) f32 gate matrix; requires `k >= 2`.
+    pub fn pack(m: &GateMatrix<f32>) -> Self {
+        let d = m.dim();
+        assert!(d >= 4, "f32 AVX2 packing needs k >= 2");
+        let quads = d / 4;
+        let mut data = AlignedVec::new_zeroed(quads * d * 16);
+        for lq in 0..quads {
+            for i in 0..d {
+                let base = (lq * d + i) * 16;
+                for r in 0..4 {
+                    let e = m.get(4 * lq + r, i);
+                    data[base + 2 * r] = e.re;
+                    data[base + 2 * r + 1] = e.re;
+                    data[base + 8 + 2 * r] = -e.im;
+                    data[base + 8 + 2 * r + 1] = e.im;
+                }
+            }
+        }
+        Self { k: m.k(), data }
+    }
+
+    #[inline(always)]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    #[inline(always)]
+    pub fn dim(&self) -> usize {
+        1usize << self.k
+    }
+
+    #[inline(always)]
+    pub fn raw(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// Apply a packed f32 k-qubit gate to blocks `[c0, c1)` with AVX2.
+/// Caller must have verified `avx2_available()`.
+pub fn apply_avx_f32_range(
+    state: &mut [c32],
+    exp: &IndexExpander,
+    packed: &PackedF32,
+    offs: &[usize],
+    c0: usize,
+    c1: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::avx::avx2_available() {
+            // SAFETY: runtime feature check above.
+            unsafe { apply_avx_f32_impl(state, exp, packed, offs, c0, c1) };
+            return;
+        }
+    }
+    unreachable!("caller must check avx2_available()");
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn apply_avx_f32_impl(
+    state: &mut [c32],
+    exp: &IndexExpander,
+    packed: &PackedF32,
+    offs: &[usize],
+    c0: usize,
+    c1: usize,
+) {
+    use core::arch::x86_64::*;
+    let dim = packed.dim();
+    let raw = packed.raw().as_ptr();
+    let sp = state.as_mut_ptr() as *mut f32;
+    let mut tmp = [0f32; 2 << opt::MAX_K];
+    let quads = dim / 4;
+    let sweep = quads.min(8);
+    for c in c0..c1 {
+        let base = exp.expand(c);
+        for (x, &off) in offs.iter().enumerate().take(dim) {
+            let p = sp.add(2 * (base + off));
+            tmp[2 * x] = *p;
+            tmp[2 * x + 1] = *p.add(1);
+        }
+        let mut lq0 = 0usize;
+        while lq0 < quads {
+            let lqe = (lq0 + sweep).min(quads);
+            let mut acc = [_mm256_setzero_ps(); 8];
+            for i in 0..dim {
+                // Broadcast (vR, vI) into all four complex sub-lanes.
+                let v64 = (tmp.as_ptr().add(2 * i) as *const i64).read_unaligned();
+                let v = _mm256_castsi256_ps(_mm256_set1_epi64x(v64));
+                // (vI, vR) per pair.
+                let vswap = _mm256_permute_ps(v, 0b10_11_00_01);
+                for (a, lq) in (lq0..lqe).enumerate() {
+                    let e = raw.add((lq * dim + i) * 16);
+                    let mrr = _mm256_load_ps(e);
+                    let mim = _mm256_load_ps(e.add(8));
+                    acc[a] = _mm256_fmadd_ps(v, mrr, acc[a]);
+                    acc[a] = _mm256_fmadd_ps(vswap, mim, acc[a]);
+                }
+            }
+            for (a, lq) in (lq0..lqe).enumerate() {
+                let mut lanes = [0f32; 8];
+                _mm256_storeu_ps(lanes.as_mut_ptr(), acc[a]);
+                for r in 0..4 {
+                    let off = offs[4 * lq + r];
+                    let p = sp.add(2 * (base + off));
+                    *p = lanes[2 * r];
+                    *p.add(1) = lanes[2 * r + 1];
+                }
+            }
+            lq0 = lqe;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::{apply_fma, offsets, prepare};
+    use qsim_util::complex::max_dist;
+    use qsim_util::Xoshiro256;
+
+    fn random_state32(n: u32, seed: u64) -> Vec<c32> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..1usize << n)
+            .map(|_| c32::new(rng.next_f64() as f32 - 0.5, rng.next_f64() as f32 - 0.5))
+            .collect()
+    }
+
+    fn random_matrix32(k: u32, seed: u64) -> GateMatrix<f32> {
+        let d = 1usize << k;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        GateMatrix::from_rows(
+            k,
+            (0..d * d)
+                .map(|_| c32::new(rng.next_f64() as f32 - 0.5, rng.next_f64() as f32 - 0.5))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn f32_avx_matches_scalar_k2_to_k5() {
+        if !crate::avx::avx2_available() {
+            eprintln!("AVX2 unavailable; skipping");
+            return;
+        }
+        let n = 11;
+        for k in 2..=5u32 {
+            let m = random_matrix32(k, 300 + k as u64);
+            let qubits: Vec<u32> = (0..k).map(|j| (j * 2 + 1) % n).collect();
+            let state0 = random_state32(n, 400 + k as u64);
+            let mut a = state0.clone();
+            let (exp, pm) = prepare(a.len(), &qubits, &m);
+            let packed = PackedF32::pack(&pm);
+            let offs = offsets(&exp, packed.dim());
+            let blocks = a.len() >> packed.k();
+            apply_avx_f32_range(&mut a, &exp, &packed, &offs, 0, blocks);
+            let mut b = state0;
+            apply_fma(&mut b, &qubits, &m);
+            assert!(max_dist(&a, &b) < 1e-4, "k={k}: {}", max_dist(&a, &b));
+        }
+    }
+
+    #[test]
+    fn packed_f32_layout_and_alignment() {
+        let m = GateMatrix::<f32>::identity(2);
+        let p = PackedF32::pack(&m);
+        assert_eq!(p.raw().as_ptr() as usize % 32, 0);
+        assert_eq!(&p.raw()[0..8], &[1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn rejects_single_qubit() {
+        let _ = PackedF32::pack(&GateMatrix::<f32>::identity(1));
+    }
+}

@@ -1,0 +1,311 @@
+//! Node-level parallelism: the paper's §3.3 OpenMP layer, on rayon.
+//!
+//! A k-qubit gate sweep is 2^{n−k} independent block updates; different
+//! block counters touch disjoint amplitude sets, so the block index space
+//! is embarrassingly parallel. Like the paper's `collapse` directive, we
+//! parallelize over the *flattened* counter range rather than any outer
+//! loop of the nested index structure, so strong scaling does not degrade
+//! when a gate acts on high-order qubits (few outer iterations).
+//!
+//! Safety: the state is shared across workers through `DisjointSlice`,
+//! whose single invariant — distinct block counters expand to disjoint
+//! index sets — is exactly the kernel indexing theorem tested in
+//! `qsim_util::bits` (`expander_enumerates_disjoint_blocks`).
+
+use crate::avx::apply_avx_range;
+use crate::avx512::{apply_avx512_range, Packed512};
+use crate::avxf32::{apply_avx_f32_range, PackedF32};
+use crate::matrix::PackedMatrix;
+use crate::opt::{self, apply_blocked_packed_range};
+use qsim_util::bits::IndexExpander;
+use qsim_util::complex::Complex;
+use qsim_util::{c64, Real};
+use rayon::prelude::*;
+
+/// Below this many amplitudes a gate is applied sequentially: thread
+/// fork/join overhead dominates tiny sweeps.
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// A shared mutable state-vector pointer handed to rayon workers.
+///
+/// Each worker receives a disjoint block-counter range `[c0, c1)` and only
+/// dereferences indices `expand(c) + off` for `c` in its range. Because the
+/// expander enumerates disjoint index sets per counter, no two workers
+/// alias — the standard argument for gate-level parallelism in state-vector
+/// simulators.
+struct DisjointSlice<T>(*mut Complex<T>, usize);
+unsafe impl<T: Send> Send for DisjointSlice<T> {}
+unsafe impl<T: Send> Sync for DisjointSlice<T> {}
+
+impl<T> DisjointSlice<T> {
+    /// Reconstitute the full slice. Caller must uphold the disjointness
+    /// contract described on the type.
+    #[inline(always)]
+    unsafe fn slice(&self) -> &mut [Complex<T>] {
+        core::slice::from_raw_parts_mut(self.0, self.1)
+    }
+}
+
+/// Parallel step-3 (scalar FMA, blocked) sweep over all blocks.
+pub fn par_apply_blocked<T: Real>(
+    state: &mut [Complex<T>],
+    exp: &IndexExpander,
+    packed: &PackedMatrix<T>,
+    b: usize,
+    threads_hint: usize,
+) {
+    let k = packed.k();
+    let blocks = state.len() >> k;
+    let offs = opt::offsets(exp, packed.dim());
+    if state.len() < PAR_THRESHOLD || threads_hint <= 1 {
+        apply_blocked_packed_range(state, exp, packed, &offs, b, 0, blocks);
+        return;
+    }
+    let shared = DisjointSlice(state.as_mut_ptr(), state.len());
+    let chunks = chunk_ranges(blocks, threads_hint);
+    chunks.into_par_iter().for_each(|(c0, c1)| {
+        // SAFETY: chunk ranges partition [0, blocks); per-counter index
+        // sets are disjoint (DisjointSlice contract).
+        let s = unsafe { shared.slice() };
+        apply_blocked_packed_range(s, exp, packed, &offs, b, c0, c1);
+    });
+}
+
+/// Parallel AVX2 sweep (f64); falls back to scalar per range when AVX2 is
+/// unavailable.
+pub fn par_apply_avx(
+    state: &mut [c64],
+    exp: &IndexExpander,
+    packed: &PackedMatrix<f64>,
+    b: usize,
+    threads_hint: usize,
+) {
+    let k = packed.k();
+    let blocks = state.len() >> k;
+    let offs = opt::offsets(exp, packed.dim());
+    if state.len() < PAR_THRESHOLD || threads_hint <= 1 {
+        apply_avx_range(state, exp, packed, &offs, b, 0, blocks);
+        return;
+    }
+    let shared = DisjointSlice(state.as_mut_ptr(), state.len());
+    let chunks = chunk_ranges(blocks, threads_hint);
+    chunks.into_par_iter().for_each(|(c0, c1)| {
+        // SAFETY: see par_apply_blocked.
+        let s = unsafe { shared.slice() };
+        apply_avx_range(s, exp, packed, &offs, b, c0, c1);
+    });
+}
+
+/// Parallel AVX-512 sweep (f64, k >= 2); caller must have verified
+/// availability.
+pub fn par_apply_avx512(
+    state: &mut [c64],
+    exp: &IndexExpander,
+    packed: &Packed512,
+    threads_hint: usize,
+) {
+    let k = packed.k();
+    let blocks = state.len() >> k;
+    let offs = opt::offsets(exp, packed.dim());
+    if state.len() < PAR_THRESHOLD || threads_hint <= 1 {
+        apply_avx512_range(state, exp, packed, &offs, 0, blocks);
+        return;
+    }
+    let shared = DisjointSlice(state.as_mut_ptr(), state.len());
+    let chunks = chunk_ranges(blocks, threads_hint);
+    chunks.into_par_iter().for_each(|(c0, c1)| {
+        // SAFETY: see par_apply_blocked.
+        let s = unsafe { shared.slice() };
+        apply_avx512_range(s, exp, packed, &offs, c0, c1);
+    });
+}
+
+/// Parallel single-precision AVX2 sweep (k >= 2); caller must have
+/// verified availability.
+pub fn par_apply_avx_f32(
+    state: &mut [Complex<f32>],
+    exp: &IndexExpander,
+    packed: &PackedF32,
+    threads_hint: usize,
+) {
+    let k = packed.k();
+    let blocks = state.len() >> k;
+    let offs = opt::offsets(exp, packed.dim());
+    if state.len() < PAR_THRESHOLD || threads_hint <= 1 {
+        apply_avx_f32_range(state, exp, packed, &offs, 0, blocks);
+        return;
+    }
+    let shared = DisjointSlice(state.as_mut_ptr(), state.len());
+    let chunks = chunk_ranges(blocks, threads_hint);
+    chunks.into_par_iter().for_each(|(c0, c1)| {
+        // SAFETY: see par_apply_blocked.
+        let s = unsafe { shared.slice() };
+        apply_avx_f32_range(s, exp, packed, &offs, c0, c1);
+    });
+}
+
+/// Parallel per-amplitude map (diagonal gates, phases, probability sums).
+/// Plain rayon chunks — amplitude-indexed work needs no unsafe.
+pub fn par_map_amplitudes<T: Real>(
+    state: &mut [Complex<T>],
+    f: impl Fn(usize, Complex<T>) -> Complex<T> + Sync,
+) {
+    if state.len() < PAR_THRESHOLD {
+        for (i, a) in state.iter_mut().enumerate() {
+            *a = f(i, *a);
+        }
+        return;
+    }
+    let chunk = (state.len() / (rayon::current_num_threads() * 8)).max(1024);
+    state
+        .par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(ci, ch)| {
+            let base = ci * chunk;
+            for (j, a) in ch.iter_mut().enumerate() {
+                *a = f(base + j, *a);
+            }
+        });
+}
+
+/// Parallel reduction over amplitudes.
+pub fn par_reduce_amplitudes<T: Real, A: Send>(
+    state: &[Complex<T>],
+    identity: impl Fn() -> A + Sync + Send,
+    fold: impl Fn(A, usize, Complex<T>) -> A + Sync,
+    merge: impl Fn(A, A) -> A + Sync + Send,
+) -> A {
+    if state.len() < PAR_THRESHOLD {
+        let mut acc = identity();
+        for (i, &a) in state.iter().enumerate() {
+            acc = fold(acc, i, a);
+        }
+        return acc;
+    }
+    let chunk = (state.len() / (rayon::current_num_threads() * 8)).max(1024);
+    state
+        .par_chunks(chunk)
+        .enumerate()
+        .map(|(ci, ch)| {
+            let base = ci * chunk;
+            let mut acc = identity();
+            for (j, &a) in ch.iter().enumerate() {
+                acc = fold(acc, base + j, a);
+            }
+            acc
+        })
+        .reduce(&identity, &merge)
+}
+
+/// Split `[0, blocks)` into roughly `parts * 4` contiguous ranges (over-
+/// decomposition keeps rayon's work stealing effective when ranges have
+/// unequal cache behaviour).
+fn chunk_ranges(blocks: usize, parts: usize) -> Vec<(usize, usize)> {
+    let want = (parts * 4).clamp(1, blocks.max(1));
+    let per = blocks.div_ceil(want);
+    let mut out = Vec::with_capacity(want);
+    let mut c = 0;
+    while c < blocks {
+        let e = (c + per).min(blocks);
+        out.push((c, e));
+        c = e;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::GateMatrix;
+    use crate::opt::{apply_fma, prepare};
+    use qsim_util::complex::max_dist;
+    use qsim_util::Xoshiro256;
+
+    fn random_state(n: u32, seed: u64) -> Vec<c64> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..1usize << n)
+            .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect()
+    }
+
+    fn random_matrix(k: u32, seed: u64) -> GateMatrix<f64> {
+        let d = 1usize << k;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        GateMatrix::from_rows(
+            k,
+            (0..d * d)
+                .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential_above_threshold() {
+        let n = 16; // 65536 amplitudes > PAR_THRESHOLD
+        for (k, qubits) in [(1, vec![9u32]), (3, vec![15, 2, 8]), (5, vec![0, 3, 7, 11, 14])] {
+            let m = random_matrix(k, 7 + k as u64);
+            let state0 = random_state(n, 13 + k as u64);
+            let (exp, pm) = prepare(state0.len(), &qubits, &m);
+            let packed = PackedMatrix::pack(&pm);
+            let mut a = state0.clone();
+            par_apply_blocked(&mut a, &exp, &packed, 4, 8);
+            let mut b = state0.clone();
+            apply_fma(&mut b, &qubits, &m);
+            assert!(max_dist(&a, &b) < 1e-12, "scalar k={k}");
+            let mut c = state0;
+            par_apply_avx(&mut c, &exp, &packed, 4, 8);
+            assert!(max_dist(&c, &b) < 1e-12, "avx k={k}");
+        }
+    }
+
+    #[test]
+    fn small_states_take_sequential_path() {
+        let m = random_matrix(2, 3);
+        let qubits = vec![1u32, 3];
+        let state0 = random_state(6, 4);
+        let (exp, pm) = prepare(state0.len(), &qubits, &m);
+        let packed = PackedMatrix::pack(&pm);
+        let mut a = state0.clone();
+        par_apply_blocked(&mut a, &exp, &packed, 4, 8);
+        let mut b = state0;
+        apply_fma(&mut b, &qubits, &m);
+        assert!(max_dist(&a, &b) < 1e-13);
+    }
+
+    #[test]
+    fn par_map_and_reduce() {
+        let mut state = random_state(15, 21);
+        let expect_norm: f64 = state.iter().map(|a| a.norm_sqr() * 4.0).sum();
+        par_map_amplitudes(&mut state, |_, a| a.scale(2.0));
+        let norm = par_reduce_amplitudes(
+            &state,
+            || 0.0f64,
+            |acc, _, a| acc + a.norm_sqr(),
+            |x, y| x + y,
+        );
+        assert!((norm - expect_norm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn par_map_sees_correct_indices() {
+        let mut state = vec![c64::zero(); 1 << 15];
+        par_map_amplitudes(&mut state, |i, _| c64::new(i as f64, 0.0));
+        for (i, a) in state.iter().enumerate() {
+            assert_eq!(a.re, i as f64);
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_partition() {
+        for blocks in [1usize, 7, 1024, 4097] {
+            for parts in [1usize, 2, 8] {
+                let r = chunk_ranges(blocks, parts);
+                assert_eq!(r[0].0, 0);
+                assert_eq!(r.last().unwrap().1, blocks);
+                for w in r.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Collectives (§3.4).
+//!
+//! The global-to-local swap is "1 group-local all-to-all for each of the
+//! 2^{g−q} groups of processes", and "turning all global qubits into local
+//! ones amounts to executing one all-to-all on the MPI_COMM_WORLD
+//! communicator". [`Communicator`] models the contiguous process groups;
+//! [`all_to_all`] is the workhorse. [`exchange_halves`] is the pairwise
+//! scheme of \[19\] used by the baseline simulator, and [`all_reduce_sum`]
+//! backs the entropy/norm reductions (§4.2.2).
+
+use crate::fabric::RankCtx;
+
+/// A contiguous group of ranks `[base, base + size)` — the process groups
+/// of a q-qubit group-local swap share their high global bits, which makes
+/// them contiguous in rank numbering.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Communicator {
+    pub base: usize,
+    pub size: usize,
+}
+
+impl Communicator {
+    /// The world communicator.
+    pub fn world(ctx: &RankCtx) -> Self {
+        Self {
+            base: 0,
+            size: ctx.n_ranks(),
+        }
+    }
+
+    /// The group of `2^q` ranks containing `rank` for a q-qubit
+    /// group-local swap (ranks sharing the high `g − q` bits).
+    pub fn group_of(rank: usize, group_size: usize) -> Self {
+        assert!(group_size.is_power_of_two(), "group size must be 2^q");
+        Self {
+            base: rank & !(group_size - 1),
+            size: group_size,
+        }
+    }
+
+    #[inline]
+    pub fn contains(&self, rank: usize) -> bool {
+        rank >= self.base && rank < self.base + self.size
+    }
+
+    /// Rank's index within the group.
+    #[inline]
+    pub fn local_index(&self, rank: usize) -> usize {
+        debug_assert!(self.contains(rank));
+        rank - self.base
+    }
+}
+
+/// All-to-all over `comm`: `send` is split into `comm.size` equal chunks;
+/// chunk `j` goes to group member `j`; the returned vector holds the
+/// received chunks in group order (chunk `i` came from member `i`).
+/// The self-chunk is copied locally and not counted as traffic.
+pub fn all_to_all<T: Copy>(ctx: &mut RankCtx, comm: Communicator, send: &[T]) -> Vec<T> {
+    let p = comm.size;
+    assert!(p >= 1, "empty communicator");
+    assert!(comm.contains(ctx.rank()), "rank outside communicator");
+    assert_eq!(send.len() % p, 0, "payload not divisible into {p} chunks");
+    let chunk = send.len() / p;
+    let me = comm.local_index(ctx.rank());
+    // Post all sends first (mailboxes buffer), then receive in order.
+    for j in 0..p {
+        if j == me {
+            continue;
+        }
+        ctx.send_slice(comm.base + j, &send[j * chunk..(j + 1) * chunk]);
+    }
+    let mut out = vec![send[0]; send.len()];
+    out[me * chunk..(me + 1) * chunk].copy_from_slice(&send[me * chunk..(me + 1) * chunk]);
+    for i in 0..p {
+        if i == me {
+            continue;
+        }
+        let data: Vec<T> = ctx.recv_vec(comm.base + i);
+        assert_eq!(data.len(), chunk, "chunk size mismatch from {i}");
+        out[i * chunk..(i + 1) * chunk].copy_from_slice(&data);
+    }
+    out
+}
+
+/// The pairwise exchange of the first multi-node scheme (\[19\]): send one
+/// half of the local slice to the partner (the rank differing in one
+/// global bit), receive the partner's corresponding half. Used twice per
+/// global gate by the baseline simulator — hence "2 pair-wise exchanges of
+/// half the state vector".
+pub fn exchange_halves<T: Copy>(ctx: &mut RankCtx, partner: usize, half: &[T]) -> Vec<T> {
+    ctx.exchange(partner, half)
+}
+
+/// Sum-all-reduce of one f64 (recursive doubling).
+pub fn all_reduce_sum(ctx: &mut RankCtx, value: f64) -> f64 {
+    let p = ctx.n_ranks();
+    debug_assert!(p.is_power_of_two());
+    let mut acc = value;
+    let mut stride = 1usize;
+    while stride < p {
+        let partner = ctx.rank() ^ stride;
+        let got = ctx.exchange(partner, &[acc]);
+        acc += got[0];
+        stride <<= 1;
+    }
+    acc
+}
+
+/// Max-all-reduce of one f64 (recursive doubling).
+pub fn all_reduce_max(ctx: &mut RankCtx, value: f64) -> f64 {
+    let p = ctx.n_ranks();
+    let mut acc = value;
+    let mut stride = 1usize;
+    while stride < p {
+        let partner = ctx.rank() ^ stride;
+        let got = ctx.exchange(partner, &[acc]);
+        acc = acc.max(got[0]);
+        stride <<= 1;
+    }
+    acc
+}
+
+/// Gather per-rank f64 values to every rank (small payloads only).
+pub fn all_gather_f64(ctx: &mut RankCtx, value: f64) -> Vec<f64> {
+    let p = ctx.n_ranks();
+    let mut out = vec![0.0; p];
+    out[ctx.rank()] = value;
+    for peer in 0..p {
+        if peer == ctx.rank() {
+            continue;
+        }
+        ctx.send_slice(peer, &[value]);
+    }
+    for peer in 0..p {
+        if peer == ctx.rank() {
+            continue;
+        }
+        let v: Vec<f64> = ctx.recv_vec(peer);
+        out[peer] = v[0];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::run_cluster;
+    use qsim_util::c64;
+
+    #[test]
+    fn world_all_to_all_transposes_chunks() {
+        // Rank r sends chunk j = value r*10 + j; after the all-to-all,
+        // rank r holds chunk i = i*10 + r.
+        let (results, stats) = run_cluster(4, |ctx| {
+            let send: Vec<u64> = (0..4).map(|j| (ctx.rank() * 10 + j) as u64).collect();
+            all_to_all(ctx, Communicator::world(ctx), &send)
+        });
+        for (r, recv) in results.iter().enumerate() {
+            for (i, &v) in recv.iter().enumerate() {
+                assert_eq!(v, (i * 10 + r) as u64, "rank {r} chunk {i}");
+            }
+        }
+        // Each rank sends 3 chunks of 8 bytes.
+        assert_eq!(stats.total_bytes_sent, 4 * 3 * 8);
+    }
+
+    #[test]
+    fn group_local_all_to_all_stays_in_group() {
+        // 8 ranks, groups of 4: data must never cross the group boundary.
+        let (results, _) = run_cluster(8, |ctx| {
+            let comm = Communicator::group_of(ctx.rank(), 4);
+            let send: Vec<u64> = (0..4).map(|j| (ctx.rank() * 10 + j) as u64).collect();
+            (comm.base, all_to_all(ctx, comm, &send))
+        });
+        for (r, (base, recv)) in results.iter().enumerate() {
+            assert_eq!(*base, r & !3);
+            for (i, &v) in recv.iter().enumerate() {
+                let src = base + i;
+                assert_eq!(v, (src * 10 + (r - base)) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_single_rank_is_identity() {
+        let (results, stats) = run_cluster(1, |ctx| {
+            let send = vec![c64::new(1.0, 2.0), c64::new(3.0, 4.0)];
+            all_to_all(ctx, Communicator::world(ctx), &send)
+        });
+        assert_eq!(results[0], vec![c64::new(1.0, 2.0), c64::new(3.0, 4.0)]);
+        assert_eq!(stats.total_bytes_sent, 0, "self-chunk is not traffic");
+    }
+
+    #[test]
+    fn all_to_all_is_involution_for_symmetric_layout() {
+        // Applying the all-to-all twice restores the original data.
+        let (results, _) = run_cluster(4, |ctx| {
+            let send: Vec<u64> = (0..8).map(|j| (ctx.rank() * 100 + j) as u64).collect();
+            let once = all_to_all(ctx, Communicator::world(ctx), &send);
+            let twice = all_to_all(ctx, Communicator::world(ctx), &once);
+            (send, twice)
+        });
+        for (send, twice) in results {
+            assert_eq!(send, twice);
+        }
+    }
+
+    #[test]
+    fn reduce_and_gather() {
+        let (results, _) = run_cluster(8, |ctx| {
+            let sum = all_reduce_sum(ctx, ctx.rank() as f64);
+            let max = all_reduce_max(ctx, ctx.rank() as f64);
+            let gathered = all_gather_f64(ctx, ctx.rank() as f64 * 2.0);
+            (sum, max, gathered)
+        });
+        for (sum, max, gathered) in results {
+            assert_eq!(sum, 28.0);
+            assert_eq!(max, 7.0);
+            assert_eq!(gathered, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]);
+        }
+    }
+
+    #[test]
+    fn exchange_halves_swaps_data() {
+        let (results, stats) = run_cluster(2, |ctx| {
+            let partner = ctx.rank() ^ 1;
+            let mine = vec![c64::new(ctx.rank() as f64, 0.0); 16];
+            exchange_halves(ctx, partner, &mine)
+        });
+        assert!(results[0].iter().all(|&a| a.re == 1.0));
+        assert!(results[1].iter().all(|&a| a.re == 0.0));
+        // 2 ranks x 16 amps x 16 bytes.
+        assert_eq!(stats.total_bytes_sent, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn all_to_all_rejects_ragged_payload() {
+        let _ = run_cluster(4, |ctx| {
+            let send = vec![0u64; 5];
+            all_to_all(ctx, Communicator::world(ctx), &send)
+        });
+    }
+}

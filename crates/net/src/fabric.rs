@@ -1,0 +1,351 @@
+//! Rank fabric: threads, ordered point-to-point messaging, barriers, and
+//! communication accounting.
+//!
+//! Channel semantics mirror MPI's per-pair ordering: messages from rank A
+//! to rank B are matched in send order (each side keeps sequence
+//! counters), so collectives built on top are deterministic without
+//! explicit tags. Payloads are raw bytes; [`RankCtx::send_slice`] /
+//! [`RankCtx::recv_vec`] move any `Copy` element type through the fabric
+//! with one memcpy per side.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Per-rank communication counters (bytes actually put on the "wire";
+/// self-copies in collectives are not counted, matching MPI accounting).
+#[derive(Debug, Default)]
+pub struct CommCounters {
+    pub bytes_sent: AtomicU64,
+    /// Nanoseconds blocked in communication calls (send/recv/barrier).
+    pub comm_nanos: AtomicU64,
+}
+
+/// Aggregated statistics returned by [`run_cluster`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FabricStats {
+    pub n_ranks: usize,
+    pub total_bytes_sent: u64,
+    /// Max over ranks of time blocked in communication, in seconds — the
+    /// number behind Table 2's "Comm." column.
+    pub max_comm_seconds: f64,
+    /// Mean over ranks of communication seconds.
+    pub mean_comm_seconds: f64,
+}
+
+type MsgKey = (usize, u64); // (source rank, sequence number)
+
+struct Mailbox {
+    slots: Mutex<HashMap<MsgKey, Vec<u8>>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Shared fabric state.
+pub struct Fabric {
+    mailboxes: Vec<Mailbox>,
+    barrier: Barrier,
+    counters: Vec<CommCounters>,
+}
+
+impl Fabric {
+    fn new(n_ranks: usize) -> Self {
+        Self {
+            mailboxes: (0..n_ranks).map(|_| Mailbox::new()).collect(),
+            barrier: Barrier::new(n_ranks),
+            counters: (0..n_ranks).map(|_| CommCounters::default()).collect(),
+        }
+    }
+}
+
+/// Per-rank handle passed to the rank body.
+pub struct RankCtx<'a> {
+    rank: usize,
+    n_ranks: usize,
+    fabric: &'a Fabric,
+    /// Next sequence number for messages TO each peer.
+    send_seq: Vec<u64>,
+    /// Next expected sequence number FROM each peer.
+    recv_seq: Vec<u64>,
+}
+
+impl<'a> RankCtx<'a> {
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        let t0 = Instant::now();
+        self.fabric.barrier.wait();
+        self.account_time(t0);
+    }
+
+    /// Send raw bytes to `dst` (non-blocking: the mailbox buffers).
+    pub fn send_bytes(&mut self, dst: usize, bytes: Vec<u8>) {
+        assert!(dst < self.n_ranks, "bad destination {dst}");
+        assert_ne!(dst, self.rank, "self-sends are plain copies, not messages");
+        let t0 = Instant::now();
+        let seq = self.send_seq[dst];
+        self.send_seq[dst] += 1;
+        let len = bytes.len() as u64;
+        {
+            let mb = &self.fabric.mailboxes[dst];
+            let mut slots = mb.slots.lock();
+            slots.insert((self.rank, seq), bytes);
+            mb.cv.notify_all();
+        }
+        self.fabric.counters[self.rank]
+            .bytes_sent
+            .fetch_add(len, Ordering::Relaxed);
+        self.account_time(t0);
+    }
+
+    /// Receive the next in-order message from `src` (blocking).
+    pub fn recv_bytes(&mut self, src: usize) -> Vec<u8> {
+        assert!(src < self.n_ranks, "bad source {src}");
+        assert_ne!(src, self.rank, "self-receives are plain copies");
+        let t0 = Instant::now();
+        let seq = self.recv_seq[src];
+        self.recv_seq[src] += 1;
+        let mb = &self.fabric.mailboxes[self.rank];
+        let mut slots = mb.slots.lock();
+        loop {
+            if let Some(bytes) = slots.remove(&(src, seq)) {
+                drop(slots);
+                self.account_time(t0);
+                return bytes;
+            }
+            mb.cv.wait(&mut slots);
+        }
+    }
+
+    /// Send a typed slice (one memcpy into the wire buffer).
+    pub fn send_slice<T: Copy>(&mut self, dst: usize, data: &[T]) {
+        self.send_bytes(dst, slice_to_bytes(data));
+    }
+
+    /// Receive a typed vector; panics if the payload size is not a
+    /// multiple of `size_of::<T>()`.
+    pub fn recv_vec<T: Copy>(&mut self, src: usize) -> Vec<T> {
+        bytes_to_vec(self.recv_bytes(src))
+    }
+
+    /// Symmetric pairwise exchange: send to and receive from `partner`.
+    /// Sends first (mailboxes buffer), so no deadlock.
+    pub fn exchange<T: Copy>(&mut self, partner: usize, data: &[T]) -> Vec<T> {
+        self.send_slice(partner, data);
+        self.recv_vec(partner)
+    }
+
+    pub(crate) fn account_time(&self, t0: Instant) {
+        self.fabric.counters[self.rank]
+            .comm_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// This rank's byte counter (for tests/diagnostics).
+    pub fn bytes_sent(&self) -> u64 {
+        self.fabric.counters[self.rank]
+            .bytes_sent
+            .load(Ordering::Relaxed)
+    }
+
+    /// Seconds this rank has spent blocked in communication so far.
+    pub fn comm_seconds(&self) -> f64 {
+        self.fabric.counters[self.rank]
+            .comm_nanos
+            .load(Ordering::Relaxed) as f64
+            / 1e9
+    }
+}
+
+/// Spawn `n_ranks` rank threads running `body` and collect their results
+/// plus fabric-wide statistics. Panics in any rank propagate.
+pub fn run_cluster<T, F>(n_ranks: usize, body: F) -> (Vec<T>, FabricStats)
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    assert!(n_ranks >= 1 && n_ranks.is_power_of_two(), "rank count must be 2^g");
+    let fabric = Fabric::new(n_ranks);
+    let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = results
+            .iter_mut()
+            .enumerate()
+            .map(|(r, slot)| {
+                let fabric = &fabric;
+                let body = &body;
+                scope.spawn(move || {
+                    let mut ctx = RankCtx {
+                        rank: r,
+                        n_ranks,
+                        fabric,
+                        send_seq: vec![0; n_ranks],
+                        recv_seq: vec![0; n_ranks],
+                    };
+                    *slot = Some(body(&mut ctx));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("rank thread panicked");
+        }
+    });
+    let total_bytes: u64 = fabric
+        .counters
+        .iter()
+        .map(|c| c.bytes_sent.load(Ordering::Relaxed))
+        .sum();
+    let comm_secs: Vec<f64> = fabric
+        .counters
+        .iter()
+        .map(|c| c.comm_nanos.load(Ordering::Relaxed) as f64 / 1e9)
+        .collect();
+    let stats = FabricStats {
+        n_ranks,
+        total_bytes_sent: total_bytes,
+        max_comm_seconds: comm_secs.iter().cloned().fold(0.0, f64::max),
+        mean_comm_seconds: comm_secs.iter().sum::<f64>() / n_ranks as f64,
+    };
+    (results.into_iter().map(|r| r.unwrap()).collect(), stats)
+}
+
+/// Reinterpret a `Copy` slice as bytes (one allocation + memcpy).
+pub fn slice_to_bytes<T: Copy>(data: &[T]) -> Vec<u8> {
+    let len = std::mem::size_of_val(data);
+    let mut out = vec![0u8; len];
+    // SAFETY: T is Copy (no drop), byte-level read of initialized memory.
+    unsafe {
+        std::ptr::copy_nonoverlapping(data.as_ptr() as *const u8, out.as_mut_ptr(), len);
+    }
+    out
+}
+
+/// Inverse of [`slice_to_bytes`].
+pub fn bytes_to_vec<T: Copy>(bytes: Vec<u8>) -> Vec<T> {
+    let sz = std::mem::size_of::<T>();
+    assert!(sz > 0 && bytes.len().is_multiple_of(sz), "payload size mismatch");
+    let n = bytes.len() / sz;
+    let mut out = Vec::<T>::with_capacity(n);
+    // SAFETY: T is Copy; we copy bytes of exactly n elements into the
+    // reserved buffer, then fix the length.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr() as *mut u8, bytes.len());
+        out.set_len(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_util::c64;
+
+    #[test]
+    fn ring_pass_delivers_in_order() {
+        let (results, stats) = run_cluster(4, |ctx| {
+            let next = (ctx.rank() + 1) % 4;
+            let prev = (ctx.rank() + 3) % 4;
+            // Two messages: ordering must hold.
+            ctx.send_slice(next, &[ctx.rank() as u64]);
+            ctx.send_slice(next, &[ctx.rank() as u64 + 100]);
+            let a = ctx.recv_vec::<u64>(prev);
+            let b = ctx.recv_vec::<u64>(prev);
+            (a[0], b[0])
+        });
+        for (r, &(a, b)) in results.iter().enumerate() {
+            let prev = (r + 3) % 4;
+            assert_eq!(a, prev as u64);
+            assert_eq!(b, prev as u64 + 100);
+        }
+        // 8 messages x 8 bytes.
+        assert_eq!(stats.total_bytes_sent, 64);
+    }
+
+    #[test]
+    fn exchange_is_symmetric() {
+        let (results, _) = run_cluster(2, |ctx| {
+            let partner = 1 - ctx.rank();
+            let data = vec![c64::new(ctx.rank() as f64, 0.0); 8];
+            ctx.exchange(partner, &data)
+        });
+        assert!(results[0].iter().all(|&a| a == c64::new(1.0, 0.0)));
+        assert!(results[1].iter().all(|&a| a == c64::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase1 = AtomicUsize::new(0);
+        let (results, _) = run_cluster(8, |ctx| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every rank must observe all 8 increments.
+            phase1.load(Ordering::SeqCst)
+        });
+        assert!(results.iter().all(|&v| v == 8));
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_amplitudes() {
+        let data = vec![c64::new(1.5, -2.5), c64::new(0.0, 3.25)];
+        let bytes = slice_to_bytes(&data);
+        assert_eq!(bytes.len(), 32);
+        let back: Vec<c64> = bytes_to_vec(bytes);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn comm_time_is_accounted() {
+        let (_, stats) = run_cluster(2, |ctx| {
+            if ctx.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                ctx.send_slice(1, &[1u8; 1024]);
+            } else {
+                // Rank 1 blocks waiting ~20ms.
+                let _ = ctx.recv_vec::<u8>(0);
+            }
+            ctx.barrier();
+        });
+        assert!(
+            stats.max_comm_seconds > 0.01,
+            "blocked recv must be accounted: {}",
+            stats.max_comm_seconds
+        );
+        assert_eq!(stats.total_bytes_sent, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank count must be 2^g")]
+    fn rejects_non_power_of_two() {
+        let _ = run_cluster(3, |_| ());
+    }
+
+    #[test]
+    fn single_rank_cluster_works() {
+        let (results, stats) = run_cluster(1, |ctx| {
+            ctx.barrier();
+            ctx.rank()
+        });
+        assert_eq!(results, vec![0]);
+        assert_eq!(stats.total_bytes_sent, 0);
+    }
+}

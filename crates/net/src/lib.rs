@@ -1,0 +1,26 @@
+//! # qsim-net
+//!
+//! The multi-node substrate (§3.4) — an in-process message-passing fabric
+//! standing in for MPI. Ranks are OS threads, each owning a private slice
+//! of the distributed state vector; communication is real data movement
+//! through shared-memory mailboxes with full byte accounting, so the
+//! traffic numbers the paper reports (Fig. 5, Table 2's comm column) are
+//! measured, not modelled.
+//!
+//! * [`fabric`] — rank spawning, ordered point-to-point channels,
+//!   barriers, per-rank byte/time counters.
+//! * [`collective`] — the collectives the simulator uses: all-to-all over
+//!   the world or over contiguous groups (the group-local all-to-alls of a
+//!   partial global-to-local swap, Fig. 3), pairwise half-state exchange
+//!   (the scheme of \[19\], used by the baseline simulator), and all-reduce
+//!   (entropy/norm reductions, §4.2.2).
+//! * [`model`] — a dragonfly-style analytic network model for projecting
+//!   measured byte volumes to petascale machines (the paper's 45-qubit /
+//!   8192-node regime that no single host can execute).
+
+pub mod collective;
+pub mod fabric;
+pub mod model;
+
+pub use fabric::{run_cluster, CommCounters, FabricStats, RankCtx};
+pub use model::NetModel;

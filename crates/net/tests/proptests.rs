@@ -1,0 +1,74 @@
+//! Property-based tests for the fabric: collectives must be data-
+//! preserving permutations for arbitrary payloads, rank counts and group
+//! shapes.
+
+use proptest::prelude::*;
+use qsim_net::collective::{all_reduce_sum, all_to_all, Communicator};
+use qsim_net::fabric::run_cluster;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_to_all_is_a_data_permutation(
+        g in 1u32..=3,
+        chunk_log in 0u32..=4,
+        seed in 0u64..1000,
+    ) {
+        let ranks = 1usize << g;
+        let chunk = 1usize << chunk_log;
+        // Unique tagged payload values: (rank, index).
+        let (results, _) = run_cluster(ranks, |ctx| {
+            let send: Vec<u64> = (0..ranks * chunk)
+                .map(|i| seed * 1_000_000 + (ctx.rank() * ranks * chunk + i) as u64)
+                .collect();
+            all_to_all(ctx, Communicator::world(ctx), &send)
+        });
+        // Every sent value appears exactly once somewhere.
+        let mut all: Vec<u64> = results.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..ranks)
+            .flat_map(|r| (0..ranks * chunk).map(move |i| seed * 1_000_000 + (r * ranks * chunk + i) as u64))
+            .collect();
+        let mut expect = expect;
+        expect.sort_unstable();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn group_all_to_all_never_crosses_groups(
+        q in 1u32..=2,
+        seed in 0u64..100,
+    ) {
+        let g = 3u32;
+        let ranks = 1usize << g;
+        let group = 1usize << q;
+        let (results, _) = run_cluster(ranks, |ctx| {
+            let comm = Communicator::group_of(ctx.rank(), group);
+            let send: Vec<u64> = (0..group)
+                .map(|j| seed + (ctx.rank() * 100 + j) as u64)
+                .collect();
+            (ctx.rank(), all_to_all(ctx, comm, &send))
+        });
+        for (rank, recv) in results {
+            let base = rank & !(group - 1);
+            for (i, &v) in recv.iter().enumerate() {
+                let src = base + i;
+                let j = rank - base;
+                prop_assert_eq!(v, seed + (src * 100 + j) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums_exactly(values in prop::collection::vec(-100.0f64..100.0, 4)) {
+        let vals = values.clone();
+        let (results, _) = run_cluster(4, move |ctx| {
+            all_reduce_sum(ctx, vals[ctx.rank()])
+        });
+        let expect: f64 = values.iter().sum();
+        for r in results {
+            prop_assert!((r - expect).abs() < 1e-9);
+        }
+    }
+}

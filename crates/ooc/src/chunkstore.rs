@@ -1,0 +1,311 @@
+//! Chunked on-disk amplitude storage.
+//!
+//! A 2^n-amplitude state is split into `2^g` chunk files of `2^l`
+//! amplitudes (n = g + l), mirroring the distributed layout: the chunk
+//! index is the high (global) bits, the offset within a chunk the low
+//! (local) bits. Files live in a caller-supplied directory and hold raw
+//! little-endian f64 pairs; all IO is counted for the bandwidth analysis
+//! of the §5 SSD argument.
+
+use qsim_util::c64;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Byte-level IO counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+}
+
+/// A directory of 2^g chunk files, each holding 2^l amplitudes.
+pub struct ChunkStore {
+    dir: PathBuf,
+    local_qubits: u32,
+    global_qubits: u32,
+    stats: IoStats,
+}
+
+impl ChunkStore {
+    /// Create a store under `dir` (created if missing; existing chunk
+    /// files are overwritten) initialized to the given state.
+    ///
+    /// `init`: amplitude value for every basis state, or use
+    /// [`ChunkStore::create_zero_state`] / [`ChunkStore::create_uniform`].
+    pub fn create_filled(
+        dir: &Path,
+        local_qubits: u32,
+        global_qubits: u32,
+        init: c64,
+    ) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut store = Self {
+            dir: dir.to_path_buf(),
+            local_qubits,
+            global_qubits,
+            stats: IoStats::default(),
+        };
+        let chunk = vec![init; 1usize << local_qubits];
+        for c in 0..store.n_chunks() {
+            store.write_chunk(c, &chunk)?;
+        }
+        Ok(store)
+    }
+
+    /// Open an existing store (files must have been created by a prior
+    /// `create_*` with the same geometry).
+    pub fn open(dir: &Path, local_qubits: u32, global_qubits: u32) -> std::io::Result<Self> {
+        let store = Self {
+            dir: dir.to_path_buf(),
+            local_qubits,
+            global_qubits,
+            stats: IoStats::default(),
+        };
+        for c in 0..store.n_chunks() {
+            let p = store.chunk_path(c);
+            let meta = std::fs::metadata(&p)?;
+            assert_eq!(
+                meta.len(),
+                (store.chunk_len() * 16) as u64,
+                "chunk {c} has wrong size for this geometry"
+            );
+        }
+        Ok(store)
+    }
+
+    /// |0…0⟩: amplitude 1 in chunk 0 slot 0, zero elsewhere.
+    pub fn create_zero_state(dir: &Path, l: u32, g: u32) -> std::io::Result<Self> {
+        let mut store = Self::create_filled(dir, l, g, c64::zero())?;
+        let mut chunk0 = store.read_chunk(0)?;
+        chunk0[0] = c64::one();
+        store.write_chunk(0, &chunk0)?;
+        Ok(store)
+    }
+
+    /// The uniform superposition (the supremacy starting state, §3.6).
+    pub fn create_uniform(dir: &Path, l: u32, g: u32) -> std::io::Result<Self> {
+        let n = l + g;
+        let amp = 1.0 / ((1u64 << n) as f64).sqrt();
+        Self::create_filled(dir, l, g, c64::new(amp, 0.0))
+    }
+
+    #[inline]
+    pub fn local_qubits(&self) -> u32 {
+        self.local_qubits
+    }
+
+    #[inline]
+    pub fn global_qubits(&self) -> u32 {
+        self.global_qubits
+    }
+
+    #[inline]
+    pub fn n_qubits(&self) -> u32 {
+        self.local_qubits + self.global_qubits
+    }
+
+    #[inline]
+    pub fn n_chunks(&self) -> usize {
+        1usize << self.global_qubits
+    }
+
+    #[inline]
+    pub fn chunk_len(&self) -> usize {
+        1usize << self.local_qubits
+    }
+
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn chunk_path(&self, c: usize) -> PathBuf {
+        self.dir.join(format!("chunk_{c:06}.amps"))
+    }
+
+    /// Read chunk `c` fully into memory.
+    pub fn read_chunk(&mut self, c: usize) -> std::io::Result<Vec<c64>> {
+        assert!(c < self.n_chunks(), "chunk {c} out of range");
+        let mut f = File::open(self.chunk_path(c))?;
+        let mut bytes = vec![0u8; self.chunk_len() * 16];
+        f.read_exact(&mut bytes)?;
+        self.stats.bytes_read += bytes.len() as u64;
+        Ok(bytes_to_amps(&bytes))
+    }
+
+    /// Overwrite chunk `c`.
+    pub fn write_chunk(&mut self, c: usize, amps: &[c64]) -> std::io::Result<()> {
+        assert_eq!(amps.len(), self.chunk_len(), "chunk size mismatch");
+        let bytes = amps_to_bytes(amps);
+        let mut f = File::create(self.chunk_path(c))?;
+        f.write_all(&bytes)?;
+        self.stats.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Read a sub-range `[off, off+len)` of chunk `c` (for the external
+    /// all-to-all's gather pass).
+    pub fn read_chunk_range(&mut self, c: usize, off: usize, len: usize) -> std::io::Result<Vec<c64>> {
+        assert!(off + len <= self.chunk_len());
+        let mut f = File::open(self.chunk_path(c))?;
+        f.seek(SeekFrom::Start((off * 16) as u64))?;
+        let mut bytes = vec![0u8; len * 16];
+        f.read_exact(&mut bytes)?;
+        self.stats.bytes_read += bytes.len() as u64;
+        Ok(bytes_to_amps(&bytes))
+    }
+
+    /// Write a sub-range of chunk `c` in place.
+    pub fn write_chunk_range(&mut self, c: usize, off: usize, amps: &[c64]) -> std::io::Result<()> {
+        assert!(off + amps.len() <= self.chunk_len());
+        let mut f = OpenOptions::new().write(true).open(self.chunk_path(c))?;
+        f.seek(SeekFrom::Start((off * 16) as u64))?;
+        let bytes = amps_to_bytes(amps);
+        f.write_all(&bytes)?;
+        self.stats.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Write the staged (shadow) copy of chunk `c` — used by the external
+    /// all-to-all so sources remain readable while destinations are
+    /// assembled. [`ChunkStore::commit_staged`] atomically renames every
+    /// staged file over its live counterpart.
+    pub fn write_staged(&mut self, c: usize, amps: &[c64]) -> std::io::Result<()> {
+        assert_eq!(amps.len(), self.chunk_len(), "chunk size mismatch");
+        let bytes = amps_to_bytes(amps);
+        let mut f = File::create(self.staged_path(c))?;
+        f.write_all(&bytes)?;
+        self.stats.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Promote all staged chunks written by [`ChunkStore::write_staged`].
+    pub fn commit_staged(&mut self) -> std::io::Result<()> {
+        for c in 0..self.n_chunks() {
+            let staged = self.staged_path(c);
+            if staged.exists() {
+                std::fs::rename(staged, self.chunk_path(c))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn staged_path(&self, c: usize) -> PathBuf {
+        self.dir.join(format!("chunk_{c:06}.amps.staged"))
+    }
+
+    /// Delete all chunk files (cleanup helper for tests/examples).
+    pub fn remove_files(&self) -> std::io::Result<()> {
+        for c in 0..self.n_chunks() {
+            let p = self.chunk_path(c);
+            if p.exists() {
+                std::fs::remove_file(p)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load the full state into memory (small n; testing).
+    pub fn to_vec(&mut self) -> std::io::Result<Vec<c64>> {
+        let mut out = Vec::with_capacity(self.chunk_len() * self.n_chunks());
+        for c in 0..self.n_chunks() {
+            out.extend(self.read_chunk(c)?);
+        }
+        Ok(out)
+    }
+}
+
+fn amps_to_bytes(amps: &[c64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(amps.len() * 16);
+    for a in amps {
+        out.extend_from_slice(&a.re.to_le_bytes());
+        out.extend_from_slice(&a.im.to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_amps(bytes: &[u8]) -> Vec<c64> {
+    assert_eq!(bytes.len() % 16, 0);
+    bytes
+        .chunks_exact(16)
+        .map(|b| {
+            c64::new(
+                f64::from_le_bytes(b[0..8].try_into().unwrap()),
+                f64::from_le_bytes(b[8..16].try_into().unwrap()),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("qsim_ooc_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn create_read_write_round_trip() {
+        let dir = tmpdir("rw");
+        let mut store = ChunkStore::create_zero_state(&dir, 4, 2).unwrap();
+        assert_eq!(store.n_chunks(), 4);
+        assert_eq!(store.chunk_len(), 16);
+        let c0 = store.read_chunk(0).unwrap();
+        assert_eq!(c0[0], c64::one());
+        assert!(c0[1..].iter().all(|&a| a == c64::zero()));
+        // Write and read back a pattern.
+        let pattern: Vec<c64> = (0..16).map(|i| c64::new(i as f64, -(i as f64))).collect();
+        store.write_chunk(3, &pattern).unwrap();
+        assert_eq!(store.read_chunk(3).unwrap(), pattern);
+        store.remove_files().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uniform_state_norm() {
+        let dir = tmpdir("uniform");
+        let mut store = ChunkStore::create_uniform(&dir, 5, 2).unwrap();
+        let v = store.to_vec().unwrap();
+        let norm: f64 = v.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+        store.remove_files().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn range_io() {
+        let dir = tmpdir("range");
+        let mut store = ChunkStore::create_filled(&dir, 4, 1, c64::zero()).unwrap();
+        let patch = vec![c64::new(7.0, 8.0); 4];
+        store.write_chunk_range(1, 8, &patch).unwrap();
+        let got = store.read_chunk_range(1, 8, 4).unwrap();
+        assert_eq!(got, patch);
+        // Neighbouring entries untouched.
+        let full = store.read_chunk(1).unwrap();
+        assert_eq!(full[7], c64::zero());
+        assert_eq!(full[12], c64::zero());
+        store.remove_files().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_is_accounted() {
+        let dir = tmpdir("stats");
+        let mut store = ChunkStore::create_filled(&dir, 3, 1, c64::zero()).unwrap();
+        let created = store.stats();
+        assert_eq!(created.bytes_written, 2 * 8 * 16);
+        let _ = store.read_chunk(0).unwrap();
+        assert_eq!(store.stats().bytes_read, 8 * 16);
+        store.remove_files().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_codec_round_trips() {
+        let amps = vec![c64::new(1.5, -2.25), c64::new(f64::MIN_POSITIVE, 1e300)];
+        assert_eq!(bytes_to_amps(&amps_to_bytes(&amps)), amps);
+    }
+}

@@ -1,0 +1,31 @@
+//! # qsim-ooc
+//!
+//! Out-of-core (disk-backed) state-vector execution — the paper's §5
+//! outlook made concrete:
+//!
+//! > "While the memory requirements to simulate such a large circuit are
+//! > beyond what is possible today, the low amount of communication may
+//! > allow the use of, e.g., solid-state drives."
+//!
+//! The enabling observation is the scheduler's: a depth-25 supremacy
+//! circuit needs only **two** global-to-local swaps, so a state vector
+//! that does not fit in DRAM touches the slow tier a constant number of
+//! times. This crate plays the rank structure of `qsim-core::dist` onto a
+//! directory of chunk files:
+//!
+//! * the *chunk index* takes the role of the rank id (the "global" bits);
+//! * stage clusters stream chunk-by-chunk through a DRAM-sized window
+//!   (load → fused kernels → store);
+//! * a global-to-local swap becomes an **external all-to-all**: a
+//!   two-pass scatter/gather transpose over the chunk files.
+//!
+//! [`ChunkStore`] is the storage substrate with byte-level IO accounting;
+//! [`OocSimulator`] executes any [`qsim_sched::Schedule`] against it and
+//! must produce bit-identical amplitudes to the in-memory engines (tested
+//! against both).
+
+pub mod chunkstore;
+pub mod exec;
+
+pub use chunkstore::{ChunkStore, IoStats};
+pub use exec::{OocOutcome, OocSimulator};

@@ -1,0 +1,27 @@
+//! Quick full-scale scheduler check: swap counts, cluster counts and
+//! per-gate communication for the paper's depth-25 circuit sizes — the
+//! numbers behind Fig. 5b and Table 1, in one table.
+//!
+//! ```text
+//! cargo run -p qsim-sched --release --example swapcheck
+//! ```
+
+use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim_sched::{plan, SchedulerConfig, global_gate_count};
+use std::time::Instant;
+fn main() {
+    for (r, c, l) in [(6u32,5u32,29u32), (6,6,30), (7,6,30), (9,5,30), (7,7,30)] {
+        let n = r*c;
+        let circ = supremacy_circuit(&SupremacySpec { rows: r, cols: c, depth: 25, seed: 0 });
+        let t0 = Instant::now();
+        let s = plan(&circ, &SchedulerConfig::distributed(l.min(n), 4));
+        let mut cfg_m = SchedulerConfig::distributed(l.min(n), 4);
+        cfg_m.worst_case_dense = false;
+        let sm = plan(&circ, &cfg_m);
+        let dt = t0.elapsed().as_secs_f64();
+        let gg = global_gate_count(&circ, l.min(n), true);
+        let ggm = global_gate_count(&circ, l.min(n), false);
+        println!("{}x{} n={} l={} swaps(worst/median)={}/{} stages={} clusters={} gates/cluster={:.1} globalgates(worst/median)={}/{} plan_time={:.2}s",
+            r, c, n, l.min(n), s.n_swaps(), sm.n_swaps(), s.stages.len(), s.n_clusters(), s.gates_per_cluster(), gg, ggm, dt);
+    }
+}

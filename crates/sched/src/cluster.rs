@@ -1,0 +1,402 @@
+//! Clustering — §3.6.1 step 2.
+//!
+//! Within a stage, runs of single- and two-qubit gates are merged into one
+//! k ≤ kmax fused gate, executed by a single k-qubit kernel sweep instead
+//! of many cheap sweeps. The greedy grower absorbs every ready gate whose
+//! operands fit in the cluster's qubit set (growing the set while
+//! `|Q| ≤ kmax`); a small local search tries several seeds and keeps the
+//! cluster that captured the most gates, "before assigning the remaining
+//! gates to new clusters".
+//!
+//! Diagonal gates with a global operand cannot join a dense cluster
+//! (their operand is not addressable by a local kernel); they are emitted
+//! as §3.5 specialized [`DiagonalOp`]s, interleaved in dependency order.
+
+use crate::config::SchedulerConfig;
+use crate::fuse::{diagonal_of, fuse_gates};
+use crate::schedule::{Cluster, DiagonalOp, StageOp};
+use qsim_circuit::{Circuit, Gate};
+use std::collections::BTreeSet;
+
+/// Per-stage dependency tracker over a gate-index subsequence.
+struct StageTracker {
+    /// Positions (into the stage list) per qubit, in order.
+    chains: Vec<Vec<usize>>,
+    cursor: Vec<usize>,
+    done: Vec<bool>,
+    n_done: usize,
+    qubit_cache: Vec<Vec<u32>>,
+}
+
+impl StageTracker {
+    fn new(circuit: &Circuit, stage_gates: &[usize]) -> Self {
+        let n = circuit.n_qubits() as usize;
+        let mut chains = vec![Vec::new(); n];
+        let mut qubit_cache = Vec::with_capacity(stage_gates.len());
+        for (pos, &gi) in stage_gates.iter().enumerate() {
+            let qs = circuit.gates()[gi].qubits();
+            for &q in &qs {
+                chains[q as usize].push(pos);
+            }
+            qubit_cache.push(qs);
+        }
+        Self {
+            cursor: vec![0; n],
+            done: vec![false; stage_gates.len()],
+            n_done: 0,
+            chains,
+            qubit_cache,
+        }
+    }
+
+    fn is_ready(&self, pos: usize) -> bool {
+        !self.done[pos]
+            && self.qubit_cache[pos].iter().all(|&q| {
+                let ch = &self.chains[q as usize];
+                let cur = self.cursor[q as usize];
+                cur < ch.len() && ch[cur] == pos
+            })
+    }
+
+    fn execute(&mut self, pos: usize) {
+        debug_assert!(self.is_ready(pos));
+        for &q in &self.qubit_cache[pos] {
+            self.cursor[q as usize] += 1;
+        }
+        self.done[pos] = true;
+        self.n_done += 1;
+    }
+
+    fn ready_positions(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        for (q, ch) in self.chains.iter().enumerate() {
+            if let Some(&pos) = ch.get(self.cursor[q]) {
+                if self.is_ready(pos) && !out.contains(&pos) {
+                    out.push(pos);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn is_done(&self) -> bool {
+        self.n_done == self.done.len()
+    }
+
+    fn snapshot(&self) -> (Vec<usize>, Vec<bool>, usize) {
+        (self.cursor.clone(), self.done.clone(), self.n_done)
+    }
+
+    fn restore(&mut self, snap: (Vec<usize>, Vec<bool>, usize)) {
+        self.cursor = snap.0;
+        self.done = snap.1;
+        self.n_done = snap.2;
+    }
+}
+
+/// Build the ordered op list for one stage.
+///
+/// `stage_gates` are circuit gate indices in a dependency-consistent
+/// order; `mapping[logical] = physical`.
+pub fn build_stage_ops(
+    circuit: &Circuit,
+    stage_gates: &[usize],
+    mapping: &[u32],
+    cfg: &SchedulerConfig,
+) -> Vec<StageOp> {
+    let l = cfg.local_qubits;
+    let mut tr = StageTracker::new(circuit, stage_gates);
+    let mut ops: Vec<StageOp> = Vec::new();
+
+    let phys = |gi: usize| -> Vec<u32> {
+        circuit.gates()[gi]
+            .qubits()
+            .iter()
+            .map(|&q| mapping[q as usize])
+            .collect()
+    };
+    let is_global_diag = |gi: usize| -> bool { phys(gi).iter().any(|&p| p >= l) };
+
+    while !tr.is_done() {
+        let ready = tr.ready_positions();
+        debug_assert!(!ready.is_empty(), "stage tracker stuck");
+
+        // Emit any ready specialized diagonal ops first: they are cheap
+        // and unblock chains for clustering.
+        let mut emitted_diag = false;
+        for &pos in &ready {
+            if tr.done[pos] {
+                continue;
+            }
+            let gi = stage_gates[pos];
+            if is_global_diag(gi) {
+                debug_assert!(circuit.gates()[gi].is_diagonal(), "global dense gate in stage");
+                let (positions, diag) = diagonal_of(&circuit.gates()[gi], mapping);
+                ops.push(StageOp::Diagonal(DiagonalOp {
+                    positions,
+                    diag,
+                    gate_indices: vec![gi],
+                }));
+                tr.execute(pos);
+                emitted_diag = true;
+            }
+        }
+        if emitted_diag {
+            continue;
+        }
+
+        // Local search over seeds: grow a candidate cluster from each of
+        // the first `cluster_trials` ready gates, keep the biggest.
+        let seeds: Vec<usize> = ready
+            .iter()
+            .copied()
+            .filter(|&p| !tr.done[p])
+            .take(cfg.cluster_trials.max(1))
+            .collect();
+        debug_assert!(!seeds.is_empty());
+        let mut best: Option<Vec<usize>> = None;
+        for &seed in &seeds {
+            let snap = tr.snapshot();
+            let members = grow_cluster(circuit, stage_gates, &mut tr, seed, mapping, cfg);
+            tr.restore(snap);
+            if best.as_ref().is_none_or(|b| members.len() > b.len()) {
+                best = Some(members);
+            }
+        }
+        let members = best.unwrap();
+        // Commit: re-execute the chosen members.
+        for &pos in &members {
+            tr.execute(pos);
+        }
+        let gate_indices: Vec<usize> = members.iter().map(|&p| stage_gates[p]).collect();
+        let mut qset: BTreeSet<u32> = BTreeSet::new();
+        for &gi in &gate_indices {
+            for p in phys(gi) {
+                qset.insert(p);
+            }
+        }
+        let qubits: Vec<u32> = qset.into_iter().collect();
+        debug_assert!(qubits.iter().all(|&p| p < l));
+        let gates_ref: Vec<(usize, &Gate)> = gate_indices
+            .iter()
+            .map(|&gi| (gi, &circuit.gates()[gi]))
+            .collect();
+        let matrix = fuse_gates(&gates_ref, &qubits, mapping);
+        ops.push(StageOp::Cluster(Cluster {
+            qubits,
+            gate_indices,
+            matrix,
+        }));
+    }
+    ops
+}
+
+/// Greedily grow a cluster from `seed`; returns the member positions in
+/// execution order. Mutates the tracker (caller snapshots/restores for
+/// trials, then re-executes to commit).
+fn grow_cluster(
+    circuit: &Circuit,
+    stage_gates: &[usize],
+    tr: &mut StageTracker,
+    seed: usize,
+    mapping: &[u32],
+    cfg: &SchedulerConfig,
+) -> Vec<usize> {
+    let l = cfg.local_qubits;
+    let phys = |pos: usize| -> Vec<u32> {
+        circuit.gates()[stage_gates[pos]]
+            .qubits()
+            .iter()
+            .map(|&q| mapping[q as usize])
+            .collect()
+    };
+    let seed_phys = phys(seed);
+    // Global-diagonal gates are drained before seeding (build_stage_ops).
+    debug_assert!(
+        seed_phys.iter().all(|&p| p < l),
+        "global-diagonal gate reached cluster seeding"
+    );
+    let mut qset: BTreeSet<u32> = seed_phys.into_iter().collect();
+    // A single gate wider than kmax still has to execute: the cap is
+    // max(kmax, seed arity).
+    let cap = (cfg.kmax as usize).max(qset.len());
+    let mut members = vec![seed];
+    tr.execute(seed);
+    loop {
+        // Phase 1: absorb every ready gate already contained in Q — these
+        // are free (no qubit budget) and unblock deeper gates on the same
+        // qubits, so run to a fixpoint before spending budget.
+        let mut absorbed = true;
+        while absorbed {
+            absorbed = false;
+            for pos in tr.ready_positions() {
+                let ps = phys(pos);
+                if ps.iter().all(|p| qset.contains(p)) {
+                    members.push(pos);
+                    tr.execute(pos);
+                    absorbed = true;
+                }
+            }
+        }
+        // Phase 2: expand Q. Candidates are ready gates that fit in the
+        // kmax budget; each is scored by a one-step lookahead (how many
+        // contained gates the expansion immediately unlocks), preferring
+        // fewer new qubits on ties — the "small local search" of §3.6.1.
+        let mut candidates: Vec<(usize, usize, Vec<u32>)> = Vec::new(); // (new, pos, ps)
+        for pos in tr.ready_positions() {
+            let ps = phys(pos);
+            if ps.iter().any(|&p| p >= l) {
+                continue; // global-diagonal: separate op
+            }
+            let new = ps.iter().filter(|p| !qset.contains(p)).count();
+            debug_assert!(new > 0, "contained gate survived phase 1");
+            if qset.len() + new <= cap {
+                candidates.push((new, pos, ps));
+            }
+        }
+        if candidates.is_empty() {
+            return members;
+        }
+        candidates.sort_by_key(|c| (c.0, c.1));
+        candidates.truncate(cfg.cluster_trials.max(1));
+        let mut best: Option<(usize, usize)> = None; // (score, candidate idx)
+        for (ci, (_, pos, ps)) in candidates.iter().enumerate() {
+            let snap = tr.snapshot();
+            let mut q2 = qset.clone();
+            for p in ps {
+                q2.insert(*p);
+            }
+            tr.execute(*pos);
+            // Count the contained gates this expansion unlocks.
+            let mut score = 1usize;
+            let mut absorbed = true;
+            while absorbed {
+                absorbed = false;
+                for p2 in tr.ready_positions() {
+                    let ps2 = phys(p2);
+                    if ps2.iter().all(|p| q2.contains(p)) {
+                        tr.execute(p2);
+                        score += 1;
+                        absorbed = true;
+                    }
+                }
+            }
+            tr.restore(snap);
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, ci));
+            }
+        }
+        let (_, pos, ps) = &candidates[best.unwrap().1];
+        for p in ps {
+            qset.insert(*p);
+        }
+        members.push(*pos);
+        tr.execute(*pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::StageOp;
+    use qsim_circuit::Circuit;
+
+    fn cfg(l: u32, kmax: u32) -> SchedulerConfig {
+        SchedulerConfig::distributed(l, kmax)
+    }
+
+    fn identity_mapping(n: u32) -> Vec<u32> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn merges_more_than_k_gates_per_cluster() {
+        // A dense run on 3 qubits: 7 gates must fit in one 3-qubit cluster
+        // (the Fig. 4 scenario: "7 individual gates" -> one 3-qubit gate).
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2).cz(0, 1).cz(1, 2).t(0).sqrt_x(1);
+        let gates: Vec<usize> = (0..c.len()).collect();
+        let ops = build_stage_ops(&c, &gates, &identity_mapping(3), &cfg(3, 3));
+        assert_eq!(ops.len(), 1, "expected a single cluster");
+        if let StageOp::Cluster(cl) = &ops[0] {
+            assert_eq!(cl.gate_indices.len(), 7);
+            assert_eq!(cl.qubits, vec![0, 1, 2]);
+            assert!(cl.matrix.unitarity_residual() < 1e-10);
+        } else {
+            panic!("not a cluster");
+        }
+    }
+
+    #[test]
+    fn kmax_limits_cluster_arity() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3).cz(0, 1).cz(2, 3).cz(1, 2);
+        let gates: Vec<usize> = (0..c.len()).collect();
+        let ops = build_stage_ops(&c, &gates, &identity_mapping(4), &cfg(4, 2));
+        for op in &ops {
+            if let StageOp::Cluster(cl) = op {
+                assert!(cl.qubits.len() <= 2, "cluster too wide: {:?}", cl.qubits);
+            }
+        }
+        // With kmax=2 the CZ(1,2) bridges two clusters: >= 3 clusters.
+        let n_clusters = ops
+            .iter()
+            .filter(|o| matches!(o, StageOp::Cluster(_)))
+            .count();
+        assert!(n_clusters >= 3);
+    }
+
+    #[test]
+    fn global_diagonal_becomes_specialized_op() {
+        // Two qubits, position 1 global (l = 1): CZ(0,1) must be a
+        // DiagonalOp, H(0) a cluster.
+        let mut c = Circuit::new(2);
+        c.h(0).cz(0, 1).t(1);
+        let gates: Vec<usize> = (0..c.len()).collect();
+        let ops = build_stage_ops(&c, &gates, &identity_mapping(2), &cfg(1, 1));
+        let diag_count = ops
+            .iter()
+            .filter(|o| matches!(o, StageOp::Diagonal(_)))
+            .count();
+        assert_eq!(diag_count, 2, "CZ and T on global qubit are specialized");
+        let cluster_count = ops.len() - diag_count;
+        assert_eq!(cluster_count, 1);
+    }
+
+    #[test]
+    fn ordering_between_diagonal_and_dense_preserved() {
+        // CZ(0,1) then H(0): with qubit 1 global, the CZ's diagonal op
+        // must be emitted before the H cluster.
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).h(0);
+        let gates: Vec<usize> = (0..c.len()).collect();
+        let ops = build_stage_ops(&c, &gates, &identity_mapping(2), &cfg(1, 1));
+        assert!(matches!(ops[0], StageOp::Diagonal(_)));
+        assert!(matches!(ops[1], StageOp::Cluster(_)));
+    }
+
+    #[test]
+    fn trials_do_not_lose_gates() {
+        let mut c = Circuit::new(5);
+        for q in 0..5 {
+            c.h(q);
+        }
+        c.cz(0, 1).cz(2, 3).cz(3, 4).t(2).sqrt_y(0);
+        let gates: Vec<usize> = (0..c.len()).collect();
+        for trials in [1usize, 2, 8] {
+            let mut cf = cfg(5, 3);
+            cf.cluster_trials = trials;
+            let ops = build_stage_ops(&c, &gates, &identity_mapping(5), &cf);
+            let total: usize = ops.iter().map(|o| o.gate_indices().len()).sum();
+            assert_eq!(total, c.len(), "trials={trials}");
+        }
+    }
+
+    #[test]
+    fn empty_stage_produces_no_ops() {
+        let c = Circuit::new(2);
+        let ops = build_stage_ops(&c, &[], &identity_mapping(2), &cfg(2, 2));
+        assert!(ops.is_empty());
+    }
+}

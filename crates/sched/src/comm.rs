@@ -1,0 +1,181 @@
+//! Communication statistics — the quantities plotted in Fig. 5 and used
+//! in the paper's §4.1.2 speedup estimate.
+//!
+//! * [`global_gate_count`] — how many communication steps the per-gate
+//!   scheme of \[5\]/\[19\] needs: one per gate that is dense (or worst-case
+//!   dense) and touches a global qubit. This is the *lower-panel* series
+//!   of Fig. 5; our scheduler's swap count is the upper panel.
+//! * [`CommStats`] — byte volumes: one full global-to-local swap moves
+//!   (almost) the whole distributed state through the network, which the
+//!   paper notes equals the traffic of ONE global gate executed the
+//!   per-gate way. The expected speedup from comm reduction is then
+//!   `global_gates / 2 / n_swaps` (§4.1.2: 50x/(2·2) = 12.5x), the factor
+//!   2 because an average global gate enjoys 2× better locality than a
+//!   full swap.
+
+use crate::config::SchedulerConfig;
+use crate::stage::dense_for_scheduling;
+use qsim_circuit::{Circuit, Gate};
+
+/// Count the gates that require communication when executed individually
+/// under the identity mapping with `l` local qubits.
+///
+/// `worst_case`: treat randomly-drawn T gates as dense (the dashed series
+/// of Fig. 5); otherwise use actual diagonality (the solid "median
+/// instance" series). The initial Hadamard layer is excluded — every
+/// simulator (including \[5\]) initializes the uniform superposition
+/// directly (§3.6).
+pub fn global_gate_count(circuit: &Circuit, l: u32, worst_case: bool) -> usize {
+    let cfg = SchedulerConfig {
+        local_qubits: l,
+        kmax: 1,
+        specialize_diagonal: true,
+        worst_case_dense: worst_case,
+        swap_search: false,
+        adjust_swaps: false,
+        cluster_trials: 1,
+    };
+    let dense = dense_for_scheduling(circuit, &cfg);
+    let mut skip_h = vec![true; circuit.n_qubits() as usize];
+    let mut count = 0usize;
+    for (gi, g) in circuit.gates().iter().enumerate() {
+        // Skip each qubit's *initial* H (cycle-0 layer).
+        if let Gate::H(q) = *g {
+            if skip_h[q as usize] {
+                skip_h[q as usize] = false;
+                continue;
+            }
+        }
+        if dense[gi] && g.qubits().iter().any(|&q| q >= l) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Byte-volume accounting for an (n, l) distributed execution.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CommStats {
+    pub n_qubits: u32,
+    pub local_qubits: u32,
+    /// Bytes moved through the network by ONE full global-to-local swap
+    /// (sum over ranks of data sent; excludes each rank's self-chunk).
+    pub bytes_per_swap: u64,
+    /// Communication steps of the per-gate baseline.
+    pub global_gates: usize,
+    /// Communication steps of the scheduled plan.
+    pub n_swaps: usize,
+}
+
+impl CommStats {
+    /// `amp_bytes` = 16 for f64, 8 for f32 amplitudes.
+    pub fn new(n: u32, l: u32, global_gates: usize, n_swaps: usize, amp_bytes: u64) -> Self {
+        let ranks = 1u64 << (n - l);
+        let local = 1u64 << l;
+        // All-to-all: each rank keeps 1/ranks of its slice, sends the rest.
+        let bytes_per_swap = ranks * local * amp_bytes / ranks * (ranks - 1);
+        Self {
+            n_qubits: n,
+            local_qubits: l,
+            bytes_per_swap,
+            global_gates,
+            n_swaps,
+        }
+    }
+
+    /// Total bytes of the scheduled plan.
+    pub fn scheduled_bytes(&self) -> u64 {
+        self.bytes_per_swap * self.n_swaps as u64
+    }
+
+    /// Total bytes of the per-gate baseline (one swap-equivalent per
+    /// global gate).
+    pub fn baseline_bytes(&self) -> u64 {
+        self.bytes_per_swap * self.global_gates as u64
+    }
+
+    /// The paper's §4.1.2 expected comm-reduction factor:
+    /// `global_gates / (2 · n_swaps)` — the 2 accounts for the average
+    /// global gate being ~2× faster than a full swap thanks to
+    /// communication locality on low-order global qubits.
+    pub fn expected_reduction(&self) -> f64 {
+        if self.n_swaps == 0 {
+            f64::INFINITY
+        } else {
+            self.global_gates as f64 / (2.0 * self.n_swaps as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+
+    #[test]
+    fn no_globals_no_comm() {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 3,
+            cols: 3,
+            depth: 16,
+            seed: 0,
+        });
+        assert_eq!(global_gate_count(&c, 9, true), 0);
+    }
+
+    #[test]
+    fn worst_case_counts_at_least_median() {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 4,
+            cols: 4,
+            depth: 25,
+            seed: 0,
+        });
+        for l in [12u32, 14] {
+            let worst = global_gate_count(&c, l, true);
+            let median = global_gate_count(&c, l, false);
+            assert!(worst >= median, "l={l}: {worst} < {median}");
+            assert!(worst > 0);
+        }
+    }
+
+    #[test]
+    fn initial_hadamards_excluded_but_later_h_counted() {
+        let mut c = qsim_circuit::Circuit::new(2);
+        c.h(1); // initial H on global qubit: skipped
+        c.h(1); // a later H: counted
+        c.t(1); // diagonal: not counted in median mode
+        assert_eq!(global_gate_count(&c, 1, false), 1);
+    }
+
+    #[test]
+    fn fewer_local_qubits_more_global_gates() {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 4,
+            cols: 5,
+            depth: 25,
+            seed: 1,
+        });
+        let g14 = global_gate_count(&c, 14, true);
+        let g17 = global_gate_count(&c, 17, true);
+        assert!(g14 >= g17, "more globals must mean >= comm: {g14} vs {g17}");
+    }
+
+    #[test]
+    fn comm_stats_math() {
+        // n=4, l=2: 4 ranks of 4 amplitudes; one swap moves
+        // 4 ranks * 4 amps * 16B * 3/4 = 192 bytes.
+        let s = CommStats::new(4, 2, 10, 2, 16);
+        assert_eq!(s.bytes_per_swap, 192);
+        assert_eq!(s.scheduled_bytes(), 384);
+        assert_eq!(s.baseline_bytes(), 1920);
+        assert!((s.expected_reduction() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_reduction() {
+        // §4.1.2: 50 global gates, 2 swaps -> 12.5x.
+        let s = CommStats::new(42, 30, 50, 2, 16);
+        assert!((s.expected_reduction() - 12.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,39 @@
+//! # qsim-sched
+//!
+//! The circuit-optimization layer of the paper (§3.5–3.6): everything that
+//! happens *before* any amplitude is touched, turning a gate list into a
+//! communication-minimal execution plan.
+//!
+//! * [`schedule`] — the plan data model: stages of fused operations
+//!   separated by global-to-local swaps, with the logical→physical qubit
+//!   mapping tracked per stage.
+//! * [`stage`] — stage finding (§3.6.1 step 1): greedy commutation-aware
+//!   reordering that maximizes the run of gates executable without
+//!   communication, with diagonal-gate specialization on global qubits
+//!   (§3.5) and a Belady-style "cheap search" for which qubits to swap.
+//! * [`cluster`] — clustering (§3.6.1 step 2): merging runs of 1- and
+//!   2-qubit gates into k ≤ kmax fused gates, with a small local search to
+//!   maximize gates per cluster, and the step-3 swap-point adjustment.
+//! * [`fuse`] — matrix fusion: embedding and multiplying gate matrices
+//!   into one 2^k × 2^k cluster matrix.
+//! * [`mapping`] — the §3.6.2 qubit-mapping heuristic assigning hot qubits
+//!   to low-order bit locations.
+//! * [`comm`] — communication statistics: swap counts, per-gate global
+//!   gate counts (the comparison baseline of Fig. 5), and byte-volume
+//!   models.
+//!
+//! The top-level entry point is [`stage::plan`]: circuit + config →
+//! [`Schedule`].
+
+pub mod cluster;
+pub mod comm;
+pub mod config;
+pub mod fuse;
+pub mod mapping;
+pub mod schedule;
+pub mod stage;
+
+pub use comm::{global_gate_count, CommStats};
+pub use config::SchedulerConfig;
+pub use schedule::{Cluster, DiagonalOp, Schedule, Stage, StageOp, SwapOp};
+pub use stage::plan;

@@ -1,0 +1,115 @@
+//! Ablation tests for the scheduler's individual optimizations — each of
+//! the paper's §3.5–3.6 design choices must pull in its documented
+//! direction on real supremacy workloads.
+
+use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim_circuit::Circuit;
+use qsim_sched::{plan, SchedulerConfig};
+
+fn workload(depth: u32) -> Circuit {
+    supremacy_circuit(&SupremacySpec {
+        rows: 4,
+        cols: 5,
+        depth,
+        seed: 0,
+    })
+}
+
+#[test]
+fn median_mode_never_needs_more_swaps_than_worst_case() {
+    // Fewer gates treated dense can only help: the search space of the
+    // median mode contains every worst-case plan.
+    for depth in [15u32, 25] {
+        let c = workload(depth);
+        let worst = plan(&c, &SchedulerConfig::distributed(16, 4));
+        let mut cfg = SchedulerConfig::distributed(16, 4);
+        cfg.worst_case_dense = false;
+        let median = plan(&c, &cfg);
+        assert!(
+            median.n_swaps() <= worst.n_swaps(),
+            "depth {depth}: median {} > worst {}",
+            median.n_swaps(),
+            worst.n_swaps()
+        );
+    }
+}
+
+#[test]
+fn more_cluster_trials_never_increase_cluster_count_much() {
+    let c = workload(25);
+    let mut prev = usize::MAX;
+    for trials in [1usize, 2, 8] {
+        let mut cfg = SchedulerConfig::distributed(16, 4);
+        cfg.cluster_trials = trials;
+        let s = plan(&c, &cfg);
+        s.verify(&c);
+        // Greedy search: more trials should help or be neutral (small
+        // slack for seed interactions across stage boundaries).
+        assert!(
+            s.n_clusters() <= prev.saturating_add(2),
+            "trials={trials}: {} clusters after {prev}",
+            s.n_clusters()
+        );
+        prev = prev.min(s.n_clusters());
+    }
+}
+
+#[test]
+fn swap_adjustment_does_not_hurt_cluster_quality() {
+    let c = workload(25);
+    let with = plan(&c, &SchedulerConfig::distributed(16, 4));
+    let mut cfg = SchedulerConfig::distributed(16, 4);
+    cfg.adjust_swaps = false;
+    let without = plan(&c, &cfg);
+    with.verify(&c);
+    without.verify(&c);
+    assert!(with.n_swaps() == without.n_swaps(), "adjustment must not change swaps");
+    assert!(
+        with.gates_per_cluster() >= without.gates_per_cluster() - 0.5,
+        "adjustment hurt clustering: {:.2} vs {:.2}",
+        with.gates_per_cluster(),
+        without.gates_per_cluster()
+    );
+}
+
+#[test]
+fn kmax_sweep_monotonicity_on_brickwork() {
+    let c = qsim_circuit::algorithms::brickwork_1d(16, 20, 5);
+    let mut prev = usize::MAX;
+    for kmax in [2u32, 3, 4, 5] {
+        let s = plan(&c, &SchedulerConfig::single_node(16, kmax));
+        s.verify(&c);
+        assert!(
+            s.n_clusters() <= prev,
+            "kmax={kmax}: clusters increased ({} after {prev})",
+            s.n_clusters()
+        );
+        prev = s.n_clusters();
+    }
+}
+
+#[test]
+fn diagonal_ops_only_appear_with_specialization() {
+    let c = workload(25);
+    let with = plan(&c, &SchedulerConfig::distributed(16, 4));
+    let mut cfg = SchedulerConfig::distributed(16, 4);
+    cfg.specialize_diagonal = false;
+    let without = plan(&c, &cfg);
+    assert!(with.n_diagonal_ops() > 0, "CZs on globals must specialize");
+    assert_eq!(
+        without.n_diagonal_ops(),
+        0,
+        "specialization off must put every gate in clusters"
+    );
+}
+
+#[test]
+fn single_node_plans_have_one_stage() {
+    for kmax in [3u32, 5] {
+        let c = workload(20);
+        let s = plan(&c, &SchedulerConfig::single_node(20, kmax));
+        assert_eq!(s.stages.len(), 1);
+        assert_eq!(s.n_swaps(), 0);
+        assert_eq!(s.n_diagonal_ops(), 0, "every qubit is local");
+    }
+}

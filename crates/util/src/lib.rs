@@ -1,0 +1,25 @@
+//! # qsim-util
+//!
+//! Foundation crate of the `qsim45` workspace: complex arithmetic laid out
+//! for FMA-friendly kernels, cache-line-aligned amplitude storage, the bit
+//! manipulation primitives behind k-qubit gate indexing, a deterministic
+//! PRNG for reproducible circuit instances, and the FLOP/byte accounting
+//! model used by the roofline experiments (Fig. 2 of the paper).
+//!
+//! Everything in this crate is dependency-free so the hot kernels above it
+//! have full control over data layout and instruction selection.
+
+pub mod align;
+pub mod bits;
+pub mod complex;
+pub mod flops;
+pub mod matrix;
+pub mod precision;
+pub mod rng;
+pub mod stats;
+
+pub use align::AlignedVec;
+pub use complex::{c32, c64, Complex};
+pub use precision::Real;
+pub use matrix::GateMatrix;
+pub use rng::{SplitMix64, Xoshiro256};

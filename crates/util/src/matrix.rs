@@ -1,0 +1,387 @@
+//! Dense k-qubit gate matrices.
+//!
+//! A [`GateMatrix`] is a row-major 2^k x 2^k complex matrix. Index
+//! convention: bit `j` of a row/column index corresponds to the gate's
+//! j-th qubit operand, little-endian - the same convention
+//! [`crate::bits::IndexExpander`] uses for gather offsets, so a matrix and
+//! an expander built from the same operand list always agree.
+//!
+//! [`GateMatrix::permuted_qubits`] implements the paper's SS3.2
+//! pre-permutation: since the same matrix is reused 2^{n-k} times, its
+//! entries are permuted once so the kernel can gather amplitudes in
+//! ascending qubit order. [`GateMatrix::embed`] and
+//! [`GateMatrix::matmul`] are the fusion primitives of the scheduler
+//! (SS3.6.1 step 2). The kernel-facing packed layout lives in
+//! `qsim-kernels`.
+
+use crate::bits::gather_bits;
+use crate::complex::Complex;
+use crate::precision::Real;
+
+/// A dense 2^k × 2^k complex gate matrix, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateMatrix<T> {
+    k: u32,
+    data: Vec<Complex<T>>,
+}
+
+impl<T: Real> GateMatrix<T> {
+    /// Create from row-major entries; `data.len()` must be `4^k`.
+    pub fn from_rows(k: u32, data: Vec<Complex<T>>) -> Self {
+        let dim = 1usize << k;
+        assert_eq!(data.len(), dim * dim, "matrix size mismatch for k={k}");
+        Self { k, data }
+    }
+
+    /// Identity on k qubits.
+    pub fn identity(k: u32) -> Self {
+        let dim = 1usize << k;
+        let mut data = vec![Complex::zero(); dim * dim];
+        for i in 0..dim {
+            data[i * dim + i] = Complex::one();
+        }
+        Self { k, data }
+    }
+
+    /// Number of qubit operands k.
+    #[inline(always)]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Matrix dimension 2^k.
+    #[inline(always)]
+    pub fn dim(&self) -> usize {
+        1usize << self.k
+    }
+
+    #[inline(always)]
+    pub fn get(&self, row: usize, col: usize) -> Complex<T> {
+        self.data[row * self.dim() + col]
+    }
+
+    #[inline(always)]
+    pub fn set(&mut self, row: usize, col: usize, v: Complex<T>) {
+        let d = self.dim();
+        self.data[row * d + col] = v;
+    }
+
+    /// Row-major entries.
+    #[inline(always)]
+    pub fn entries(&self) -> &[Complex<T>] {
+        &self.data
+    }
+
+    /// Matrix product `self * rhs` (apply `rhs` first).
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.k, rhs.k, "dimension mismatch");
+        let d = self.dim();
+        let mut out = vec![Complex::zero(); d * d];
+        for i in 0..d {
+            for l in 0..d {
+                let a = self.get(i, l);
+                if a == Complex::zero() {
+                    continue;
+                }
+                for j in 0..d {
+                    out[i * d + j] += a * rhs.get(l, j);
+                }
+            }
+        }
+        Self::from_rows(self.k, out)
+    }
+
+    /// Kronecker product: `self ⊗ rhs`, where `rhs`'s qubits become the
+    /// low-order operands of the result (little-endian convention).
+    pub fn kron(&self, rhs: &Self) -> Self {
+        let (da, db) = (self.dim(), rhs.dim());
+        let k = self.k + rhs.k;
+        let d = da * db;
+        let mut out = vec![Complex::zero(); d * d];
+        for ia in 0..da {
+            for ja in 0..da {
+                let a = self.get(ia, ja);
+                for ib in 0..db {
+                    for jb in 0..db {
+                        out[(ia * db + ib) * d + (ja * db + jb)] = a * rhs.get(ib, jb);
+                    }
+                }
+            }
+        }
+        Self::from_rows(k, out)
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Self {
+        let d = self.dim();
+        let mut out = vec![Complex::zero(); d * d];
+        for i in 0..d {
+            for j in 0..d {
+                out[j * d + i] = self.get(i, j).conj();
+            }
+        }
+        Self::from_rows(self.k, out)
+    }
+
+    /// Largest absolute deviation of `self†·self` from the identity —
+    /// a unitarity residual used by tests and debug assertions.
+    pub fn unitarity_residual(&self) -> T {
+        let prod = self.dagger().matmul(self);
+        let d = self.dim();
+        let mut worst = T::ZERO;
+        for i in 0..d {
+            for j in 0..d {
+                let expect = if i == j { Complex::one() } else { Complex::zero() };
+                worst = worst.max_val((prod.get(i, j) - expect).abs());
+            }
+        }
+        worst
+    }
+
+    /// Reorder the qubit operands: `perm[j]` names which *old* operand
+    /// becomes the new operand `j`. Row/column index bits are re-gathered
+    /// accordingly.
+    ///
+    /// This implements the paper's pre-permutation for sorted qubit
+    /// indices: given a gate on unsorted positions, the caller sorts the
+    /// positions and permutes the matrix once with the sort permutation.
+    pub fn permuted_qubits(&self, perm: &[usize]) -> Self {
+        let kk = self.k as usize;
+        assert_eq!(perm.len(), kk, "permutation arity mismatch");
+        let d = self.dim();
+        // new index bit j = old index bit perm[j]
+        let old_positions: Vec<u32> = perm.iter().map(|&p| p as u32).collect();
+        let remap = |new_idx: usize| -> usize {
+            // Build old index from new: old bit perm[j] = new bit j.
+            let mut old = 0usize;
+            for (j, &p) in old_positions.iter().enumerate() {
+                old |= ((new_idx >> j) & 1) << p;
+            }
+            old
+        };
+        // Verify perm is a permutation (debug-friendly error).
+        {
+            let mut seen = vec![false; kk];
+            for &p in perm {
+                assert!(p < kk && !seen[p], "invalid qubit permutation {perm:?}");
+                seen[p] = true;
+            }
+        }
+        let mut out = vec![Complex::zero(); d * d];
+        for new_r in 0..d {
+            let old_r = remap(new_r);
+            for new_c in 0..d {
+                out[new_r * d + new_c] = self.get(old_r, remap(new_c));
+            }
+        }
+        Self::from_rows(self.k, out)
+    }
+
+    /// Expand this gate onto a larger operand set: `target_k` qubits where
+    /// this gate's operand `j` sits at position `slots[j]` (all distinct,
+    /// `< target_k`) and every other position is identity.
+    ///
+    /// This is how the scheduler fuses small gates into one k-qubit cluster
+    /// matrix (§3.6.1, step 2).
+    pub fn embed(&self, target_k: u32, slots: &[u32]) -> Self {
+        assert_eq!(slots.len(), self.k as usize, "slot arity mismatch");
+        let td = 1usize << target_k;
+        let mut out = vec![Complex::zero(); td * td];
+        let rest_mask: usize = {
+            let mut m = td - 1;
+            for &s in slots {
+                assert!(s < target_k, "slot {s} out of range for k={target_k}");
+                m &= !(1usize << s);
+            }
+            m
+        };
+        for row in 0..td {
+            let sub_r = gather_bits(row, slots);
+            for col in 0..td {
+                // Identity on the non-slot bits: they must match.
+                if (row & rest_mask) != (col & rest_mask) {
+                    continue;
+                }
+                out[row * td + col] = self.get(sub_r, gather_bits(col, slots));
+            }
+        }
+        Self::from_rows(target_k, out)
+    }
+
+    /// If the matrix is diagonal, return its diagonal, else `None`.
+    /// Diagonal gates get the communication-free specialized kernel (§3.5).
+    pub fn as_diagonal(&self) -> Option<Vec<Complex<T>>> {
+        let d = self.dim();
+        let mut diag = Vec::with_capacity(d);
+        for i in 0..d {
+            for j in 0..d {
+                let v = self.get(i, j);
+                if i != j && v.abs() > T::EPSILON {
+                    return None;
+                }
+            }
+            diag.push(self.get(i, i));
+        }
+        Some(diag)
+    }
+
+    /// Multiply every entry by a scalar phase (used to absorb global phases
+    /// from specialized T gates into the next matrix, §3.5).
+    pub fn scaled(&self, phase: Complex<T>) -> Self {
+        Self {
+            k: self.k,
+            data: self.data.iter().map(|&m| m * phase).collect(),
+        }
+    }
+
+    /// Convert precision (f64 ↔ f32).
+    pub fn convert<U: Real>(&self) -> GateMatrix<U> {
+        GateMatrix {
+            k: self.k,
+            data: self.data.iter().map(|m| m.convert()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+
+    fn h() -> GateMatrix<f64> {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        GateMatrix::from_rows(
+            1,
+            vec![
+                c64::new(s, 0.0),
+                c64::new(s, 0.0),
+                c64::new(s, 0.0),
+                c64::new(-s, 0.0),
+            ],
+        )
+    }
+
+    fn x() -> GateMatrix<f64> {
+        GateMatrix::from_rows(
+            1,
+            vec![c64::zero(), c64::one(), c64::one(), c64::zero()],
+        )
+    }
+
+    fn cz() -> GateMatrix<f64> {
+        let mut m = GateMatrix::identity(2);
+        m.set(3, 3, -c64::one());
+        m
+    }
+
+    #[test]
+    fn identity_and_matmul() {
+        let i = GateMatrix::<f64>::identity(1);
+        assert_eq!(h().matmul(&i), h());
+        let hh = h().matmul(&h());
+        assert!(hh.unitarity_residual() < 1e-12);
+        for r in 0..2 {
+            for c in 0..2 {
+                let expect = if r == c { c64::one() } else { c64::zero() };
+                assert!((hh.get(r, c) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unitarity_residual_detects_nonunitary() {
+        let mut bad = GateMatrix::<f64>::identity(1);
+        bad.set(0, 0, c64::new(2.0, 0.0));
+        assert!(bad.unitarity_residual() > 1.0);
+        assert!(h().unitarity_residual() < 1e-12);
+        assert!(cz().unitarity_residual() < 1e-12);
+    }
+
+    #[test]
+    fn kron_little_endian() {
+        // X (x) I: X acts on the high operand (bit 1).
+        let m = x().kron(&GateMatrix::identity(1));
+        assert_eq!(m.get(2, 0), c64::one());
+        assert_eq!(m.get(0, 0), c64::zero());
+        let m2 = GateMatrix::identity(1).kron(&x());
+        assert_eq!(m2.get(1, 0), c64::one());
+    }
+
+    #[test]
+    fn dagger_of_t_gate() {
+        let t = GateMatrix::from_rows(
+            1,
+            vec![
+                c64::one(),
+                c64::zero(),
+                c64::zero(),
+                c64::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+            ],
+        );
+        let td = t.dagger();
+        let prod = t.matmul(&td);
+        assert!(prod.unitarity_residual() < 1e-12);
+        assert!((td.get(1, 1) - c64::from_polar(1.0, -std::f64::consts::FRAC_PI_4)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn permuted_qubits_swaps_cnot_direction() {
+        // CNOT with control = operand 1, target = operand 0.
+        let mut cnot = GateMatrix::<f64>::identity(2);
+        cnot.set(2, 2, c64::zero());
+        cnot.set(3, 3, c64::zero());
+        cnot.set(2, 3, c64::one());
+        cnot.set(3, 2, c64::one());
+        let swapped = cnot.permuted_qubits(&[1, 0]);
+        assert_eq!(swapped.get(3, 1), c64::one());
+        assert_eq!(swapped.get(1, 1), c64::zero());
+        assert_eq!(cz().permuted_qubits(&[1, 0]), cz());
+        assert_eq!(swapped.permuted_qubits(&[1, 0]), cnot);
+    }
+
+    #[test]
+    fn embed_single_qubit_gate() {
+        let e = x().embed(2, &[1]);
+        let expect = x().kron(&GateMatrix::identity(1));
+        assert_eq!(e, expect);
+        let e0 = x().embed(2, &[0]);
+        assert_eq!(e0, GateMatrix::identity(1).kron(&x()));
+    }
+
+    #[test]
+    fn embed_then_matmul_matches_composition() {
+        let a = x().embed(2, &[1]);
+        let b = h().embed(2, &[0]);
+        let prod = b.matmul(&a);
+        assert!(prod.unitarity_residual() < 1e-12);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((prod.get(2, 0) - c64::new(s, 0.0)).abs() < 1e-12);
+        assert!((prod.get(3, 0) - c64::new(s, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_detection() {
+        assert!(cz().as_diagonal().is_some());
+        assert_eq!(
+            cz().as_diagonal().unwrap(),
+            vec![c64::one(), c64::one(), c64::one(), -c64::one()]
+        );
+        assert!(x().as_diagonal().is_none());
+        assert!(h().as_diagonal().is_none());
+    }
+
+    #[test]
+    fn scaled_absorbs_phase() {
+        let t_phase = c64::from_polar(1.0, 0.3);
+        let m = h().scaled(t_phase);
+        assert!((m.get(0, 0) - h().get(0, 0) * t_phase).abs() < 1e-15);
+        assert!(m.unitarity_residual() < 1e-12, "phase keeps unitarity");
+    }
+
+    #[test]
+    fn convert_round_trip() {
+        let m32: GateMatrix<f32> = h().convert();
+        let back: GateMatrix<f64> = m32.convert();
+        assert!(crate::complex::max_dist(back.entries(), h().entries()) < 1e-7);
+    }
+}

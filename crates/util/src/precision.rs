@@ -1,0 +1,194 @@
+//! Floating-point precision abstraction.
+//!
+//! The paper stores amplitudes in double precision and notes (§5) that a
+//! 46-qubit simulation becomes feasible in single precision with the same
+//! node count. All state vectors and kernels in this workspace are generic
+//! over [`Real`] so both precisions share one implementation.
+
+use core::fmt::{Debug, Display};
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar usable as the component type of an amplitude.
+///
+/// Implemented for `f32` and `f64` only. The trait is deliberately minimal:
+/// it exposes exactly the operations the kernels and observables need, with
+/// `mul_add` front and center because the Eq. (2)–(3) kernel re-association
+/// of the paper is built on fused multiply-add.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    const ZERO: Self;
+    const ONE: Self;
+    const TWO: Self;
+    const HALF: Self;
+    /// Machine epsilon of the representation.
+    const EPSILON: Self;
+    /// Bytes occupied by one scalar (8 for f64, 4 for f32); a complex
+    /// amplitude takes `2 * BYTES`.
+    const BYTES: usize;
+
+    /// Fused multiply-add: `self * a + b` with a single rounding.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    fn sqrt(self) -> Self;
+    fn abs(self) -> Self;
+    fn ln(self) -> Self;
+    fn log2(self) -> Self;
+    fn exp(self) -> Self;
+    fn sin(self) -> Self;
+    fn cos(self) -> Self;
+    fn powi(self, n: i32) -> Self;
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn from_usize(v: usize) -> Self;
+    fn is_finite(self) -> bool;
+    fn max_val(self, other: Self) -> Self;
+    fn min_val(self, other: Self) -> Self;
+    /// Mathematical constant π in this precision.
+    fn pi() -> Self;
+    /// 1/√2, the Hadamard amplitude.
+    fn frac_1_sqrt_2() -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty, $pi:expr, $f1s2:expr, $bytes:expr) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const HALF: Self = 0.5;
+            const EPSILON: Self = <$t>::EPSILON;
+            const BYTES: usize = $bytes;
+
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline(always)]
+            fn log2(self) -> Self {
+                <$t>::log2(self)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn sin(self) -> Self {
+                <$t>::sin(self)
+            }
+            #[inline(always)]
+            fn cos(self) -> Self {
+                <$t>::cos(self)
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                <$t>::powi(self, n)
+            }
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_usize(v: usize) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn max_val(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min_val(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn pi() -> Self {
+                $pi
+            }
+            #[inline(always)]
+            fn frac_1_sqrt_2() -> Self {
+                $f1s2
+            }
+        }
+    };
+}
+
+impl_real!(f64, core::f64::consts::PI, core::f64::consts::FRAC_1_SQRT_2, 8);
+impl_real!(f32, core::f32::consts::PI, core::f32::consts::FRAC_1_SQRT_2, 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mul_add_generic<T: Real>(a: T, b: T, c: T) -> T {
+        a.mul_add(b, c)
+    }
+
+    #[test]
+    fn fma_matches_f64() {
+        assert_eq!(mul_add_generic(2.0f64, 3.0, 4.0), 10.0);
+        assert_eq!(mul_add_generic(2.0f32, 3.0, 4.0), 10.0);
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(f32::BYTES, 4);
+        assert!((f64::frac_1_sqrt_2() * f64::frac_1_sqrt_2() - 0.5).abs() < 1e-15);
+        assert!((f32::frac_1_sqrt_2() * f32::frac_1_sqrt_2() - 0.5).abs() < 1e-6);
+        assert!((f64::pi() - std::f64::consts::PI).abs() == 0.0);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(f64::from_usize(17), 17.0);
+        assert_eq!(f32::from_f64(0.25), 0.25f32);
+        assert_eq!(0.75f64.to_f64(), 0.75);
+        assert_eq!(f64::ONE + f64::ONE, f64::TWO);
+        assert_eq!(f64::HALF * f64::TWO, f64::ONE);
+    }
+
+    #[test]
+    fn min_max_behave() {
+        assert_eq!(1.0f64.max_val(2.0), 2.0);
+        assert_eq!(1.0f64.min_val(2.0), 1.0);
+    }
+}

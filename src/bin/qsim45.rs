@@ -1,0 +1,183 @@
+//! `qsim45` — command-line driver for the workspace.
+//!
+//! ```text
+//! qsim45 plan   --rows 9 --cols 5 --depth 25 --local 30 [--kmax 4]
+//! qsim45 run    --rows 4 --cols 5 --depth 25 [--ranks 4] [--backend mem|ooc]
+//! qsim45 sample --rows 4 --cols 4 --depth 25 --shots 16
+//! qsim45 kernels [--state-qubits 22]
+//! ```
+//!
+//! `plan` works at the paper's full scale (pure pre-computation); `run`
+//! allocates amplitudes and should stay ≤ ~26 qubits on a laptop.
+
+use qsim45::circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim45::core::observables::sample_bitstrings;
+use qsim45::core::single::strip_initial_hadamards;
+use qsim45::core::{DistConfig, DistSimulator, SingleNodeSimulator};
+use qsim45::kernels::apply::KernelConfig;
+use qsim45::sched::{global_gate_count, plan, SchedulerConfig};
+use qsim45::util::Xoshiro256;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    match mode.as_str() {
+        "plan" => cmd_plan(),
+        "run" => cmd_run(),
+        "sample" => cmd_sample(),
+        "kernels" => cmd_kernels(),
+        _ => {
+            eprintln!("usage: qsim45 <plan|run|sample|kernels> [options]");
+            eprintln!("  plan   --rows R --cols C --depth D --local L [--kmax K]");
+            eprintln!("  run    --rows R --cols C --depth D [--ranks N] [--backend mem|ooc]");
+            eprintln!("  sample --rows R --cols C --depth D [--shots S] [--seed X]");
+            eprintln!("  kernels [--state-qubits N]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn arg(name: &str, default: u32) -> u32 {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("bad value for {name}"));
+        }
+    }
+    default
+}
+
+fn arg_str(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args.get(i + 1).cloned().unwrap_or_else(|| default.into());
+        }
+    }
+    default.into()
+}
+
+fn spec() -> SupremacySpec {
+    SupremacySpec {
+        rows: arg("--rows", 4),
+        cols: arg("--cols", 5),
+        depth: arg("--depth", 25),
+        seed: arg("--seed", 0) as u64,
+    }
+}
+
+fn cmd_plan() {
+    let s = spec();
+    let n = s.n_qubits();
+    let l = arg("--local", n.saturating_sub(2).max(1));
+    let kmax = arg("--kmax", 4);
+    let circuit = supremacy_circuit(&s);
+    let t0 = std::time::Instant::now();
+    let schedule = plan(&circuit, &SchedulerConfig::distributed(l, kmax));
+    let dt = t0.elapsed().as_secs_f64();
+    schedule.verify(&circuit);
+    println!("{}x{} = {n} qubits, depth {}, {} gates", s.rows, s.cols, s.depth, circuit.len());
+    println!("local qubits    : {l} ({} ranks)", 1u64 << (n - l));
+    println!("swaps           : {}", schedule.n_swaps());
+    println!("clusters        : {} ({:.1} gates/cluster, kmax {kmax})", schedule.n_clusters(), schedule.gates_per_cluster());
+    println!("diagonal ops    : {}", schedule.n_diagonal_ops());
+    println!("per-gate scheme : {} comm steps (worst case)", global_gate_count(&circuit, l, true));
+    println!("plan time       : {dt:.3} s");
+}
+
+fn cmd_run() {
+    let s = spec();
+    let n = s.n_qubits();
+    assert!(n <= 28, "run allocates 2^{n} amplitudes; use `plan` for full scale");
+    let ranks = arg("--ranks", 1) as usize;
+    let backend = arg_str("--backend", "mem");
+    let circuit = supremacy_circuit(&s);
+    if ranks == 1 && backend == "mem" {
+        let out = SingleNodeSimulator::default().run(&circuit);
+        println!("single-node: {:.3} s sim, {:.3} s plan", out.sim_seconds, out.plan_seconds);
+        println!("entropy     : {:.6} bits", out.state.entropy());
+        println!("norm        : {:.12}", out.state.norm_sqr());
+        return;
+    }
+    let (exec, uniform) = strip_initial_hadamards(&circuit);
+    let l = n - ranks.trailing_zeros();
+    let schedule = plan(&exec, &SchedulerConfig::distributed(l, arg("--kmax", 4)));
+    match backend.as_str() {
+        "ooc" => {
+            let dir = std::env::temp_dir().join(format!("qsim45_cli_ooc_{}", std::process::id()));
+            let sim = qsim45::ooc::OocSimulator {
+                kernel: KernelConfig::default(),
+            };
+            let out = sim.run(&dir, &schedule, uniform).expect("ooc run failed");
+            println!("out-of-core ({} chunks): {:.3} s", ranks, out.sim_seconds);
+            println!("disk traffic: {:.1} MiB read, {:.1} MiB written",
+                out.io.bytes_read as f64 / (1 << 20) as f64,
+                out.io.bytes_written as f64 / (1 << 20) as f64);
+            println!("entropy     : {:.6} bits", out.entropy);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        _ => {
+            let sim = DistSimulator::new(DistConfig {
+                n_ranks: ranks,
+                kernel: KernelConfig {
+                    threads: 1,
+                    ..KernelConfig::default()
+                },
+                gather_state: false,
+            });
+            let out = sim.run(&exec, &schedule, uniform);
+            println!("distributed ({ranks} ranks): {:.3} s ({:.1}% comm, {} swaps)",
+                out.sim_seconds,
+                100.0 * out.fabric.max_comm_seconds / out.sim_seconds.max(1e-12),
+                schedule.n_swaps());
+            println!("entropy     : {:.6} bits", out.entropy);
+            println!("norm        : {:.12}", out.norm);
+        }
+    }
+}
+
+fn cmd_sample() {
+    let s = spec();
+    assert!(s.n_qubits() <= 26, "sampling allocates the full state");
+    let shots = arg("--shots", 16) as usize;
+    let circuit = supremacy_circuit(&s);
+    let out = SingleNodeSimulator::default().run(&circuit);
+    let mut rng = Xoshiro256::seed_from_u64(arg("--sample-seed", 1) as u64);
+    let n = s.n_qubits() as usize;
+    for shot in sample_bitstrings(&out.state, &mut rng, shots) {
+        println!("{shot:0n$b}");
+    }
+}
+
+fn cmd_kernels() {
+    let n = arg("--state-qubits", 20);
+    println!("k-qubit kernel throughput, state 2^{n} (GFLOPS, low-order qubits)");
+    for k in 1..=5u32 {
+        let qubits: Vec<u32> = (0..k).collect();
+        let m = {
+            let d = 1usize << k;
+            let mut rng = Xoshiro256::seed_from_u64(k as u64);
+            qsim45::util::matrix::GateMatrix::from_rows(
+                k,
+                (0..d * d)
+                    .map(|_| qsim45::util::c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+                    .collect(),
+            )
+        };
+        let mut rng = Xoshiro256::seed_from_u64(99);
+        let mut state: Vec<qsim45::util::c64> = (0..1usize << n)
+            .map(|_| qsim45::util::c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
+        let cfg = KernelConfig::default();
+        let t0 = std::time::Instant::now();
+        let reps = 3;
+        for _ in 0..reps {
+            qsim45::kernels::apply_gate(&mut state, &qubits, &m, &cfg);
+        }
+        let dt = t0.elapsed().as_secs_f64() / reps as f64;
+        let gf = qsim45::util::flops::gate_flops(n, k) as f64 / dt / 1e9;
+        println!("  k={k}: {gf:7.2} GFLOPS");
+    }
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the `qsim45` workspace — a from-scratch Rust
+//! reproduction of Häner & Steiger, *"0.5 Petabyte Simulation of a
+//! 45-Qubit Quantum Circuit"* (SC'17).
+//!
+//! Re-exports every member crate so examples and downstream users can
+//! depend on one crate:
+//!
+//! * [`util`] — complex arithmetic, bit tricks, aligned storage, PRNG.
+//! * [`kernels`] — the optimized k-qubit gate kernels (§3.1–3.3).
+//! * [`circuit`] — circuit IR and the supremacy-circuit generator (Fig. 1).
+//! * [`sched`] — stage/cluster scheduling and qubit mapping (§3.6).
+//! * [`net`] — the in-process multi-rank fabric standing in for MPI (§3.4).
+//! * [`core`] — single-node, distributed and baseline simulators plus
+//!   observables.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for architecture and
+//! substitutions, and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use qsim_circuit as circuit;
+pub use qsim_core as core;
+pub use qsim_kernels as kernels;
+pub use qsim_net as net;
+pub use qsim_ooc as ooc;
+pub use qsim_sched as sched;
+pub use qsim_util as util;

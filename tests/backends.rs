@@ -1,0 +1,143 @@
+//! Backend equivalence: the same schedule executed by the in-memory
+//! distributed engine, the out-of-core engine and the single-node engine
+//! must produce identical physics — the property that justifies the §5
+//! claim that the slow tier (network or SSD) is interchangeable when the
+//! schedule only needs two all-to-alls.
+
+use qsim45::circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim45::circuit::Circuit;
+use qsim45::core::single::{strip_initial_hadamards, SingleNodeSimulator};
+use qsim45::core::{DistConfig, DistSimulator};
+use qsim45::kernels::apply::KernelConfig;
+use qsim45::ooc::OocSimulator;
+use qsim45::sched::{plan, SchedulerConfig};
+use qsim45::util::complex::max_dist;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("qsim45_backends_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn workload() -> Circuit {
+    supremacy_circuit(&SupremacySpec {
+        rows: 3,
+        cols: 4,
+        depth: 20,
+        seed: 77,
+    })
+}
+
+#[test]
+fn memory_and_disk_backends_agree_amplitude_for_amplitude() {
+    let c = workload();
+    let n = c.n_qubits();
+    let single = SingleNodeSimulator::default().run(&c);
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    for g in [2u32, 3] {
+        let l = n - g;
+        let schedule = plan(&exec, &SchedulerConfig::distributed(l, 4));
+        schedule.verify(&exec);
+
+        // In-memory distributed engine.
+        let dist = DistSimulator::new(DistConfig {
+            n_ranks: 1usize << g,
+            kernel: KernelConfig::sequential(),
+            gather_state: true,
+        });
+        let dist_state = dist.run(&exec, &schedule, uniform).state.unwrap();
+
+        // Out-of-core engine, same schedule.
+        let dir = tmpdir(&format!("g{g}"));
+        let ooc = OocSimulator {
+            kernel: KernelConfig::sequential(),
+        };
+        let (_, ooc_state) = ooc.run_gather(&dir, &schedule, uniform).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert!(
+            max_dist(&dist_state, single.state.amplitudes()) < 1e-9,
+            "dist vs single, g={g}"
+        );
+        assert!(
+            max_dist(&ooc_state, &dist_state) < 1e-12,
+            "ooc vs dist must be bit-close, g={g}: {}",
+            max_dist(&ooc_state, &dist_state)
+        );
+    }
+}
+
+#[test]
+fn disk_backend_handles_schedules_with_multiple_swaps() {
+    // Force many swaps with a small local window.
+    let c = workload();
+    let n = c.n_qubits();
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    let l = n - 4;
+    let schedule = plan(&exec, &SchedulerConfig::distributed(l, 4));
+    assert!(schedule.n_swaps() >= 1);
+    let dir = tmpdir("multi");
+    let ooc = OocSimulator {
+        kernel: KernelConfig::sequential(),
+    };
+    let (out, state) = ooc.run_gather(&dir, &schedule, uniform).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    let single = SingleNodeSimulator::default().run(&c);
+    assert!(max_dist(&state, single.state.amplitudes()) < 1e-9);
+    assert!((out.norm - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn ooc_traffic_grows_with_swap_count_not_gate_count() {
+    // Same state size, two circuits with very different gate counts but
+    // comparable swap counts: disk traffic must track swaps.
+    let n = 12u32;
+    let l = n - 2;
+    let shallow = supremacy_circuit(&SupremacySpec {
+        rows: 3,
+        cols: 4,
+        depth: 8,
+        seed: 1,
+    });
+    let deep = supremacy_circuit(&SupremacySpec {
+        rows: 3,
+        cols: 4,
+        depth: 40,
+        seed: 1,
+    });
+    let run = |c: &Circuit, tag: &str| {
+        let (exec, uniform) = strip_initial_hadamards(c);
+        let schedule = plan(&exec, &SchedulerConfig::distributed(l, 4));
+        let dir = tmpdir(tag);
+        let ooc = OocSimulator {
+            kernel: KernelConfig::sequential(),
+        };
+        let out = ooc.run(&dir, &schedule, uniform).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        (
+            c.len(),
+            schedule.n_swaps(),
+            schedule.stages.len(),
+            out.io.bytes_read + out.io.bytes_written,
+        )
+    };
+    let (g1, s1, st1, b1) = run(&shallow, "shallow");
+    let (g2, s2, st2, b2) = run(&deep, "deep");
+    assert!(g2 > 3 * g1, "deep circuit must have many more gates");
+    // The §5 property: traffic is bounded by the stage/swap structure —
+    // a constant number of state sweeps per stage and per swap — and is
+    // independent of how many gates each stage fuses.
+    let state_bytes = (1u64 << n) * 16;
+    let budget = |stages: usize, swaps: usize| state_bytes * (2 + 2 * stages as u64 + 6 * swaps as u64);
+    assert!(b1 <= budget(st1, s1), "shallow traffic {b1}");
+    assert!(b2 <= budget(st2, s2), "deep traffic {b2}");
+    // Per-structure traffic must be roughly the same constant for both.
+    let per1 = b1 as f64 / (st1 + 3 * s1) as f64;
+    let per2 = b2 as f64 / (st2 + 3 * s2) as f64;
+    let ratio = per2 / per1;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "per-structure traffic drifted: {per1:.0} vs {per2:.0} bytes"
+    );
+}

@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) on the core invariants:
+//! random circuits through every engine, random bit permutations, random
+//! cluster fusions — all must preserve unitarity/norm and agree with the
+//! dense reference.
+
+use proptest::prelude::*;
+use qsim45::circuit::dense::simulate_dense;
+use qsim45::circuit::{Circuit, Gate};
+use qsim45::core::single::strip_initial_hadamards;
+use qsim45::core::{DistConfig, DistSimulator, SingleNodeSimulator};
+use qsim45::kernels::apply::KernelConfig;
+use qsim45::sched::{plan, SchedulerConfig};
+use qsim45::util::bits::BitPermutation;
+use qsim45::util::complex::max_dist;
+
+/// Strategy: a random gate on `n` qubits.
+fn arb_gate(n: u32) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
+    let q3 = (0..n, 0..n, 0..n)
+        .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c);
+    prop_oneof![
+        q.clone().prop_map(Gate::H),
+        q.clone().prop_map(Gate::T),
+        q.clone().prop_map(Gate::Tdg),
+        q.clone().prop_map(Gate::S),
+        q.clone().prop_map(Gate::X),
+        q.clone().prop_map(Gate::Y),
+        q.clone().prop_map(Gate::Z),
+        q.clone().prop_map(Gate::SqrtX),
+        q.clone().prop_map(Gate::SqrtY),
+        (q.clone(), -3.0f64..3.0).prop_map(|(q, t)| Gate::Rz(q, t)),
+        (q.clone(), -3.0f64..3.0).prop_map(|(q, t)| Gate::Rx(q, t)),
+        (q, -3.0f64..3.0).prop_map(|(q, t)| Gate::Ry(q, t)),
+        q2.clone().prop_map(|(a, b)| Gate::CZ(a, b)),
+        q2.clone()
+            .prop_map(|(a, b)| Gate::CNot { target: a, control: b }),
+        q2.clone().prop_map(|(a, b)| Gate::Swap(a, b)),
+        (q2, -3.0f64..3.0).prop_map(|((a, b), t)| Gate::CPhase(a, b, t)),
+        q3.clone().prop_map(|(a, b, c)| Gate::CCZ(a, b, c)),
+        q3.prop_map(|(a, b, c)| Gate::Toffoli { target: a, c1: b, c2: c }),
+    ]
+}
+
+fn arb_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn single_node_matches_dense_on_random_circuits(c in arb_circuit(6, 40)) {
+        let reference = simulate_dense::<f64>(&c);
+        let out = SingleNodeSimulator::default().run(&c);
+        prop_assert!(max_dist(out.state.amplitudes(), &reference) < 1e-9);
+    }
+
+    #[test]
+    fn distributed_matches_dense_on_random_circuits(c in arb_circuit(6, 30)) {
+        let reference = simulate_dense::<f64>(&c);
+        let (exec, uniform) = strip_initial_hadamards(&c);
+        let schedule = plan(&exec, &SchedulerConfig::distributed(4, 3));
+        schedule.verify(&exec);
+        let sim = DistSimulator::new(DistConfig {
+            n_ranks: 4,
+            kernel: KernelConfig::sequential(),
+            gather_state: true,
+        });
+        let out = sim.run(&exec, &schedule, uniform);
+        let state = out.state.unwrap();
+        prop_assert!(max_dist(&state, &reference) < 1e-9,
+            "distance {}", max_dist(&state, &reference));
+    }
+
+    #[test]
+    fn norm_preserved_under_random_circuits(c in arb_circuit(8, 60)) {
+        let out = SingleNodeSimulator::default().run(&c);
+        let norm = out.state.norm_sqr();
+        prop_assert!((norm - 1.0).abs() < 1e-8, "norm {norm}");
+    }
+
+    #[test]
+    fn schedule_covers_every_gate_exactly_once(
+        c in arb_circuit(7, 50),
+        l in 4u32..7,
+        kmax in 2u32..5,
+    ) {
+        let schedule = plan(&c, &SchedulerConfig::distributed(l, kmax));
+        schedule.verify(&c); // panics on violation
+        let mut seen = vec![false; c.len()];
+        for stage in &schedule.stages {
+            for op in &stage.ops {
+                for &gi in op.gate_indices() {
+                    prop_assert!(!seen[gi]);
+                    seen[gi] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn bit_permutations_compose_and_invert(
+        map in prop::sample::subsequence((0..8u32).collect::<Vec<_>>(), 8)
+            .prop_shuffle()
+    ) {
+        let p = BitPermutation::new(map);
+        let inv = p.inverse();
+        for i in 0..256usize {
+            prop_assert_eq!(inv.apply(p.apply(i)), i);
+        }
+        prop_assert!(p.then(&inv).is_identity());
+        // Transposition decomposition reconstructs the permutation.
+        let mut q = BitPermutation::identity(8);
+        for (a, b) in p.transpositions() {
+            q = q.then(&BitPermutation::transposition(8, a, b));
+        }
+        for i in 0..256usize {
+            prop_assert_eq!(q.apply(i), p.apply(i));
+        }
+    }
+
+    #[test]
+    fn fused_cluster_matrices_stay_unitary(c in arb_circuit(6, 50)) {
+        let schedule = plan(&c, &SchedulerConfig::single_node(6, 4));
+        for stage in &schedule.stages {
+            for op in &stage.ops {
+                if let qsim45::sched::StageOp::Cluster(cl) = op {
+                    prop_assert!(cl.matrix.unitarity_residual() < 1e-8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_and_scheduled_agree_on_entropy(c in arb_circuit(6, 30)) {
+        let single = SingleNodeSimulator::default().run(&c);
+        let mut base = qsim45::core::BaselineSimulator::new(
+            1,
+            KernelConfig::sequential(),
+        );
+        base.gather_state = false;
+        let out = base.run(&c);
+        prop_assert!((out.entropy - single.state.entropy()).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,173 @@
+//! Full-scale scheduling invariants: the paper's communication claims are
+//! pure pre-computation, so they are asserted here at the real 30–49
+//! qubit sizes (no amplitudes are ever allocated).
+
+use qsim45::circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim45::sched::{global_gate_count, plan, CommStats, SchedulerConfig, StageOp};
+use std::time::Instant;
+
+fn circuit(rows: u32, cols: u32, depth: u32) -> qsim45::circuit::Circuit {
+    supremacy_circuit(&SupremacySpec {
+        rows,
+        cols,
+        depth,
+        seed: 0,
+    })
+}
+
+#[test]
+fn paper_swap_counts_at_full_scale() {
+    // §3.5/§4.1.2: depth-25 42- and 45-qubit circuits need exactly 2
+    // global-to-local swaps with 30 local qubits.
+    for (rows, cols) in [(7u32, 6u32), (9, 5)] {
+        let c = circuit(rows, cols, 25);
+        let s = plan(&c, &SchedulerConfig::distributed(30, 4));
+        s.verify(&c);
+        assert_eq!(
+            s.n_swaps(),
+            2,
+            "{}x{} should need exactly 2 swaps",
+            rows,
+            cols
+        );
+    }
+    // 36 qubits: paper reports 1 (best case) to 2; 49 qubits at l=30:
+    // our instances (different CZ-pattern order) need <= 3.
+    let s36 = plan(&circuit(6, 6, 25), &SchedulerConfig::distributed(30, 4));
+    assert!(s36.n_swaps() <= 2, "36q: {} swaps", s36.n_swaps());
+    let s49 = plan(&circuit(7, 7, 25), &SchedulerConfig::distributed(30, 4));
+    assert!(s49.n_swaps() <= 3, "49q l=30: {} swaps", s49.n_swaps());
+}
+
+#[test]
+fn paper_49_qubit_projection_needs_two_swaps() {
+    // §5: "the simulation of a 49-qubit quantum supremacy circuit would
+    // require only two global-to-local swap operations" — at the 8192-
+    // node configuration (g = 13, l = 36).
+    let c = circuit(7, 7, 25);
+    let s = plan(&c, &SchedulerConfig::distributed(36, 4));
+    s.verify(&c);
+    assert_eq!(s.n_swaps(), 2, "49q l=36: {} swaps", s.n_swaps());
+}
+
+#[test]
+fn swap_count_mostly_independent_of_local_qubits() {
+    // Fig. 5a's key property: l ∈ {29..32} changes swaps by at most 1,
+    // which is what makes strong scaling work.
+    let c = circuit(7, 6, 25);
+    let swaps: Vec<usize> = [29u32, 30, 31, 32]
+        .iter()
+        .map(|&l| plan(&c, &SchedulerConfig::distributed(l, 4)).n_swaps())
+        .collect();
+    let min = *swaps.iter().min().unwrap();
+    let max = *swaps.iter().max().unwrap();
+    assert!(max - min <= 1, "swap counts {swaps:?} vary too much with l");
+}
+
+#[test]
+fn specialization_saves_a_swap_at_45_qubits() {
+    // §3.5: "For 42- and 45-qubit circuits, 2 global-to-local swaps are
+    // necessary, whereas 3 are required without gate specialization."
+    let c = circuit(9, 5, 25);
+    let with = plan(&c, &SchedulerConfig::distributed(30, 4));
+    let mut cfg = SchedulerConfig::distributed(30, 4);
+    cfg.specialize_diagonal = false;
+    let without = plan(&c, &cfg);
+    assert_eq!(with.n_swaps(), 2);
+    assert!(
+        without.n_swaps() >= 3,
+        "without specialization: {}",
+        without.n_swaps()
+    );
+}
+
+#[test]
+fn planning_stays_within_paper_time_budget() {
+    // §3.6.1: "this pre-computation terminates in 1–3 seconds on a
+    // laptop" (Python). The Rust scheduler must stay inside that.
+    let c = circuit(9, 5, 25);
+    let t0 = Instant::now();
+    let s = plan(&c, &SchedulerConfig::distributed(30, 4));
+    let dt = t0.elapsed().as_secs_f64();
+    s.verify(&c);
+    assert!(dt < 3.0, "planning took {dt:.2} s");
+}
+
+#[test]
+fn table1_cluster_trends() {
+    // Table 1: clusters decrease with kmax and the mean gates/cluster
+    // exceeds kmax for every size.
+    for (rows, cols, paper_gates) in [(6u32, 5u32, 369usize), (6, 6, 447), (7, 6, 528), (9, 5, 569)]
+    {
+        let c = circuit(rows, cols, 25);
+        let n = rows * cols;
+        let l = 30.min(n);
+        // Gate totals within 8 % of the paper (pattern-order dependent).
+        assert!(
+            (c.len() as i64 - paper_gates as i64).unsigned_abs() as usize
+                <= paper_gates * 8 / 100,
+            "{n}q: {} gates vs paper {paper_gates}",
+            c.len()
+        );
+        let mut prev = usize::MAX;
+        for kmax in [3u32, 4, 5] {
+            let s = plan(&c, &SchedulerConfig::distributed(l, kmax));
+            assert!(
+                s.n_clusters() <= prev,
+                "{n}q kmax={kmax}: clusters must not increase with kmax"
+            );
+            assert!(
+                s.gates_per_cluster() > kmax as f64,
+                "{n}q kmax={kmax}: only {:.2} gates/cluster",
+                s.gates_per_cluster()
+            );
+            prev = s.n_clusters();
+        }
+    }
+}
+
+#[test]
+fn comm_reduction_is_an_order_of_magnitude() {
+    // §4.1.2's estimate: ~50 global gates vs 2 swaps → 12.5x for the
+    // 42-qubit circuit. Ours must land in the same regime (> 8x).
+    let c = circuit(7, 6, 25);
+    let s = plan(&c, &SchedulerConfig::distributed(30, 4));
+    let gg = global_gate_count(&c, 30, true);
+    let stats = CommStats::new(42, 30, gg, s.n_swaps(), 16);
+    assert!(
+        stats.expected_reduction() > 8.0,
+        "expected reduction only {:.1}x ({} global gates, {} swaps)",
+        stats.expected_reduction(),
+        gg,
+        s.n_swaps()
+    );
+}
+
+#[test]
+fn every_cluster_is_unitary_and_local_at_45_qubits() {
+    let c = circuit(9, 5, 25);
+    let s = plan(&c, &SchedulerConfig::distributed(30, 4));
+    let mut total_gates = 0usize;
+    for stage in &s.stages {
+        for op in &stage.ops {
+            total_gates += op.gate_indices().len();
+            if let StageOp::Cluster(cl) = op {
+                assert!(cl.qubits.iter().all(|&q| q < 30));
+                assert!(cl.qubits.len() <= 4);
+                assert!(cl.matrix.unitarity_residual() < 1e-9);
+            }
+        }
+    }
+    assert_eq!(total_gates, c.len(), "every gate scheduled exactly once");
+}
+
+#[test]
+fn deeper_circuits_need_monotonically_more_comm() {
+    let mut prev_gg = 0usize;
+    for depth in [10u32, 20, 30, 40, 50] {
+        let c = circuit(7, 6, depth);
+        let gg = global_gate_count(&c, 30, true);
+        assert!(gg >= prev_gg, "depth {depth}: global gates decreased");
+        prev_gg = gg;
+    }
+}
