@@ -77,10 +77,7 @@ fn bench_ooc_swap(c: &mut Criterion) {
     let schedule = splan(&circuit, &SchedulerConfig::distributed(14, 4));
     c.bench_function("ooc_run_16q", |b| {
         b.iter(|| {
-            let dir = std::env::temp_dir().join(format!(
-                "qsim_bench_ooc_{}",
-                std::process::id()
-            ));
+            let dir = std::env::temp_dir().join(format!("qsim_bench_ooc_{}", std::process::id()));
             let sim = OocSimulator::default();
             let out = sim.run(&dir, &schedule, false).unwrap();
             let _ = std::fs::remove_dir_all(&dir);

@@ -26,7 +26,10 @@ fn main() {
     // Host bandwidth estimate (triad: a[i] = b[i] + s*c[i]).
     let bw = triad_bandwidth_gbs(n);
     println!("# stream-triad bandwidth ≈ {bw:.1} GB/s");
-    println!("# AVX2+FMA available: {}", qsim_kernels::avx::avx2_available());
+    println!(
+        "# AVX2+FMA available: {}",
+        qsim_kernels::avx::avx2_available()
+    );
     row(&[
         cell("kernel", 8),
         cell("step", 24),
@@ -89,9 +92,7 @@ fn main() {
                 measure_kernel_gflops(n, &qubits, cfg, 1, 3)
             };
             let oi = match cfg.opt {
-                OptLevel::TwoVector => {
-                    qsim_util::flops::flops_per_amplitude(k) as f64 / 48.0
-                }
+                OptLevel::TwoVector => qsim_util::flops::flops_per_amplitude(k) as f64 / 48.0,
                 _ => operational_intensity(k, 8),
             };
             let roof = roofline_bound(f64::INFINITY, bw, oi);

@@ -52,7 +52,7 @@ fn main() {
         row(&[
             cell(label, 10),
             cell(nodes, 6),
-            cell(format!("{mem_pb:.2}PB", ), 8),
+            cell(format!("{mem_pb:.2}PB",), 8),
             cell(schedule.n_swaps(), 6),
             cell(schedule.n_clusters(), 9),
             cell(format!("{total:.0}"), 9),

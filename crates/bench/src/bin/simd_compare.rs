@@ -6,14 +6,33 @@ use qsim_kernels::apply::{KernelConfig, OptLevel, Simd};
 fn main() {
     let n = arg_u32("--state-qubits", 22);
     println!("# SIMD ablation, state 2^{n}, 1 thread");
-    println!("# avx2={} avx512={}", qsim_kernels::avx::avx2_available(), qsim_kernels::avx512::avx512_available());
-    row(&[cell("k", 3), cell("scalar", 9), cell("avx2", 9), cell("auto(512)", 10)]);
+    println!(
+        "# avx2={} avx512={}",
+        qsim_kernels::avx::avx2_available(),
+        qsim_kernels::avx512::avx512_available()
+    );
+    row(&[
+        cell("k", 3),
+        cell("scalar", 9),
+        cell("avx2", 9),
+        cell("auto(512)", 10),
+    ]);
     for k in 1..=5u32 {
         let q = low_order_qubits(k);
-        let mk = |simd| KernelConfig { opt: OptLevel::Blocked, simd, block: 4, threads: 1 };
+        let mk = |simd| KernelConfig {
+            opt: OptLevel::Blocked,
+            simd,
+            block: 4,
+            threads: 1,
+        };
         let s = measure_kernel_gflops(n, &q, &mk(Simd::Scalar), 1, 3);
         let a2 = measure_kernel_gflops(n, &q, &mk(Simd::Avx2), 1, 3);
         let a5 = measure_kernel_gflops(n, &q, &mk(Simd::Auto), 1, 3);
-        row(&[cell(k, 3), cell(format!("{s:.2}"), 9), cell(format!("{a2:.2}"), 9), cell(format!("{a5:.2}"), 10)]);
+        row(&[
+            cell(k, 3),
+            cell(format!("{s:.2}"), 9),
+            cell(format!("{a2:.2}"), 9),
+            cell(format!("{a5:.2}"), 10),
+        ]);
     }
 }

@@ -64,6 +64,7 @@ fn main() {
             n_ranks: ranks,
             kernel,
             gather_state: false,
+            sub_chunks: None,
         });
         let out = sim.run(&exec, &schedule, uniform);
         let comm_pct = 100.0 * out.fabric.max_comm_seconds / out.sim_seconds.max(1e-12);
@@ -79,7 +80,10 @@ fn main() {
             cell(format!("{:.3}", out.sim_seconds), 9),
             cell(format!("{comm_pct:.1}"), 7),
             cell(format!("{:.3}", base.sim_seconds), 12),
-            cell(format!("{:.1}x", base.sim_seconds / out.sim_seconds.max(1e-12)), 8),
+            cell(
+                format!("{:.1}x", base.sim_seconds / out.sim_seconds.max(1e-12)),
+                8,
+            ),
             cell(format!("{:.3}", out.entropy), 9),
             cell(format!("{:.4}", out.entropy_seconds), 10),
         ]);

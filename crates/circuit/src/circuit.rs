@@ -53,7 +53,11 @@ impl Circuit {
     pub fn push(&mut self, g: Gate) -> &mut Self {
         let qs = g.qubits();
         for &q in &qs {
-            assert!(q < self.n_qubits, "qubit {q} out of range (n={})", self.n_qubits);
+            assert!(
+                q < self.n_qubits,
+                "qubit {q} out of range (n={})",
+                self.n_qubits
+            );
         }
         if qs.len() == 2 {
             assert_ne!(qs[0], qs[1], "two-qubit gate needs distinct operands");
@@ -136,7 +140,10 @@ impl Circuit {
         assert_eq!(map.len(), self.n_qubits as usize);
         let mut seen = vec![false; map.len()];
         for &m in map {
-            assert!((m as usize) < map.len() && !seen[m as usize], "invalid qubit map");
+            assert!(
+                (m as usize) < map.len() && !seen[m as usize],
+                "invalid qubit map"
+            );
             seen[m as usize] = true;
         }
         Circuit {

@@ -102,7 +102,9 @@ impl DependencyTracker {
 
     /// Next unexecuted gate on qubit `q`, if any.
     pub fn next_on_qubit(&self, q: u32) -> Option<usize> {
-        self.chains[q as usize].get(self.cursor[q as usize]).copied()
+        self.chains[q as usize]
+            .get(self.cursor[q as usize])
+            .copied()
     }
 
     /// The qubits of gate `gi` (cached accessor for schedulers).
@@ -114,7 +116,6 @@ impl DependencyTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gate::Gate;
 
     fn sample() -> Circuit {
         // q0: H --- CZ(0,1) --- T

@@ -36,7 +36,10 @@ pub fn uniform_state<T: Real>(n: u32) -> Vec<Complex<T>> {
 
 /// Apply one gate via its dense embedded matrix.
 pub fn apply_gate_dense<T: Real>(state: &mut [Complex<T>], n: u32, gate: &Gate) {
-    assert!(n <= MAX_DENSE_QUBITS, "dense reference limited to {MAX_DENSE_QUBITS} qubits");
+    assert!(
+        n <= MAX_DENSE_QUBITS,
+        "dense reference limited to {MAX_DENSE_QUBITS} qubits"
+    );
     assert_eq!(state.len(), 1usize << n);
     let small: GateMatrix<T> = gate.matrix();
     let big = small.embed(n, &gate.qubits());
@@ -44,10 +47,10 @@ pub fn apply_gate_dense<T: Real>(state: &mut [Complex<T>], n: u32, gate: &Gate) 
     let mut out = vec![Complex::zero(); d];
     for (r, o) in out.iter_mut().enumerate() {
         let mut acc = Complex::zero();
-        for c in 0..d {
+        for (c, &s) in state.iter().enumerate() {
             let m = big.get(r, c);
             if m != Complex::zero() {
-                acc += m * state[c];
+                acc += m * s;
             }
         }
         *o = acc;

@@ -69,8 +69,20 @@ impl Gate {
     pub fn qubits(&self) -> Vec<u32> {
         use Gate::*;
         match *self {
-            H(q) | T(q) | Tdg(q) | S(q) | Sdg(q) | X(q) | Y(q) | Z(q) | SqrtX(q) | SqrtY(q)
-            | Rz(q, _) | Rx(q, _) | Ry(q, _) | U1(q, _) => vec![q],
+            H(q)
+            | T(q)
+            | Tdg(q)
+            | S(q)
+            | Sdg(q)
+            | X(q)
+            | Y(q)
+            | Z(q)
+            | SqrtX(q)
+            | SqrtY(q)
+            | Rz(q, _)
+            | Rx(q, _)
+            | Ry(q, _)
+            | U1(q, _) => vec![q],
             CZ(a, b) | Swap(a, b) | CPhase(a, b, _) | U2(a, b, _) => vec![a, b],
             CNot { target, control } => vec![target, control],
             CCZ(a, b, c) => vec![a, b, c],
@@ -88,7 +100,14 @@ impl Gate {
     pub fn is_diagonal(&self) -> bool {
         use Gate::*;
         match self {
-            T(_) | Tdg(_) | S(_) | Sdg(_) | Z(_) | Rz(_, _) | CZ(_, _) | CPhase(_, _, _)
+            T(_)
+            | Tdg(_)
+            | S(_)
+            | Sdg(_)
+            | Z(_)
+            | Rz(_, _)
+            | CZ(_, _)
+            | CPhase(_, _, _)
             | CCZ(_, _, _) => true,
             U1(_, m) => m.as_diagonal().is_some(),
             U2(_, _, m) => m.as_diagonal().is_some(),
@@ -307,11 +326,18 @@ mod tests {
             Gate::Rx(0, 1.1),
             Gate::Ry(0, -0.4),
             Gate::CZ(0, 1),
-            Gate::CNot { target: 0, control: 1 },
+            Gate::CNot {
+                target: 0,
+                control: 1,
+            },
             Gate::Swap(0, 2),
             Gate::CPhase(1, 2, 0.3),
             Gate::CCZ(0, 1, 2),
-            Gate::Toffoli { target: 0, c1: 1, c2: 2 },
+            Gate::Toffoli {
+                target: 0,
+                c1: 1,
+                c2: 2,
+            },
         ]
     }
 
@@ -371,7 +397,9 @@ mod tests {
         for _ in 0..8 {
             p = p.matmul(&t);
         }
-        assert!(qsim_util::complex::max_dist(p.entries(), GateMatrix::identity(1).entries()) < 1e-12);
+        assert!(
+            qsim_util::complex::max_dist(p.entries(), GateMatrix::identity(1).entries()) < 1e-12
+        );
     }
 
     #[test]
@@ -383,10 +411,18 @@ mod tests {
 
     #[test]
     fn cnot_operand_convention() {
-        let m: GateMatrix<f64> = Gate::CNot { target: 5, control: 9 }.matrix();
+        let m: GateMatrix<f64> = Gate::CNot {
+            target: 5,
+            control: 9,
+        }
+        .matrix();
         // qubits() = [target, control] = [5, 9]; bit0 = target, bit1 = control.
         assert_eq!(
-            Gate::CNot { target: 5, control: 9 }.qubits(),
+            Gate::CNot {
+                target: 5,
+                control: 9
+            }
+            .qubits(),
             vec![5, 9]
         );
         // |control=1, target=0> = index 2 maps to index 3.
@@ -406,7 +442,11 @@ mod tests {
     #[test]
     fn permutation_classification() {
         assert!(Gate::X(0).is_permutation());
-        assert!(Gate::CNot { target: 0, control: 1 }.is_permutation());
+        assert!(Gate::CNot {
+            target: 0,
+            control: 1
+        }
+        .is_permutation());
         assert!(!Gate::H(0).is_permutation());
         assert!(Gate::H(0).is_dense());
         assert!(!Gate::T(0).is_dense());
@@ -416,7 +456,10 @@ mod tests {
 
     #[test]
     fn map_qubits_relabels() {
-        let g = Gate::CNot { target: 1, control: 4 };
+        let g = Gate::CNot {
+            target: 1,
+            control: 4,
+        };
         let mapped = g.map_qubits(|q| q + 10);
         assert_eq!(mapped.qubits(), vec![11, 14]);
         assert_eq!(mapped.name(), "CNOT");
@@ -433,13 +476,23 @@ mod tests {
         assert_eq!(d[7], -c64::one());
         assert!(d[..7].iter().all(|&x| x == c64::one()));
 
-        let tof: GateMatrix<f64> = Gate::Toffoli { target: 0, c1: 1, c2: 2 }.matrix();
+        let tof: GateMatrix<f64> = Gate::Toffoli {
+            target: 0,
+            c1: 1,
+            c2: 2,
+        }
+        .matrix();
         // |c2 c1 t> = |110> (idx 6) -> |111> (idx 7).
         assert_eq!(tof.get(7, 6), c64::one());
         assert_eq!(tof.get(6, 7), c64::one());
         assert_eq!(tof.get(5, 5), c64::one());
         assert!(tof.as_diagonal().is_none());
-        assert!(Gate::Toffoli { target: 0, c1: 1, c2: 2 }.is_permutation());
+        assert!(Gate::Toffoli {
+            target: 0,
+            c1: 1,
+            c2: 2
+        }
+        .is_permutation());
         // H(t)·CCZ·H(t) == Toffoli.
         let h_on_t: GateMatrix<f64> = Gate::H(0).matrix();
         let h3 = h_on_t.embed(3, &[0]);

@@ -165,7 +165,10 @@ mod tests {
             let mut total = 0;
             for t in 0..8 {
                 for (a, b) in cz_pattern(rows, cols, t) {
-                    assert!(seen.insert((a, b)), "edge ({a},{b}) repeated, grid {rows}x{cols}");
+                    assert!(
+                        seen.insert((a, b)),
+                        "edge ({a},{b}) repeated, grid {rows}x{cols}"
+                    );
                     total += 1;
                 }
             }
@@ -236,7 +239,11 @@ mod tests {
         }
         for (q, g) in first_sq.iter().enumerate() {
             if let Some(g) = g {
-                assert!(matches!(g, Gate::T(_)), "qubit {q} first sq gate {}", g.name());
+                assert!(
+                    matches!(g, Gate::T(_)),
+                    "qubit {q} first sq gate {}",
+                    g.name()
+                );
             }
         }
     }
@@ -307,7 +314,12 @@ mod tests {
         // depth 25. The exact figure depends on the (unpublished) pattern
         // order; ours must land in the same ballpark (±12%) with exactly
         // n Hadamards and 3 rounds of all edges in CZs.
-        for (rows, cols, paper_count) in [(6u32, 5u32, 369usize), (6, 6, 447), (7, 6, 528), (9, 5, 569)] {
+        for (rows, cols, paper_count) in [
+            (6u32, 5u32, 369usize),
+            (6, 6, 447),
+            (7, 6, 528),
+            (9, 5, 569),
+        ] {
             let spec = SupremacySpec {
                 rows,
                 cols,
@@ -320,7 +332,10 @@ mod tests {
             let cz = c.count(|g| matches!(g, Gate::CZ(_, _)));
             assert_eq!(h, n);
             // 25 CZ cycles = 3 full 8-pattern rounds plus pattern 0.
-            assert_eq!(cz, 3 * spec.n_edges() + super::cz_pattern(rows, cols, 0).len());
+            assert_eq!(
+                cz,
+                3 * spec.n_edges() + super::cz_pattern(rows, cols, 0).len()
+            );
             let total = c.len();
             let lo = paper_count * 92 / 100;
             let hi = paper_count * 108 / 100;

@@ -9,15 +9,24 @@
 //! * **diagonal ops** with global operands become rank-conditional local
 //!   phases (§3.5): the global bits are read from the rank id and the
 //!   diagonal is reduced to the local operands (or to a pure scalar);
-//! * **swaps** are realized exactly as §3.4 describes: a local bit
-//!   permutation bringing the outgoing qubits to the highest-order local
-//!   positions, one all-to-all over `MPI_COMM_WORLD`, and the inverse
-//!   permutation placing the incoming qubits at the vacated slots.
+//! * **swaps** realize §3.4's permutation → all-to-all → inverse
+//!   permutation as a single *fused, in-place, pipelined* data path: the
+//!   permutation is folded into the pack/unpack index mapping, so each
+//!   swap packs amplitudes straight from the state into pooled wire
+//!   buffers (one copy), exchanges them sub-chunk by sub-chunk, and
+//!   unpacks straight back into the state (one copy) — no staging vectors,
+//!   no separate permutation passes, and zero heap allocations in steady
+//!   state. The self segment is an exact identity and is never touched.
+//!   [`perform_swap_reference`] keeps the textbook three-pass path as the
+//!   equivalence oracle.
 
 use crate::state::StateVector;
 use qsim_circuit::Circuit;
 use qsim_kernels::apply::KernelConfig;
-use qsim_net::collective::{all_reduce_sum, all_to_all, Communicator};
+use qsim_kernels::parallel::{par_gather, par_reduce_amplitudes, par_scatter};
+use qsim_net::collective::{
+    all_reduce_sum, all_to_all, all_to_all_inplace, all_to_all_with, Communicator,
+};
 use qsim_net::fabric::{run_cluster, FabricStats, RankCtx};
 use qsim_sched::{DiagonalOp, Schedule, StageOp, SwapOp};
 use qsim_util::bits::BitPermutation;
@@ -34,6 +43,22 @@ pub struct DistConfig {
     /// Gather the full state to rank 0 and return it in logical basis
     /// order (small n only; used by tests and examples).
     pub gather_state: bool,
+    /// Pipeline depth of the fused swap engine (sub-chunks per peer
+    /// segment). `None` picks a size-based default per swap; measured
+    /// tuning is available via
+    /// `qsim_kernels::autotune::tune_swap_sub_chunks`.
+    pub sub_chunks: Option<usize>,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        Self {
+            n_ranks: 1,
+            kernel: KernelConfig::default(),
+            gather_state: false,
+            sub_chunks: None,
+        }
+    }
 }
 
 /// Results of a distributed run.
@@ -49,6 +74,10 @@ pub struct DistOutcome {
     /// 8.1 s of 99 s for this step).
     pub entropy_seconds: f64,
     pub fabric: FabricStats,
+    /// Amplitude bytes copied by the swap engine on one rank (pack +
+    /// unpack; the fused path's ≤ 2 full-slice copies per swap, where the
+    /// reference path takes ~6).
+    pub swap_bytes_copied: u64,
     /// Full state in logical order (only when `gather_state`).
     pub state: Option<Vec<c64>>,
 }
@@ -77,26 +106,28 @@ impl DistSimulator {
             1usize << g,
             "rank count must be 2^(n-l)"
         );
-        assert!(l >= g, "all-to-all needs at least as many local as global qubits");
+        assert!(
+            l >= g,
+            "all-to-all needs at least as many local as global qubits"
+        );
         let cfg = &self.config.kernel;
         let gather = self.config.gather_state;
+        let sub_chunks = self.config.sub_chunks;
 
         let (rank_results, fabric) = run_cluster(self.config.n_ranks, |ctx| {
-            run_rank(ctx, schedule, init_uniform, cfg, gather)
+            run_rank(ctx, schedule, init_uniform, cfg, gather, sub_chunks)
         });
 
         let mut outcome = DistOutcome {
             norm: rank_results[0].norm,
             entropy: rank_results[0].entropy,
-            sim_seconds: rank_results
-                .iter()
-                .map(|r| r.seconds)
-                .fold(0.0, f64::max),
+            sim_seconds: rank_results.iter().map(|r| r.seconds).fold(0.0, f64::max),
             entropy_seconds: rank_results
                 .iter()
                 .map(|r| r.entropy_seconds)
                 .fold(0.0, f64::max),
             fabric,
+            swap_bytes_copied: rank_results[0].swap_bytes_copied,
             state: None,
         };
         if gather {
@@ -117,6 +148,7 @@ struct RankResult {
     entropy: f64,
     seconds: f64,
     entropy_seconds: f64,
+    swap_bytes_copied: u64,
     slice: Option<Vec<c64>>,
 }
 
@@ -126,6 +158,7 @@ fn run_rank(
     init_uniform: bool,
     cfg: &KernelConfig,
     gather: bool,
+    sub_chunks: Option<usize>,
 ) -> RankResult {
     let n = schedule.n_qubits;
     let l = schedule.local_qubits;
@@ -138,6 +171,9 @@ fn run_rank(
     } else {
         StateVector::<f64>::null(l)
     };
+    // One scratch for the whole run: every swap reuses it (and the
+    // fabric's wire pools), so only the first swap pays any allocation.
+    let mut swap_bufs = SwapBuffers::new(sub_chunks);
 
     for stage in &schedule.stages {
         for op in &stage.ops {
@@ -147,22 +183,25 @@ fn run_rank(
             }
         }
         if let Some(swap) = &stage.swap {
-            perform_swap(ctx, &mut state, swap, l);
+            perform_swap(ctx, &mut state, swap, l, &mut swap_bufs);
         }
     }
 
     // Reductions (§4.2.2: the entropy needs a final all-reduce).
     let local_norm = state.norm_sqr();
-    let local_entropy = {
-        let mut h = 0.0f64;
-        for a in state.amplitudes() {
+    let local_entropy = par_reduce_amplitudes(
+        state.amplitudes(),
+        || 0.0f64,
+        |acc, _, a| {
             let p = a.norm_sqr();
             if p > 0.0 {
-                h -= p * p.log2();
+                acc - p * p.log2()
+            } else {
+                acc
             }
-        }
-        h
-    };
+        },
+        |x, y| x + y,
+    );
     let seconds = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let norm = all_reduce_sum(ctx, local_norm);
@@ -171,8 +210,9 @@ fn run_rank(
     RankResult {
         norm,
         entropy,
-        seconds: t0.elapsed().as_secs_f64().max(seconds),
+        seconds,
         entropy_seconds,
+        swap_bytes_copied: swap_bufs.bytes_copied,
         slice: gather.then(|| state.amplitudes().to_vec()),
     }
 }
@@ -211,9 +251,145 @@ pub fn apply_rank_diagonal(state: &mut StateVector<f64>, d: &DiagonalOp, rank: u
     state.apply_diagonal(&positions, &reduced);
 }
 
-/// §3.4 global-to-local swap: local permutation → all-to-all → inverse
-/// permutation.
-pub fn perform_swap(ctx: &mut RankCtx, state: &mut StateVector<f64>, swap: &SwapOp, l: u32) {
+/// Per-rank scratch and tuning state of the fused swap engine. Allocated
+/// once (by `run_rank` or the caller) and reused across every swap of a
+/// run: together with the fabric's recycled wire buffers this makes
+/// steady-state swaps allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct SwapBuffers {
+    /// Pipeline depth override; `None` picks a size-based default.
+    sub_chunks: Option<usize>,
+    /// Permutation tables of the most recent swap shape, so repeated
+    /// swaps over the same slots rebuild (and heap-allocate) nothing.
+    cache: Option<PermCache>,
+    /// Swaps executed through this scratch.
+    pub swaps: u64,
+    /// Amplitude bytes moved by pack + unpack — the fused path's 2
+    /// full-slice copies per swap (the reference path takes ~6).
+    pub bytes_copied: u64,
+}
+
+#[derive(Clone, Debug)]
+struct PermCache {
+    slots: Vec<u32>,
+    l: u32,
+    perm: BitPermutation,
+    inv: BitPermutation,
+}
+
+impl SwapBuffers {
+    pub fn new(sub_chunks: Option<usize>) -> Self {
+        Self {
+            sub_chunks,
+            ..Self::default()
+        }
+    }
+
+    /// Pipeline depth for a `seg_len`-amplitude peer segment.
+    pub fn depth_for(&self, seg_len: usize) -> usize {
+        match self.sub_chunks {
+            Some(s) => s.max(1),
+            None => default_sub_chunks(seg_len),
+        }
+    }
+
+    fn account(&mut self, group_size: usize, seg_len: usize) {
+        self.swaps += 1;
+        self.bytes_copied += 2 * (group_size as u64 - 1) * seg_len as u64 * 16;
+    }
+
+    /// Permutation tables for a swap over `slots`, cached: a hit (the
+    /// common steady-state case of a schedule reusing one swap shape, and
+    /// the zero-alloc invariant's precondition) is allocation-free.
+    fn perm_for(&mut self, slots: &[u32], l: u32) -> &PermCache {
+        let hit = self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.l == l && c.slots == slots);
+        if !hit {
+            let perm = slots_to_top_permutation(slots, l);
+            let inv = perm.inverse();
+            self.cache = Some(PermCache {
+                slots: slots.to_vec(),
+                l,
+                perm,
+                inv,
+            });
+        }
+        self.cache.as_ref().unwrap()
+    }
+}
+
+/// Size-based default pipeline depth: roughly one sub-chunk per MiB of
+/// peer segment, clamped to `[1, 8]` — deep enough to overlap packing
+/// with the peers' progress on large slices, and 1 (no split) on small
+/// ones where per-message overhead would dominate. Measured tuning:
+/// `qsim_kernels::autotune::tune_swap_sub_chunks`.
+pub fn default_sub_chunks(seg_len: usize) -> usize {
+    const PIPELINE_TARGET_BYTES: usize = 1 << 20;
+    ((seg_len * 16) / PIPELINE_TARGET_BYTES).clamp(1, 8)
+}
+
+/// §3.4 global-to-local swap, fused: instead of permuting the slice,
+/// exchanging, and permuting back, the permutation is folded into the
+/// pack/unpack index mapping. Writing `p` for the slots→top permutation
+/// and `q = p⁻¹`, the classic path computes
+/// `final[x] = recv[p(x)]` with `recv[i·seg + t] = state_i[q(me·seg + t)]`,
+/// so rank `r` packs `wire_to_d[t] = state_r[q(d·seg + t)]` for each
+/// destination `d` and unpacks `state_r[q(i·seg + t)] = wire_from_i[t]` —
+/// two copies total, in place, with the self segment (`d = r`) an exact
+/// identity that is skipped. Sub-chunks of the same segment are disjoint
+/// under `q`, and within a round all packs precede all unpacks, so the
+/// in-place exchange is race-free at any pipeline depth.
+pub fn perform_swap(
+    ctx: &mut RankCtx,
+    state: &mut StateVector<f64>,
+    swap: &SwapOp,
+    l: u32,
+    bufs: &mut SwapBuffers,
+) {
+    let g = swap.local_slots.len() as u32;
+    debug_assert!(1usize << g == ctx.n_ranks());
+    let p = ctx.n_ranks();
+    if p == 1 {
+        return;
+    }
+    let comm = Communicator::world(ctx);
+    let seg = state.len() / p;
+    let depth = bufs.depth_for(seg);
+    {
+        let cache = bufs.perm_for(&swap.local_slots, l);
+        if cache.perm.is_identity() {
+            // The outgoing qubits already sit at the top local positions:
+            // the index mapping is trivial and pack/unpack degenerate to
+            // memcpy.
+            all_to_all_inplace(ctx, comm, state.amplitudes_mut(), depth);
+        } else {
+            let inv = &cache.inv;
+            all_to_all_with::<c64, [c64]>(
+                ctx,
+                comm,
+                seg,
+                depth,
+                state.amplitudes_mut(),
+                |amps, d, r, wire| par_gather(amps, wire, |t| inv.apply(d * seg + r.start + t)),
+                |amps, i, r, wire| par_scatter(wire, amps, |t| inv.apply(i * seg + r.start + t)),
+            );
+        }
+    }
+    bufs.account(p, seg);
+}
+
+/// The textbook §3.4 swap data path (local permutation → allocating
+/// all-to-all → copy back → inverse permutation). Kept as the equivalence
+/// oracle for [`perform_swap`] and for before/after copy accounting — it
+/// traverses the full slice ~6 times where the fused engine does 2.
+pub fn perform_swap_reference(
+    ctx: &mut RankCtx,
+    state: &mut StateVector<f64>,
+    swap: &SwapOp,
+    l: u32,
+) {
     let g = swap.local_slots.len() as u32;
     debug_assert!(1usize << g == ctx.n_ranks());
     let perm = slots_to_top_permutation(&swap.local_slots, l);
@@ -236,12 +412,30 @@ pub fn perform_swap(ctx: &mut RankCtx, state: &mut StateVector<f64>, swap: &Swap
 /// this entry point exposes the generalized machinery for ablations and
 /// for workloads where only a few global qubits are ever needed locally.
 pub fn perform_partial_swap(ctx: &mut RankCtx, state: &mut StateVector<f64>, q: u32, l: u32) {
+    let mut bufs = SwapBuffers::default();
+    perform_partial_swap_with(ctx, state, q, l, &mut bufs);
+}
+
+/// [`perform_partial_swap`] with caller-owned scratch — the zero-alloc
+/// path. No local permutation is involved, so the exchange runs through
+/// the in-place pipelined collective directly.
+pub fn perform_partial_swap_with(
+    ctx: &mut RankCtx,
+    state: &mut StateVector<f64>,
+    q: u32,
+    l: u32,
+    bufs: &mut SwapBuffers,
+) {
     let g = qsim_util::bits::log2_exact(ctx.n_ranks());
-    assert!(q >= 1 && q <= g, "partial swap width {q} out of range (g={g})");
+    assert!(
+        q >= 1 && q <= g,
+        "partial swap width {q} out of range (g={g})"
+    );
     assert!(l >= q, "need at least q local qubits");
     let comm = Communicator::group_of(ctx.rank(), 1usize << q);
-    let recv = all_to_all(ctx, comm, state.amplitudes());
-    state.amplitudes_mut().copy_from_slice(&recv);
+    let seg = state.len() / comm.size;
+    all_to_all_inplace(ctx, comm, state.amplitudes_mut(), bufs.depth_for(seg));
+    bufs.account(comm.size, seg);
 }
 
 /// Build the local bit permutation taking `slots[i]` to position
@@ -308,6 +502,9 @@ mod tests {
             n_ranks: 1usize << (n - l),
             kernel: KernelConfig::sequential(),
             gather_state: true,
+            // Exercise the pipelined exchange (odd depth, non-divisible
+            // sub-ranges) in every equivalence test.
+            sub_chunks: Some(3),
         });
         let out = sim.run(&exec, &schedule, true);
         // Reference: single-node run of the same circuit.
@@ -377,7 +574,10 @@ mod tests {
         // rank 0b10 -> global bit (3-2)=1 set.
         let mut s = StateVector::<f64>::uniform(2);
         apply_rank_diagonal(&mut s, &d, 0b10, 2);
-        assert!((s.amplitudes()[1].re + 0.5).abs() < 1e-12, "bit0 set flipped");
+        assert!(
+            (s.amplitudes()[1].re + 0.5).abs() < 1e-12,
+            "bit0 set flipped"
+        );
         assert!((s.amplitudes()[0].re - 0.5).abs() < 1e-12);
         // rank 0b01 -> global bit clear: no action.
         let mut s2 = StateVector::<f64>::uniform(2);
@@ -433,9 +633,8 @@ mod tests {
             let full_ref = full.clone();
             let (slices, _) = run_cluster(1usize << g, |ctx| {
                 let r = ctx.rank();
-                let mut state = StateVector::from_amplitudes(
-                    full_ref[r << l..(r + 1) << l].to_vec(),
-                );
+                let mut state =
+                    StateVector::from_amplitudes(full_ref[r << l..(r + 1) << l].to_vec());
                 perform_partial_swap(ctx, &mut state, q, l);
                 state.amplitudes().to_vec()
             });
@@ -488,6 +687,7 @@ mod tests {
             n_ranks: 2,
             kernel: KernelConfig::sequential(),
             gather_state: true,
+            sub_chunks: None,
         });
         let out = sim.run(&c, &schedule, false);
         let state = out.state.unwrap();

@@ -84,13 +84,13 @@ mod tests {
             .collect();
         let mut fast = input.clone();
         fft_inplace(&mut fast, 1.0);
-        for k in 0..n {
+        for (k, f) in fast.iter().enumerate() {
             let mut direct = c64::zero();
             for (x, a) in input.iter().enumerate() {
                 let theta = 2.0 * std::f64::consts::PI * (x * k % n) as f64 / n as f64;
                 direct += *a * c64::from_polar(1.0, theta);
             }
-            assert!((fast[k] - direct).abs() < 1e-9, "k={k}");
+            assert!((*f - direct).abs() < 1e-9, "k={k}");
         }
     }
 
@@ -118,8 +118,7 @@ mod tests {
             let input = SingleNodeSimulator::default().run(&scramble).state;
 
             // Gate-level: apply the QFT gates to the input.
-            let mut gate_level =
-                crate::StateVector::from_amplitudes(input.amplitudes().to_vec());
+            let mut gate_level = crate::StateVector::from_amplitudes(input.amplitudes().to_vec());
             let cfg = qsim_kernels::apply::KernelConfig::sequential();
             for g in circuit.gates() {
                 let m: qsim_util::matrix::GateMatrix<f64> = g.matrix();
@@ -131,8 +130,7 @@ mod tests {
             }
 
             // Emulated.
-            let mut emulated =
-                crate::StateVector::from_amplitudes(input.amplitudes().to_vec());
+            let mut emulated = crate::StateVector::from_amplitudes(input.amplitudes().to_vec());
             emulate_qft(&mut emulated);
             assert!(
                 max_dist(gate_level.amplitudes(), emulated.amplitudes()) < 1e-9,

@@ -96,7 +96,10 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(7);
         let mut s = bell();
         let shot = measure_all(&mut s, &mut rng);
-        assert!(shot == 0 || shot == 3, "Bell shot must be 00 or 11, got {shot}");
+        assert!(
+            shot == 0 || shot == 3,
+            "Bell shot must be 00 or 11, got {shot}"
+        );
         // Fully collapsed.
         assert!((s.amplitudes()[shot].abs() - 1.0).abs() < 1e-12);
     }

@@ -186,7 +186,10 @@ mod tests {
             &mut rng,
             &KernelConfig::sequential(),
         );
-        assert!((s.norm_sqr() - 1.0).abs() < 1e-9, "Pauli errors are unitary");
+        assert!(
+            (s.norm_sqr() - 1.0).abs() < 1e-9,
+            "Pauli errors are unitary"
+        );
     }
 
     #[test]

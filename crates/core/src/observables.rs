@@ -15,7 +15,11 @@ use qsim_util::Xoshiro256;
 /// Inverse-CDF walk per shot over the amplitude array — O(2^n) per shot
 /// in the worst case but cache-friendly; fine for the 2^20-amplitude
 /// states the examples use.
-pub fn sample_bitstrings(state: &StateVector<f64>, rng: &mut Xoshiro256, shots: usize) -> Vec<usize> {
+pub fn sample_bitstrings(
+    state: &StateVector<f64>,
+    rng: &mut Xoshiro256,
+    shots: usize,
+) -> Vec<usize> {
     let amps = state.amplitudes();
     let mut out = Vec::with_capacity(shots);
     for _ in 0..shots {
@@ -54,11 +58,8 @@ pub fn linear_xeb(state: &StateVector<f64>, samples: &[usize]) -> f64 {
     assert!(!samples.is_empty());
     let n = state.n_qubits();
     let amps = state.amplitudes();
-    let mean_p: f64 = samples
-        .iter()
-        .map(|&i| amps[i].norm_sqr())
-        .sum::<f64>()
-        / samples.len() as f64;
+    let mean_p: f64 =
+        samples.iter().map(|&i| amps[i].norm_sqr()).sum::<f64>() / samples.len() as f64;
     (1usize << n) as f64 * mean_p - 1.0
 }
 

@@ -75,8 +75,7 @@ impl SingleNodeSimulator {
         let (exec_circuit, init_uniform) = strip_initial_hadamards(circuit);
         let mapped;
         let exec_ref = if self.optimize_mapping {
-            let map =
-                qsim_sched::mapping::optimize_qubit_mapping(&exec_circuit, &self.plan_cfg(n));
+            let map = qsim_sched::mapping::optimize_qubit_mapping(&exec_circuit, &self.plan_cfg(n));
             mapped = exec_circuit.remapped(&map);
             &mapped
         } else {
@@ -155,11 +154,7 @@ pub fn execute_schedule_local_t<T>(
 
 /// Run a circuit entirely in single precision (§5): same planning, f32
 /// kernels, half the memory. Returns the f32 state.
-pub fn run_single_precision(
-    circuit: &Circuit,
-    kmax: u32,
-    cfg: &KernelConfig,
-) -> StateVector<f32> {
+pub fn run_single_precision(circuit: &Circuit, kmax: u32, cfg: &KernelConfig) -> StateVector<f32> {
     let n = circuit.n_qubits();
     let (exec, uniform) = strip_initial_hadamards(circuit);
     let schedule = qsim_sched::plan(&exec, &SchedulerConfig::single_node(n, kmax));
@@ -216,7 +211,6 @@ mod tests {
     use super::*;
     use qsim_circuit::dense::simulate_dense;
     use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
-    use qsim_circuit::Gate;
     use qsim_util::complex::max_dist;
 
     #[test]
@@ -278,8 +272,10 @@ mod tests {
             seed: 5,
         });
         let plain = SingleNodeSimulator::default().run(&c);
-        let mut opt_sim = SingleNodeSimulator::default();
-        opt_sim.optimize_mapping = true;
+        let opt_sim = SingleNodeSimulator {
+            optimize_mapping: true,
+            ..Default::default()
+        };
         let opt = opt_sim.run(&c);
         // Amplitudes are permuted by the relabeling, but the probability
         // MULTISET and entropy are invariant.

@@ -169,7 +169,10 @@ mod tests {
 
         let u = StateVector::<f64>::uniform(4);
         assert!((u.norm_sqr() - 1.0).abs() < 1e-12);
-        assert!((u.entropy() - 4.0).abs() < 1e-12, "uniform entropy = n bits");
+        assert!(
+            (u.entropy() - 4.0).abs() < 1e-12,
+            "uniform entropy = n bits"
+        );
 
         // A 2-qubit slice of a 4-qubit uniform state: norm = 4/16.
         let s = StateVector::<f64>::uniform_slice(2, 4);

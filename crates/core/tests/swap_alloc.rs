@@ -1,0 +1,91 @@
+//! The zero-allocation invariant of the fused swap engine: once the wire
+//! pools are warm and the permutation cache is primed, a steady-state
+//! swap performs no heap allocations at all — packing goes straight from
+//! the state slice into recycled wire buffers, unpacking straight back.
+//!
+//! Lives in its own integration-test binary because it installs a
+//! counting `#[global_allocator]`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qsim_core::dist::{perform_swap, SwapBuffers};
+use qsim_core::StateVector;
+use qsim_net::run_cluster;
+use qsim_sched::SwapOp;
+use qsim_util::{c64, Xoshiro256};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_swaps_do_not_allocate() {
+    const G: u32 = 2;
+    // Below the kernels' parallel threshold, so pack/unpack take the
+    // sequential paths and no thread-pool bookkeeping runs in the loop.
+    const L: u32 = 10;
+    let p = 1usize << G;
+    let slice = 1usize << L;
+    let seg = slice / p;
+    let depth = 2usize;
+    let swap = SwapOp {
+        local_slots: vec![0, 1],
+    };
+
+    let (deltas, stats) = run_cluster(p, |ctx| {
+        let mut rng = Xoshiro256::seed_from_u64(0xa110c ^ ctx.rank() as u64);
+        let amps: Vec<c64> = (0..slice)
+            .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
+        let mut state = StateVector::from_amplitudes(amps);
+        let mut bufs = SwapBuffers::new(Some(depth));
+        // Worst-case wires in flight per owner: both rounds of one swap
+        // posted before the peers drain round 0.
+        ctx.prewarm_wire(seg / depth * 16, depth * (p - 1));
+        // Warm-up: primes the permutation cache, the mailbox map
+        // capacity, and confirms the prewarmed pool suffices.
+        for _ in 0..3 {
+            perform_swap(ctx, &mut state, &swap, L, &mut bufs);
+            ctx.barrier();
+        }
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..6 {
+            perform_swap(ctx, &mut state, &swap, L, &mut bufs);
+            ctx.barrier();
+        }
+        ALLOCATIONS.load(Ordering::SeqCst) - before
+    });
+
+    for (rank, delta) in deltas.iter().enumerate() {
+        assert_eq!(
+            *delta, 0,
+            "rank {rank} observed {delta} heap allocations across 6 steady-state swaps"
+        );
+    }
+    // The wire pools never missed either: every buffer came from prewarm.
+    assert_eq!(
+        stats.wire_allocs, 0,
+        "wire pool missed {} times despite prewarming",
+        stats.wire_allocs
+    );
+}

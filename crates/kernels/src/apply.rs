@@ -101,7 +101,12 @@ pub fn apply_gate_seq<T: Real + ApplyDispatch>(
 /// Precision-directed dispatch: f64 may take the AVX2 kernel, every other
 /// precision takes the portable path.
 pub trait ApplyDispatch: Real + Sized {
-    fn dispatch(state: &mut [Complex<Self>], qubits: &[u32], m: &GateMatrix<Self>, cfg: &KernelConfig);
+    fn dispatch(
+        state: &mut [Complex<Self>],
+        qubits: &[u32],
+        m: &GateMatrix<Self>,
+        cfg: &KernelConfig,
+    );
 }
 
 fn dispatch_portable<T: Real>(
@@ -129,7 +134,12 @@ fn dispatch_portable<T: Real>(
 }
 
 impl ApplyDispatch for f32 {
-    fn dispatch(state: &mut [Complex<f32>], qubits: &[u32], m: &GateMatrix<f32>, cfg: &KernelConfig) {
+    fn dispatch(
+        state: &mut [Complex<f32>],
+        qubits: &[u32],
+        m: &GateMatrix<f32>,
+        cfg: &KernelConfig,
+    ) {
         // §5 single-precision mode: k >= 2 gates take the 8-lane AVX2
         // path when available.
         if cfg.opt == OptLevel::Blocked
@@ -195,7 +205,10 @@ impl ApplyDispatch for f64 {
             dispatch_portable(state, qubits, m, cfg);
             return;
         }
-        if cfg.simd == Simd::Auto && m.k() >= 2 && crate::avx512::avx512_available() && avx512_wins()
+        if cfg.simd == Simd::Auto
+            && m.k() >= 2
+            && crate::avx512::avx512_available()
+            && avx512_wins()
         {
             let (exp, pm) = opt::prepare(state.len(), qubits, m);
             let packed = crate::avx512::Packed512::pack(&pm);
@@ -259,10 +272,7 @@ mod tests {
                     };
                     let mut s = state0.clone();
                     apply_gate(&mut s, &qubits, &m, &cfg);
-                    assert!(
-                        max_dist(&s, &reference) < 1e-12,
-                        "cfg mismatch: {cfg:?}"
-                    );
+                    assert!(max_dist(&s, &reference) < 1e-12, "cfg mismatch: {cfg:?}");
                 }
             }
         }

@@ -43,7 +43,10 @@ pub const BLOCK_CANDIDATES: [usize; 4] = [1, 2, 4, 8];
 /// Run the tuning loop on a 2^n_test state (n_test ∈ [10, 26] is sane;
 /// benchmarks use 22+, tests use small values for speed).
 pub fn autotune(n_test: u32, threads: usize) -> TunedParams {
-    assert!((8..=28).contains(&n_test), "unreasonable tuning size {n_test}");
+    assert!(
+        (8..=28).contains(&n_test),
+        "unreasonable tuning size {n_test}"
+    );
     let len = 1usize << n_test;
     let mut rng = Xoshiro256::seed_from_u64(0x7ae5);
     let mut state: Vec<c64> = (0..len)
@@ -109,6 +112,50 @@ pub fn autotune(n_test: u32, threads: usize) -> TunedParams {
     }
 }
 
+/// Candidate pipeline depths (sub-chunks per peer segment) for the fused
+/// global-swap engine.
+pub const SUB_CHUNK_CANDIDATES: [usize; 4] = [1, 2, 4, 8];
+
+/// A sub-chunk whose pack takes less time than this is dominated by
+/// per-message overhead; the tuner never splits below it.
+const SUB_CHUNK_FLOOR_SECONDS: f64 = 50e-6;
+
+/// Tune the pipeline depth `S` for a fused global swap whose per-peer
+/// segments hold `seg_len` amplitudes — the same measure-then-pick
+/// feedback loop as [`autotune`], applied to the swap data path: the
+/// permuted-gather (pack) bandwidth is measured on a surrogate buffer, and
+/// the deepest candidate whose sub-chunk pack time still clears the
+/// per-message overhead floor wins. Deeper pipelines overlap more packing
+/// with other ranks' progress but pay one message per sub-chunk.
+pub fn tune_swap_sub_chunks(seg_len: usize) -> usize {
+    if seg_len < 2 {
+        return 1;
+    }
+    // Measure on a power-of-two surrogate in [2^10, 2^18] so tuning stays
+    // in the tens of milliseconds even for huge segments.
+    let bits = seg_len.clamp(1 << 10, 1 << 18).ilog2();
+    let len = 1usize << bits;
+    let mut rng = Xoshiro256::seed_from_u64(0xc0f);
+    let src: Vec<c64> = (0..len)
+        .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+        .collect();
+    let mut dst = vec![c64::zero(); len];
+    let perm =
+        qsim_util::bits::BitPermutation::new((0..bits).map(|i| (i + bits / 2) % bits).collect());
+    let t = summarize(&time_reps(1, 3, || {
+        crate::parallel::par_gather(&src, &mut dst, |i| perm.apply(i));
+    }))
+    .median;
+    let seg_seconds = t / len as f64 * seg_len as f64;
+    let mut best = 1usize;
+    for &s in &SUB_CHUNK_CANDIDATES {
+        if s <= seg_len && seg_seconds / s as f64 >= SUB_CHUNK_FLOOR_SECONDS {
+            best = s;
+        }
+    }
+    best
+}
+
 fn random_dense(k: u32) -> GateMatrix<f64> {
     let d = 1usize << k;
     let mut rng = Xoshiro256::seed_from_u64(0x51ed ^ k as u64);
@@ -153,5 +200,24 @@ mod tests {
     #[should_panic(expected = "unreasonable tuning size")]
     fn rejects_huge_tuning_state() {
         let _ = autotune(40, 1);
+    }
+
+    #[test]
+    fn sub_chunk_tuning_is_sane_and_monotone() {
+        // Tiny segments must not be split; the chosen depth is always a
+        // candidate and never exceeds the segment.
+        assert_eq!(tune_swap_sub_chunks(1), 1);
+        let small = tune_swap_sub_chunks(1 << 8);
+        let large = tune_swap_sub_chunks(1 << 24);
+        for s in [small, large] {
+            assert!(
+                SUB_CHUNK_CANDIDATES.contains(&s),
+                "depth {s} not a candidate"
+            );
+        }
+        assert!(
+            small <= large,
+            "bigger segments must not pick shallower pipelines ({small} > {large})"
+        );
     }
 }

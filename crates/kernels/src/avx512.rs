@@ -16,7 +16,7 @@
 use crate::matrix::GateMatrix;
 use crate::opt;
 use qsim_util::bits::IndexExpander;
-use qsim_util::{AlignedVec, c64};
+use qsim_util::{c64, AlignedVec};
 
 /// Does this host support the AVX-512 path?
 #[inline]
@@ -229,7 +229,11 @@ mod tests {
         assert_eq!(&e[0..8], &[1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
         // All imaginary parts zero.
         assert!(e[8..16].iter().all(|&x| x == 0.0));
-        assert_eq!(p.raw().as_ptr() as usize % 64, 0, "zmm loads need 64B alignment");
+        assert_eq!(
+            p.raw().as_ptr() as usize % 64,
+            0,
+            "zmm loads need 64B alignment"
+        );
     }
 
     #[test]

@@ -68,8 +68,8 @@ pub fn apply_inplace<T: Real>(state: &mut [Complex<T>], qubits: &[u32], m: &Gate
         }
         for l in 0..dim {
             let mut acc = Complex::zero();
-            for i in 0..dim {
-                acc += pm.get(l, i) * tmp[i];
+            for (i, &t) in tmp[..dim].iter().enumerate() {
+                acc += pm.get(l, i) * t;
             }
             state[base + offs[l]] = acc;
         }
@@ -90,12 +90,12 @@ pub fn apply_fma<T: Real>(state: &mut [Complex<T>], qubits: &[u32], m: &GateMatr
         for (x, &off) in offs.iter().enumerate() {
             tmp[x] = state[base + off];
         }
-        for l in 0..dim {
+        for (l, o) in out[..dim].iter_mut().enumerate() {
             let mut acc = Complex::zero();
-            for i in 0..dim {
-                acc.mul_add_eq23(tmp[i], pm.get(l, i));
+            for (i, &t) in tmp[..dim].iter().enumerate() {
+                acc.mul_add_eq23(t, pm.get(l, i));
             }
-            out[l] = acc;
+            *o = acc;
         }
         for (l, &off) in offs.iter().enumerate() {
             state[base + off] = out[l];
@@ -255,9 +255,10 @@ mod tests {
         for i in 0..d {
             for j in 0..i {
                 let dot: c64 = (0..d).map(|t| rows[j][t].conj() * rows[i][t]).sum();
-                for t in 0..d {
-                    let s = dot * rows[j][t];
-                    rows[i][t] -= s;
+                let (lo, hi) = rows.split_at_mut(i);
+                for (x, &rjt) in hi[0].iter_mut().zip(lo[j].iter()) {
+                    let s = dot * rjt;
+                    *x -= s;
                 }
             }
             let norm: f64 = rows[i].iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
@@ -272,9 +273,9 @@ mod tests {
         let big = m.embed(n, qubits);
         let d = state.len();
         let mut out = vec![c64::zero(); d];
-        for r in 0..d {
-            for c in 0..d {
-                out[r] += big.get(r, c) * state[c];
+        for (r, o) in out.iter_mut().enumerate() {
+            for (c, &s) in state.iter().enumerate() {
+                *o += big.get(r, c) * s;
             }
         }
         out
@@ -352,10 +353,7 @@ mod tests {
 
     #[test]
     fn x_gate_on_each_qubit_permutes_basis() {
-        let x = GateMatrix::from_rows(
-            1,
-            vec![c64::zero(), c64::one(), c64::one(), c64::zero()],
-        );
+        let x = GateMatrix::from_rows(1, vec![c64::zero(), c64::one(), c64::one(), c64::zero()]);
         let n = 6;
         for q in 0..n {
             let mut state = vec![c64::zero(); 1 << n];
@@ -364,7 +362,11 @@ mod tests {
             // |0..0⟩ -> |0..1_q..0⟩.
             let expect_idx = 1usize << q;
             for (i, &a) in state.iter().enumerate() {
-                let expect = if i == expect_idx { c64::one() } else { c64::zero() };
+                let expect = if i == expect_idx {
+                    c64::one()
+                } else {
+                    c64::zero()
+                };
                 assert!((a - expect).abs() < 1e-15, "q={q} i={i}");
             }
         }

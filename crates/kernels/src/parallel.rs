@@ -39,8 +39,11 @@ unsafe impl<T: Send> Sync for DisjointSlice<T> {}
 
 impl<T> DisjointSlice<T> {
     /// Reconstitute the full slice. Caller must uphold the disjointness
-    /// contract described on the type.
+    /// contract described on the type: each worker derives a &mut only to
+    /// indices no other worker touches, so the aliasing clippy flags here
+    /// cannot occur.
     #[inline(always)]
+    #[allow(clippy::mut_from_ref)]
     unsafe fn slice(&self) -> &mut [Complex<T>] {
         core::slice::from_raw_parts_mut(self.0, self.1)
     }
@@ -168,6 +171,59 @@ pub fn par_map_amplitudes<T: Real>(
         });
 }
 
+/// Parallel gather: `dst[t] = src[index(t)]` — the pack half of the fused
+/// permute-scatter swap data path (contiguous writes, scattered reads).
+/// Sequential below [`PAR_THRESHOLD`] destination elements.
+pub fn par_gather<T: Real>(
+    src: &[Complex<T>],
+    dst: &mut [Complex<T>],
+    index: impl Fn(usize) -> usize + Sync,
+) {
+    if dst.len() < PAR_THRESHOLD {
+        for (t, d) in dst.iter_mut().enumerate() {
+            *d = src[index(t)];
+        }
+        return;
+    }
+    let chunk = (dst.len() / (rayon::current_num_threads() * 8)).max(1024);
+    dst.par_chunks_mut(chunk).enumerate().for_each(|(ci, ch)| {
+        let base = ci * chunk;
+        for (j, d) in ch.iter_mut().enumerate() {
+            *d = src[index(base + j)];
+        }
+    });
+}
+
+/// Parallel scatter: `dst[index(t)] = src[t]` — the unpack half of the
+/// fused gather-unpermute swap data path (contiguous reads, scattered
+/// writes). `index` must be injective on `0..src.len()`: callers pass bit
+/// permutations, which are bijective, so distinct source positions write
+/// disjoint destinations (the same contract as [`DisjointSlice`]).
+/// Sequential below [`PAR_THRESHOLD`] source elements.
+pub fn par_scatter<T: Real>(
+    src: &[Complex<T>],
+    dst: &mut [Complex<T>],
+    index: impl Fn(usize) -> usize + Sync,
+) {
+    if src.len() < PAR_THRESHOLD {
+        for (t, &v) in src.iter().enumerate() {
+            dst[index(t)] = v;
+        }
+        return;
+    }
+    let shared = DisjointSlice(dst.as_mut_ptr(), dst.len());
+    let chunk = (src.len() / (rayon::current_num_threads() * 8)).max(1024);
+    src.par_chunks(chunk).enumerate().for_each(|(ci, ch)| {
+        // SAFETY: source chunks are disjoint and `index` is injective, so
+        // no two workers write the same destination element.
+        let d = unsafe { shared.slice() };
+        let base = ci * chunk;
+        for (j, &v) in ch.iter().enumerate() {
+            d[index(base + j)] = v;
+        }
+    });
+}
+
 /// Parallel reduction over amplitudes.
 pub fn par_reduce_amplitudes<T: Real, A: Send>(
     state: &[Complex<T>],
@@ -242,7 +298,11 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_above_threshold() {
         let n = 16; // 65536 amplitudes > PAR_THRESHOLD
-        for (k, qubits) in [(1, vec![9u32]), (3, vec![15, 2, 8]), (5, vec![0, 3, 7, 11, 14])] {
+        for (k, qubits) in [
+            (1, vec![9u32]),
+            (3, vec![15, 2, 8]),
+            (5, vec![0, 3, 7, 11, 14]),
+        ] {
             let m = random_matrix(k, 7 + k as u64);
             let state0 = random_state(n, 13 + k as u64);
             let (exp, pm) = prepare(state0.len(), &qubits, &m);
@@ -292,6 +352,25 @@ mod tests {
         par_map_amplitudes(&mut state, |i, _| c64::new(i as f64, 0.0));
         for (i, a) in state.iter().enumerate() {
             assert_eq!(a.re, i as f64);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_invert_each_other() {
+        use qsim_util::bits::BitPermutation;
+        for n in [10u32, 15] {
+            // n=15 exceeds PAR_THRESHOLD and exercises the parallel paths.
+            let src = random_state(n, 31 + n as u64);
+            let perm = BitPermutation::new((0..n).map(|i| (i + 3) % n).collect());
+            let mut gathered = vec![c64::zero(); src.len()];
+            par_gather(&src, &mut gathered, |t| perm.apply(t));
+            let mut back = vec![c64::zero(); src.len()];
+            par_scatter(&gathered, &mut back, |t| perm.apply(t));
+            assert_eq!(back, src, "n={n}");
+            // Gather by perm equals the inverse permutation's permute_slice.
+            let mut expect = vec![c64::zero(); src.len()];
+            perm.inverse().permute_slice(&src, &mut expect);
+            assert_eq!(gathered, expect, "n={n}");
         }
     }
 

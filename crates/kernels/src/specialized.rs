@@ -211,10 +211,7 @@ mod tests {
 
     #[test]
     fn x_kernel_is_involution_and_matches_dense() {
-        let x = GateMatrix::from_rows(
-            1,
-            vec![c64::zero(), c64::one(), c64::one(), c64::zero()],
-        );
+        let x = GateMatrix::from_rows(1, vec![c64::zero(), c64::one(), c64::one(), c64::zero()]);
         let state0 = random_state(6, 11);
         let mut a = state0.clone();
         apply_x(&mut a, 2);

@@ -13,18 +13,8 @@ fn arb_c64() -> impl Strategy<Value = c64> {
     (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(r, i)| c64::new(r, i))
 }
 
-fn arb_matrix(k: u32) -> impl Strategy<Value = GateMatrix<f64>> {
-    let d = 1usize << k;
-    prop::collection::vec(arb_c64(), d * d).prop_map(move |v| GateMatrix::from_rows(k, v))
-}
-
 fn arb_state(n: u32) -> impl Strategy<Value = Vec<c64>> {
     prop::collection::vec(arb_c64(), 1usize << n)
-}
-
-/// Distinct qubit positions within n.
-fn arb_qubits(k: u32, n: u32) -> impl Strategy<Value = Vec<u32>> {
-    prop::sample::subsequence((0..n).collect::<Vec<_>>(), k as usize).prop_shuffle()
 }
 
 proptest! {

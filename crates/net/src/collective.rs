@@ -3,12 +3,21 @@
 //! The global-to-local swap is "1 group-local all-to-all for each of the
 //! 2^{g−q} groups of processes", and "turning all global qubits into local
 //! ones amounts to executing one all-to-all on the MPI_COMM_WORLD
-//! communicator". [`Communicator`] models the contiguous process groups;
-//! [`all_to_all`] is the workhorse. [`exchange_halves`] is the pairwise
-//! scheme of \[19\] used by the baseline simulator, and [`all_reduce_sum`]
-//! backs the entropy/norm reductions (§4.2.2).
+//! communicator". [`Communicator`] models the contiguous process groups.
+//!
+//! The workhorse is the pipelined engine [`all_to_all_with`]: each peer
+//! segment is split into `sub_chunks` rounds; every round posts all sends
+//! (packing straight into pooled wire buffers) before draining the
+//! matching receives (unpacking straight out of them), so payload work
+//! overlaps with other ranks' progress and nothing is buffered twice.
+//! [`all_to_all_into`] / [`all_to_all_inplace`] are the borrowed,
+//! allocation-free entry points; [`all_to_all`] keeps the classic
+//! allocate-and-return signature on top. [`exchange_halves`] is the
+//! pairwise scheme of \[19\] used by the baseline simulator, and
+//! [`all_reduce_sum`] backs the entropy/norm reductions (§4.2.2).
 
 use crate::fabric::RankCtx;
+use std::ops::Range;
 
 /// A contiguous group of ranks `[base, base + size)` — the process groups
 /// of a q-qubit group-local swap share their high global bits, which makes
@@ -51,34 +60,130 @@ impl Communicator {
     }
 }
 
-/// All-to-all over `comm`: `send` is split into `comm.size` equal chunks;
-/// chunk `j` goes to group member `j`; the returned vector holds the
-/// received chunks in group order (chunk `i` came from member `i`).
-/// The self-chunk is copied locally and not counted as traffic.
-pub fn all_to_all<T: Copy>(ctx: &mut RankCtx, comm: Communicator, send: &[T]) -> Vec<T> {
+/// The offset range of pipeline round `round` when a `seg_len`-element
+/// segment is split into `sub_chunks` rounds (earlier rounds absorb the
+/// remainder, so rounds differ in length by at most one element).
+pub fn sub_range(seg_len: usize, sub_chunks: usize, round: usize) -> Range<usize> {
+    debug_assert!(round < sub_chunks);
+    let base = seg_len / sub_chunks;
+    let rem = seg_len % sub_chunks;
+    let start = round * base + round.min(rem);
+    start..start + base + usize::from(round < rem)
+}
+
+/// Pipelined all-to-all engine: every rank owns `comm.size` segments of
+/// `seg_len` elements; segment `j` is produced for group member `j` by
+/// `pack` and the segment received from member `i` is consumed by
+/// `unpack`, sub-chunk by sub-chunk. The self segment (`j == me`) is never
+/// packed, sent, or unpacked — callers for whom it is not a no-op must
+/// handle it themselves (for the swap data path it is an exact identity).
+///
+/// `data` is threaded mutably through both closures so a caller can pack
+/// from and unpack into the *same* storage: within a round all packs
+/// (reads) complete before any unpack (write), and distinct rounds touch
+/// disjoint sub-ranges of each segment, so an injective index mapping
+/// makes the in-place exchange safe.
+///
+/// Deadlock-free for any `sub_chunks >= 1`: sends are non-blocking
+/// (mailboxes buffer), and every rank posts all round-`s` sends before
+/// blocking on its first round-`s` receive.
+pub fn all_to_all_with<T: Copy, D: ?Sized>(
+    ctx: &mut RankCtx,
+    comm: Communicator,
+    seg_len: usize,
+    sub_chunks: usize,
+    data: &mut D,
+    mut pack: impl FnMut(&mut D, usize, Range<usize>, &mut [T]),
+    mut unpack: impl FnMut(&mut D, usize, Range<usize>, &[T]),
+) {
     let p = comm.size;
     assert!(p >= 1, "empty communicator");
     assert!(comm.contains(ctx.rank()), "rank outside communicator");
-    assert_eq!(send.len() % p, 0, "payload not divisible into {p} chunks");
-    let chunk = send.len() / p;
     let me = comm.local_index(ctx.rank());
-    // Post all sends first (mailboxes buffer), then receive in order.
-    for j in 0..p {
-        if j == me {
-            continue;
-        }
-        ctx.send_slice(comm.base + j, &send[j * chunk..(j + 1) * chunk]);
+    if p == 1 || seg_len == 0 {
+        return;
     }
-    let mut out = vec![send[0]; send.len()];
-    out[me * chunk..(me + 1) * chunk].copy_from_slice(&send[me * chunk..(me + 1) * chunk]);
-    for i in 0..p {
-        if i == me {
-            continue;
+    let s = sub_chunks.clamp(1, seg_len);
+    for round in 0..s {
+        let r = sub_range(seg_len, s, round);
+        for j in 0..p {
+            if j == me {
+                continue;
+            }
+            ctx.send_with::<T>(comm.base + j, r.len(), |wire| {
+                pack(data, j, r.clone(), wire)
+            });
         }
-        let data: Vec<T> = ctx.recv_vec(comm.base + i);
-        assert_eq!(data.len(), chunk, "chunk size mismatch from {i}");
-        out[i * chunk..(i + 1) * chunk].copy_from_slice(&data);
+        for i in 0..p {
+            if i == me {
+                continue;
+            }
+            ctx.recv_with::<T, ()>(comm.base + i, |wire| {
+                assert_eq!(wire.len(), r.len(), "sub-chunk size mismatch from {i}");
+                unpack(data, i, r.clone(), wire);
+            });
+        }
     }
+}
+
+/// All-to-all into caller-provided storage: `send` is split into
+/// `comm.size` equal segments, segment `j` goes to group member `j`, and
+/// `out` receives the segments in group order — with zero allocations in
+/// steady state and `sub_chunks`-deep pipelining. `send` and `out` must
+/// not alias (use [`all_to_all_inplace`] for the aliased case).
+pub fn all_to_all_into<T: Copy>(
+    ctx: &mut RankCtx,
+    comm: Communicator,
+    send: &[T],
+    out: &mut [T],
+    sub_chunks: usize,
+) {
+    let p = comm.size;
+    assert_eq!(send.len() % p, 0, "payload not divisible into {p} chunks");
+    assert_eq!(out.len(), send.len(), "output length mismatch");
+    let seg = send.len() / p;
+    let me = comm.local_index(ctx.rank());
+    out[me * seg..(me + 1) * seg].copy_from_slice(&send[me * seg..(me + 1) * seg]);
+    all_to_all_with::<T, [T]>(
+        ctx,
+        comm,
+        seg,
+        sub_chunks,
+        out,
+        |_, j, r, wire| wire.copy_from_slice(&send[j * seg + r.start..j * seg + r.end]),
+        |out, i, r, wire| out[i * seg + r.start..i * seg + r.end].copy_from_slice(wire),
+    );
+}
+
+/// All-to-all exchanging the segments of `buf` in place (the partial-swap
+/// data path: segment contents swap between ranks without local
+/// reordering, and the self segment stays put untouched).
+pub fn all_to_all_inplace<T: Copy>(
+    ctx: &mut RankCtx,
+    comm: Communicator,
+    buf: &mut [T],
+    sub_chunks: usize,
+) {
+    let p = comm.size;
+    assert_eq!(buf.len() % p, 0, "payload not divisible into {p} chunks");
+    let seg = buf.len() / p;
+    all_to_all_with::<T, [T]>(
+        ctx,
+        comm,
+        seg,
+        sub_chunks,
+        buf,
+        |buf, j, r, wire| wire.copy_from_slice(&buf[j * seg + r.start..j * seg + r.end]),
+        |buf, i, r, wire| buf[i * seg + r.start..i * seg + r.end].copy_from_slice(wire),
+    );
+}
+
+/// All-to-all over `comm` with the classic allocate-and-return signature;
+/// see [`all_to_all_into`] for the allocation-free variant. An empty
+/// payload is a no-op returning an empty vector.
+pub fn all_to_all<T: Copy>(ctx: &mut RankCtx, comm: Communicator, send: &[T]) -> Vec<T> {
+    let mut out = send.to_vec();
+    all_to_all_inplace(ctx, comm, &mut out, 1);
     out
 }
 
@@ -131,12 +236,14 @@ pub fn all_gather_f64(ctx: &mut RankCtx, value: f64) -> Vec<f64> {
         }
         ctx.send_slice(peer, &[value]);
     }
-    for peer in 0..p {
-        if peer == ctx.rank() {
+    let me = ctx.rank();
+    for (peer, slot) in out.iter_mut().enumerate() {
+        if peer == me {
             continue;
         }
-        let v: Vec<f64> = ctx.recv_vec(peer);
-        out[peer] = v[0];
+        let mut got = 0.0;
+        ctx.recv_into(peer, core::slice::from_mut(&mut got));
+        *slot = got;
     }
     out
 }
@@ -192,6 +299,18 @@ mod tests {
     }
 
     #[test]
+    fn all_to_all_empty_payload_is_noop() {
+        // Regression: the previous implementation indexed send[0] to size
+        // its output and panicked on an empty payload.
+        let (results, stats) = run_cluster(4, |ctx| {
+            let send: Vec<u64> = Vec::new();
+            all_to_all(ctx, Communicator::world(ctx), &send)
+        });
+        assert!(results.iter().all(|v| v.is_empty()));
+        assert_eq!(stats.total_bytes_sent, 0);
+    }
+
+    #[test]
     fn all_to_all_is_involution_for_symmetric_layout() {
         // Applying the all-to-all twice restores the original data.
         let (results, _) = run_cluster(4, |ctx| {
@@ -202,6 +321,57 @@ mod tests {
         });
         for (send, twice) in results {
             assert_eq!(send, twice);
+        }
+    }
+
+    #[test]
+    fn all_to_all_into_matches_all_to_all_at_any_depth() {
+        // The pipelined borrowed path must equal the classic collective
+        // regardless of sub-chunk depth (including depths exceeding the
+        // segment, which clamp).
+        for sub_chunks in [1usize, 2, 3, 5, 100] {
+            let (results, stats) = run_cluster(4, |ctx| {
+                let send: Vec<u64> = (0..24).map(|j| (ctx.rank() * 100 + j) as u64).collect();
+                let expect = all_to_all(ctx, Communicator::world(ctx), &send);
+                let mut out = vec![0u64; send.len()];
+                all_to_all_into(ctx, Communicator::world(ctx), &send, &mut out, sub_chunks);
+                (expect, out)
+            });
+            for (expect, out) in results {
+                assert_eq!(expect, out, "sub_chunks={sub_chunks}");
+            }
+            // Sub-chunking splits messages but never changes byte totals:
+            // two all-to-alls of 4 ranks x 3 peers x 6 elements x 8 bytes.
+            assert_eq!(stats.total_bytes_sent, 2 * 4 * 3 * 6 * 8);
+        }
+    }
+
+    #[test]
+    fn all_to_all_inplace_matches_out_of_place() {
+        let (results, _) = run_cluster(8, |ctx| {
+            let comm = Communicator::group_of(ctx.rank(), 4);
+            let send: Vec<u64> = (0..16).map(|j| (ctx.rank() * 100 + j) as u64).collect();
+            let expect = all_to_all(ctx, comm, &send);
+            let mut buf = send.clone();
+            all_to_all_inplace(ctx, comm, &mut buf, 3);
+            (expect, buf)
+        });
+        for (expect, buf) in results {
+            assert_eq!(expect, buf);
+        }
+    }
+
+    #[test]
+    fn sub_ranges_partition_segment() {
+        for (seg, s) in [(10usize, 3usize), (7, 7), (16, 1), (5, 4), (12, 5)] {
+            let mut covered = 0usize;
+            for round in 0..s {
+                let r = sub_range(seg, s, round);
+                assert_eq!(r.start, covered, "rounds must be contiguous");
+                covered = r.end;
+                assert!(r.len() >= seg / s && r.len() <= seg.div_ceil(s));
+            }
+            assert_eq!(covered, seg, "rounds must cover the segment");
         }
     }
 

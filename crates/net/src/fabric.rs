@@ -4,9 +4,14 @@
 //! Channel semantics mirror MPI's per-pair ordering: messages from rank A
 //! to rank B are matched in send order (each side keeps sequence
 //! counters), so collectives built on top are deterministic without
-//! explicit tags. Payloads are raw bytes; [`RankCtx::send_slice`] /
-//! [`RankCtx::recv_vec`] move any `Copy` element type through the fabric
-//! with one memcpy per side.
+//! explicit tags. Payloads are pooled [`WireBuf`]s (8-byte-aligned byte
+//! buffers): a sender packs directly into a recycled buffer via
+//! [`RankCtx::send_with`], the receiver unpacks straight out of it via
+//! [`RankCtx::recv_with`] / [`RankCtx::recv_into`], and the buffer is
+//! returned to the *sender's* pool on consumption — so a steady-state
+//! communication pattern (e.g. the global-swap all-to-alls, which repeat
+//! the same message sizes every swap) performs zero heap allocations
+//! after warm-up. Pool misses are counted in [`FabricStats::wire_allocs`].
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -14,13 +19,93 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
 
+/// An 8-byte-aligned, recyclable message payload.
+///
+/// Backed by `Vec<u64>` so any `Copy` element type with alignment ≤ 8
+/// (bytes, f64, complex amplitudes) can be viewed in place without copies
+/// on either side of the wire.
+pub struct WireBuf {
+    words: Vec<u64>,
+    bytes: usize,
+}
+
+impl WireBuf {
+    fn with_byte_len(bytes: usize) -> Self {
+        Self {
+            words: vec![0u64; bytes.div_ceil(8)],
+            bytes,
+        }
+    }
+
+    /// Usable capacity in bytes (allocation-free up to this size).
+    #[inline]
+    fn capacity_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Set the logical length, growing the backing store if needed.
+    /// Returns true when a (re)allocation was required.
+    fn set_byte_len(&mut self, bytes: usize) -> bool {
+        let grew = bytes > self.capacity_bytes();
+        if grew {
+            self.words.resize(bytes.div_ceil(8), 0);
+        }
+        self.bytes = bytes;
+        grew
+    }
+
+    #[inline]
+    pub fn len_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// View the payload as a typed slice. `T` must be `Copy` with
+    /// alignment ≤ 8 and must divide the payload size exactly.
+    #[inline]
+    pub fn as_slice<T: Copy>(&self) -> &[T] {
+        let sz = check_layout::<T>(self.bytes);
+        // SAFETY: the u64 backing guarantees alignment >= 8 >= align_of::<T>(),
+        // the buffer is fully initialized (zeroed or written), and T is Copy.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const T, self.bytes / sz) }
+    }
+
+    /// Mutable typed view (for packing directly into the wire).
+    #[inline]
+    pub fn as_mut_slice<T: Copy>(&mut self) -> &mut [T] {
+        let sz = check_layout::<T>(self.bytes);
+        // SAFETY: as for `as_slice`; the &mut receiver guarantees uniqueness.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.words.as_mut_ptr() as *mut T, self.bytes / sz)
+        }
+    }
+}
+
+#[inline]
+fn check_layout<T: Copy>(bytes: usize) -> usize {
+    let sz = std::mem::size_of::<T>();
+    assert!(
+        sz > 0 && std::mem::align_of::<T>() <= 8,
+        "wire element must be sized with alignment <= 8"
+    );
+    assert!(bytes.is_multiple_of(sz), "payload size mismatch");
+    sz
+}
+
 /// Per-rank communication counters (bytes actually put on the "wire";
 /// self-copies in collectives are not counted, matching MPI accounting).
 #[derive(Debug, Default)]
 pub struct CommCounters {
     pub bytes_sent: AtomicU64,
-    /// Nanoseconds blocked in communication calls (send/recv/barrier).
+    /// Nanoseconds spent inside communication calls (send/recv/barrier),
+    /// including time spent packing/unpacking payloads — the swap data
+    /// path's total.
     pub comm_nanos: AtomicU64,
+    /// Nanoseconds spent *blocked* (condvar waits for a missing message,
+    /// barrier waits). `comm_nanos − blocked_nanos` is comm-call time that
+    /// did useful work and therefore overlapped with the data path.
+    pub blocked_nanos: AtomicU64,
+    /// Wire-buffer pool misses (a fresh allocation or a grow was needed).
+    pub wire_allocs: AtomicU64,
 }
 
 /// Aggregated statistics returned by [`run_cluster`].
@@ -28,17 +113,38 @@ pub struct CommCounters {
 pub struct FabricStats {
     pub n_ranks: usize,
     pub total_bytes_sent: u64,
-    /// Max over ranks of time blocked in communication, in seconds — the
+    /// Max over ranks of time spent in communication, in seconds — the
     /// number behind Table 2's "Comm." column.
     pub max_comm_seconds: f64,
     /// Mean over ranks of communication seconds.
     pub mean_comm_seconds: f64,
+    /// Max over ranks of time spent *blocked* waiting (not packing or
+    /// unpacking), in seconds.
+    pub max_blocked_seconds: f64,
+    /// Mean over ranks of blocked seconds.
+    pub mean_blocked_seconds: f64,
+    /// Total wire-buffer allocations across ranks; a steady-state
+    /// communication pattern stops allocating after warm-up.
+    pub wire_allocs: u64,
+}
+
+impl FabricStats {
+    /// Fraction of communication time that was overlapped with payload
+    /// work rather than spent blocked: `1 − blocked/total` (mean over
+    /// ranks). 0 when no communication happened.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.mean_comm_seconds <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.mean_blocked_seconds / self.mean_comm_seconds).clamp(0.0, 1.0)
+        }
+    }
 }
 
 type MsgKey = (usize, u64); // (source rank, sequence number)
 
 struct Mailbox {
-    slots: Mutex<HashMap<MsgKey, Vec<u8>>>,
+    slots: Mutex<HashMap<MsgKey, WireBuf>>,
     cv: Condvar,
 }
 
@@ -56,6 +162,10 @@ pub struct Fabric {
     mailboxes: Vec<Mailbox>,
     barrier: Barrier,
     counters: Vec<CommCounters>,
+    /// Recycled wire buffers, indexed by the rank that *sends* with them.
+    /// Receivers return consumed buffers to the original sender's pool, so
+    /// a repeating communication pattern finds right-sized buffers waiting.
+    pools: Vec<Mutex<Vec<WireBuf>>>,
 }
 
 impl Fabric {
@@ -64,7 +174,40 @@ impl Fabric {
             mailboxes: (0..n_ranks).map(|_| Mailbox::new()).collect(),
             barrier: Barrier::new(n_ranks),
             counters: (0..n_ranks).map(|_| CommCounters::default()).collect(),
+            pools: (0..n_ranks).map(|_| Mutex::new(Vec::new())).collect(),
         }
+    }
+
+    /// Take a buffer of `bytes` from `owner`'s pool (best fit), allocating
+    /// or growing (and counting the miss) only when the pool cannot serve.
+    fn take_wire(&self, owner: usize, bytes: usize) -> WireBuf {
+        let mut pool = self.pools[owner].lock();
+        let mut best: Option<usize> = None;
+        for (i, b) in pool.iter().enumerate() {
+            if b.capacity_bytes() >= bytes
+                && best.is_none_or(|j: usize| pool[j].capacity_bytes() > b.capacity_bytes())
+            {
+                best = Some(i);
+            }
+        }
+        let mut buf = match best.or(if pool.is_empty() { None } else { Some(0) }) {
+            Some(i) => pool.swap_remove(i),
+            None => WireBuf {
+                words: Vec::new(),
+                bytes: 0,
+            },
+        };
+        drop(pool);
+        if buf.set_byte_len(bytes) {
+            self.counters[owner]
+                .wire_allocs
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        buf
+    }
+
+    fn return_wire(&self, owner: usize, buf: WireBuf) {
+        self.pools[owner].lock().push(buf);
     }
 }
 
@@ -94,57 +237,102 @@ impl<'a> RankCtx<'a> {
     pub fn barrier(&self) {
         let t0 = Instant::now();
         self.fabric.barrier.wait();
-        self.account_time(t0);
+        let dt = t0.elapsed().as_nanos() as u64;
+        let c = &self.fabric.counters[self.rank];
+        c.comm_nanos.fetch_add(dt, Ordering::Relaxed);
+        c.blocked_nanos.fetch_add(dt, Ordering::Relaxed);
     }
 
-    /// Send raw bytes to `dst` (non-blocking: the mailbox buffers).
-    pub fn send_bytes(&mut self, dst: usize, bytes: Vec<u8>) {
+    /// Send `len` elements to `dst`, letting `fill` pack them directly
+    /// into the (pooled) wire buffer — the zero-copy send path: exactly
+    /// one write of the payload, no allocation in steady state.
+    pub fn send_with<T: Copy>(&mut self, dst: usize, len: usize, fill: impl FnOnce(&mut [T])) {
         assert!(dst < self.n_ranks, "bad destination {dst}");
         assert_ne!(dst, self.rank, "self-sends are plain copies, not messages");
         let t0 = Instant::now();
+        let bytes = len * std::mem::size_of::<T>();
+        let mut buf = self.fabric.take_wire(self.rank, bytes);
+        fill(buf.as_mut_slice::<T>());
         let seq = self.send_seq[dst];
         self.send_seq[dst] += 1;
-        let len = bytes.len() as u64;
         {
             let mb = &self.fabric.mailboxes[dst];
             let mut slots = mb.slots.lock();
-            slots.insert((self.rank, seq), bytes);
+            slots.insert((self.rank, seq), buf);
             mb.cv.notify_all();
         }
         self.fabric.counters[self.rank]
             .bytes_sent
-            .fetch_add(len, Ordering::Relaxed);
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.account_time(t0);
+    }
+
+    /// Receive the next in-order wire buffer from `src` (blocking); the
+    /// buffer is NOT yet recycled — pass it back via `Fabric::return_wire`
+    /// after use. Internal building block for the public recv paths.
+    fn recv_wire(&mut self, src: usize) -> WireBuf {
+        assert!(src < self.n_ranks, "bad source {src}");
+        assert_ne!(src, self.rank, "self-receives are plain copies");
+        let seq = self.recv_seq[src];
+        self.recv_seq[src] += 1;
+        let mb = &self.fabric.mailboxes[self.rank];
+        let mut blocked = 0u64;
+        let mut slots = mb.slots.lock();
+        loop {
+            if let Some(buf) = slots.remove(&(src, seq)) {
+                drop(slots);
+                if blocked > 0 {
+                    self.fabric.counters[self.rank]
+                        .blocked_nanos
+                        .fetch_add(blocked, Ordering::Relaxed);
+                }
+                return buf;
+            }
+            let tb = Instant::now();
+            mb.cv.wait(&mut slots);
+            blocked += tb.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Receive from `src` and unpack directly out of the wire buffer —
+    /// the zero-copy receive path. The buffer returns to `src`'s pool.
+    pub fn recv_with<T: Copy, R>(&mut self, src: usize, consume: impl FnOnce(&[T]) -> R) -> R {
+        let t0 = Instant::now();
+        let buf = self.recv_wire(src);
+        let out = consume(buf.as_slice::<T>());
+        self.fabric.return_wire(src, buf);
+        self.account_time(t0);
+        out
+    }
+
+    /// Receive from `src` into caller-provided storage (one memcpy, no
+    /// allocation). Panics if the payload length differs from `out.len()`.
+    pub fn recv_into<T: Copy>(&mut self, src: usize, out: &mut [T]) {
+        self.recv_with::<T, ()>(src, |wire| {
+            assert_eq!(wire.len(), out.len(), "payload length mismatch from {src}");
+            out.copy_from_slice(wire);
+        });
+    }
+
+    /// Send raw bytes to `dst` (non-blocking: the mailbox buffers).
+    pub fn send_bytes(&mut self, dst: usize, bytes: Vec<u8>) {
+        self.send_with::<u8>(dst, bytes.len(), |wire| wire.copy_from_slice(&bytes));
     }
 
     /// Receive the next in-order message from `src` (blocking).
     pub fn recv_bytes(&mut self, src: usize) -> Vec<u8> {
-        assert!(src < self.n_ranks, "bad source {src}");
-        assert_ne!(src, self.rank, "self-receives are plain copies");
-        let t0 = Instant::now();
-        let seq = self.recv_seq[src];
-        self.recv_seq[src] += 1;
-        let mb = &self.fabric.mailboxes[self.rank];
-        let mut slots = mb.slots.lock();
-        loop {
-            if let Some(bytes) = slots.remove(&(src, seq)) {
-                drop(slots);
-                self.account_time(t0);
-                return bytes;
-            }
-            mb.cv.wait(&mut slots);
-        }
+        self.recv_with::<u8, Vec<u8>>(src, |wire| wire.to_vec())
     }
 
-    /// Send a typed slice (one memcpy into the wire buffer).
+    /// Send a typed slice (one memcpy into the pooled wire buffer).
     pub fn send_slice<T: Copy>(&mut self, dst: usize, data: &[T]) {
-        self.send_bytes(dst, slice_to_bytes(data));
+        self.send_with::<T>(dst, data.len(), |wire| wire.copy_from_slice(data));
     }
 
     /// Receive a typed vector; panics if the payload size is not a
     /// multiple of `size_of::<T>()`.
     pub fn recv_vec<T: Copy>(&mut self, src: usize) -> Vec<T> {
-        bytes_to_vec(self.recv_bytes(src))
+        self.recv_with::<T, Vec<T>>(src, |wire| wire.to_vec())
     }
 
     /// Symmetric pairwise exchange: send to and receive from `partner`.
@@ -152,6 +340,17 @@ impl<'a> RankCtx<'a> {
     pub fn exchange<T: Copy>(&mut self, partner: usize, data: &[T]) -> Vec<T> {
         self.send_slice(partner, data);
         self.recv_vec(partner)
+    }
+
+    /// Stock this rank's wire pool with `count` buffers of `bytes` each,
+    /// so a known upcoming communication pattern never allocates — used by
+    /// the allocation-freedom test and available to latency-sensitive
+    /// callers.
+    pub fn prewarm_wire(&mut self, bytes: usize, count: usize) {
+        for _ in 0..count {
+            let buf = WireBuf::with_byte_len(bytes);
+            self.fabric.return_wire(self.rank, buf);
+        }
     }
 
     pub(crate) fn account_time(&self, t0: Instant) {
@@ -167,12 +366,27 @@ impl<'a> RankCtx<'a> {
             .load(Ordering::Relaxed)
     }
 
-    /// Seconds this rank has spent blocked in communication so far.
+    /// Seconds this rank has spent in communication so far.
     pub fn comm_seconds(&self) -> f64 {
         self.fabric.counters[self.rank]
             .comm_nanos
             .load(Ordering::Relaxed) as f64
             / 1e9
+    }
+
+    /// Seconds this rank has spent blocked (waiting, not packing) so far.
+    pub fn blocked_seconds(&self) -> f64 {
+        self.fabric.counters[self.rank]
+            .blocked_nanos
+            .load(Ordering::Relaxed) as f64
+            / 1e9
+    }
+
+    /// Wire-buffer allocations charged to this rank so far.
+    pub fn wire_allocs(&self) -> u64 {
+        self.fabric.counters[self.rank]
+            .wire_allocs
+            .load(Ordering::Relaxed)
     }
 }
 
@@ -183,7 +397,10 @@ where
     T: Send,
     F: Fn(&mut RankCtx) -> T + Sync,
 {
-    assert!(n_ranks >= 1 && n_ranks.is_power_of_two(), "rank count must be 2^g");
+    assert!(
+        n_ranks >= 1 && n_ranks.is_power_of_two(),
+        "rank count must be 2^g"
+    );
     let fabric = Fabric::new(n_ranks);
     let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -219,11 +436,23 @@ where
         .iter()
         .map(|c| c.comm_nanos.load(Ordering::Relaxed) as f64 / 1e9)
         .collect();
+    let blocked_secs: Vec<f64> = fabric
+        .counters
+        .iter()
+        .map(|c| c.blocked_nanos.load(Ordering::Relaxed) as f64 / 1e9)
+        .collect();
     let stats = FabricStats {
         n_ranks,
         total_bytes_sent: total_bytes,
         max_comm_seconds: comm_secs.iter().cloned().fold(0.0, f64::max),
         mean_comm_seconds: comm_secs.iter().sum::<f64>() / n_ranks as f64,
+        max_blocked_seconds: blocked_secs.iter().cloned().fold(0.0, f64::max),
+        mean_blocked_seconds: blocked_secs.iter().sum::<f64>() / n_ranks as f64,
+        wire_allocs: fabric
+            .counters
+            .iter()
+            .map(|c| c.wire_allocs.load(Ordering::Relaxed))
+            .sum(),
     };
     (results.into_iter().map(|r| r.unwrap()).collect(), stats)
 }
@@ -242,7 +471,10 @@ pub fn slice_to_bytes<T: Copy>(data: &[T]) -> Vec<u8> {
 /// Inverse of [`slice_to_bytes`].
 pub fn bytes_to_vec<T: Copy>(bytes: Vec<u8>) -> Vec<T> {
     let sz = std::mem::size_of::<T>();
-    assert!(sz > 0 && bytes.len().is_multiple_of(sz), "payload size mismatch");
+    assert!(
+        sz > 0 && bytes.len().is_multiple_of(sz),
+        "payload size mismatch"
+    );
     let n = bytes.len() / sz;
     let mut out = Vec::<T>::with_capacity(n);
     // SAFETY: T is Copy; we copy bytes of exactly n elements into the
@@ -330,7 +562,96 @@ mod tests {
             "blocked recv must be accounted: {}",
             stats.max_comm_seconds
         );
+        assert!(
+            stats.max_blocked_seconds > 0.01,
+            "the wait must show up as blocked time: {}",
+            stats.max_blocked_seconds
+        );
         assert_eq!(stats.total_bytes_sent, 1024);
+    }
+
+    #[test]
+    fn send_with_recv_into_round_trip() {
+        let (results, stats) = run_cluster(2, |ctx| {
+            let partner = 1 - ctx.rank();
+            let base = (ctx.rank() * 100) as u64;
+            ctx.send_with::<u64>(partner, 16, |wire| {
+                for (i, w) in wire.iter_mut().enumerate() {
+                    *w = base + i as u64;
+                }
+            });
+            let mut out = [0u64; 16];
+            ctx.recv_into(partner, &mut out);
+            out
+        });
+        for (r, out) in results.iter().enumerate() {
+            let base = ((1 - r) * 100) as u64;
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, base + i as u64);
+            }
+        }
+        assert_eq!(stats.total_bytes_sent, 2 * 16 * 8);
+    }
+
+    #[test]
+    fn wire_buffers_are_recycled() {
+        // A repeating message pattern must stop allocating once warm: the
+        // receiver returns each consumed buffer to the sender's pool.
+        let (allocs, stats) = run_cluster(2, |ctx| {
+            let partner = 1 - ctx.rank();
+            for round in 0..20u64 {
+                ctx.send_with::<u64>(partner, 64, |wire| wire.fill(round));
+                ctx.recv_with::<u64, ()>(partner, |wire| {
+                    assert!(wire.iter().all(|&v| v == round));
+                });
+                ctx.barrier(); // buffer is back in the pool before next round
+            }
+            ctx.wire_allocs()
+        });
+        for &a in &allocs {
+            assert!(a <= 2, "steady-state sends must reuse buffers: {a} allocs");
+        }
+        assert_eq!(stats.wire_allocs, allocs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn prewarm_eliminates_allocations() {
+        let (allocs, _) = run_cluster(2, |ctx| {
+            let partner = 1 - ctx.rank();
+            ctx.prewarm_wire(64 * 8, 4);
+            for round in 0..8u64 {
+                ctx.send_with::<u64>(partner, 64, |wire| wire.fill(round));
+                let mut out = [0u64; 64];
+                ctx.recv_into(partner, &mut out);
+                assert!(out.iter().all(|&v| v == round));
+            }
+            ctx.wire_allocs()
+        });
+        assert_eq!(allocs, vec![0, 0], "prewarmed pools must never allocate");
+    }
+
+    #[test]
+    fn empty_message_round_trips() {
+        let (results, stats) = run_cluster(2, |ctx| {
+            let partner = 1 - ctx.rank();
+            ctx.send_slice::<u64>(partner, &[]);
+            ctx.recv_vec::<u64>(partner)
+        });
+        assert!(results.iter().all(|v| v.is_empty()));
+        assert_eq!(stats.total_bytes_sent, 0);
+    }
+
+    #[test]
+    fn overlap_fraction_is_sane() {
+        let (_, stats) = run_cluster(2, |ctx| {
+            let partner = 1 - ctx.rank();
+            ctx.exchange(partner, &[0u8; 4096]);
+        });
+        let f = stats.overlap_fraction();
+        assert!(
+            (0.0..=1.0).contains(&f),
+            "overlap fraction {f} out of range"
+        );
     }
 
     #[test]

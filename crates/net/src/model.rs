@@ -128,7 +128,10 @@ mod tests {
         let (total, comm_frac) = m.project_run(bytes_per_node, 2, flops_per_node, 8192);
         // The paper reports 553 s at 78 % communication: the projection
         // must land in the same communication-dominated regime.
-        assert!(comm_frac > 0.6 && comm_frac < 0.9, "comm fraction {comm_frac}");
+        assert!(
+            comm_frac > 0.6 && comm_frac < 0.9,
+            "comm fraction {comm_frac}"
+        );
         assert!(total > 300.0 && total < 1200.0, "total {total}");
     }
 }

@@ -145,7 +145,12 @@ impl ChunkStore {
 
     /// Read a sub-range `[off, off+len)` of chunk `c` (for the external
     /// all-to-all's gather pass).
-    pub fn read_chunk_range(&mut self, c: usize, off: usize, len: usize) -> std::io::Result<Vec<c64>> {
+    pub fn read_chunk_range(
+        &mut self,
+        c: usize,
+        off: usize,
+        len: usize,
+    ) -> std::io::Result<Vec<c64>> {
         assert!(off + len <= self.chunk_len());
         let mut f = File::open(self.chunk_path(c))?;
         f.seek(SeekFrom::Start((off * 16) as u64))?;
@@ -174,6 +179,34 @@ impl ChunkStore {
         assert_eq!(amps.len(), self.chunk_len(), "chunk size mismatch");
         let bytes = amps_to_bytes(amps);
         let mut f = File::create(self.staged_path(c))?;
+        f.write_all(&bytes)?;
+        self.stats.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Write a sub-range of the staged (shadow) copy of chunk `c`,
+    /// creating and sizing the staged file on first touch. The fused
+    /// external all-to-all assembles each destination piece-by-piece this
+    /// way, so no full destination chunk is ever held in memory during
+    /// the scatter pass.
+    pub fn write_staged_range(
+        &mut self,
+        c: usize,
+        off: usize,
+        amps: &[c64],
+    ) -> std::io::Result<()> {
+        assert!(off + amps.len() <= self.chunk_len());
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(self.staged_path(c))?;
+        let want = (self.chunk_len() * 16) as u64;
+        if f.metadata()?.len() < want {
+            f.set_len(want)?;
+        }
+        f.seek(SeekFrom::Start((off * 16) as u64))?;
+        let bytes = amps_to_bytes(amps);
         f.write_all(&bytes)?;
         self.stats.bytes_written += bytes.len() as u64;
         Ok(())
@@ -287,6 +320,25 @@ mod tests {
         let full = store.read_chunk(1).unwrap();
         assert_eq!(full[7], c64::zero());
         assert_eq!(full[12], c64::zero());
+        store.remove_files().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn staged_range_assembly_commits_atomically() {
+        let dir = tmpdir("staged_range");
+        let mut store = ChunkStore::create_filled(&dir, 3, 1, c64::one()).unwrap();
+        // Assemble chunk 0's shadow from two half-chunk pieces, out of
+        // order; the live chunk must be untouched until commit.
+        let hi = vec![c64::new(2.0, 0.0); 4];
+        let lo = vec![c64::new(3.0, 0.0); 4];
+        store.write_staged_range(0, 4, &hi).unwrap();
+        store.write_staged_range(0, 0, &lo).unwrap();
+        assert_eq!(store.read_chunk(0).unwrap(), vec![c64::one(); 8]);
+        store.commit_staged().unwrap();
+        let got = store.read_chunk(0).unwrap();
+        assert_eq!(&got[..4], &lo[..]);
+        assert_eq!(&got[4..], &hi[..]);
         store.remove_files().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -3,21 +3,26 @@
 //! Mirrors `qsim_core::dist::run_rank` with chunk files in place of
 //! ranks: every stage streams the chunks through memory one at a time
 //! (clusters + rank-conditional diagonals), and each global-to-local swap
-//! runs as an external all-to-all:
+//! runs as a *fused* external all-to-all — the same data path as the
+//! in-memory `perform_swap`, with file ranges as the network:
 //!
-//! 1. per chunk: load, apply the slots→top local permutation, store;
-//! 2. transpose pass: destination chunk `j` is assembled from piece `j`
-//!    of every source chunk (exactly Fig. 3's block exchange, with file
-//!    ranges as the network);
-//! 3. per chunk: load, apply the inverse permutation, store.
+//! 1. fused permute-scatter: each source chunk is read once and its
+//!    permuted piece for every destination is gathered straight into the
+//!    destination's staged file (no standalone permutation pass);
+//! 2. fused gather-unpermute: each committed chunk is read once and the
+//!    inverse permutation applied on the way back out (skipped entirely
+//!    when the slots already sit at the top positions).
 //!
-//! Disk traffic per swap is ~4 state reads+writes — constant, which is
-//! why the paper's 2-swap schedules make SSD-resident states viable (§5).
+//! Disk traffic per swap is thus ≤ 2 state reads + 2 state writes (the
+//! classic permute/transpose/unpermute pipeline takes 6 traversals) —
+//! constant per swap, which is why the paper's 2-swap schedules make
+//! SSD-resident states viable (§5).
 
 use crate::chunkstore::ChunkStore;
 use qsim_core::dist::{apply_rank_diagonal, physical_to_logical, slots_to_top_permutation};
 use qsim_core::StateVector;
 use qsim_kernels::apply::KernelConfig;
+use qsim_kernels::parallel::par_gather;
 use qsim_sched::{Schedule, StageOp, SwapOp};
 use qsim_util::c64;
 use std::path::Path;
@@ -37,7 +42,6 @@ pub struct OocOutcome {
 pub struct OocSimulator {
     pub kernel: KernelConfig,
 }
-
 
 impl OocSimulator {
     /// Execute `schedule` against a chunk store rooted at `dir`.
@@ -114,48 +118,60 @@ impl OocSimulator {
     }
 }
 
-/// The external all-to-all realizing one full global-to-local swap.
-fn external_swap(store: &mut ChunkStore, swap: &SwapOp, kernel: &KernelConfig) -> std::io::Result<()> {
+/// The fused external all-to-all realizing one full global-to-local swap.
+///
+/// Writing `p` for the slots→top permutation and `q = p⁻¹`, destination
+/// chunk `d` must end up holding `final[x] = chunk_{p(x) >> l'}[q(...)]`
+/// — concretely, piece `s` of `d`'s exchange buffer is
+/// `buf[s·piece + t] = chunk_s[q(d·piece + t)]`, and the final contents
+/// are `final[x] = buf[p(x)]`. Pass 1 produces every `buf` piece directly
+/// from a single streaming read of each source chunk (fused
+/// permute-scatter into staged file ranges); pass 2 applies the `p`-gather
+/// on the way back out (fused gather-unpermute), and is skipped when `p`
+/// is the identity.
+fn external_swap(
+    store: &mut ChunkStore,
+    swap: &SwapOp,
+    kernel: &KernelConfig,
+) -> std::io::Result<()> {
     let l = store.local_qubits();
     let g = store.global_qubits();
     assert_eq!(swap.local_slots.len(), g as usize, "full swap expected");
     let perm = slots_to_top_permutation(&swap.local_slots, l);
     let _ = kernel;
 
-    // Pass 1: local permutation per chunk (slots -> top positions).
-    if !perm.is_identity() {
-        for c in 0..store.n_chunks() {
-            let amps = store.read_chunk(c)?;
-            let mut state = StateVector::from_amplitudes(amps);
-            state.permute_qubits(&perm);
-            store.write_chunk(c, state.amplitudes())?;
-        }
-    }
-
-    // Pass 2: block transpose — destination chunk j gets piece j of every
-    // source chunk (source piece ranges are contiguous: the top g local
-    // bits select the piece).
     let n_chunks = store.n_chunks();
     let piece = store.chunk_len() / n_chunks;
-    for dst in 0..n_chunks {
-        let mut assembled = Vec::with_capacity(store.chunk_len());
-        for src in 0..n_chunks {
-            assembled.extend(store.read_chunk_range(src, dst * piece, piece)?);
+    let inv = perm.inverse();
+
+    // Pass 1: fused permute-scatter. Each source chunk is read exactly
+    // once; its permuted piece for destination `dst` lands at offset
+    // `src·piece` of `dst`'s staged file. Staging keeps the live chunks
+    // readable until the whole exchange is assembled; commit renames
+    // everything at once.
+    let mut wire = vec![c64::zero(); piece];
+    for src in 0..n_chunks {
+        let chunk = store.read_chunk(src)?;
+        for dst in 0..n_chunks {
+            if perm.is_identity() {
+                wire.copy_from_slice(&chunk[dst * piece..(dst + 1) * piece]);
+            } else {
+                par_gather(&chunk, &mut wire, |t| inv.apply(dst * piece + t));
+            }
+            store.write_staged_range(dst, src * piece, &wire)?;
         }
-        // Stage under a shadow name so later destinations can still read
-        // the original sources; commit renames everything at once.
-        store.write_staged(dst, &assembled)?;
     }
     store.commit_staged()?;
 
-    // Pass 3: inverse permutation places incoming qubits at the slots.
+    // Pass 2: fused gather-unpermute — `final[x] = buf[p(x)]` places the
+    // incoming qubits at the swap's slots. An identity permutation means
+    // the staged assembly is already final.
     if !perm.is_identity() {
-        let inv = perm.inverse();
-        for c in 0..store.n_chunks() {
-            let amps = store.read_chunk(c)?;
-            let mut state = StateVector::from_amplitudes(amps);
-            state.permute_qubits(&inv);
-            store.write_chunk(c, state.amplitudes())?;
+        let mut fin = vec![c64::zero(); store.chunk_len()];
+        for c in 0..n_chunks {
+            let buf = store.read_chunk(c)?;
+            par_gather(&buf, &mut fin, |x| perm.apply(x));
+            store.write_chunk(c, &fin)?;
         }
     }
     Ok(())
@@ -223,11 +239,11 @@ mod tests {
         };
         let out = sim.run(&dir, &schedule, uniform).unwrap();
         let state_bytes = (1u64 << 12) * 16;
-        // Budget: init write + per-stage stream (r+w) + per-swap ~4x
-        // (perm r+w, transpose r+w, inverse perm r+w) + final read.
+        // Budget: init write + per-stage stream (r+w) + per-swap fused
+        // exchange (scatter r+w, unpermute r+w) + final read.
         let stages = schedule.stages.len() as u64;
         let swaps = schedule.n_swaps() as u64;
-        let budget = state_bytes * (1 + 2 * stages + 6 * swaps + 1 + 1);
+        let budget = state_bytes * (1 + 2 * stages + 4 * swaps + 1 + 1);
         let total = out.io.bytes_read + out.io.bytes_written;
         assert!(
             total <= budget,

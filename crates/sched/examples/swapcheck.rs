@@ -7,12 +7,23 @@
 //! ```
 
 use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
-use qsim_sched::{plan, SchedulerConfig, global_gate_count};
+use qsim_sched::{global_gate_count, plan, SchedulerConfig};
 use std::time::Instant;
 fn main() {
-    for (r, c, l) in [(6u32,5u32,29u32), (6,6,30), (7,6,30), (9,5,30), (7,7,30)] {
-        let n = r*c;
-        let circ = supremacy_circuit(&SupremacySpec { rows: r, cols: c, depth: 25, seed: 0 });
+    for (r, c, l) in [
+        (6u32, 5u32, 29u32),
+        (6, 6, 30),
+        (7, 6, 30),
+        (9, 5, 30),
+        (7, 7, 30),
+    ] {
+        let n = r * c;
+        let circ = supremacy_circuit(&SupremacySpec {
+            rows: r,
+            cols: c,
+            depth: 25,
+            seed: 0,
+        });
         let t0 = Instant::now();
         let s = plan(&circ, &SchedulerConfig::distributed(l.min(n), 4));
         let mut cfg_m = SchedulerConfig::distributed(l.min(n), 4);

@@ -131,7 +131,10 @@ pub fn build_stage_ops(
             }
             let gi = stage_gates[pos];
             if is_global_diag(gi) {
-                debug_assert!(circuit.gates()[gi].is_diagonal(), "global dense gate in stage");
+                debug_assert!(
+                    circuit.gates()[gi].is_diagonal(),
+                    "global dense gate in stage"
+                );
                 let (positions, diag) = diagonal_of(&circuit.gates()[gi], mapping);
                 ops.push(StageOp::Diagonal(DiagonalOp {
                     positions,

@@ -40,8 +40,9 @@ pub fn embed_gate(g: &Gate, cluster_qubits: &[u32], mapping: &[u32]) -> GateMatr
             cluster_qubits
                 .iter()
                 .position(|&cq| cq == p)
-                .unwrap_or_else(|| panic!("gate qubit {q} (phys {p}) outside cluster {cluster_qubits:?}"))
-                as u32
+                .unwrap_or_else(|| {
+                    panic!("gate qubit {q} (phys {p}) outside cluster {cluster_qubits:?}")
+                }) as u32
         })
         .collect();
     let m: GateMatrix<f64> = g.matrix();
@@ -68,13 +69,18 @@ mod tests {
     use qsim_util::Complex;
 
     /// Apply a fused cluster matrix to a dense state (test helper).
-    fn apply_matrix_dense(state: &mut Vec<Complex<f64>>, n: u32, qubits: &[u32], m: &GateMatrix<f64>) {
+    fn apply_matrix_dense(
+        state: &mut Vec<Complex<f64>>,
+        n: u32,
+        qubits: &[u32],
+        m: &GateMatrix<f64>,
+    ) {
         let big = m.embed(n, qubits);
         let d = state.len();
         let mut out = vec![Complex::zero(); d];
         for (r, o) in out.iter_mut().enumerate() {
-            for c in 0..d {
-                *o += big.get(r, c) * state[c];
+            for (c, &s) in state.iter().enumerate() {
+                *o += big.get(r, c) * s;
             }
         }
         *state = out;
@@ -83,12 +89,7 @@ mod tests {
     #[test]
     fn fusion_equals_sequential_application() {
         // H(0), CZ(0,1), T(1), X^1/2(0) fused over cluster {0,1}.
-        let gates = vec![
-            Gate::H(0),
-            Gate::CZ(0, 1),
-            Gate::T(1),
-            Gate::SqrtX(0),
-        ];
+        let gates = vec![Gate::H(0), Gate::CZ(0, 1), Gate::T(1), Gate::SqrtX(0)];
         let mapping = vec![0u32, 1, 2];
         let refs: Vec<(usize, &Gate)> = gates.iter().enumerate().collect();
         let fused = fuse_gates(&refs, &[0, 1], &mapping);

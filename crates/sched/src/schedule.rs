@@ -170,16 +170,25 @@ impl Schedule {
             // Mapping must be a bijection.
             let mut seen = vec![false; n as usize];
             for &p in &stage.mapping {
-                assert!((p as usize) < n as usize && !seen[p as usize], "stage {si} mapping not bijective");
+                assert!(
+                    (p as usize) < n as usize && !seen[p as usize],
+                    "stage {si} mapping not bijective"
+                );
                 seen[p as usize] = true;
             }
             // Mapping continuity: stage 0 free; later stages must equal
             // the previous mapping transformed by the previous swap.
             if let Some(prev) = mapping {
                 let stage_prev = &self.stages[si - 1];
-                let swap = stage_prev.swap.as_ref().expect("interior stage missing swap");
+                let swap = stage_prev
+                    .swap
+                    .as_ref()
+                    .expect("interior stage missing swap");
                 let expected = apply_swap_to_mapping(prev, swap, l, g);
-                assert_eq!(stage.mapping, expected, "stage {si} mapping inconsistent with swap");
+                assert_eq!(
+                    stage.mapping, expected,
+                    "stage {si} mapping inconsistent with swap"
+                );
             }
             for (oi, op) in stage.ops.iter().enumerate() {
                 match op {
@@ -193,18 +202,33 @@ impl Schedule {
                             .max()
                             .unwrap_or(0);
                         let cap = (self.kmax as usize).max(widest);
-                        assert!(!c.qubits.is_empty() && c.qubits.len() <= cap,
-                            "stage {si} op {oi}: cluster size {}", c.qubits.len());
-                        assert!(c.qubits.windows(2).all(|w| w[0] < w[1]), "cluster qubits unsorted");
-                        assert!(c.qubits.iter().all(|&q| q < l), "cluster touches global position");
+                        assert!(
+                            !c.qubits.is_empty() && c.qubits.len() <= cap,
+                            "stage {si} op {oi}: cluster size {}",
+                            c.qubits.len()
+                        );
+                        assert!(
+                            c.qubits.windows(2).all(|w| w[0] < w[1]),
+                            "cluster qubits unsorted"
+                        );
+                        assert!(
+                            c.qubits.iter().all(|&q| q < l),
+                            "cluster touches global position"
+                        );
                         assert_eq!(c.matrix.k() as usize, c.qubits.len(), "matrix arity");
-                        assert!(c.matrix.unitarity_residual() < 1e-9, "cluster matrix not unitary");
+                        assert!(
+                            c.matrix.unitarity_residual() < 1e-9,
+                            "cluster matrix not unitary"
+                        );
                         for &gi in &c.gate_indices {
                             // Gate qubits must lie inside the cluster under
                             // the stage mapping.
                             for q in circuit.gates()[gi].qubits() {
                                 let p = stage.mapping[q as usize];
-                                assert!(c.qubits.contains(&p), "stage {si} gate {gi}: qubit outside cluster");
+                                assert!(
+                                    c.qubits.contains(&p),
+                                    "stage {si} gate {gi}: qubit outside cluster"
+                                );
                             }
                             tracker.execute(gi); // panics if out of order
                         }
@@ -212,7 +236,10 @@ impl Schedule {
                     StageOp::Diagonal(d) => {
                         assert_eq!(d.diag.len(), 1usize << d.positions.len(), "diag size");
                         for &gi in &d.gate_indices {
-                            assert!(circuit.gates()[gi].is_diagonal(), "non-diagonal gate {gi} in diagonal op");
+                            assert!(
+                                circuit.gates()[gi].is_diagonal(),
+                                "non-diagonal gate {gi} in diagonal op"
+                            );
                             tracker.execute(gi);
                         }
                     }
@@ -220,14 +247,24 @@ impl Schedule {
             }
             if let Some(swap) = &stage.swap {
                 assert_eq!(swap.local_slots.len(), g as usize, "swap arity");
-                assert!(swap.local_slots.windows(2).all(|w| w[0] < w[1]), "swap slots unsorted");
-                assert!(swap.local_slots.iter().all(|&s| s < l), "swap slot not local");
+                assert!(
+                    swap.local_slots.windows(2).all(|w| w[0] < w[1]),
+                    "swap slots unsorted"
+                );
+                assert!(
+                    swap.local_slots.iter().all(|&s| s < l),
+                    "swap slot not local"
+                );
             } else {
                 assert_eq!(si, self.stages.len() - 1, "missing swap on interior stage");
             }
             mapping = Some(&stage.mapping);
         }
-        assert!(tracker.is_done(), "{} gates never scheduled", tracker.n_remaining());
+        assert!(
+            tracker.is_done(),
+            "{} gates never scheduled",
+            tracker.n_remaining()
+        );
     }
 }
 

@@ -46,7 +46,6 @@ pub fn plan(circuit: &Circuit, cfg: &SchedulerConfig) -> Schedule {
         ..*cfg
     };
 
-
     let treat_dense = dense_for_scheduling(circuit, cfg);
     let mapping = initial_mapping(circuit, cfg, &treat_dense);
 
@@ -272,14 +271,24 @@ fn greedy_stages(
         }
         if stage_gates.is_empty() {
             stalls += 1;
-            assert!(stalls < 6, "scheduler livelock: swaps do not unblock the frontier");
+            assert!(
+                stalls < 6,
+                "scheduler livelock: swaps do not unblock the frontier"
+            );
         } else {
             stalls = 0;
         }
         // Alternate protection/eviction on consecutive stalls: the
         // eviction swap is step one of the two-swap juggle for blocked
         // wide gates (see basic_swap).
-        let swap = basic_swap(circuit, &tracker, &mapping, cfg, treat_dense, stalls % 2 == 1);
+        let swap = basic_swap(
+            circuit,
+            &tracker,
+            &mapping,
+            cfg,
+            treat_dense,
+            stalls % 2 == 1,
+        );
         let next = apply_swap_to_mapping(&mapping, &swap, l, g);
         out.push((stage_gates, Some(swap), mapping.clone()));
         mapping = next;
@@ -385,8 +394,13 @@ impl SwapSearch<'_> {
                 return;
             }
         }
-        let stage_gates =
-            collect_stage(self.circuit, &mut tracker, &mapping, self.cfg, self.treat_dense);
+        let stage_gates = collect_stage(
+            self.circuit,
+            &mut tracker,
+            &mapping,
+            self.cfg,
+            self.treat_dense,
+        );
         if tracker.is_done() {
             acc.push((stage_gates, None, mapping));
             let swaps = acc.iter().filter(|s| s.1.is_some()).count();
@@ -410,7 +424,11 @@ impl SwapSearch<'_> {
             }
             let mut acc2 = acc.clone();
             acc2.push((stage_gates.clone(), Some(swap), mapping.clone()));
-            let streak = if stage_gates.is_empty() { empty_streak + 1 } else { 0 };
+            let streak = if stage_gates.is_empty() {
+                empty_streak + 1
+            } else {
+                0
+            };
             self.dfs(tracker.clone(), next, acc2, streak);
         }
     }
@@ -483,9 +501,8 @@ fn candidate_swaps(
     // Nearly-finished score: invert remaining counts (fewer = better
     // global candidate = larger score).
     let max_rem = circuit.len() + 1;
-    let invert = |v: &[usize]| -> Vec<usize> {
-        v.iter().map(|&r| max_rem.saturating_sub(r)).collect()
-    };
+    let invert =
+        |v: &[usize]| -> Vec<usize> { v.iter().map(|&r| max_rem.saturating_sub(r)).collect() };
     let mut candidates: Vec<Vec<u32>> = vec![
         build_mapping_from_scores(&next_need, n, l),
         build_mapping_from_scores(&invert(&remaining_need), n, l),
@@ -513,7 +530,7 @@ fn candidate_swaps(
             (done as usize, gates, m)
         })
         .collect();
-    scored.sort_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+    scored.sort_by_key(|s| (std::cmp::Reverse(s.0), std::cmp::Reverse(s.1)));
     let mut out: Vec<SwapOp> = Vec::new();
     for (_, _, target) in scored {
         let swap = mapping_pair_to_swap(mapping, &target, l, g);
@@ -706,7 +723,10 @@ mod tests {
             let c = spec(4, 4, depth);
             let s = plan(&c, &SchedulerConfig::distributed(12, 4));
             s.verify(&c);
-            assert!(s.n_swaps() + 1 >= prev, "depth {depth}: swaps dropped sharply");
+            assert!(
+                s.n_swaps() + 1 >= prev,
+                "depth {depth}: swaps dropped sharply"
+            );
             prev = s.n_swaps();
         }
     }

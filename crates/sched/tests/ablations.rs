@@ -63,7 +63,10 @@ fn swap_adjustment_does_not_hurt_cluster_quality() {
     let without = plan(&c, &cfg);
     with.verify(&c);
     without.verify(&c);
-    assert!(with.n_swaps() == without.n_swaps(), "adjustment must not change swaps");
+    assert!(
+        with.n_swaps() == without.n_swaps(),
+        "adjustment must not change swaps"
+    );
     assert!(
         with.gates_per_cluster() >= without.gates_per_cluster() - 0.5,
         "adjustment hurt clustering: {:.2} vs {:.2}",

@@ -85,10 +85,7 @@ impl IndexExpander {
         for w in sorted.windows(2) {
             assert_ne!(w[0], w[1], "duplicate qubit position {}", w[0]);
         }
-        let steps = sorted
-            .iter()
-            .map(|&p| (((1usize << p) - 1), p))
-            .collect();
+        let steps = sorted.iter().map(|&p| (((1usize << p) - 1), p)).collect();
         let strides = positions.iter().map(|&p| 1usize << p).collect();
         Self { steps, strides }
     }
@@ -278,7 +275,7 @@ mod tests {
         // 4 offsets each must cover 0..32 exactly once.
         let e = IndexExpander::new(&[3, 1]);
         assert_eq!(e.k(), 2);
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for c in 0..8 {
             let base = e.expand(c);
             // Base has zeros at gate positions.

@@ -149,6 +149,8 @@ impl<T: Real> Mul for Complex<T> {
 impl<T: Real> Div for Complex<T> {
     type Output = Self;
     #[inline]
+    // z / w computed as z * w⁻¹ — intentional, not a typo'd operator.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

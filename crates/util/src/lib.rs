@@ -20,6 +20,6 @@ pub mod stats;
 
 pub use align::AlignedVec;
 pub use complex::{c32, c64, Complex};
-pub use precision::Real;
 pub use matrix::GateMatrix;
+pub use precision::Real;
 pub use rng::{SplitMix64, Xoshiro256};

@@ -131,7 +131,11 @@ impl<T: Real> GateMatrix<T> {
         let mut worst = T::ZERO;
         for i in 0..d {
             for j in 0..d {
-                let expect = if i == j { Complex::one() } else { Complex::zero() };
+                let expect = if i == j {
+                    Complex::one()
+                } else {
+                    Complex::zero()
+                };
                 worst = worst.max_val((prod.get(i, j) - expect).abs());
             }
         }
@@ -262,10 +266,7 @@ mod tests {
     }
 
     fn x() -> GateMatrix<f64> {
-        GateMatrix::from_rows(
-            1,
-            vec![c64::zero(), c64::one(), c64::one(), c64::zero()],
-        )
+        GateMatrix::from_rows(1, vec![c64::zero(), c64::one(), c64::one(), c64::zero()])
     }
 
     fn cz() -> GateMatrix<f64> {

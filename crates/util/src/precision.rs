@@ -151,8 +151,18 @@ macro_rules! impl_real {
     };
 }
 
-impl_real!(f64, core::f64::consts::PI, core::f64::consts::FRAC_1_SQRT_2, 8);
-impl_real!(f32, core::f32::consts::PI, core::f32::consts::FRAC_1_SQRT_2, 4);
+impl_real!(
+    f64,
+    core::f64::consts::PI,
+    core::f64::consts::FRAC_1_SQRT_2,
+    8
+);
+impl_real!(
+    f32,
+    core::f32::consts::PI,
+    core::f32::consts::FRAC_1_SQRT_2,
+    4
+);
 
 #[cfg(test)]
 mod tests {

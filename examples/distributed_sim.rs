@@ -28,7 +28,10 @@ fn main() {
     let circuit = supremacy_circuit(&spec);
     let n = circuit.n_qubits();
     let (exec, uniform) = strip_initial_hadamards(&circuit);
-    println!("{n}-qubit depth-25 supremacy circuit, {} gates\n", circuit.len());
+    println!(
+        "{n}-qubit depth-25 supremacy circuit, {} gates\n",
+        circuit.len()
+    );
     println!(
         "{:>6} {:>4} {:>6} {:>10} {:>9} {:>12} {:>9} {:>9}",
         "ranks", "l", "swaps", "bytes", "time[s]", "baseline[s]", "speedup", "entropy"
@@ -47,6 +50,7 @@ fn main() {
             n_ranks: ranks,
             kernel,
             gather_state: false,
+            sub_chunks: None,
         });
         let out = sim.run(&exec, &schedule, uniform);
         let base = BaselineSimulator::new(ranks, kernel).run(&circuit);

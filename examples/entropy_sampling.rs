@@ -37,13 +37,23 @@ fn main() {
             ..KernelConfig::default()
         },
         gather_state: true,
+        sub_chunks: None,
     });
     let out = sim.run(&exec, &schedule, uniform);
     println!("distributed (4 ranks):");
-    println!("  simulation : {:.4} s", out.sim_seconds - out.entropy_seconds);
-    println!("  entropy    : {:.4} s (final reduction)", out.entropy_seconds);
+    println!(
+        "  simulation : {:.4} s",
+        out.sim_seconds - out.entropy_seconds
+    );
+    println!(
+        "  entropy    : {:.4} s (final reduction)",
+        out.entropy_seconds
+    );
     println!("  H          = {:.6} bits", out.entropy);
-    println!("  comm       : {:.1} %", 100.0 * out.fabric.max_comm_seconds / out.sim_seconds);
+    println!(
+        "  comm       : {:.1} %",
+        100.0 * out.fabric.max_comm_seconds / out.sim_seconds
+    );
 
     // Single-node cross-check.
     let single = SingleNodeSimulator::default().run(&circuit);
@@ -61,7 +71,11 @@ fn main() {
     let shots = sample_bitstrings(&single.state, &mut rng, 8);
     println!("\n8 sampled bitstrings:");
     for s in shots {
-        println!("  |{s:0width$b}⟩  p = {:.3e}", dist_probs[s], width = n as usize);
+        println!(
+            "  |{s:0width$b}⟩  p = {:.3e}",
+            dist_probs[s],
+            width = n as usize
+        );
     }
     println!("\nengines agree to 1e-8 bits — the §4.2.2 pipeline, reproduced.");
 }

@@ -51,11 +51,19 @@ fn main() {
     let sim = OocSimulator {
         kernel: KernelConfig::default(),
     };
-    let out = sim.run(&dir, &schedule, uniform).expect("out-of-core run failed");
+    let out = sim
+        .run(&dir, &schedule, uniform)
+        .expect("out-of-core run failed");
     println!("\nout-of-core run:");
     println!("  time      : {:.2} s", out.sim_seconds);
-    println!("  disk read : {:.1} MiB", out.io.bytes_read as f64 / (1 << 20) as f64);
-    println!("  disk write: {:.1} MiB", out.io.bytes_written as f64 / (1 << 20) as f64);
+    println!(
+        "  disk read : {:.1} MiB",
+        out.io.bytes_read as f64 / (1 << 20) as f64
+    );
+    println!(
+        "  disk write: {:.1} MiB",
+        out.io.bytes_written as f64 / (1 << 20) as f64
+    );
     let state_mb = (1u64 << n) as f64 * 16.0 / (1 << 20) as f64;
     println!(
         "  traffic   : {:.1}x the state size (constant in circuit depth!)",

@@ -55,9 +55,15 @@ fn main() {
 
     let dist = max_dist(gate_state.amplitudes(), fft_state.amplitudes());
     println!("gate-level : {t_gates:.4} s");
-    println!("emulated   : {t_fft:.4} s  ({:.1}x faster)", t_gates / t_fft);
+    println!(
+        "emulated   : {t_fft:.4} s  ({:.1}x faster)",
+        t_gates / t_fft
+    );
     println!("max |Δamp| : {dist:.2e}");
-    assert!(dist < 1e-8, "emulation must agree with gate-level execution");
+    assert!(
+        dist < 1e-8,
+        "emulation must agree with gate-level execution"
+    );
     println!("\nsupremacy circuits are *designed* so no such shortcut exists —");
     println!("which is why the paper's kernels/scheduling matter (§1).");
 }

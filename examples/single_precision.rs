@@ -41,7 +41,10 @@ fn main() {
     };
     let n = spec.n_qubits();
     let circuit = supremacy_circuit(&spec);
-    println!("{n}-qubit depth-25 supremacy circuit, {} gates\n", circuit.len());
+    println!(
+        "{n}-qubit depth-25 supremacy circuit, {} gates\n",
+        circuit.len()
+    );
 
     // Double precision.
     let t0 = Instant::now();
@@ -57,7 +60,10 @@ fn main() {
     let mb32 = mb64 / 2.0;
     println!("              f64          f32");
     println!("memory     {mb64:8.1} MiB {mb32:8.1} MiB   (one extra qubit at fixed RAM)");
-    println!("time       {t_f64:8.3} s   {t_f32:8.3} s   ({:.2}x)", t_f64 / t_f32);
+    println!(
+        "time       {t_f64:8.3} s   {t_f32:8.3} s   ({:.2}x)",
+        t_f64 / t_f32
+    );
     println!(
         "norm       {:10.8}   {:10.8}",
         f64_out.state.norm_sqr(),
@@ -70,7 +76,12 @@ fn main() {
     );
 
     let mut worst = 0.0f64;
-    for (a, b) in f64_out.state.amplitudes().iter().zip(f32_state.amplitudes()) {
+    for (a, b) in f64_out
+        .state
+        .amplitudes()
+        .iter()
+        .zip(f32_state.amplitudes())
+    {
         worst = worst
             .max((a.re - b.re as f64).abs())
             .max((a.im - b.im as f64).abs());

@@ -52,16 +52,28 @@ fn main() {
 
     println!("norm    : {:.12}", out.state.norm_sqr());
     let h = out.state.entropy();
-    println!("entropy : {h:.4} bits (Porter–Thomas expects ≈ {:.4})", n as f64 - 0.6099);
-    println!("PT gap  : {:+.4} bits", porter_thomas_entropy_gap(&out.state));
+    println!(
+        "entropy : {h:.4} bits (Porter–Thomas expects ≈ {:.4})",
+        n as f64 - 0.6099
+    );
+    println!(
+        "PT gap  : {:+.4} bits",
+        porter_thomas_entropy_gap(&out.state)
+    );
 
     // Cross-entropy benchmarking: sampling this distribution from itself
     // must score near 1 (the supremacy experiment's success criterion).
     let mut rng = Xoshiro256::seed_from_u64(99);
     let samples = sample_bitstrings(&out.state, &mut rng, 2000);
-    println!("linear XEB (own samples): {:.3} (ideal ≈ 1)", linear_xeb(&out.state, &samples));
+    println!(
+        "linear XEB (own samples): {:.3} (ideal ≈ 1)",
+        linear_xeb(&out.state, &samples)
+    );
     let uniform: Vec<usize> = (0..2000)
         .map(|_| rng.next_below(out.state.len() as u64) as usize)
         .collect();
-    println!("linear XEB (uniform)    : {:.3} (ideal ≈ 0)", linear_xeb(&out.state, &uniform));
+    println!(
+        "linear XEB (uniform)    : {:.3} (ideal ≈ 0)",
+        linear_xeb(&out.state, &uniform)
+    );
 }

@@ -78,25 +78,44 @@ fn cmd_plan() {
     let schedule = plan(&circuit, &SchedulerConfig::distributed(l, kmax));
     let dt = t0.elapsed().as_secs_f64();
     schedule.verify(&circuit);
-    println!("{}x{} = {n} qubits, depth {}, {} gates", s.rows, s.cols, s.depth, circuit.len());
+    println!(
+        "{}x{} = {n} qubits, depth {}, {} gates",
+        s.rows,
+        s.cols,
+        s.depth,
+        circuit.len()
+    );
     println!("local qubits    : {l} ({} ranks)", 1u64 << (n - l));
     println!("swaps           : {}", schedule.n_swaps());
-    println!("clusters        : {} ({:.1} gates/cluster, kmax {kmax})", schedule.n_clusters(), schedule.gates_per_cluster());
+    println!(
+        "clusters        : {} ({:.1} gates/cluster, kmax {kmax})",
+        schedule.n_clusters(),
+        schedule.gates_per_cluster()
+    );
     println!("diagonal ops    : {}", schedule.n_diagonal_ops());
-    println!("per-gate scheme : {} comm steps (worst case)", global_gate_count(&circuit, l, true));
+    println!(
+        "per-gate scheme : {} comm steps (worst case)",
+        global_gate_count(&circuit, l, true)
+    );
     println!("plan time       : {dt:.3} s");
 }
 
 fn cmd_run() {
     let s = spec();
     let n = s.n_qubits();
-    assert!(n <= 28, "run allocates 2^{n} amplitudes; use `plan` for full scale");
+    assert!(
+        n <= 28,
+        "run allocates 2^{n} amplitudes; use `plan` for full scale"
+    );
     let ranks = arg("--ranks", 1) as usize;
     let backend = arg_str("--backend", "mem");
     let circuit = supremacy_circuit(&s);
     if ranks == 1 && backend == "mem" {
         let out = SingleNodeSimulator::default().run(&circuit);
-        println!("single-node: {:.3} s sim, {:.3} s plan", out.sim_seconds, out.plan_seconds);
+        println!(
+            "single-node: {:.3} s sim, {:.3} s plan",
+            out.sim_seconds, out.plan_seconds
+        );
         println!("entropy     : {:.6} bits", out.state.entropy());
         println!("norm        : {:.12}", out.state.norm_sqr());
         return;
@@ -112,9 +131,11 @@ fn cmd_run() {
             };
             let out = sim.run(&dir, &schedule, uniform).expect("ooc run failed");
             println!("out-of-core ({} chunks): {:.3} s", ranks, out.sim_seconds);
-            println!("disk traffic: {:.1} MiB read, {:.1} MiB written",
+            println!(
+                "disk traffic: {:.1} MiB read, {:.1} MiB written",
                 out.io.bytes_read as f64 / (1 << 20) as f64,
-                out.io.bytes_written as f64 / (1 << 20) as f64);
+                out.io.bytes_written as f64 / (1 << 20) as f64
+            );
             println!("entropy     : {:.6} bits", out.entropy);
             let _ = std::fs::remove_dir_all(&dir);
         }
@@ -126,12 +147,15 @@ fn cmd_run() {
                     ..KernelConfig::default()
                 },
                 gather_state: false,
+                sub_chunks: None,
             });
             let out = sim.run(&exec, &schedule, uniform);
-            println!("distributed ({ranks} ranks): {:.3} s ({:.1}% comm, {} swaps)",
+            println!(
+                "distributed ({ranks} ranks): {:.3} s ({:.1}% comm, {} swaps)",
                 out.sim_seconds,
                 100.0 * out.fabric.max_comm_seconds / out.sim_seconds.max(1e-12),
-                schedule.n_swaps());
+                schedule.n_swaps()
+            );
             println!("entropy     : {:.6} bits", out.entropy);
             println!("norm        : {:.12}", out.norm);
         }

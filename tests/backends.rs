@@ -45,6 +45,7 @@ fn memory_and_disk_backends_agree_amplitude_for_amplitude() {
             n_ranks: 1usize << g,
             kernel: KernelConfig::sequential(),
             gather_state: true,
+            sub_chunks: None,
         });
         let dist_state = dist.run(&exec, &schedule, uniform).state.unwrap();
 
@@ -129,7 +130,8 @@ fn ooc_traffic_grows_with_swap_count_not_gate_count() {
     // a constant number of state sweeps per stage and per swap — and is
     // independent of how many gates each stage fuses.
     let state_bytes = (1u64 << n) * 16;
-    let budget = |stages: usize, swaps: usize| state_bytes * (2 + 2 * stages as u64 + 6 * swaps as u64);
+    let budget =
+        |stages: usize, swaps: usize| state_bytes * (2 + 2 * stages as u64 + 6 * swaps as u64);
     assert!(b1 <= budget(st1, s1), "shallow traffic {b1}");
     assert!(b2 <= budget(st2, s2), "deep traffic {b2}");
     // Per-structure traffic must be roughly the same constant for both.

@@ -9,8 +9,8 @@ use qsim45::core::single::strip_initial_hadamards;
 use qsim45::core::{BaselineSimulator, DistConfig, DistSimulator, SingleNodeSimulator};
 use qsim45::kernels::apply::KernelConfig;
 use qsim45::sched::{plan, SchedulerConfig};
-use qsim45::util::complex::max_dist;
 use qsim45::util::c64;
+use qsim45::util::complex::max_dist;
 
 fn supremacy(rows: u32, cols: u32, depth: u32, seed: u64) -> Circuit {
     supremacy_circuit(&SupremacySpec {
@@ -31,6 +31,7 @@ fn run_dist(circuit: &Circuit, ranks: usize, kmax: u32) -> Vec<c64> {
         n_ranks: ranks,
         kernel: KernelConfig::sequential(),
         gather_state: true,
+        sub_chunks: None,
     });
     sim.run(&exec, &schedule, uniform).state.unwrap()
 }
@@ -93,6 +94,7 @@ fn all_kmax_values_and_rank_counts_preserve_entropy() {
                 n_ranks: ranks,
                 kernel: KernelConfig::sequential(),
                 gather_state: false,
+                sub_chunks: None,
             });
             let out = sim.run(&exec, &schedule, uniform);
             assert!(
@@ -132,6 +134,7 @@ fn scheduler_ablations_do_not_change_physics() {
             n_ranks: 4,
             kernel: KernelConfig::sequential(),
             gather_state: true,
+            sub_chunks: None,
         });
         let out = sim.run(&exec, &schedule, uniform);
         let state = out.state.unwrap();
@@ -162,8 +165,7 @@ fn f32_distributed_run_tracks_f64() {
                     s32.apply(&cl.qubits, &m32, &cfg);
                 }
                 qsim45::sched::StageOp::Diagonal(d) => {
-                    let d32: Vec<qsim45::util::c32> =
-                        d.diag.iter().map(|x| x.convert()).collect();
+                    let d32: Vec<qsim45::util::c32> = d.diag.iter().map(|x| x.convert()).collect();
                     s32.apply_diagonal(&d.positions, &d32);
                 }
             }
@@ -188,6 +190,7 @@ fn distributed_with_parallel_kernels_inside_ranks() {
         n_ranks: ranks,
         kernel: KernelConfig::default(),
         gather_state: true,
+        sub_chunks: None,
     });
     let out = sim.run(&exec, &schedule, uniform);
     let state = out.state.unwrap();
@@ -206,6 +209,7 @@ fn comm_bytes_scale_with_swap_count() {
         n_ranks: ranks,
         kernel: KernelConfig::sequential(),
         gather_state: false,
+        sub_chunks: None,
     });
     let out = sim.run(&exec, &schedule, uniform);
     // Each swap: every rank ships (ranks-1)/ranks of 2^l amplitudes.
@@ -214,8 +218,7 @@ fn comm_bytes_scale_with_swap_count() {
     // Reductions add a handful of 8-byte messages.
     let slack = 1024;
     assert!(
-        out.fabric.total_bytes_sent >= expected
-            && out.fabric.total_bytes_sent <= expected + slack,
+        out.fabric.total_bytes_sent >= expected && out.fabric.total_bytes_sent <= expected + slack,
         "bytes {} vs expected {expected}",
         out.fabric.total_bytes_sent
     );

@@ -17,8 +17,7 @@ use qsim45::util::complex::max_dist;
 fn arb_gate(n: u32) -> impl Strategy<Value = Gate> {
     let q = 0..n;
     let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
-    let q3 = (0..n, 0..n, 0..n)
-        .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c);
+    let q3 = (0..n, 0..n, 0..n).prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c);
     prop_oneof![
         q.clone().prop_map(Gate::H),
         q.clone().prop_map(Gate::T),
@@ -33,12 +32,18 @@ fn arb_gate(n: u32) -> impl Strategy<Value = Gate> {
         (q.clone(), -3.0f64..3.0).prop_map(|(q, t)| Gate::Rx(q, t)),
         (q, -3.0f64..3.0).prop_map(|(q, t)| Gate::Ry(q, t)),
         q2.clone().prop_map(|(a, b)| Gate::CZ(a, b)),
-        q2.clone()
-            .prop_map(|(a, b)| Gate::CNot { target: a, control: b }),
+        q2.clone().prop_map(|(a, b)| Gate::CNot {
+            target: a,
+            control: b
+        }),
         q2.clone().prop_map(|(a, b)| Gate::Swap(a, b)),
         (q2, -3.0f64..3.0).prop_map(|((a, b), t)| Gate::CPhase(a, b, t)),
         q3.clone().prop_map(|(a, b, c)| Gate::CCZ(a, b, c)),
-        q3.prop_map(|(a, b, c)| Gate::Toffoli { target: a, c1: b, c2: c }),
+        q3.prop_map(|(a, b, c)| Gate::Toffoli {
+            target: a,
+            c1: b,
+            c2: c
+        }),
     ]
 }
 
@@ -72,6 +77,7 @@ proptest! {
             n_ranks: 4,
             kernel: KernelConfig::sequential(),
             gather_state: true,
+            sub_chunks: None,
         });
         let out = sim.run(&exec, &schedule, uniform);
         let state = out.state.unwrap();

@@ -97,15 +97,18 @@ fn planning_stays_within_paper_time_budget() {
 fn table1_cluster_trends() {
     // Table 1: clusters decrease with kmax and the mean gates/cluster
     // exceeds kmax for every size.
-    for (rows, cols, paper_gates) in [(6u32, 5u32, 369usize), (6, 6, 447), (7, 6, 528), (9, 5, 569)]
-    {
+    for (rows, cols, paper_gates) in [
+        (6u32, 5u32, 369usize),
+        (6, 6, 447),
+        (7, 6, 528),
+        (9, 5, 569),
+    ] {
         let c = circuit(rows, cols, 25);
         let n = rows * cols;
         let l = 30.min(n);
         // Gate totals within 8 % of the paper (pattern-order dependent).
         assert!(
-            (c.len() as i64 - paper_gates as i64).unsigned_abs() as usize
-                <= paper_gates * 8 / 100,
+            (c.len() as i64 - paper_gates as i64).unsigned_abs() as usize <= paper_gates * 8 / 100,
             "{n}q: {} gates vs paper {paper_gates}",
             c.len()
         );

@@ -1,0 +1,94 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Provides `Mutex` and `Condvar` with parking_lot's poison-free API,
+//! implemented over `std::sync`. Poisoned locks are recovered via
+//! `into_inner` — parking_lot has no poisoning, so a panicked holder must
+//! not wedge every other rank thread here either.
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing `guard`'s lock while waiting.
+    /// parking_lot takes the guard by `&mut` (std consumes it), so the
+    /// guard is moved out and the re-acquired guard written back.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: the guard is read out, passed to std's consuming wait,
+        // and the returned (re-locked) guard is written back before any
+        // other access — no double drop and no use of a moved-out guard.
+        // `wait` on a guard of this process's own mutex does not panic;
+        // poisoning is recovered below.
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let reacquired = self.0.wait(owned).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, reacquired);
+        }
+    }
+
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_handshake() {
+        let shared = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock();
+            while *g == 0 {
+                cv.wait(&mut g);
+            }
+            *g
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        {
+            let (m, cv) = &*shared;
+            *m.lock() = 7;
+            cv.notify_all();
+        }
+        assert_eq!(h.join().unwrap(), 7);
+    }
+}

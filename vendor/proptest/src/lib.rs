@@ -1,0 +1,197 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API used by this workspace's
+//! property tests: the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_shuffle`, range and tuple strategies, `collection::vec`,
+//! `sample::subsequence`, `prop_oneof!`, and the `proptest!` macro.
+//! Cases are generated from a deterministic per-case RNG; there is no
+//! shrinking — a failing case reports its case index so it can be replayed
+//! (generation is a pure function of that index).
+
+pub mod strategy;
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for a `Vec` whose elements come from `element` and whose
+    /// length is drawn from `size` (a `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy for a random `amount`-element subsequence of `values`
+    /// (order preserved).
+    pub fn subsequence<T: Clone>(values: Vec<T>, amount: usize) -> Subsequence<T> {
+        assert!(
+            amount <= values.len(),
+            "subsequence of {amount} from {} values",
+            values.len()
+        );
+        Subsequence { values, amount }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        amount: usize,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            // Partial Fisher-Yates over the index set picks `amount`
+            // distinct indices; sorting restores the original order.
+            let mut idx: Vec<usize> = (0..self.values.len()).collect();
+            for i in 0..self.amount {
+                let j = i + rng.below(idx.len() - i);
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..self.amount].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+/// Per-test configuration; only the case count is meaningful here.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the stand-in keeps suites quick.
+        Self { cases: 32 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// The proptest! item macro: expands each `fn name(arg in strategy, ...)`
+/// into a `#[test]` that samples every argument `cases` times and runs the
+/// body. `prop_assert*` failures report the deterministic case index.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::strategy::TestRng::for_case(case as u64);
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng); )*
+                    let outcome: ::core::result::Result<(), ::std::string::String> = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(message) = outcome {
+                        panic!("case {case}/{}: {message}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::core::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {:?} != {:?}", l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Discard the current case when its inputs don't satisfy a precondition.
+/// The stand-in counts a discarded case as passed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}

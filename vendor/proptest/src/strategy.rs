@@ -1,0 +1,385 @@
+//! The [`Strategy`] trait, combinators, and the deterministic test RNG.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 — small, fast, and deterministic per test case.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// RNG for case `case`: distinct, reproducible streams per case index.
+    pub fn for_case(case: u64) -> Self {
+        Self::new(case.wrapping_mul(0xa076_1d64_78bd_642f).wrapping_add(1))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` 0 returns 0.
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    pub fn shuffle<T>(&mut self, values: &mut [T]) {
+        for i in (1..values.len()).rev() {
+            let j = self.below(i + 1);
+            values.swap(i, j);
+        }
+    }
+}
+
+/// A generator of random values (proptest's Strategy, minus shrinking).
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            predicate,
+        }
+    }
+
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+        Self::Value: Shuffleable,
+    {
+        Shuffle { inner: self }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    predicate: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let candidate = self.inner.sample(rng);
+            if (self.predicate)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 candidates", self.reason);
+    }
+}
+
+/// Values that `prop_shuffle` can permute.
+pub trait Shuffleable {
+    fn shuffle(&mut self, rng: &mut TestRng);
+}
+
+impl<T> Shuffleable for Vec<T> {
+    fn shuffle(&mut self, rng: &mut TestRng) {
+        rng.shuffle(self);
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Shuffle<S>
+where
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        let mut value = self.inner.sample(rng);
+        value.shuffle(rng);
+        value
+    }
+}
+
+/// Uniform choice across boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len());
+        self.options[pick].sample(rng)
+    }
+}
+
+/// Box a strategy for `Union` storage (used by `prop_oneof!`).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Numeric types whose half-open ranges can be sampled uniformly.
+pub trait SampleUniform: Copy {
+    fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    fn successor(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+            fn successor(self) -> Self {
+                self + 1
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+        assert!(lo < hi, "empty range");
+        lo + (hi - lo) * rng.next_f64()
+    }
+    fn successor(self) -> Self {
+        // Inclusive f64 upper bounds keep measure-zero imprecision only.
+        f64::from_bits(self.to_bits() + 1)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+        assert!(lo < hi, "empty range");
+        lo + (hi - lo) * rng.next_f64() as f32
+    }
+    fn successor(self) -> Self {
+        f32::from_bits(self.to_bits() + 1)
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_range(*self.start(), self.end().successor(), rng)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Length specification for `collection::vec`: an exact `usize` or a
+/// half-open `Range<usize>`.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl SizeRange {
+    pub fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.hi - self.lo <= 1 {
+            self.lo
+        } else {
+            self.lo + rng.below(self.hi - self.lo)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            lo: exact,
+            hi: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: r.end() + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case(3);
+        for _ in 0..1000 {
+            let v = (2u32..7).sample(&mut rng);
+            assert!((2..7).contains(&v));
+            let w = (1u32..=3).sample(&mut rng);
+            assert!((1..=3).contains(&w));
+            let f = (-1.5f64..2.5).sample(&mut rng);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_reaches_endpoints() {
+        let mut rng = TestRng::for_case(9);
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            seen[(1u32..=3).sample(&mut rng) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let mut rng = TestRng::for_case(1);
+        let s = (0u32..10, 0u32..10)
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| a + b);
+        for _ in 0..200 {
+            let _ = s.sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_size() {
+        let mut rng = TestRng::for_case(5);
+        let s = crate::sample::subsequence((0..10u32).collect(), 4);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert_eq!(v.len(), 4);
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = TestRng::for_case(7);
+        let s = crate::sample::subsequence((0..8u32).collect(), 8).prop_shuffle();
+        let mut v = s.sample(&mut rng);
+        v.sort_unstable();
+        assert_eq!(v, (0..8u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this path-patched crate
+//! provides the (small) subset of rayon's API the workspace uses:
+//! [`current_num_threads`], `IntoParallelIterator` for `Vec`,
+//! `par_chunks`/`par_chunks_mut` on slices, and the `enumerate`/`map`/
+//! `for_each`/`reduce` combinators. Work is distributed over
+//! `std::thread::scope` workers pulling items from a shared queue, so the
+//! parallel semantics (disjoint work, unordered execution) match rayon's;
+//! only the scheduling sophistication differs.
+
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+pub mod iter {
+    use super::*;
+
+    /// An eager parallel iterator: the item list is materialized, then
+    /// terminal operations fan the items out over scoped threads.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    /// A lazily-mapped parallel iterator (`map` must defer so the mapping
+    /// closure runs on the worker threads).
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    pub trait ParallelSlice<T: Sync> {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+            ParIter {
+                items: self.chunks(chunk_size).collect(),
+            }
+        }
+    }
+
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+            ParIter {
+                items: self.chunks_mut(chunk_size).collect(),
+            }
+        }
+    }
+
+    impl<T: Send> ParIter<T> {
+        pub fn enumerate(self) -> ParIter<(usize, T)> {
+            ParIter {
+                items: self.items.into_iter().enumerate().collect(),
+            }
+        }
+
+        pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+        where
+            U: Send,
+            F: Fn(T) -> U + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync,
+        {
+            drive(self.items, |t| f(t));
+        }
+    }
+
+    impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, F> {
+        /// Fold every mapped item into an accumulator per worker, then
+        /// merge the per-worker results (rayon's `reduce` contract: `op`
+        /// must be associative and `identity` its neutral element).
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+        where
+            ID: Fn() -> U + Sync,
+            OP: Fn(U, U) -> U + Sync,
+        {
+            let f = &self.f;
+            let partials = drive_fold(self.items, &identity, |acc, t| op(acc, f(t)));
+            partials
+                .into_iter()
+                .fold(identity(), |a, b| op(a, b))
+        }
+    }
+
+    /// Run `f` over every item on up to `current_num_threads()` scoped
+    /// workers pulling from a shared queue.
+    fn drive<T: Send>(items: Vec<T>, f: impl Fn(T) + Sync) {
+        let _ = drive_fold(items, &|| (), |(), t| f(t));
+    }
+
+    fn drive_fold<T: Send, A: Send>(
+        items: Vec<T>,
+        identity: &(impl Fn() -> A + Sync),
+        fold: impl Fn(A, T) -> A + Sync,
+    ) -> Vec<A> {
+        let workers = current_num_threads().min(items.len());
+        if workers <= 1 {
+            return vec![items.into_iter().fold(identity(), fold)];
+        }
+        let queue = Mutex::new(items.into_iter());
+        let partials = Mutex::new(Vec::with_capacity(workers));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut acc = identity();
+                    loop {
+                        let next = queue.lock().unwrap().next();
+                        match next {
+                            Some(t) => acc = fold(acc, t),
+                            None => break,
+                        }
+                    }
+                    partials.lock().unwrap().push(acc);
+                });
+            }
+        });
+        partials.into_inner().unwrap()
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
