@@ -59,6 +59,7 @@ fn main() {
                 },
                 gather_state: false,
                 sub_chunks: None,
+                tile_qubits: None,
             });
             let out = sim.run(&exec, &schedule, uniform);
             if ranks == rank_counts[0] {

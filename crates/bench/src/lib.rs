@@ -21,3 +21,4 @@
 //! micro-benchmarks in `benches/`.
 
 pub mod harness;
+pub mod sweep_report;

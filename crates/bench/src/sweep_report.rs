@@ -1,0 +1,165 @@
+//! Sweep-mode benchmarking: per-gate vs cache-tiled stage execution on
+//! one depth-25 supremacy circuit, reporting wall-clock, streaming-pass
+//! counts and DRAM traffic (the tentpole's operational-intensity
+//! accounting in DESIGN.md).
+//!
+//! Used by `fig7_kernel_scaling --mode sweep` (which also emits the
+//! machine-readable `BENCH_stage_sweep.json`) and by the workspace smoke
+//! test asserting the ≥ 1.5× pass-reduction acceptance floor at tiny n.
+
+use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim_core::exec::execute_schedule_sweep;
+use qsim_core::single::{execute_schedule_local, strip_initial_hadamards};
+use qsim_core::StateVector;
+use qsim_kernels::apply::KernelConfig;
+use qsim_kernels::SweepStats;
+use qsim_sched::{plan, SchedulerConfig};
+use std::time::Instant;
+
+/// One measured per-gate vs tiled comparison.
+pub struct SweepBenchReport {
+    pub n_qubits: u32,
+    pub depth: u32,
+    pub kmax: u32,
+    pub threads: usize,
+    /// Tile budget the tiled run used (`None` = measured auto-tune).
+    pub tile_qubits: Option<u32>,
+    pub stages: usize,
+    /// Wall-clock of the per-gate executor, seconds.
+    pub per_gate_seconds: f64,
+    /// Wall-clock of the tiled executor, seconds.
+    pub sweep_seconds: f64,
+    pub stats: SweepStats,
+}
+
+impl SweepBenchReport {
+    /// Full-state passes per stage, per-gate baseline.
+    pub fn baseline_passes_per_stage(&self) -> f64 {
+        self.stats.baseline_passes as f64 / self.stages.max(1) as f64
+    }
+
+    /// Full-state passes per stage, tiled executor.
+    pub fn sweep_passes_per_stage(&self) -> f64 {
+        self.stats.sweep_passes as f64 / self.stages.max(1) as f64
+    }
+
+    /// Milliseconds per stage of each executor.
+    pub fn ms_per_stage(&self) -> (f64, f64) {
+        let s = self.stages.max(1) as f64;
+        (
+            1e3 * self.per_gate_seconds / s,
+            1e3 * self.sweep_seconds / s,
+        )
+    }
+
+    /// Machine-readable report (hand-rolled: no serde in the workspace).
+    pub fn to_json(&self) -> String {
+        let (pg_ms, sw_ms) = self.ms_per_stage();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"n_qubits\": {},\n",
+                "  \"depth\": {},\n",
+                "  \"kmax\": {},\n",
+                "  \"threads\": {},\n",
+                "  \"tile_qubits\": {},\n",
+                "  \"stages\": {},\n",
+                "  \"per_gate_seconds\": {:.6},\n",
+                "  \"sweep_seconds\": {:.6},\n",
+                "  \"per_gate_ms_per_stage\": {:.3},\n",
+                "  \"sweep_ms_per_stage\": {:.3},\n",
+                "  \"baseline_passes\": {},\n",
+                "  \"sweep_passes\": {},\n",
+                "  \"pass_ratio\": {:.3},\n",
+                "  \"tile_local_gates\": {},\n",
+                "  \"fallback_gates\": {},\n",
+                "  \"diagonals_folded\": {},\n",
+                "  \"baseline_bytes\": {},\n",
+                "  \"bytes_streamed\": {},\n",
+                "  \"speedup\": {:.3}\n",
+                "}}"
+            ),
+            self.n_qubits,
+            self.depth,
+            self.kmax,
+            self.threads,
+            match self.tile_qubits {
+                Some(t) => t.to_string(),
+                None => "null".to_string(),
+            },
+            self.stages,
+            self.per_gate_seconds,
+            self.sweep_seconds,
+            pg_ms,
+            sw_ms,
+            self.stats.baseline_passes,
+            self.stats.sweep_passes,
+            self.stats.pass_ratio(),
+            self.stats.tile_local_gates,
+            self.stats.fallback_gates,
+            self.stats.diagonals_folded,
+            self.stats.baseline_bytes,
+            self.stats.bytes_streamed,
+            self.per_gate_seconds / self.sweep_seconds.max(1e-12),
+        )
+    }
+}
+
+/// Plan a depth-`depth` supremacy circuit on a rows×cols grid and time
+/// both executors on the full state (single node, `threads` workers).
+pub fn run_sweep_bench(
+    rows: u32,
+    cols: u32,
+    depth: u32,
+    kmax: u32,
+    threads: usize,
+    tile_qubits: Option<u32>,
+) -> SweepBenchReport {
+    let c = supremacy_circuit(&SupremacySpec {
+        rows,
+        cols,
+        depth,
+        seed: 0,
+    });
+    let n = c.n_qubits();
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    let schedule = plan(&exec, &SchedulerConfig::single_node(n, kmax));
+    let cfg = KernelConfig {
+        threads,
+        ..KernelConfig::default()
+    };
+    let init = || {
+        if uniform {
+            StateVector::<f64>::uniform(n)
+        } else {
+            StateVector::<f64>::zero(n)
+        }
+    };
+
+    let mut state = init();
+    let t0 = Instant::now();
+    execute_schedule_local(&mut state, &schedule, &cfg);
+    let per_gate_seconds = t0.elapsed().as_secs_f64();
+    let per_gate_entropy = state.entropy();
+
+    let mut state = init();
+    let t1 = Instant::now();
+    let stats = execute_schedule_sweep(&mut state, &schedule, &cfg, tile_qubits);
+    let sweep_seconds = t1.elapsed().as_secs_f64();
+    assert!(
+        (state.entropy() - per_gate_entropy).abs() < 1e-9,
+        "executors disagree"
+    );
+
+    SweepBenchReport {
+        n_qubits: n,
+        depth,
+        kmax,
+        threads,
+        tile_qubits,
+        stages: schedule.stages.len(),
+        per_gate_seconds,
+        sweep_seconds,
+        stats,
+    }
+}

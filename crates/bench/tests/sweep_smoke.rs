@@ -1,0 +1,27 @@
+//! Tiny-n smoke run of `fig7_kernel_scaling --mode sweep`'s measurement
+//! path, wired into the workspace test suite: the tiled stage executor
+//! must hit the ≥ 1.5× pass-reduction acceptance floor on a depth-25
+//! supremacy circuit and agree with the per-gate path on the entropy
+//! (checked inside `run_sweep_bench`).
+
+use qsim_bench::sweep_report::run_sweep_bench;
+
+#[test]
+fn sweep_mode_smoke_hits_pass_reduction_floor() {
+    // 3x4 grid (n = 12), depth 25, kmax 4 — the acceptance geometry's
+    // shape at toy scale; explicit tile keeps the run deterministic.
+    let r = run_sweep_bench(3, 4, 25, 4, 1, Some(10));
+    assert_eq!(r.n_qubits, 12);
+    assert!(r.stages >= 1 && r.stats.baseline_passes > 0);
+    assert!(
+        r.stats.pass_ratio() >= 1.5,
+        "pass ratio {:.2} below the 1.5x acceptance floor",
+        r.stats.pass_ratio()
+    );
+    assert!(r.stats.bytes_streamed < r.stats.baseline_bytes);
+    // The JSON report must be well-formed enough to carry the headline
+    // numbers (no serde in-tree; keep the contract honest).
+    let json = r.to_json();
+    assert!(json.contains("\"pass_ratio\""));
+    assert!(json.contains("\"sweep_passes\""));
+}

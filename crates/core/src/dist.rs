@@ -20,10 +20,12 @@
 //!   [`perform_swap_reference`] keeps the textbook three-pass path as the
 //!   equivalence oracle.
 
+use crate::exec::{compile_stage, execute_compiled_stage, resolve_tile_qubits, CompiledStage};
 use crate::state::StateVector;
 use qsim_circuit::Circuit;
-use qsim_kernels::apply::KernelConfig;
+use qsim_kernels::apply::{KernelConfig, OptLevel};
 use qsim_kernels::parallel::{par_gather, par_reduce_amplitudes, par_scatter};
+use qsim_kernels::SweepStats;
 use qsim_net::collective::{
     all_reduce_sum, all_to_all, all_to_all_inplace, all_to_all_with, Communicator,
 };
@@ -48,6 +50,9 @@ pub struct DistConfig {
     /// tuning is available via
     /// `qsim_kernels::autotune::tune_swap_sub_chunks`.
     pub sub_chunks: Option<usize>,
+    /// Tile budget (log2 amplitudes) of the cache-tiled stage executor;
+    /// `None` uses the measured `tune_tile_qubits` size.
+    pub tile_qubits: Option<u32>,
 }
 
 impl Default for DistConfig {
@@ -57,6 +62,7 @@ impl Default for DistConfig {
             kernel: KernelConfig::default(),
             gather_state: false,
             sub_chunks: None,
+            tile_qubits: None,
         }
     }
 }
@@ -78,6 +84,9 @@ pub struct DistOutcome {
     /// unpack; the fused path's ≤ 2 full-slice copies per swap, where the
     /// reference path takes ~6).
     pub swap_bytes_copied: u64,
+    /// Streaming-pass counters of the tiled stage executor on ONE rank
+    /// (all ranks run identical passes; zeroed on the per-gate fallback).
+    pub sweep: SweepStats,
     /// Full state in logical order (only when `gather_state`).
     pub state: Option<Vec<c64>>,
 }
@@ -114,8 +123,30 @@ impl DistSimulator {
         let gather = self.config.gather_state;
         let sub_chunks = self.config.sub_chunks;
 
+        // Compile each stage ONCE on the driver: the SPMD ranks run
+        // identical ops, so they share the packed matrices and tile
+        // plans instead of re-deriving them 2^g times. Only the blocked
+        // ladder has packed range kernels; ablation configs fall back to
+        // the per-gate path.
+        let compiled: Option<Vec<CompiledStage>> = (cfg.opt == OptLevel::Blocked).then(|| {
+            let tile = resolve_tile_qubits(self.config.tile_qubits, l, cfg.threads);
+            schedule
+                .stages
+                .iter()
+                .map(|s| compile_stage(&s.ops, l, cfg, tile))
+                .collect()
+        });
+
         let (rank_results, fabric) = run_cluster(self.config.n_ranks, |ctx| {
-            run_rank(ctx, schedule, init_uniform, cfg, gather, sub_chunks)
+            run_rank(
+                ctx,
+                schedule,
+                init_uniform,
+                cfg,
+                gather,
+                sub_chunks,
+                compiled.as_deref(),
+            )
         });
 
         let mut outcome = DistOutcome {
@@ -128,6 +159,7 @@ impl DistSimulator {
                 .fold(0.0, f64::max),
             fabric,
             swap_bytes_copied: rank_results[0].swap_bytes_copied,
+            sweep: rank_results[0].sweep,
             state: None,
         };
         if gather {
@@ -149,9 +181,11 @@ struct RankResult {
     seconds: f64,
     entropy_seconds: f64,
     swap_bytes_copied: u64,
+    sweep: SweepStats,
     slice: Option<Vec<c64>>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_rank(
     ctx: &mut RankCtx,
     schedule: &Schedule,
@@ -159,6 +193,7 @@ fn run_rank(
     cfg: &KernelConfig,
     gather: bool,
     sub_chunks: Option<usize>,
+    compiled: Option<&[CompiledStage]>,
 ) -> RankResult {
     let n = schedule.n_qubits;
     let l = schedule.local_qubits;
@@ -174,12 +209,25 @@ fn run_rank(
     // One scratch for the whole run: every swap reuses it (and the
     // fabric's wire pools), so only the first swap pays any allocation.
     let mut swap_bufs = SwapBuffers::new(sub_chunks);
+    let mut sweep = SweepStats::default();
 
-    for stage in &schedule.stages {
-        for op in &stage.ops {
-            match op {
-                StageOp::Cluster(c) => state.apply(&c.qubits, &c.matrix, cfg),
-                StageOp::Diagonal(d) => apply_rank_diagonal(&mut state, d, rank, l),
+    for (si, stage) in schedule.stages.iter().enumerate() {
+        if let Some(cs) = compiled.map(|c| &c[si]) {
+            // Tiled stage executor: the shared compiled stage streams the
+            // slice once per op group; rank bits resolve global diagonal
+            // operands.
+            execute_compiled_stage(state.amplitudes_mut(), cs, rank, cfg.threads, &mut sweep);
+        } else {
+            for op in &stage.ops {
+                match op {
+                    // Diagonal fused clusters take the specialized
+                    // phase-multiply kernel here too (§3.5).
+                    StageOp::Cluster(c) => match c.matrix.as_diagonal() {
+                        Some(diag) => state.apply_diagonal(&c.qubits, &diag),
+                        None => state.apply(&c.qubits, &c.matrix, cfg),
+                    },
+                    StageOp::Diagonal(d) => apply_rank_diagonal(&mut state, d, rank, l),
+                }
             }
         }
         if let Some(swap) = &stage.swap {
@@ -213,6 +261,7 @@ fn run_rank(
         seconds,
         entropy_seconds,
         swap_bytes_copied: swap_bufs.bytes_copied,
+        sweep,
         slice: gather.then(|| state.amplitudes().to_vec()),
     }
 }
@@ -505,6 +554,7 @@ mod tests {
             // Exercise the pipelined exchange (odd depth, non-divisible
             // sub-ranges) in every equivalence test.
             sub_chunks: Some(3),
+            tile_qubits: None,
         });
         let out = sim.run(&exec, &schedule, true);
         // Reference: single-node run of the same circuit.
@@ -688,6 +738,7 @@ mod tests {
             kernel: KernelConfig::sequential(),
             gather_state: true,
             sub_chunks: None,
+            tile_qubits: None,
         });
         let out = sim.run(&c, &schedule, false);
         let state = out.state.unwrap();

@@ -14,6 +14,11 @@
 //!   execution, no fusion, global gates via two pairwise half-state
 //!   exchanges. Table 2's speedups are measured against this engine.
 //!
+//! Both production engines execute communication-free stages through
+//! [`exec`], the cache-tiled stage executor: stages are compiled once
+//! (matrices packed, ops grouped into streaming passes) and each pass
+//! applies a whole group of fused gates per traversal of the state.
+//!
 //! Supporting modules: [`state`] (aligned state-vector container),
 //! [`observables`] (probabilities, entropy, sampling, cross-entropy —
 //! §4.2.2's measured quantities), [`measure`] (projective measurement and
@@ -23,6 +28,7 @@
 pub mod baseline;
 pub mod dist;
 pub mod emulate;
+pub mod exec;
 pub mod measure;
 pub mod noise;
 pub mod observables;
@@ -31,5 +37,6 @@ pub mod state;
 
 pub use baseline::BaselineSimulator;
 pub use dist::{DistConfig, DistOutcome, DistSimulator};
+pub use exec::{compile_stage, execute_compiled_stage, execute_schedule_sweep, CompiledStage};
 pub use single::{SingleNodeSimulator, SingleOutcome};
 pub use state::StateVector;

@@ -6,9 +6,11 @@
 //! (§3.6.2) can be applied first; the measured 2× claim is exercised by
 //! the bench harness.
 
+use crate::exec::execute_schedule_sweep;
 use crate::state::StateVector;
 use qsim_circuit::Circuit;
-use qsim_kernels::apply::KernelConfig;
+use qsim_kernels::apply::{KernelConfig, OptLevel};
+use qsim_kernels::SweepStats;
 use qsim_sched::{plan, Schedule, SchedulerConfig, StageOp};
 use qsim_util::c64;
 use std::time::Instant;
@@ -21,6 +23,9 @@ pub struct SingleOutcome {
     pub sim_seconds: f64,
     /// Seconds spent planning (the paper's "1–3 seconds on a laptop").
     pub plan_seconds: f64,
+    /// Streaming-pass counters of the tiled stage executor (zeroed when
+    /// the per-gate fallback ran).
+    pub sweep: SweepStats,
 }
 
 /// Single-node engine.
@@ -29,6 +34,9 @@ pub struct SingleNodeSimulator {
     pub kmax: u32,
     /// Apply the §3.6.2 qubit-mapping heuristic before planning.
     pub optimize_mapping: bool,
+    /// Tile budget (log2 amplitudes) of the cache-tiled stage executor;
+    /// `None` uses the measured `tune_tile_qubits` size.
+    pub tile_qubits: Option<u32>,
 }
 
 impl Default for SingleNodeSimulator {
@@ -37,6 +45,7 @@ impl Default for SingleNodeSimulator {
             kernel: KernelConfig::default(),
             kmax: 4,
             optimize_mapping: false,
+            tile_qubits: None,
         }
     }
 }
@@ -47,15 +56,18 @@ impl SingleNodeSimulator {
             kernel,
             kmax,
             optimize_mapping: false,
+            tile_qubits: None,
         }
     }
 
     /// Build a simulator from the §3.2 autotuning feedback loop: measure
     /// the kernel ladder on this host and adopt the resulting kmax and
     /// block size. `n_test` trades tuning time for fidelity (12–22).
+    /// Tuning results are memoized per (n_test, threads), so constructing
+    /// many autotuned simulators measures only once.
     pub fn autotuned(n_test: u32) -> Self {
         let threads = rayon::current_num_threads();
-        let tuned = qsim_kernels::autotune(n_test, threads);
+        let tuned = qsim_kernels::autotune_cached(n_test, threads);
         Self {
             kernel: KernelConfig {
                 block: tuned.block,
@@ -64,6 +76,7 @@ impl SingleNodeSimulator {
             },
             kmax: tuned.kmax,
             optimize_mapping: false,
+            tile_qubits: None,
         }
     }
 
@@ -91,13 +104,22 @@ impl SingleNodeSimulator {
             StateVector::<f64>::zero(n)
         };
         let t1 = Instant::now();
-        execute_schedule_local(&mut state, &schedule, &self.kernel);
+        let mut sweep = SweepStats::default();
+        if self.kernel.opt == OptLevel::Blocked {
+            // Tiled stage executor: one streaming pass per op group.
+            sweep = execute_schedule_sweep(&mut state, &schedule, &self.kernel, self.tile_qubits);
+        } else {
+            // The lower ladder rungs have no packed range kernels; keep
+            // the per-gate path for ablation runs.
+            execute_schedule_local(&mut state, &schedule, &self.kernel);
+        }
         let sim_seconds = t1.elapsed().as_secs_f64();
         SingleOutcome {
             state,
             schedule,
             sim_seconds,
             plan_seconds,
+            sweep,
         }
     }
 
@@ -108,6 +130,11 @@ impl SingleNodeSimulator {
 
 /// Execute all stages of a single-node schedule on a full state.
 /// A single-node schedule has one stage and no swaps; asserts that.
+///
+/// Fused clusters whose matrix happens to be diagonal are routed through
+/// the specialized phase-multiply kernel (§3.5) instead of the dense
+/// ladder — the same test the tiled executor applies, so the two paths
+/// stay bit-identical.
 pub fn execute_schedule_local(
     state: &mut StateVector<f64>,
     schedule: &Schedule,
@@ -117,7 +144,10 @@ pub fn execute_schedule_local(
     for stage in &schedule.stages {
         for op in &stage.ops {
             match op {
-                StageOp::Cluster(c) => state.apply(&c.qubits, &c.matrix, cfg),
+                StageOp::Cluster(c) => match c.matrix.as_diagonal() {
+                    Some(diag) => state.apply_diagonal(&c.qubits, &diag),
+                    None => state.apply(&c.qubits, &c.matrix, cfg),
+                },
                 StageOp::Diagonal(d) => state.apply_diagonal(&d.positions, &d.diag),
             }
         }
@@ -138,10 +168,17 @@ pub fn execute_schedule_local_t<T>(
     for stage in &schedule.stages {
         for op in &stage.ops {
             match op {
-                StageOp::Cluster(c) => {
-                    let m = c.matrix.convert::<T>();
-                    state.apply(&c.qubits, &m, cfg);
-                }
+                StageOp::Cluster(c) => match c.matrix.as_diagonal() {
+                    Some(diag) => {
+                        let diag: Vec<qsim_util::Complex<T>> =
+                            diag.iter().map(|x| x.convert()).collect();
+                        state.apply_diagonal(&c.qubits, &diag);
+                    }
+                    None => {
+                        let m = c.matrix.convert::<T>();
+                        state.apply(&c.qubits, &m, cfg);
+                    }
+                },
                 StageOp::Diagonal(d) => {
                     let diag: Vec<qsim_util::Complex<T>> =
                         d.diag.iter().map(|x| x.convert()).collect();

@@ -1,0 +1,129 @@
+//! Property-based equivalence of the cache-tiled stage executor against
+//! the per-gate oracle.
+//!
+//! The tiled executor (`execute_schedule_sweep`) must be *bitwise*
+//! identical to the per-gate path (`execute_schedule_local`): same op
+//! order, same packed-matrix kernels over the same 2^k-amplitude groups,
+//! same specialized diagonal branches — tiling only regroups independent
+//! block counters. So every comparison here asserts `max_dist == 0.0`,
+//! not a tolerance, across random circuits, cluster sizes, tile budgets,
+//! thread counts and SIMD selections.
+
+use proptest::prelude::*;
+use qsim_core::exec::execute_schedule_sweep;
+use qsim_core::single::{execute_schedule_local, strip_initial_hadamards};
+use qsim_core::StateVector;
+use qsim_kernels::apply::{KernelConfig, Simd};
+use qsim_sched::{plan, SchedulerConfig};
+use qsim_util::complex::max_dist;
+use qsim_util::Xoshiro256;
+
+/// A random circuit mixing dense (H, √X, √Y, CNOT) and diagonal
+/// (T, Z, CZ) gates — enough variety to exercise dense clusters,
+/// diagonal fusion, and diagonal-cluster detection.
+fn random_circuit(n: u32, n_gates: usize, seed: u64) -> qsim_circuit::Circuit {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut c = qsim_circuit::Circuit::new(n);
+    for _ in 0..n_gates {
+        let q = (rng.next_u64() % n as u64) as u32;
+        let mut q2 = (rng.next_u64() % n as u64) as u32;
+        if q2 == q {
+            q2 = (q + 1) % n;
+        }
+        match rng.next_u64() % 8 {
+            0 => c.h(q),
+            1 => c.t(q),
+            2 => c.sqrt_x(q),
+            3 => c.sqrt_y(q),
+            4 => c.z(q),
+            5 => c.cz(q, q2),
+            6 => c.cnot(q, q2),
+            _ => c.x(q),
+        };
+    }
+    c
+}
+
+/// Run both executors on the same plan and state; the tiled result must
+/// be bit-identical to the per-gate oracle.
+fn assert_sweep_bit_exact(
+    n: u32,
+    n_gates: usize,
+    seed: u64,
+    kmax: u32,
+    tile: u32,
+    threads: usize,
+    simd: Simd,
+) {
+    let c = random_circuit(n, n_gates, seed);
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    let schedule = plan(&exec, &SchedulerConfig::single_node(n, kmax));
+    schedule.verify(&exec);
+    let cfg = KernelConfig {
+        simd,
+        threads,
+        ..KernelConfig::default()
+    };
+    let init = || {
+        if uniform {
+            StateVector::<f64>::uniform(n)
+        } else {
+            StateVector::<f64>::zero(n)
+        }
+    };
+    let mut oracle = init();
+    execute_schedule_local(&mut oracle, &schedule, &cfg);
+    let mut swept = init();
+    let stats = execute_schedule_sweep(&mut swept, &schedule, &cfg, Some(tile));
+    assert_eq!(
+        max_dist(swept.amplitudes(), oracle.amplitudes()),
+        0.0,
+        "n={n} seed={seed} kmax={kmax} tile={tile} threads={threads} simd={simd:?}"
+    );
+    assert_eq!(
+        stats.baseline_passes as usize,
+        schedule.stages.iter().map(|s| s.ops.len()).sum::<usize>(),
+        "baseline pass accounting must match the op count"
+    );
+    assert!(stats.sweep_passes <= stats.baseline_passes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random circuits, cluster budgets and tile sizes: bit-exact.
+    #[test]
+    fn tiled_executor_matches_per_gate_oracle(
+        n in 4u32..=8,
+        n_gates in 8usize..=60,
+        seed in 0u64..10_000,
+        kmax in 2u32..=6,
+        tile in 2u32..=12,
+        par in 0u8..2,
+    ) {
+        let threads = if par == 1 { 4 } else { 1 };
+        assert_sweep_bit_exact(n, n_gates, seed, kmax, tile, threads, Simd::Scalar);
+    }
+
+    /// The auto SIMD selection (AVX2/AVX-512 where available) stays
+    /// bit-exact too: both executors share one dispatch decision.
+    #[test]
+    fn tiled_executor_matches_oracle_with_simd(
+        n in 5u32..=8,
+        n_gates in 10usize..=40,
+        seed in 0u64..10_000,
+        tile in 3u32..=10,
+    ) {
+        assert_sweep_bit_exact(n, n_gates, seed, 4, tile, 1, Simd::Auto);
+    }
+}
+
+/// The parallel drivers engage at `PAR_THRESHOLD` (2^14 amplitudes):
+/// check bit-exactness just below, at, and above the seam with multiple
+/// threads, where tile chunking and rayon splits actually differ.
+#[test]
+fn par_threshold_boundary_is_bit_exact() {
+    for n in [13u32, 14, 15] {
+        assert_sweep_bit_exact(n, 80, 0xB0DA + n as u64, 4, 10, 4, Simd::Auto);
+    }
+}

@@ -161,7 +161,7 @@ impl ApplyDispatch for f32 {
 /// based downclocking, emulation), so `Simd::Auto` trusts a micro-
 /// benchmark, not the CPUID flag. This is the paper's code-generation /
 /// benchmarking feedback loop applied to ISA selection.
-fn avx512_wins() -> bool {
+pub(crate) fn avx512_wins() -> bool {
     use std::sync::OnceLock;
     static CHOICE: OnceLock<bool> = OnceLock::new();
     *CHOICE.get_or_init(|| {
@@ -199,26 +199,48 @@ fn avx512_wins() -> bool {
     })
 }
 
+/// The f64 step-3 kernel variant a `(cfg, k)` pair resolves to. Factored
+/// out of [`ApplyDispatch`] so the tiled sweep executor selects the exact
+/// same kernel per gate as the per-gate path (bit-exact agreement).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum DensePath {
+    /// Portable scalar blocked kernel (also the `opt != Blocked` marker:
+    /// callers on those rungs never reach the packed paths).
+    Scalar,
+    Avx2,
+    Avx512,
+}
+
+/// Resolve the dense f64 kernel path for a k-qubit gate under `cfg`,
+/// mirroring the `ApplyDispatch for f64` conditions exactly.
+pub(crate) fn choose_dense_path(cfg: &KernelConfig, k: u32) -> DensePath {
+    if cfg.opt != OptLevel::Blocked || cfg.simd == Simd::Scalar {
+        return DensePath::Scalar;
+    }
+    if cfg.simd == Simd::Auto && k >= 2 && crate::avx512::avx512_available() && avx512_wins() {
+        return DensePath::Avx512;
+    }
+    if avx::avx2_available() {
+        DensePath::Avx2
+    } else {
+        DensePath::Scalar
+    }
+}
+
 impl ApplyDispatch for f64 {
     fn dispatch(state: &mut [c64], qubits: &[u32], m: &GateMatrix<f64>, cfg: &KernelConfig) {
-        if cfg.opt != OptLevel::Blocked || cfg.simd == Simd::Scalar {
-            dispatch_portable(state, qubits, m, cfg);
-            return;
-        }
-        if cfg.simd == Simd::Auto
-            && m.k() >= 2
-            && crate::avx512::avx512_available()
-            && avx512_wins()
-        {
-            let (exp, pm) = opt::prepare(state.len(), qubits, m);
-            let packed = crate::avx512::Packed512::pack(&pm);
-            parallel::par_apply_avx512(state, &exp, &packed, cfg.threads);
-        } else if avx::avx2_available() {
-            let (exp, pm) = opt::prepare(state.len(), qubits, m);
-            let packed = PackedMatrix::pack(&pm);
-            parallel::par_apply_avx(state, &exp, &packed, cfg.block, cfg.threads);
-        } else {
-            dispatch_portable(state, qubits, m, cfg);
+        match choose_dense_path(cfg, m.k()) {
+            DensePath::Avx512 => {
+                let (exp, pm) = opt::prepare(state.len(), qubits, m);
+                let packed = crate::avx512::Packed512::pack(&pm);
+                parallel::par_apply_avx512(state, &exp, &packed, cfg.threads);
+            }
+            DensePath::Avx2 => {
+                let (exp, pm) = opt::prepare(state.len(), qubits, m);
+                let packed = PackedMatrix::pack(&pm);
+                parallel::par_apply_avx(state, &exp, &packed, cfg.block, cfg.threads);
+            }
+            DensePath::Scalar => dispatch_portable(state, qubits, m, cfg),
         }
     }
 }

@@ -112,6 +112,78 @@ pub fn autotune(n_test: u32, threads: usize) -> TunedParams {
     }
 }
 
+/// Memoized [`autotune`]: the measurement loop runs once per distinct
+/// `(n_test, threads)` pair per process and later callers get the cached
+/// result — `SingleNodeSimulator::autotuned` no longer re-tunes per
+/// construction in benches and tests.
+pub fn autotune_cached(n_test: u32, threads: usize) -> TunedParams {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<(u32, usize), TunedParams>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(p) = cache.lock().unwrap().get(&(n_test, threads)) {
+        return *p;
+    }
+    // Tune outside the lock: concurrent first callers may race and tune
+    // twice, but never deadlock or serialize later lookups.
+    let p = autotune(n_test, threads);
+    cache.lock().unwrap().insert((n_test, threads), p);
+    p
+}
+
+/// Candidate tile sizes (log2 amplitudes) for the cache-tiled stage
+/// executor — 2^12..2^16 amplitudes are 64 KiB..1 MiB, bracketing L2.
+pub const TILE_CANDIDATES: [u32; 3] = [12, 14, 16];
+
+/// Tune the tile size for the tiled stage executor with the same
+/// measure-then-pick loop as [`autotune`]'s block sweep: run a surrogate
+/// three-cluster tiled pass over a 2^18 state at each candidate size and
+/// keep the fastest. Cached per process (the choice is a property of the
+/// cache hierarchy, not of the circuit).
+pub fn tune_tile_qubits() -> u32 {
+    use std::sync::OnceLock;
+    static CHOICE: OnceLock<u32> = OnceLock::new();
+    *CHOICE.get_or_init(|| {
+        let n = 18u32;
+        let mut rng = Xoshiro256::seed_from_u64(0x711e);
+        let mut state: Vec<c64> = (0..1usize << n)
+            .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
+        let cfg = KernelConfig {
+            opt: OptLevel::Blocked,
+            simd: Simd::Auto,
+            block: 4,
+            threads: 1,
+        };
+        let mut best = TILE_CANDIDATES[0];
+        let mut best_time = f64::INFINITY;
+        for &tq in &TILE_CANDIDATES {
+            let tile: Vec<u32> = (0..tq).collect();
+            let ops: Vec<crate::sweep::TileOp> = (0..3)
+                .map(|i| {
+                    let qs: Vec<u32> = (4 * i..4 * i + 4).collect();
+                    crate::sweep::TileOp::Dense(crate::sweep::PreparedGate::new(
+                        &qs,
+                        &random_dense(4),
+                        &cfg,
+                    ))
+                })
+                .collect();
+            let pass = crate::sweep::TiledPass::new(tile, ops);
+            let mut stats = crate::sweep::SweepStats::default();
+            let t = summarize(&time_reps(1, 3, || {
+                pass.run(&mut state, 0, 1, &mut stats);
+            }))
+            .median;
+            if t < best_time {
+                best_time = t;
+                best = tq;
+            }
+        }
+        best
+    })
+}
+
 /// Candidate pipeline depths (sub-chunks per peer segment) for the fused
 /// global-swap engine.
 pub const SUB_CHUNK_CANDIDATES: [usize; 4] = [1, 2, 4, 8];
@@ -200,6 +272,20 @@ mod tests {
     #[should_panic(expected = "unreasonable tuning size")]
     fn rejects_huge_tuning_state() {
         let _ = autotune(40, 1);
+    }
+
+    #[test]
+    fn cached_autotune_returns_identical_params() {
+        let a = autotune_cached(10, 1);
+        let b = autotune_cached(10, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tile_tuning_picks_a_candidate() {
+        let t = tune_tile_qubits();
+        assert!(TILE_CANDIDATES.contains(&t), "tile {t} not a candidate");
+        assert_eq!(t, tune_tile_qubits(), "choice must be stable");
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   of the paper's OpenMP `collapse` parallelization (§3.3).
 //! * [`mod@autotune`] — the runtime code-selection / benchmarking feedback loop
 //!   that picks kernel size kmax and block size for the host (§3.2).
+//! * [`sweep`] — the cache-tiled stage executor: one streaming pass over
+//!   the state applies every fused gate of a communication-free stage,
+//!   with diagonal ops folded in as per-tile phases.
 //!
 //! The single entry point for simulators is [`apply::apply_gate`], which
 //! dispatches on kernel configuration.
@@ -31,7 +34,9 @@ pub mod matrix;
 pub mod opt;
 pub mod parallel;
 pub mod specialized;
+pub mod sweep;
 
 pub use apply::{apply_gate, apply_gate_seq, KernelConfig, OptLevel, Simd};
-pub use autotune::{autotune, TunedParams};
+pub use autotune::{autotune, autotune_cached, tune_tile_qubits, TunedParams};
 pub use matrix::{GateMatrix, PackedMatrix};
+pub use sweep::SweepStats;

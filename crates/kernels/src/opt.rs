@@ -196,14 +196,25 @@ pub(crate) fn prepare<T: Real>(
     qubits: &[u32],
     m: &GateMatrix<T>,
 ) -> (IndexExpander, GateMatrix<T>) {
-    let k = m.k();
-    assert_eq!(qubits.len(), k as usize, "operand arity mismatch");
-    assert!((1..=MAX_K).contains(&k), "unsupported kernel size k={k}");
     assert!(len.is_power_of_two(), "state length must be 2^n");
     let n = len.trailing_zeros();
     for &q in qubits {
         assert!(q < n, "qubit {q} out of range for n={n}");
     }
+    prepare_free(qubits, m)
+}
+
+/// Length-free half of [`prepare`]: sort operands and pre-permute the
+/// matrix without knowing the state size. Used by the tiled sweep
+/// executor, whose gates are prepared once per stage and then applied to
+/// many differently-sized slices (full state and cache tiles).
+pub(crate) fn prepare_free<T: Real>(
+    qubits: &[u32],
+    m: &GateMatrix<T>,
+) -> (IndexExpander, GateMatrix<T>) {
+    let k = m.k();
+    assert_eq!(qubits.len(), k as usize, "operand arity mismatch");
+    assert!((1..=MAX_K).contains(&k), "unsupported kernel size k={k}");
     // order[j] = index into `qubits` of the j-th smallest position.
     let mut order: Vec<usize> = (0..qubits.len()).collect();
     order.sort_by_key(|&j| qubits[j]);

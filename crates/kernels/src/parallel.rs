@@ -33,7 +33,7 @@ pub const PAR_THRESHOLD: usize = 1 << 14;
 /// expander enumerates disjoint index sets per counter, no two workers
 /// alias — the standard argument for gate-level parallelism in state-vector
 /// simulators.
-struct DisjointSlice<T>(*mut Complex<T>, usize);
+pub(crate) struct DisjointSlice<T>(pub(crate) *mut Complex<T>, pub(crate) usize);
 unsafe impl<T: Send> Send for DisjointSlice<T> {}
 unsafe impl<T: Send> Sync for DisjointSlice<T> {}
 
@@ -44,7 +44,7 @@ impl<T> DisjointSlice<T> {
     /// cannot occur.
     #[inline(always)]
     #[allow(clippy::mut_from_ref)]
-    unsafe fn slice(&self) -> &mut [Complex<T>] {
+    pub(crate) unsafe fn slice(&self) -> &mut [Complex<T>] {
         core::slice::from_raw_parts_mut(self.0, self.1)
     }
 }
@@ -256,7 +256,7 @@ pub fn par_reduce_amplitudes<T: Real, A: Send>(
 /// Split `[0, blocks)` into roughly `parts * 4` contiguous ranges (over-
 /// decomposition keeps rayon's work stealing effective when ranges have
 /// unequal cache behaviour).
-fn chunk_ranges(blocks: usize, parts: usize) -> Vec<(usize, usize)> {
+pub(crate) fn chunk_ranges(blocks: usize, parts: usize) -> Vec<(usize, usize)> {
     let want = (parts * 4).clamp(1, blocks.max(1));
     let per = blocks.div_ceil(want);
     let mut out = Vec::with_capacity(want);

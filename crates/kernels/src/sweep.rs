@@ -1,0 +1,633 @@
+//! Cache-tiled stage execution — one streaming pass per stage.
+//!
+//! The per-gate executors stream the whole state vector once per fused
+//! gate, so a communication-free stage with a dozen clusters reads and
+//! writes 2^n amplitudes a dozen times and the local compute path is
+//! memory-bandwidth-bound (§3.3's motivation for fusion, taken one level
+//! further). This module partitions the state into cache-resident *tiles*
+//! of 2^T amplitudes and, per tile, applies **every** gate of the stage
+//! whose operands fall inside the tile — dense clusters through the same
+//! packed §3.1–3.2 kernel ladder (scalar/AVX2/AVX-512, chosen exactly as
+//! the per-gate dispatch would), diagonal clusters folded into the sweep
+//! as per-tile phase multiplications. One pass over DRAM then applies the
+//! whole stage; only clusters wider than the tile fall back to a
+//! dedicated full sweep.
+//!
+//! Bit-exactness contract: for the same op order and [`KernelConfig`],
+//! the tiled executor produces *bitwise identical* amplitudes to the
+//! per-gate oracle. Every gate runs the same kernel on the same packed
+//! matrix over the same 2^k-amplitude groups (tile decomposition only
+//! regroups the independent block counters), and the diagonal fold
+//! mirrors `specialized::apply_diagonal` / the rank-reduction in
+//! `qsim-core::dist` branch for branch — including the 1-qubit
+//! unit-first-entry fast path, which *skips* (rather than multiplies by
+//! one) the untouched half. The proptests in `qsim-core` assert
+//! `max_dist == 0.0`.
+
+use crate::apply::{choose_dense_path, DensePath, KernelConfig, OptLevel};
+use crate::avx::apply_avx_range;
+use crate::avx512::{apply_avx512_range, Packed512};
+use crate::matrix::{GateMatrix, PackedMatrix};
+use crate::opt::{self, apply_blocked_packed_range, MAX_K};
+use crate::parallel::{self, chunk_ranges, DisjointSlice, PAR_THRESHOLD};
+use qsim_util::bits::{get_bit, IndexExpander};
+use qsim_util::c64;
+use qsim_util::complex::Complex;
+use rayon::prelude::*;
+
+/// Smallest tile the auto-clamp will shrink to: a tile narrower than the
+/// widest kernel (k = [`MAX_K`]) would push dense clusters onto the
+/// full-sweep fallback and defeat the point of tiling.
+pub const MIN_TILE_QUBITS: u32 = MAX_K;
+
+/// Traffic and pass counters for the tiled executor, surfaced through
+/// `fig7_kernel_scaling --mode sweep` and `table2_endtoend`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Full-state streaming passes this executor performed (one per tiled
+    /// pass, one per fallback full sweep).
+    pub sweep_passes: u64,
+    /// Passes the per-gate executor would have performed on the same ops
+    /// (one per cluster, one per diagonal).
+    pub baseline_passes: u64,
+    /// Dense clusters applied inside cache tiles.
+    pub tile_local_gates: u64,
+    /// Dense clusters wider than the tile, applied as full sweeps.
+    pub fallback_gates: u64,
+    /// Diagonal ops folded into tiled passes as phase multiplications.
+    pub diagonals_folded: u64,
+    /// Bytes streamed to/from DRAM by this executor: 2 x state bytes per
+    /// pass (read + write; tile gather/scatter stays cache-resident).
+    pub bytes_streamed: u64,
+    /// Bytes the per-gate executor would have streamed.
+    pub baseline_bytes: u64,
+}
+
+impl SweepStats {
+    /// Accumulate another counter set (per-stage or per-rank merging).
+    pub fn merge(&mut self, o: &SweepStats) {
+        self.sweep_passes += o.sweep_passes;
+        self.baseline_passes += o.baseline_passes;
+        self.tile_local_gates += o.tile_local_gates;
+        self.fallback_gates += o.fallback_gates;
+        self.diagonals_folded += o.diagonals_folded;
+        self.bytes_streamed += o.bytes_streamed;
+        self.baseline_bytes += o.baseline_bytes;
+    }
+
+    /// Pass-reduction factor over the per-gate baseline (the acceptance
+    /// metric: >= 1.5x on depth-25 supremacy stages).
+    pub fn pass_ratio(&self) -> f64 {
+        self.baseline_passes as f64 / (self.sweep_passes as f64).max(1.0)
+    }
+}
+
+/// Clamp a (tuned) tile size to the local register and, with multiple
+/// worker threads, shrink it until the pass has at least ~4x threads
+/// tiles to steal — but never below [`MIN_TILE_QUBITS`].
+pub fn effective_tile_qubits(tile: u32, local_qubits: u32, threads: usize) -> u32 {
+    let mut t = tile.min(local_qubits).max(1);
+    if threads > 1 {
+        let want = (threads * 4).next_power_of_two().trailing_zeros();
+        let cap = local_qubits
+            .saturating_sub(want)
+            .max(MIN_TILE_QUBITS.min(local_qubits));
+        t = t.min(cap.max(1));
+    }
+    t
+}
+
+/// A dense cluster prepared once per stage: operands sorted, matrix
+/// pre-permuted and packed for the kernel path the per-gate dispatch
+/// would pick (satellite: no re-packing on every apply call).
+pub struct PreparedGate {
+    exp: IndexExpander,
+    offs: Vec<usize>,
+    packed: Option<PackedMatrix<f64>>,
+    packed512: Option<Packed512>,
+    path: DensePath,
+    block: usize,
+    k: u32,
+}
+
+impl PreparedGate {
+    /// Prepare a gate at `qubits` (tile-compact or physical positions)
+    /// under `cfg`. Only meaningful at `OptLevel::Blocked` — the other
+    /// ladder rungs have no packed range kernels.
+    pub fn new(qubits: &[u32], m: &GateMatrix<f64>, cfg: &KernelConfig) -> Self {
+        assert_eq!(
+            cfg.opt,
+            OptLevel::Blocked,
+            "tiled sweep requires the blocked kernel ladder"
+        );
+        let (exp, pm) = opt::prepare_free(qubits, m);
+        let k = pm.k();
+        let path = choose_dense_path(cfg, k);
+        let offs = (0..pm.dim()).map(|x| exp.offset(x)).collect();
+        let (packed, packed512) = match path {
+            DensePath::Avx512 => (None, Some(Packed512::pack(&pm))),
+            DensePath::Scalar | DensePath::Avx2 => (Some(PackedMatrix::pack(&pm)), None),
+        };
+        Self {
+            exp,
+            offs,
+            packed,
+            packed512,
+            path,
+            block: cfg.block,
+            k,
+        }
+    }
+
+    /// Apply to block counters `[c0, c1)` of `state`, sequentially.
+    fn apply_range(&self, state: &mut [c64], c0: usize, c1: usize) {
+        match self.path {
+            DensePath::Scalar => apply_blocked_packed_range(
+                state,
+                &self.exp,
+                self.packed.as_ref().unwrap(),
+                &self.offs,
+                self.block,
+                c0,
+                c1,
+            ),
+            DensePath::Avx2 => apply_avx_range(
+                state,
+                &self.exp,
+                self.packed.as_ref().unwrap(),
+                &self.offs,
+                self.block,
+                c0,
+                c1,
+            ),
+            DensePath::Avx512 => apply_avx512_range(
+                state,
+                &self.exp,
+                self.packed512.as_ref().unwrap(),
+                &self.offs,
+                c0,
+                c1,
+            ),
+        }
+    }
+
+    /// Apply to one cache tile (all blocks of `chunk`).
+    #[inline]
+    pub fn apply_chunk(&self, chunk: &mut [c64]) {
+        self.apply_range(chunk, 0, chunk.len() >> self.k);
+    }
+
+    /// Apply to the whole state through the parallel drivers — the
+    /// fallback full sweep for clusters wider than the tile. Identical
+    /// code path (including the `PAR_THRESHOLD` seam) to the per-gate
+    /// dispatch, minus the re-packing.
+    pub fn apply_full(&self, state: &mut [c64], threads: usize) {
+        match self.path {
+            DensePath::Scalar => parallel::par_apply_blocked(
+                state,
+                &self.exp,
+                self.packed.as_ref().unwrap(),
+                self.block,
+                threads,
+            ),
+            DensePath::Avx2 => parallel::par_apply_avx(
+                state,
+                &self.exp,
+                self.packed.as_ref().unwrap(),
+                self.block,
+                threads,
+            ),
+            DensePath::Avx512 => parallel::par_apply_avx512(
+                state,
+                &self.exp,
+                self.packed512.as_ref().unwrap(),
+                threads,
+            ),
+        }
+    }
+}
+
+/// A diagonal op prepared for per-tile folding. Each operand is resolved
+/// once: inside the tile (bit of the in-tile index), outside the tile but
+/// local (bit of the tile's base index), or global (bit of the rank).
+pub struct PreparedDiag {
+    diag: Vec<c64>,
+    /// (operand slot, compact in-tile position).
+    in_tile: Vec<(usize, u32)>,
+    /// (operand slot, physical position < local_qubits, not in tile).
+    from_base: Vec<(usize, u32)>,
+    /// (operand slot, rank-bit shift `p - local_qubits`).
+    from_rank: Vec<(usize, u32)>,
+}
+
+impl PreparedDiag {
+    /// Classify `positions` against a sorted `tile` position set.
+    pub fn new(positions: &[u32], diag: Vec<c64>, tile: &[u32], local_qubits: u32) -> Self {
+        assert_eq!(diag.len(), 1usize << positions.len(), "diagonal size");
+        let mut in_tile = Vec::new();
+        let mut from_base = Vec::new();
+        let mut from_rank = Vec::new();
+        for (j, &p) in positions.iter().enumerate() {
+            if let Ok(cp) = tile.binary_search(&p) {
+                in_tile.push((j, cp as u32));
+            } else if p < local_qubits {
+                from_base.push((j, p));
+            } else {
+                from_rank.push((j, p - local_qubits));
+            }
+        }
+        Self {
+            diag,
+            in_tile,
+            from_base,
+            from_rank,
+        }
+    }
+
+    /// Fold the diagonal into one tile. `base` is the full-state index
+    /// whose in-tile bits are zero (tile base); `rank` supplies bits of
+    /// positions >= local_qubits.
+    ///
+    /// Mirrors `apply_rank_diagonal` + `specialized::apply_diagonal`
+    /// branch for branch so the fold is bit-exact against the per-gate
+    /// oracle: the pure-global case is one scalar phase, the 1-local-
+    /// operand unit-first-entry case touches only the bit-set half, and
+    /// the general case multiplies every amplitude by its gathered entry.
+    pub fn apply_chunk(&self, chunk: &mut [c64], base: usize, rank: usize) {
+        let mut rank_fixed = 0usize;
+        for &(j, s) in &self.from_rank {
+            rank_fixed |= ((rank >> s) & 1) << j;
+        }
+        let n_local = self.in_tile.len() + self.from_base.len();
+        if n_local == 0 {
+            let phase = self.diag[rank_fixed];
+            for a in chunk.iter_mut() {
+                *a *= phase;
+            }
+            return;
+        }
+        if n_local == 1 && (self.diag[rank_fixed] - Complex::one()).abs() <= f64::EPSILON {
+            // apply_diagonal's fast path: skip — don't multiply by one —
+            // the half whose local bit is clear.
+            if let Some(&(j, cp)) = self.in_tile.first() {
+                let phase = self.diag[rank_fixed | (1usize << j)];
+                let stride = 1usize << cp;
+                let low = stride - 1;
+                for c in 0..chunk.len() >> 1 {
+                    let idx = ((c & !low) << 1) | (c & low) | stride;
+                    chunk[idx] *= phase;
+                }
+            } else {
+                let &(j, p) = self.from_base.first().unwrap();
+                if get_bit(base, p) == 1 {
+                    let phase = self.diag[rank_fixed | (1usize << j)];
+                    for a in chunk.iter_mut() {
+                        *a *= phase;
+                    }
+                }
+            }
+            return;
+        }
+        let mut fixed = rank_fixed;
+        for &(j, p) in &self.from_base {
+            fixed |= get_bit(base, p) << j;
+        }
+        for (x, a) in chunk.iter_mut().enumerate() {
+            let mut idx = fixed;
+            for &(j, cp) in &self.in_tile {
+                idx |= ((x >> cp) & 1) << j;
+            }
+            *a *= self.diag[idx];
+        }
+    }
+}
+
+/// One op of a tiled pass.
+pub enum TileOp {
+    /// Dense cluster prepared over *compact* tile positions.
+    Dense(PreparedGate),
+    /// Diagonal folded as per-tile phases (operands may be anywhere).
+    Diag(PreparedDiag),
+}
+
+/// A group of stage ops applied in one streaming pass over the state.
+pub struct TiledPass {
+    /// Sorted physical positions spanned by the tile.
+    tile: Vec<u32>,
+    /// Tile positions are exactly `0..T`: tiles are contiguous slices and
+    /// the gather/scatter staging is skipped entirely (zero-copy).
+    contiguous: bool,
+    ops: Vec<TileOp>,
+}
+
+impl TiledPass {
+    pub fn new(tile: Vec<u32>, ops: Vec<TileOp>) -> Self {
+        assert!(!tile.is_empty(), "empty tile");
+        assert!(tile.windows(2).all(|w| w[0] < w[1]), "tile must be sorted");
+        let contiguous = tile.iter().enumerate().all(|(i, &p)| p == i as u32);
+        Self {
+            tile,
+            contiguous,
+            ops,
+        }
+    }
+
+    /// Number of ops folded into this pass.
+    pub fn n_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    #[inline]
+    fn apply_ops(&self, chunk: &mut [c64], base: usize, rank: usize) {
+        for op in &self.ops {
+            match op {
+                TileOp::Dense(g) => g.apply_chunk(chunk),
+                TileOp::Diag(d) => d.apply_chunk(chunk, base, rank),
+            }
+        }
+    }
+
+    #[inline]
+    fn run_gathered_tile(
+        &self,
+        state: &mut [c64],
+        exp: &IndexExpander,
+        offs: &[usize],
+        scratch: &mut [c64],
+        t: usize,
+        rank: usize,
+    ) {
+        let base = exp.expand(t);
+        for (x, s) in scratch.iter_mut().enumerate() {
+            *s = state[base + offs[x]];
+        }
+        self.apply_ops(scratch, base, rank);
+        for (x, &s) in scratch.iter().enumerate() {
+            state[base + offs[x]] = s;
+        }
+    }
+
+    /// Stream the state once, applying every op of the pass per tile.
+    pub fn run(&self, state: &mut [c64], rank: usize, threads: usize, stats: &mut SweepStats) {
+        let tb = self.tile.len() as u32;
+        let tile_len = 1usize << tb;
+        assert!(state.len().is_power_of_two() && state.len() >= tile_len);
+        let n_tiles = state.len() >> tb;
+        let par = state.len() >= PAR_THRESHOLD && threads > 1 && n_tiles > 1;
+        if self.contiguous {
+            if par {
+                state
+                    .par_chunks_mut(tile_len)
+                    .enumerate()
+                    .for_each(|(t, chunk)| self.apply_ops(chunk, t << tb, rank));
+            } else {
+                for t in 0..n_tiles {
+                    let base = t << tb;
+                    self.apply_ops(&mut state[base..base + tile_len], base, rank);
+                }
+            }
+        } else {
+            let exp = IndexExpander::new(&self.tile);
+            let offs: Vec<usize> = (0..tile_len).map(|x| exp.offset(x)).collect();
+            if par {
+                let shared = DisjointSlice(state.as_mut_ptr(), state.len());
+                chunk_ranges(n_tiles, threads)
+                    .into_par_iter()
+                    .for_each(|(t0, t1)| {
+                        // SAFETY: distinct tile counters expand to
+                        // disjoint index sets (DisjointSlice contract),
+                        // and counter ranges partition [0, n_tiles).
+                        let s = unsafe { shared.slice() };
+                        let mut scratch = vec![c64::zero(); tile_len];
+                        for t in t0..t1 {
+                            self.run_gathered_tile(s, &exp, &offs, &mut scratch, t, rank);
+                        }
+                    });
+            } else {
+                let mut scratch = vec![c64::zero(); tile_len];
+                for t in 0..n_tiles {
+                    self.run_gathered_tile(state, &exp, &offs, &mut scratch, t, rank);
+                }
+            }
+        }
+        let bytes = 2 * std::mem::size_of_val(state) as u64;
+        stats.sweep_passes += 1;
+        stats.bytes_streamed += bytes;
+        stats.baseline_passes += self.ops.len() as u64;
+        stats.baseline_bytes += bytes * self.ops.len() as u64;
+        for op in &self.ops {
+            match op {
+                TileOp::Dense(_) => stats.tile_local_gates += 1,
+                TileOp::Diag(_) => stats.diagonals_folded += 1,
+            }
+        }
+    }
+}
+
+/// Fallback: apply one prepared gate as a dedicated full sweep (cluster
+/// wider than the tile).
+pub fn run_full_pass(
+    state: &mut [c64],
+    gate: &PreparedGate,
+    threads: usize,
+    stats: &mut SweepStats,
+) {
+    gate.apply_full(state, threads);
+    let bytes = 2 * std::mem::size_of_val(state) as u64;
+    stats.sweep_passes += 1;
+    stats.baseline_passes += 1;
+    stats.fallback_gates += 1;
+    stats.bytes_streamed += bytes;
+    stats.baseline_bytes += bytes;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::{apply_gate, Simd};
+    use crate::specialized::apply_diagonal;
+    use qsim_util::complex::max_dist;
+    use qsim_util::Xoshiro256;
+
+    fn random_state(n: u32, seed: u64) -> Vec<c64> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..1usize << n)
+            .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect()
+    }
+
+    fn random_matrix(k: u32, seed: u64) -> GateMatrix<f64> {
+        let d = 1usize << k;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        GateMatrix::from_rows(
+            k,
+            (0..d * d)
+                .map(|_| c64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+                .collect(),
+        )
+    }
+
+    fn t_diag() -> Vec<c64> {
+        vec![
+            c64::one(),
+            c64::from_polar(1.0, std::f64::consts::FRAC_PI_4),
+        ]
+    }
+
+    #[test]
+    fn contiguous_pass_is_bit_exact_vs_per_gate() {
+        let n = 10u32;
+        for simd in [Simd::Scalar, Simd::Auto] {
+            let cfg = KernelConfig {
+                opt: OptLevel::Blocked,
+                simd,
+                block: 4,
+                threads: 1,
+            };
+            let m1 = random_matrix(2, 1);
+            let m2 = random_matrix(3, 2);
+            let state0 = random_state(n, 3);
+
+            let mut oracle = state0.clone();
+            apply_gate(&mut oracle, &[0, 3], &m1, &cfg);
+            apply_diagonal(&mut oracle, &[5], &t_diag());
+            apply_gate(&mut oracle, &[1, 2, 4], &m2, &cfg);
+
+            // Tile over positions 0..6: both clusters tile-local, the T
+            // on qubit 5 is in-tile; qubits 6..9 are per-tile base bits.
+            let tile: Vec<u32> = (0..6).collect();
+            let pass = TiledPass::new(
+                tile.clone(),
+                vec![
+                    TileOp::Dense(PreparedGate::new(&[0, 3], &m1, &cfg)),
+                    TileOp::Diag(PreparedDiag::new(&[5], t_diag(), &tile, n)),
+                    TileOp::Dense(PreparedGate::new(&[1, 2, 4], &m2, &cfg)),
+                ],
+            );
+            let mut tiled = state0;
+            let mut stats = SweepStats::default();
+            pass.run(&mut tiled, 0, 1, &mut stats);
+            assert_eq!(max_dist(&tiled, &oracle), 0.0, "simd={simd:?}");
+            assert_eq!(stats.sweep_passes, 1);
+            assert_eq!(stats.baseline_passes, 3);
+            assert_eq!(stats.tile_local_gates, 2);
+            assert_eq!(stats.diagonals_folded, 1);
+        }
+    }
+
+    #[test]
+    fn gathered_pass_is_bit_exact_vs_per_gate() {
+        let n = 11u32;
+        let cfg = KernelConfig::sequential();
+        // Cluster on high, scattered qubits: the tile {2,5,7,8,10} is
+        // non-contiguous, so the gather/scatter staging path runs.
+        let tile = vec![2u32, 5, 7, 8, 10];
+        let m = random_matrix(3, 7);
+        let qubits = [5u32, 7, 10];
+        let compact: Vec<u32> = qubits
+            .iter()
+            .map(|q| tile.binary_search(q).unwrap() as u32)
+            .collect();
+        let state0 = random_state(n, 8);
+
+        let mut oracle = state0.clone();
+        apply_gate(&mut oracle, &qubits, &m, &cfg);
+        // Diagonal on an out-of-tile qubit exercises the base-bit path.
+        apply_diagonal(&mut oracle, &[3], &t_diag());
+
+        let pass = TiledPass::new(
+            tile.clone(),
+            vec![
+                TileOp::Dense(PreparedGate::new(&compact, &m, &cfg)),
+                TileOp::Diag(PreparedDiag::new(&[3], t_diag(), &tile, n)),
+            ],
+        );
+        let mut tiled = state0;
+        let mut stats = SweepStats::default();
+        pass.run(&mut tiled, 0, 1, &mut stats);
+        assert_eq!(max_dist(&tiled, &oracle), 0.0);
+    }
+
+    #[test]
+    fn parallel_pass_matches_sequential_pass() {
+        let n = 15u32; // above PAR_THRESHOLD
+        let cfg = KernelConfig {
+            threads: 4,
+            ..KernelConfig::sequential()
+        };
+        let m = random_matrix(4, 11);
+        let state0 = random_state(n, 12);
+        let mk_pass = || {
+            let tile: Vec<u32> = (0..8).collect();
+            TiledPass::new(
+                tile.clone(),
+                vec![
+                    TileOp::Dense(PreparedGate::new(&[0, 2, 4, 6], &m, &cfg)),
+                    TileOp::Diag(PreparedDiag::new(&[9], t_diag(), &tile, n)),
+                ],
+            )
+        };
+        let mut seq = state0.clone();
+        let mut par = state0;
+        let mut stats = SweepStats::default();
+        mk_pass().run(&mut seq, 0, 1, &mut stats);
+        mk_pass().run(&mut par, 0, 4, &mut stats);
+        assert_eq!(max_dist(&seq, &par), 0.0);
+    }
+
+    #[test]
+    fn rank_conditional_diagonal_matches_reduction() {
+        // Two-operand diagonal with operand 1 global: rank bit selects
+        // the reduced half, matching the dist-path reduction.
+        let l = 8u32;
+        let diag: Vec<c64> = (0..4)
+            .map(|i| c64::from_polar(1.0, 0.3 * i as f64))
+            .collect();
+        let tile: Vec<u32> = (0..6).collect();
+        let state0 = random_state(l, 21);
+        for rank in [0usize, 1] {
+            // Oracle: reduce by the rank bit, then apply locally.
+            let fixed = (rank & 1) << 1;
+            let reduced = vec![diag[fixed], diag[fixed | 1]];
+            let mut oracle = state0.clone();
+            apply_diagonal(&mut oracle, &[4], &reduced);
+
+            let pd = PreparedDiag::new(&[4, l], diag.clone(), &tile, l);
+            let pass = TiledPass::new(tile.clone(), vec![TileOp::Diag(pd)]);
+            let mut tiled = state0.clone();
+            let mut stats = SweepStats::default();
+            pass.run(&mut tiled, rank, 1, &mut stats);
+            assert_eq!(max_dist(&tiled, &oracle), 0.0, "rank={rank}");
+        }
+    }
+
+    #[test]
+    fn full_pass_fallback_is_bit_exact() {
+        let n = 12u32;
+        let cfg = KernelConfig::sequential();
+        let m = random_matrix(5, 31);
+        let qubits = [1u32, 3, 5, 8, 11];
+        let state0 = random_state(n, 32);
+        let mut oracle = state0.clone();
+        apply_gate(&mut oracle, &qubits, &m, &cfg);
+        let mut swept = state0;
+        let mut stats = SweepStats::default();
+        let g = PreparedGate::new(&qubits, &m, &cfg);
+        run_full_pass(&mut swept, &g, 1, &mut stats);
+        assert_eq!(max_dist(&swept, &oracle), 0.0);
+        assert_eq!(stats.fallback_gates, 1);
+        assert_eq!(stats.pass_ratio(), 1.0);
+    }
+
+    #[test]
+    fn effective_tile_clamps() {
+        assert_eq!(effective_tile_qubits(14, 10, 1), 10);
+        assert_eq!(effective_tile_qubits(14, 24, 1), 14);
+        // 8 threads want 2^5 tiles: 24-qubit register caps the tile at 19,
+        // leaving the tuned 14 untouched; a 16-qubit register shrinks it.
+        assert_eq!(effective_tile_qubits(14, 24, 8), 14);
+        assert_eq!(effective_tile_qubits(14, 16, 8), 11);
+        // Never below MIN_TILE_QUBITS when the register allows it.
+        assert_eq!(effective_tile_qubits(14, 8, 64), 6);
+    }
+}

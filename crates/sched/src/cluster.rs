@@ -192,6 +192,13 @@ pub fn build_stage_ops(
             matrix,
         }));
     }
+    if cfg.sweep_order {
+        // Group ops by qubit footprint so the cache-tiled executor folds
+        // more of them into each streaming pass. Dependency-safe (only
+        // position-disjoint ops commute) and applied here, not at
+        // execution time, so every executor sees the same op order.
+        ops = crate::sweep::order_ops_for_sweep(ops, crate::sweep::DEFAULT_TILE_QUBITS.min(l));
+    }
     ops
 }
 

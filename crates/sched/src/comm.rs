@@ -34,6 +34,7 @@ pub fn global_gate_count(circuit: &Circuit, l: u32, worst_case: bool) -> usize {
         swap_search: false,
         adjust_swaps: false,
         cluster_trials: 1,
+        sweep_order: false,
     };
     let dense = dense_for_scheduling(circuit, &cfg);
     let mut skip_h = vec![true; circuit.n_qubits() as usize];

@@ -31,6 +31,11 @@ pub struct SchedulerConfig {
     /// Number of clustering seed trials in the "small local search"
     /// (§3.6.1 step 2); 1 = pure greedy.
     pub cluster_trials: usize,
+    /// Reorder each stage's op list by qubit footprint so consecutive
+    /// clusters share tile bits — feeds the cache-tiled sweep executor
+    /// (more ops per streaming pass). Dependency-safe: only ops on
+    /// disjoint position sets are commuted.
+    pub sweep_order: bool,
 }
 
 impl SchedulerConfig {
@@ -45,6 +50,7 @@ impl SchedulerConfig {
             swap_search: true,
             adjust_swaps: true,
             cluster_trials: 4,
+            sweep_order: true,
         }
     }
 
@@ -64,6 +70,7 @@ impl SchedulerConfig {
             swap_search: false,
             adjust_swaps: false,
             cluster_trials: 1,
+            sweep_order: false,
         }
     }
 }
@@ -77,8 +84,10 @@ mod tests {
         let d = SchedulerConfig::distributed(30, 4);
         assert!(d.specialize_diagonal && d.swap_search && d.adjust_swaps);
         assert_eq!(d.kmax, 4);
+        assert!(d.sweep_order);
         let n = SchedulerConfig::naive(30, 4);
         assert!(!n.specialize_diagonal && !n.swap_search && !n.adjust_swaps);
+        assert!(!n.sweep_order);
         let s = SchedulerConfig::single_node(20, 5);
         assert_eq!(s.local_qubits, 20);
     }

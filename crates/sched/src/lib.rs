@@ -21,6 +21,9 @@
 //! * [`comm`] — communication statistics: swap counts, per-gate global
 //!   gate counts (the comparison baseline of Fig. 5), and byte-volume
 //!   models.
+//! * [`sweep`] — stage-sweep planning for the cache-tiled executor:
+//!   footprint-aware op ordering and grouping of consecutive ops into
+//!   single streaming passes.
 //!
 //! The top-level entry point is [`stage::plan`]: circuit + config →
 //! [`Schedule`].
@@ -32,8 +35,10 @@ pub mod fuse;
 pub mod mapping;
 pub mod schedule;
 pub mod stage;
+pub mod sweep;
 
 pub use comm::{global_gate_count, CommStats};
 pub use config::SchedulerConfig;
 pub use schedule::{Cluster, DiagonalOp, Schedule, Stage, StageOp, SwapOp};
 pub use stage::plan;
+pub use sweep::{plan_stage_sweeps, SweepPass, SweepPlan};

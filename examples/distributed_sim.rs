@@ -51,6 +51,7 @@ fn main() {
             kernel,
             gather_state: false,
             sub_chunks: None,
+            tile_qubits: None,
         });
         let out = sim.run(&exec, &schedule, uniform);
         let base = BaselineSimulator::new(ranks, kernel).run(&circuit);

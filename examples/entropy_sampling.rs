@@ -38,6 +38,7 @@ fn main() {
         },
         gather_state: true,
         sub_chunks: None,
+        tile_qubits: None,
     });
     let out = sim.run(&exec, &schedule, uniform);
     println!("distributed (4 ranks):");

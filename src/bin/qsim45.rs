@@ -148,6 +148,7 @@ fn cmd_run() {
                 },
                 gather_state: false,
                 sub_chunks: None,
+                tile_qubits: None,
             });
             let out = sim.run(&exec, &schedule, uniform);
             println!(

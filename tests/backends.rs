@@ -46,6 +46,7 @@ fn memory_and_disk_backends_agree_amplitude_for_amplitude() {
             kernel: KernelConfig::sequential(),
             gather_state: true,
             sub_chunks: None,
+            tile_qubits: None,
         });
         let dist_state = dist.run(&exec, &schedule, uniform).state.unwrap();
 

@@ -32,6 +32,7 @@ fn run_dist(circuit: &Circuit, ranks: usize, kmax: u32) -> Vec<c64> {
         kernel: KernelConfig::sequential(),
         gather_state: true,
         sub_chunks: None,
+        tile_qubits: None,
     });
     sim.run(&exec, &schedule, uniform).state.unwrap()
 }
@@ -95,6 +96,7 @@ fn all_kmax_values_and_rank_counts_preserve_entropy() {
                 kernel: KernelConfig::sequential(),
                 gather_state: false,
                 sub_chunks: None,
+                tile_qubits: None,
             });
             let out = sim.run(&exec, &schedule, uniform);
             assert!(
@@ -135,6 +137,7 @@ fn scheduler_ablations_do_not_change_physics() {
             kernel: KernelConfig::sequential(),
             gather_state: true,
             sub_chunks: None,
+            tile_qubits: None,
         });
         let out = sim.run(&exec, &schedule, uniform);
         let state = out.state.unwrap();
@@ -191,6 +194,7 @@ fn distributed_with_parallel_kernels_inside_ranks() {
         kernel: KernelConfig::default(),
         gather_state: true,
         sub_chunks: None,
+        tile_qubits: None,
     });
     let out = sim.run(&exec, &schedule, uniform);
     let state = out.state.unwrap();
@@ -210,6 +214,7 @@ fn comm_bytes_scale_with_swap_count() {
         kernel: KernelConfig::sequential(),
         gather_state: false,
         sub_chunks: None,
+        tile_qubits: None,
     });
     let out = sim.run(&exec, &schedule, uniform);
     // Each swap: every rank ships (ranks-1)/ranks of 2^l amplitudes.

@@ -78,6 +78,7 @@ proptest! {
             kernel: KernelConfig::sequential(),
             gather_state: true,
             sub_chunks: None,
+            tile_qubits: None,
         });
         let out = sim.run(&exec, &schedule, uniform);
         let state = out.state.unwrap();
