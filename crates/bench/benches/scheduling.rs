@@ -59,7 +59,7 @@ fn bench_all_to_all(c: &mut Criterion) {
 fn bench_ooc_swap(c: &mut Criterion) {
     // External all-to-all (the §5 disk path): one full swap of a 2^16
     // state split into 4 chunk files.
-    use qsim_ooc::OocSimulator;
+    use qsim_ooc::{OocSimulator, ScratchDir};
     use qsim_sched::plan as splan;
     let circuit = {
         let mut c = qsim_circuit::Circuit::new(16);
@@ -76,11 +76,10 @@ fn bench_ooc_swap(c: &mut Criterion) {
     };
     let schedule = splan(&circuit, &SchedulerConfig::distributed(14, 4));
     c.bench_function("ooc_run_16q", |b| {
+        let mut sim = OocSimulator::default();
         b.iter(|| {
-            let dir = std::env::temp_dir().join(format!("qsim_bench_ooc_{}", std::process::id()));
-            let sim = OocSimulator::default();
-            let out = sim.run(&dir, &schedule, false).unwrap();
-            let _ = std::fs::remove_dir_all(&dir);
+            let dir = ScratchDir::new("bench_run16");
+            let out = sim.run(dir.path(), &schedule, false).unwrap();
             out.norm
         });
     });

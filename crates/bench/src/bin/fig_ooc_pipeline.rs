@@ -1,0 +1,91 @@
+//! §5 outlook — the out-of-core pipeline benchmark.
+//!
+//! Runs one depth-25 supremacy schedule through three out-of-core engine
+//! modes and reports full-state disk traversals, bytes moved, IO/compute
+//! overlap and wall-clock:
+//!
+//! * **sync segmented** — the synchronous baseline on a schedule
+//!   segmented to `--segment-ops` ops per stage (1 by default, i.e. one
+//!   traversal per op: the naive "stream the state for every gate"
+//!   shape);
+//! * **sync coarse** — the same engine on the planner's fused stages;
+//! * **pipelined** — stage-run batching (one traversal per swap
+//!   boundary) + async prefetch/writeback + compiled-stage compute.
+//!
+//! Writes the machine-readable `BENCH_ooc_pipeline.json`.
+
+use qsim_bench::harness::*;
+use qsim_bench::ooc_report::run_ooc_bench;
+
+fn main() {
+    let rows = arg_u32("--rows", 2);
+    let cols = arg_u32("--cols", 11);
+    let depth = arg_u32("--depth", 25);
+    let kmax = arg_u32("--kmax", 4);
+    let g = arg_u32("--global-qubits", 2);
+    let segment_ops = arg_u32("--segment-ops", 1) as usize;
+    let prefetch_depth = arg_u32("--prefetch-depth", 3) as usize;
+    let threads = arg_u32("--threads", num_threads() as u32) as usize;
+
+    let r = run_ooc_bench(
+        rows,
+        cols,
+        depth,
+        kmax,
+        g,
+        segment_ops,
+        prefetch_depth,
+        threads,
+    );
+    println!(
+        "# OOC pipeline — {rows}x{cols} grid (n={n}), depth {depth}, kmax {kmax}, \
+         2^{g} chunks, segment_ops {segment_ops}, prefetch {prefetch_depth}, {threads} threads",
+        n = r.n_qubits
+    );
+    println!(
+        "# segmented stages: {}, swap boundaries: {}",
+        r.stages, r.swaps
+    );
+    row(&[
+        cell("mode", 16),
+        cell("seconds", 10),
+        cell("traversals", 11),
+        cell("GB read", 9),
+        cell("GB written", 11),
+        cell("io wait s", 10),
+        cell("compute s", 10),
+        cell("overlap", 8),
+        cell("runs", 5),
+    ]);
+    for m in [&r.sync_segmented, &r.sync_coarse, &r.pipelined] {
+        row(&[
+            cell(m.label, 16),
+            cell(format!("{:.3}", m.seconds), 10),
+            cell(m.traversals, 11),
+            cell(format!("{:.3}", m.gb_read), 9),
+            cell(format!("{:.3}", m.gb_written), 11),
+            cell(format!("{:.3}", m.io_wait_seconds), 10),
+            cell(format!("{:.3}", m.compute_seconds), 10),
+            cell(format!("{:.2}", m.overlap_fraction), 8),
+            cell(m.runs, 5),
+        ]);
+    }
+    println!(
+        "# traversal ratio (sync segmented : pipelined): {:.2}x  (acceptance floor: 3x)",
+        r.traversal_ratio()
+    );
+    println!(
+        "# wall-clock speedup (sync segmented : pipelined): {:.2}x  (acceptance floor: 1.3x)",
+        r.speedup()
+    );
+
+    let json = r.to_json();
+    std::fs::write("BENCH_ooc_pipeline.json", &json).expect("write BENCH_ooc_pipeline.json");
+    println!("# wrote BENCH_ooc_pipeline.json");
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

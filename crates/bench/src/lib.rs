@@ -13,6 +13,7 @@
 //! | `fig8_strong_scaling` | Fig. 8 — multi-rank strong scaling |
 //! | `table2_endtoend`   | Table 2 — end-to-end time, comm %, speedup |
 //! | `proj45_petascale`  | §4.1.2/§5 — 45/49-qubit petascale projection |
+//! | `fig_ooc_pipeline`  | §5 — out-of-core pipeline: traversals & overlap |
 //!
 //! Scheduling artifacts (Fig. 5, Table 1, the projection) run at the
 //! paper's **full scale** (30–49 qubits) because they never touch
@@ -21,4 +22,5 @@
 //! micro-benchmarks in `benches/`.
 
 pub mod harness;
+pub mod ooc_report;
 pub mod sweep_report;

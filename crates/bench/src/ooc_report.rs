@@ -1,0 +1,248 @@
+//! Out-of-core pipeline benchmarking: the synchronous per-stage engine
+//! vs the batched + pipelined + compiled data path on one depth-25
+//! supremacy schedule, reporting full-state disk traversals, bytes
+//! moved, IO/compute overlap and wall-clock.
+//!
+//! Used by `fig_ooc_pipeline` (which emits the machine-readable
+//! `BENCH_ooc_pipeline.json`) and by the workspace smoke test asserting
+//! the ≥ 3× traversal-reduction acceptance floor at tiny n.
+
+use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim_core::single::strip_initial_hadamards;
+use qsim_kernels::apply::KernelConfig;
+use qsim_ooc::{IoStats, OocConfig, OocSimulator, ScratchDir};
+use qsim_sched::{plan, segment_stages, SchedulerConfig};
+
+/// One engine mode's measurements.
+#[derive(Clone, Debug)]
+pub struct OocModeReport {
+    pub label: &'static str,
+    pub seconds: f64,
+    pub traversals: u64,
+    pub gb_read: f64,
+    pub gb_written: f64,
+    pub io_wait_seconds: f64,
+    pub compute_seconds: f64,
+    pub overlap_fraction: f64,
+    pub runs: usize,
+    pub entropy: f64,
+}
+
+impl OocModeReport {
+    fn from_run(
+        label: &'static str,
+        seconds: f64,
+        io: &IoStats,
+        runs: usize,
+        entropy: f64,
+    ) -> Self {
+        Self {
+            label,
+            seconds,
+            traversals: io.traversals,
+            gb_read: io.bytes_read as f64 / 1e9,
+            gb_written: io.bytes_written as f64 / 1e9,
+            io_wait_seconds: io.io_wait_seconds,
+            compute_seconds: io.compute_seconds,
+            overlap_fraction: io.overlap_fraction(),
+            runs,
+            entropy,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "    \"label\": \"{}\",\n",
+                "    \"seconds\": {:.6},\n",
+                "    \"traversals\": {},\n",
+                "    \"gb_read\": {:.6},\n",
+                "    \"gb_written\": {:.6},\n",
+                "    \"io_wait_seconds\": {:.6},\n",
+                "    \"compute_seconds\": {:.6},\n",
+                "    \"overlap_fraction\": {:.4},\n",
+                "    \"runs\": {}\n",
+                "  }}"
+            ),
+            self.label,
+            self.seconds,
+            self.traversals,
+            self.gb_read,
+            self.gb_written,
+            self.io_wait_seconds,
+            self.compute_seconds,
+            self.overlap_fraction,
+            self.runs,
+        )
+    }
+}
+
+/// The three-way comparison on one schedule.
+pub struct OocBenchReport {
+    pub n_qubits: u32,
+    pub depth: u32,
+    pub kmax: u32,
+    pub global_qubits: u32,
+    pub segment_ops: usize,
+    pub prefetch_depth: usize,
+    pub threads: usize,
+    pub stages: usize,
+    pub swaps: usize,
+    /// Synchronous engine on the finely segmented schedule (one op per
+    /// stage at `segment_ops = 1`): the "one traversal per op" shape.
+    pub sync_segmented: OocModeReport,
+    /// Synchronous engine on the planner's coarse stages, for
+    /// transparency about how much run batching adds beyond coarse
+    /// staging alone.
+    pub sync_coarse: OocModeReport,
+    /// Batched + pipelined + compiled engine on the segmented schedule.
+    pub pipelined: OocModeReport,
+}
+
+impl OocBenchReport {
+    /// Full-state disk traversals, synchronous-segmented : pipelined.
+    pub fn traversal_ratio(&self) -> f64 {
+        self.sync_segmented.traversals as f64 / self.pipelined.traversals.max(1) as f64
+    }
+
+    /// Wall-clock speedup, synchronous-segmented : pipelined.
+    pub fn speedup(&self) -> f64 {
+        self.sync_segmented.seconds / self.pipelined.seconds.max(1e-12)
+    }
+
+    /// Machine-readable report (hand-rolled: no serde in the workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"n_qubits\": {},\n",
+                "  \"depth\": {},\n",
+                "  \"kmax\": {},\n",
+                "  \"global_qubits\": {},\n",
+                "  \"segment_ops\": {},\n",
+                "  \"prefetch_depth\": {},\n",
+                "  \"threads\": {},\n",
+                "  \"stages\": {},\n",
+                "  \"swaps\": {},\n",
+                "  \"sync_segmented\": {},\n",
+                "  \"sync_coarse\": {},\n",
+                "  \"pipelined\": {},\n",
+                "  \"traversal_ratio\": {:.3},\n",
+                "  \"speedup\": {:.3}\n",
+                "}}"
+            ),
+            self.n_qubits,
+            self.depth,
+            self.kmax,
+            self.global_qubits,
+            self.segment_ops,
+            self.prefetch_depth,
+            self.threads,
+            self.stages,
+            self.swaps,
+            self.sync_segmented.to_json(),
+            self.sync_coarse.to_json(),
+            self.pipelined.to_json(),
+            self.traversal_ratio(),
+            self.speedup(),
+        )
+    }
+}
+
+/// Plan a depth-`depth` supremacy circuit on a rows×cols grid with
+/// 2^`global_qubits` chunks and run all three engine modes on it.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ooc_bench(
+    rows: u32,
+    cols: u32,
+    depth: u32,
+    kmax: u32,
+    global_qubits: u32,
+    segment_ops: usize,
+    prefetch_depth: usize,
+    threads: usize,
+) -> OocBenchReport {
+    let c = supremacy_circuit(&SupremacySpec {
+        rows,
+        cols,
+        depth,
+        seed: 0,
+    });
+    let n = c.n_qubits();
+    let l = n - global_qubits;
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    let coarse = plan(&exec, &SchedulerConfig::distributed(l, kmax));
+    let segmented = segment_stages(&coarse, segment_ops);
+    let kernel = KernelConfig {
+        threads,
+        ..KernelConfig::default()
+    };
+
+    let run = |config: OocConfig, schedule, tag| {
+        let dir = ScratchDir::new(tag);
+        let mut sim = OocSimulator::new(config);
+        sim.run(dir.path(), schedule, uniform).expect("ooc run")
+    };
+
+    let out = run(
+        OocConfig::sync_baseline(kernel),
+        &segmented,
+        "bench_sync_seg",
+    );
+    let sync_segmented = OocModeReport::from_run(
+        "sync segmented",
+        out.sim_seconds,
+        &out.io,
+        out.runs,
+        out.entropy,
+    );
+
+    let out = run(
+        OocConfig::sync_baseline(kernel),
+        &coarse,
+        "bench_sync_coarse",
+    );
+    let sync_coarse = OocModeReport::from_run(
+        "sync coarse",
+        out.sim_seconds,
+        &out.io,
+        out.runs,
+        out.entropy,
+    );
+
+    let out = run(
+        OocConfig {
+            kernel,
+            prefetch_depth,
+            ..OocConfig::default()
+        },
+        &segmented,
+        "bench_pipelined",
+    );
+    let pipelined =
+        OocModeReport::from_run("pipelined", out.sim_seconds, &out.io, out.runs, out.entropy);
+
+    // All three modes execute the same gates in the same order; the
+    // entropy is the cross-engine correctness witness.
+    assert!(
+        (sync_segmented.entropy - pipelined.entropy).abs() < 1e-9
+            && (sync_coarse.entropy - pipelined.entropy).abs() < 1e-9,
+        "engine modes disagree on entropy"
+    );
+
+    OocBenchReport {
+        n_qubits: n,
+        depth,
+        kmax,
+        global_qubits,
+        segment_ops,
+        prefetch_depth,
+        threads,
+        stages: segmented.stages.len(),
+        swaps: segmented.n_swaps(),
+        sync_segmented,
+        sync_coarse,
+        pipelined,
+    }
+}

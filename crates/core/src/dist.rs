@@ -20,11 +20,12 @@
 //!   [`perform_swap_reference`] keeps the textbook three-pass path as the
 //!   equivalence oracle.
 
-use crate::exec::{compile_stage, execute_compiled_stage, resolve_tile_qubits, CompiledStage};
+use crate::exec::{compile_stages, execute_compiled_stage, resolve_tile_qubits, CompiledStage};
 use crate::state::StateVector;
 use qsim_circuit::Circuit;
 use qsim_kernels::apply::{KernelConfig, OptLevel};
 use qsim_kernels::parallel::{par_gather, par_reduce_amplitudes, par_scatter};
+use qsim_kernels::specialized;
 use qsim_kernels::SweepStats;
 use qsim_net::collective::{
     all_reduce_sum, all_to_all, all_to_all_inplace, all_to_all_with, Communicator,
@@ -130,11 +131,7 @@ impl DistSimulator {
         // the per-gate path.
         let compiled: Option<Vec<CompiledStage>> = (cfg.opt == OptLevel::Blocked).then(|| {
             let tile = resolve_tile_qubits(self.config.tile_qubits, l, cfg.threads);
-            schedule
-                .stages
-                .iter()
-                .map(|s| compile_stage(&s.ops, l, cfg, tile))
-                .collect()
+            compile_stages(&schedule.stages, l, cfg, tile)
         });
 
         let (rank_results, fabric) = run_cluster(self.config.n_ranks, |ctx| {
@@ -269,6 +266,14 @@ fn run_rank(
 /// Reduce a (possibly global-operand) diagonal op to this rank's local
 /// action and apply it (§3.5).
 pub fn apply_rank_diagonal(state: &mut StateVector<f64>, d: &DiagonalOp, rank: usize, l: u32) {
+    apply_rank_diagonal_amps(state.amplitudes_mut(), d, rank, l);
+}
+
+/// Slice-based form of [`apply_rank_diagonal`] for engines that hold
+/// amplitudes outside a [`StateVector`] (the out-of-core chunk loop,
+/// where `rank` is the chunk index). Branch-identical to the wrapper, so
+/// results are bitwise equal across engines.
+pub fn apply_rank_diagonal_amps(amps: &mut [c64], d: &DiagonalOp, rank: usize, l: u32) {
     // Split operands into local and global; global bits come from the
     // rank id.
     let mut local_ops: Vec<(usize, u32)> = Vec::new(); // (operand j, position)
@@ -283,7 +288,7 @@ pub fn apply_rank_diagonal(state: &mut StateVector<f64>, d: &DiagonalOp, rank: u
     }
     if local_ops.is_empty() {
         // Pure rank-conditional global phase.
-        state.apply_global_phase(d.diag[fixed_bits]);
+        specialized::apply_global_phase(amps, d.diag[fixed_bits]);
         return;
     }
     // Reduced diagonal over the local operands (preserving their order).
@@ -297,7 +302,7 @@ pub fn apply_rank_diagonal(state: &mut StateVector<f64>, d: &DiagonalOp, rank: u
         *r = d.diag[idx];
     }
     let positions: Vec<u32> = local_ops.iter().map(|&(_, p)| p).collect();
-    state.apply_diagonal(&positions, &reduced);
+    specialized::apply_diagonal(amps, &positions, &reduced);
 }
 
 /// Per-rank scratch and tuning state of the fused swap engine. Allocated

@@ -126,6 +126,22 @@ pub fn execute_compiled_stage(
     }
 }
 
+/// Compile a consecutive slice of stages under one tile budget — the
+/// shared entry point for engines that execute several stages per state
+/// residency (the distributed driver compiling once for all SPMD ranks,
+/// the out-of-core engine compiling once per stage-run).
+pub fn compile_stages(
+    stages: &[qsim_sched::Stage],
+    local_qubits: u32,
+    kernel: &KernelConfig,
+    tile_qubits: u32,
+) -> Vec<CompiledStage> {
+    stages
+        .iter()
+        .map(|s| compile_stage(&s.ops, local_qubits, kernel, tile_qubits))
+        .collect()
+}
+
 /// Resolve the tile budget for an l-qubit register: an explicit request
 /// is clamped to the register; otherwise the measured
 /// [`tune_tile_qubits`] size, shrunk so multi-threaded passes keep

@@ -37,6 +37,8 @@ pub mod state;
 
 pub use baseline::BaselineSimulator;
 pub use dist::{DistConfig, DistOutcome, DistSimulator};
-pub use exec::{compile_stage, execute_compiled_stage, execute_schedule_sweep, CompiledStage};
+pub use exec::{
+    compile_stage, compile_stages, execute_compiled_stage, execute_schedule_sweep, CompiledStage,
+};
 pub use single::{SingleNodeSimulator, SingleOutcome};
 pub use state::StateVector;

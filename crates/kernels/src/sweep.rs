@@ -317,6 +317,9 @@ pub struct TiledPass {
     /// Tile positions are exactly `0..T`: tiles are contiguous slices and
     /// the gather/scatter staging is skipped entirely (zero-copy).
     contiguous: bool,
+    /// Gather tables of a non-contiguous tile, built once at compile
+    /// time: the tile-counter expander and per-element offsets.
+    gather: Option<(IndexExpander, Vec<usize>)>,
     ops: Vec<TileOp>,
 }
 
@@ -325,9 +328,15 @@ impl TiledPass {
         assert!(!tile.is_empty(), "empty tile");
         assert!(tile.windows(2).all(|w| w[0] < w[1]), "tile must be sorted");
         let contiguous = tile.iter().enumerate().all(|(i, &p)| p == i as u32);
+        let gather = (!contiguous).then(|| {
+            let exp = IndexExpander::new(&tile);
+            let offs: Vec<usize> = (0..1usize << tile.len()).map(|x| exp.offset(x)).collect();
+            (exp, offs)
+        });
         Self {
             tile,
             contiguous,
+            gather,
             ops,
         }
     }
@@ -387,8 +396,7 @@ impl TiledPass {
                 }
             }
         } else {
-            let exp = IndexExpander::new(&self.tile);
-            let offs: Vec<usize> = (0..tile_len).map(|x| exp.offset(x)).collect();
+            let (exp, offs) = self.gather.as_ref().expect("non-contiguous gather tables");
             if par {
                 let shared = DisjointSlice(state.as_mut_ptr(), state.len());
                 chunk_ranges(n_tiles, threads)
@@ -400,13 +408,13 @@ impl TiledPass {
                         let s = unsafe { shared.slice() };
                         let mut scratch = vec![c64::zero(); tile_len];
                         for t in t0..t1 {
-                            self.run_gathered_tile(s, &exp, &offs, &mut scratch, t, rank);
+                            self.run_gathered_tile(s, exp, offs, &mut scratch, t, rank);
                         }
                     });
             } else {
                 let mut scratch = vec![c64::zero(); tile_len];
                 for t in 0..n_tiles {
-                    self.run_gathered_tile(state, &exp, &offs, &mut scratch, t, rank);
+                    self.run_gathered_tile(state, exp, offs, &mut scratch, t, rank);
                 }
             }
         }

@@ -19,13 +19,22 @@
 //! * a global-to-local swap becomes an **external all-to-all**: a
 //!   two-pass scatter/gather transpose over the chunk files.
 //!
+//! The engine is a *pipelined data path*: consecutive swap-free stages
+//! batch into a single traversal ([`qsim_sched::plan_runs`]), each pass
+//! overlaps prefetch/compute/writeback on dedicated threads with pooled
+//! aligned buffers, and per-chunk compute runs through the compiled
+//! tiled stage executor.
+//!
 //! [`ChunkStore`] is the storage substrate with byte-level IO accounting;
 //! [`OocSimulator`] executes any [`qsim_sched::Schedule`] against it and
 //! must produce bit-identical amplitudes to the in-memory engines (tested
-//! against both).
+//! against both). [`ScratchDir`] keeps test/bench stores self-cleaning.
 
 pub mod chunkstore;
 pub mod exec;
+mod pipeline;
+pub mod scratch;
 
-pub use chunkstore::{ChunkStore, IoStats};
-pub use exec::{OocOutcome, OocSimulator};
+pub use chunkstore::{BufferPool, ChunkReader, ChunkStore, ChunkWriter, IoStats};
+pub use exec::{OocConfig, OocOutcome, OocSimulator};
+pub use scratch::ScratchDir;

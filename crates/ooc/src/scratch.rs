@@ -1,0 +1,89 @@
+//! Self-cleaning scratch directories for chunk stores.
+//!
+//! Every OOC test and bench run materializes a full state on disk; a
+//! panicking assertion used to leave those chunk files behind. A
+//! [`ScratchDir`] removes its directory on drop — including during
+//! unwinding — so test hygiene no longer depends on reaching the
+//! explicit cleanup call at the end of each test.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed
+/// (recursively) when the guard drops.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Reserve a fresh scratch directory. The name combines `tag`, the
+    /// process id and a process-global counter, so concurrent tests (and
+    /// repeated runs after a kill -9) never collide. The directory
+    /// itself is created lazily by `ChunkStore::create_*`.
+    pub fn new(tag: &str) -> Self {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "qsim_ooc_{tag}_{pid}_{id}",
+            pid = std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        Self { path }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl AsRef<Path> for ScratchDir {
+    fn as_ref(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_directory_on_drop() {
+        let kept;
+        {
+            let s = ScratchDir::new("guard");
+            std::fs::create_dir_all(s.path()).unwrap();
+            std::fs::write(s.path().join("chunk_000000.amps"), b"x").unwrap();
+            kept = s.path().to_path_buf();
+            assert!(kept.exists());
+        }
+        assert!(!kept.exists());
+    }
+
+    #[test]
+    fn removes_directory_on_panic() {
+        let s = ScratchDir::new("panic");
+        let path = s.path().to_path_buf();
+        let r = std::panic::catch_unwind(move || {
+            std::fs::create_dir_all(s.path()).unwrap();
+            let _hold = &s;
+            panic!("boom");
+        });
+        assert!(r.is_err());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let a = ScratchDir::new("uniq");
+        let b = ScratchDir::new("uniq");
+        assert_ne!(a.path(), b.path());
+    }
+}

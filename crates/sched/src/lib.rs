@@ -21,6 +21,9 @@
 //! * [`comm`] — communication statistics: swap counts, per-gate global
 //!   gate counts (the comparison baseline of Fig. 5), and byte-volume
 //!   models.
+//! * [`runs`] — stage-run planning for out-of-core execution: maximal
+//!   swap-free runs (one disk traversal each) and stage segmentation for
+//!   checkpoint granularity.
 //! * [`sweep`] — stage-sweep planning for the cache-tiled executor:
 //!   footprint-aware op ordering and grouping of consecutive ops into
 //!   single streaming passes.
@@ -33,12 +36,14 @@ pub mod comm;
 pub mod config;
 pub mod fuse;
 pub mod mapping;
+pub mod runs;
 pub mod schedule;
 pub mod stage;
 pub mod sweep;
 
 pub use comm::{global_gate_count, CommStats};
 pub use config::SchedulerConfig;
+pub use runs::{plan_runs, segment_stages, StageRun};
 pub use schedule::{Cluster, DiagonalOp, Schedule, Stage, StageOp, SwapOp};
 pub use stage::plan;
 pub use sweep::{plan_stage_sweeps, SweepPass, SweepPlan};

@@ -1,0 +1,171 @@
+//! Stage-run planning for out-of-core execution.
+//!
+//! A disk-resident state pays one full-state traversal per streaming
+//! pass, so the relevant batching unit is not the [`Stage`] but the
+//! *run*: a maximal sequence of consecutive swap-free stages. Every op
+//! of a run executes under the same logical→physical mapping, so a
+//! chunk loaded once can absorb the whole run before writeback —
+//! traversals drop from one per stage to one per swap boundary
+//! (`runs == n_swaps() + 1`).
+//!
+//! [`segment_stages`] is the inverse knob: it splits each stage's op
+//! list into several swap-free stages sharing the mapping (the swap
+//! stays on the last segment). Out-of-core deployments want fine-grained
+//! stages for checkpoint/restart — a petascale traversal is hours of
+//! wall-clock, and a crash mid-stage must not lose the whole stage —
+//! and [`plan_runs`] makes the traversal count independent of that
+//! granularity.
+
+use crate::schedule::{Schedule, Stage, SwapOp};
+use std::ops::Range;
+
+/// A maximal swap-free sequence of consecutive stages, closed by the
+/// swap of its last stage (`None` only for the final run).
+#[derive(Clone, Debug)]
+pub struct StageRun {
+    /// Index range into `schedule.stages`; never empty.
+    pub stages: Range<usize>,
+    /// The swap executed after the run (the last stage's swap).
+    pub swap: Option<SwapOp>,
+}
+
+impl StageRun {
+    /// Number of stages batched into this run.
+    pub fn len(&self) -> usize {
+        self.stages.end - self.stages.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+/// Group consecutive swap-free stages into maximal runs. For any
+/// schedule this yields exactly `n_swaps() + 1` runs, except that a
+/// schedule whose *final* stage carries a swap yields `n_swaps()` runs.
+pub fn plan_runs(schedule: &Schedule) -> Vec<StageRun> {
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    for (i, stage) in schedule.stages.iter().enumerate() {
+        let last = i + 1 == schedule.stages.len();
+        if stage.swap.is_some() || last {
+            runs.push(StageRun {
+                stages: start..i + 1,
+                swap: stage.swap.clone(),
+            });
+            start = i + 1;
+        }
+    }
+    runs
+}
+
+/// Split every stage with more than `max_ops` ops into consecutive
+/// swap-free segments of at most `max_ops` ops each, all sharing the
+/// parent stage's mapping; the parent's swap moves to the last segment.
+/// The result verifies against the same circuit and is bit-identical in
+/// effect (op order is preserved exactly).
+pub fn segment_stages(schedule: &Schedule, max_ops: usize) -> Schedule {
+    assert!(max_ops >= 1, "segment size must be at least one op");
+    let mut stages = Vec::with_capacity(schedule.stages.len());
+    for stage in &schedule.stages {
+        if stage.ops.len() <= max_ops {
+            stages.push(stage.clone());
+            continue;
+        }
+        let n_segments = stage.ops.len().div_ceil(max_ops);
+        for (i, ops) in stage.ops.chunks(max_ops).enumerate() {
+            stages.push(Stage {
+                mapping: stage.mapping.clone(),
+                ops: ops.to_vec(),
+                swap: if i + 1 == n_segments {
+                    stage.swap.clone()
+                } else {
+                    None
+                },
+            });
+        }
+    }
+    Schedule {
+        n_qubits: schedule.n_qubits,
+        local_qubits: schedule.local_qubits,
+        kmax: schedule.kmax,
+        stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerConfig;
+    use crate::stage::plan;
+    use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+
+    fn sample_schedule() -> (qsim_circuit::Circuit, Schedule) {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 2,
+            cols: 4,
+            depth: 20,
+            seed: 3,
+        });
+        let schedule = plan(&c, &SchedulerConfig::distributed(6, 4));
+        schedule.verify(&c);
+        (c, schedule)
+    }
+
+    #[test]
+    fn runs_equal_swap_boundaries_plus_one() {
+        let (_, schedule) = sample_schedule();
+        assert!(schedule.n_swaps() > 0, "want a multi-swap sample");
+        let runs = plan_runs(&schedule);
+        assert_eq!(runs.len(), schedule.n_swaps() + 1);
+        // Runs tile the stage list exactly.
+        let mut next = 0usize;
+        for run in &runs {
+            assert_eq!(run.stages.start, next);
+            assert!(!run.is_empty());
+            next = run.stages.end;
+            // Interior runs end in their swap; only the final run is open.
+            let last_stage = &schedule.stages[run.stages.end - 1];
+            assert_eq!(last_stage.swap, run.swap);
+        }
+        assert_eq!(next, schedule.stages.len());
+    }
+
+    #[test]
+    fn segmentation_preserves_ops_and_swaps() {
+        let (c, schedule) = sample_schedule();
+        for max_ops in [1usize, 2, 3] {
+            let seg = segment_stages(&schedule, max_ops);
+            seg.verify(&c); // same circuit, same order, legal plan
+            assert_eq!(seg.n_swaps(), schedule.n_swaps());
+            assert!(seg.stages.len() >= schedule.stages.len());
+            assert!(seg.stages.iter().all(|s| s.ops.len() <= max_ops));
+            // Batching undoes segmentation: run count is granularity-
+            // independent.
+            assert_eq!(plan_runs(&seg).len(), plan_runs(&schedule).len());
+            // Per-run op streams are identical.
+            let flat = |s: &Schedule| -> Vec<usize> {
+                s.stages
+                    .iter()
+                    .flat_map(|st| st.ops.iter().flat_map(|op| op.gate_indices().to_vec()))
+                    .collect()
+            };
+            assert_eq!(flat(&seg), flat(&schedule));
+        }
+    }
+
+    #[test]
+    fn single_stage_schedule_is_one_run() {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 2,
+            cols: 2,
+            depth: 8,
+            seed: 0,
+        });
+        let schedule = plan(&c, &SchedulerConfig::single_node(4, 2));
+        let runs = plan_runs(&schedule);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].stages, 0..schedule.stages.len());
+        assert!(runs[0].swap.is_none());
+    }
+}

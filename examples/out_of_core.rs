@@ -9,9 +9,8 @@
 
 use qsim45::circuit::supremacy::{supremacy_circuit, SupremacySpec};
 use qsim45::core::single::{strip_initial_hadamards, SingleNodeSimulator};
-use qsim45::kernels::apply::KernelConfig;
 use qsim45::sched::{plan, SchedulerConfig};
-use qsim_ooc::OocSimulator;
+use qsim_ooc::{OocSimulator, ScratchDir};
 
 fn main() {
     let args: Vec<u32> = std::env::args()
@@ -47,15 +46,21 @@ fn main() {
         schedule.n_swaps()
     );
 
-    let dir = std::env::temp_dir().join(format!("qsim45_ooc_demo_{}", std::process::id()));
-    let sim = OocSimulator {
-        kernel: KernelConfig::default(),
-    };
+    let dir = ScratchDir::new("demo");
+    let mut sim = OocSimulator::default();
     let out = sim
-        .run(&dir, &schedule, uniform)
+        .run(dir.path(), &schedule, uniform)
         .expect("out-of-core run failed");
-    println!("\nout-of-core run:");
+    println!("\nout-of-core run (batched + pipelined):");
     println!("  time      : {:.2} s", out.sim_seconds);
+    println!(
+        "  runs      : {} (one state traversal per swap boundary; {} traversals total)",
+        out.runs, out.io.traversals
+    );
+    println!(
+        "  overlap   : {:.0}% of IO hidden behind compute",
+        100.0 * out.io.overlap_fraction()
+    );
     println!(
         "  disk read : {:.1} MiB",
         out.io.bytes_read as f64 / (1 << 20) as f64
@@ -76,5 +81,4 @@ fn main() {
     let single = SingleNodeSimulator::default().run(&circuit);
     assert!((single.state.entropy() - out.entropy).abs() < 1e-8);
     println!("\nmatches the in-memory engine to 1e-8 bits of entropy.");
-    let _ = std::fs::remove_dir_all(&dir);
 }

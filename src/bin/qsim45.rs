@@ -125,19 +125,22 @@ fn cmd_run() {
     let schedule = plan(&exec, &SchedulerConfig::distributed(l, arg("--kmax", 4)));
     match backend.as_str() {
         "ooc" => {
-            let dir = std::env::temp_dir().join(format!("qsim45_cli_ooc_{}", std::process::id()));
-            let sim = qsim45::ooc::OocSimulator {
-                kernel: KernelConfig::default(),
-            };
-            let out = sim.run(&dir, &schedule, uniform).expect("ooc run failed");
-            println!("out-of-core ({} chunks): {:.3} s", ranks, out.sim_seconds);
+            let dir = qsim45::ooc::ScratchDir::new("cli");
+            let mut sim = qsim45::ooc::OocSimulator::default();
+            let out = sim
+                .run(dir.path(), &schedule, uniform)
+                .expect("ooc run failed");
             println!(
-                "disk traffic: {:.1} MiB read, {:.1} MiB written",
+                "out-of-core ({} chunks): {:.3} s ({} runs, {} traversals)",
+                ranks, out.sim_seconds, out.runs, out.io.traversals
+            );
+            println!(
+                "disk traffic: {:.1} MiB read, {:.1} MiB written, {:.0}% IO overlapped",
                 out.io.bytes_read as f64 / (1 << 20) as f64,
-                out.io.bytes_written as f64 / (1 << 20) as f64
+                out.io.bytes_written as f64 / (1 << 20) as f64,
+                100.0 * out.io.overlap_fraction()
             );
             println!("entropy     : {:.6} bits", out.entropy);
-            let _ = std::fs::remove_dir_all(&dir);
         }
         _ => {
             let sim = DistSimulator::new(DistConfig {

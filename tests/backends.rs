@@ -9,16 +9,9 @@ use qsim45::circuit::Circuit;
 use qsim45::core::single::{strip_initial_hadamards, SingleNodeSimulator};
 use qsim45::core::{DistConfig, DistSimulator};
 use qsim45::kernels::apply::KernelConfig;
-use qsim45::ooc::OocSimulator;
+use qsim45::ooc::{OocConfig, OocSimulator, ScratchDir};
 use qsim45::sched::{plan, SchedulerConfig};
 use qsim45::util::complex::max_dist;
-use std::path::PathBuf;
-
-fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("qsim45_backends_{tag}_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    d
-}
 
 fn workload() -> Circuit {
     supremacy_circuit(&SupremacySpec {
@@ -50,13 +43,10 @@ fn memory_and_disk_backends_agree_amplitude_for_amplitude() {
         });
         let dist_state = dist.run(&exec, &schedule, uniform).state.unwrap();
 
-        // Out-of-core engine, same schedule.
-        let dir = tmpdir(&format!("g{g}"));
-        let ooc = OocSimulator {
-            kernel: KernelConfig::sequential(),
-        };
-        let (_, ooc_state) = ooc.run_gather(&dir, &schedule, uniform).unwrap();
-        let _ = std::fs::remove_dir_all(&dir);
+        // Out-of-core engine (full pipeline), same schedule.
+        let dir = ScratchDir::new(&format!("backends_g{g}"));
+        let mut ooc = OocSimulator::sequential();
+        let (_, ooc_state) = ooc.run_gather(dir.path(), &schedule, uniform).unwrap();
 
         assert!(
             max_dist(&dist_state, single.state.amplitudes()) < 1e-9,
@@ -79,15 +69,14 @@ fn disk_backend_handles_schedules_with_multiple_swaps() {
     let l = n - 4;
     let schedule = plan(&exec, &SchedulerConfig::distributed(l, 4));
     assert!(schedule.n_swaps() >= 1);
-    let dir = tmpdir("multi");
-    let ooc = OocSimulator {
-        kernel: KernelConfig::sequential(),
-    };
-    let (out, state) = ooc.run_gather(&dir, &schedule, uniform).unwrap();
-    let _ = std::fs::remove_dir_all(&dir);
+    let dir = ScratchDir::new("backends_multi");
+    let mut ooc = OocSimulator::sequential();
+    let (out, state) = ooc.run_gather(dir.path(), &schedule, uniform).unwrap();
     let single = SingleNodeSimulator::default().run(&c);
     assert!(max_dist(&state, single.state.amplitudes()) < 1e-9);
     assert!((out.norm - 1.0).abs() < 1e-9);
+    // Batching means one compute traversal per swap boundary.
+    assert_eq!(out.runs, schedule.n_swaps() + 1);
 }
 
 #[test]
@@ -111,36 +100,54 @@ fn ooc_traffic_grows_with_swap_count_not_gate_count() {
     let run = |c: &Circuit, tag: &str| {
         let (exec, uniform) = strip_initial_hadamards(c);
         let schedule = plan(&exec, &SchedulerConfig::distributed(l, 4));
-        let dir = tmpdir(tag);
-        let ooc = OocSimulator {
-            kernel: KernelConfig::sequential(),
-        };
-        let out = ooc.run(&dir, &schedule, uniform).unwrap();
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = ScratchDir::new(tag);
+        let mut ooc = OocSimulator::sequential();
+        let out = ooc.run(dir.path(), &schedule, uniform).unwrap();
         (
             c.len(),
             schedule.n_swaps(),
-            schedule.stages.len(),
+            out.runs,
             out.io.bytes_read + out.io.bytes_written,
         )
     };
-    let (g1, s1, st1, b1) = run(&shallow, "shallow");
-    let (g2, s2, st2, b2) = run(&deep, "deep");
+    let (g1, s1, r1, b1) = run(&shallow, "backends_shallow");
+    let (g2, s2, r2, b2) = run(&deep, "backends_deep");
     assert!(g2 > 3 * g1, "deep circuit must have many more gates");
-    // The §5 property: traffic is bounded by the stage/swap structure —
-    // a constant number of state sweeps per stage and per swap — and is
-    // independent of how many gates each stage fuses.
+    // The §5 property, sharpened by run batching: traffic is bounded by
+    // the swap structure alone — one state sweep per swap boundary plus
+    // the fused exchange passes — independent of gate count and of how
+    // many stages the planner emitted.
     let state_bytes = (1u64 << n) * 16;
-    let budget =
-        |stages: usize, swaps: usize| state_bytes * (2 + 2 * stages as u64 + 6 * swaps as u64);
-    assert!(b1 <= budget(st1, s1), "shallow traffic {b1}");
-    assert!(b2 <= budget(st2, s2), "deep traffic {b2}");
+    let budget = |runs: usize, swaps: usize| state_bytes * (1 + 2 * runs as u64 + 4 * swaps as u64);
+    assert!(b1 <= budget(r1, s1), "shallow traffic {b1}");
+    assert!(b2 <= budget(r2, s2), "deep traffic {b2}");
+    assert_eq!(r1, s1 + 1);
+    assert_eq!(r2, s2 + 1);
     // Per-structure traffic must be roughly the same constant for both.
-    let per1 = b1 as f64 / (st1 + 3 * s1) as f64;
-    let per2 = b2 as f64 / (st2 + 3 * s2) as f64;
+    let per1 = b1 as f64 / (r1 + 3 * s1) as f64;
+    let per2 = b2 as f64 / (r2 + 3 * s2) as f64;
     let ratio = per2 / per1;
     assert!(
         (0.4..2.5).contains(&ratio),
         "per-structure traffic drifted: {per1:.0} vs {per2:.0} bytes"
     );
+}
+
+#[test]
+fn pipelining_and_batching_are_bitwise_invisible() {
+    // The full data path (batched runs, async pipeline, compiled-stage
+    // compute) against the synchronous per-gate baseline: not a single
+    // bit may differ.
+    let c = workload();
+    let n = c.n_qubits();
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    let schedule = plan(&exec, &SchedulerConfig::distributed(n - 3, 4));
+    let dir = ScratchDir::new("backends_sync");
+    let mut sync = OocSimulator::new(OocConfig::sync_baseline(KernelConfig::sequential()));
+    let (_, oracle) = sync.run_gather(dir.path(), &schedule, uniform).unwrap();
+    let dir = ScratchDir::new("backends_pipe");
+    let mut pipe = OocSimulator::sequential();
+    let (out, state) = pipe.run_gather(dir.path(), &schedule, uniform).unwrap();
+    assert_eq!(max_dist(&state, &oracle), 0.0);
+    assert!(out.io.traversals > 0);
 }
