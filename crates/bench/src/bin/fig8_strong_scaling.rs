@@ -58,8 +58,7 @@ fn main() {
                     ..KernelConfig::default()
                 },
                 gather_state: false,
-                sub_chunks: None,
-                tile_qubits: None,
+                ..Default::default()
             });
             let out = sim.run(&exec, &schedule, uniform);
             if ranks == rank_counts[0] {

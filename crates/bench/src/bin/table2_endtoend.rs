@@ -66,8 +66,7 @@ fn main() {
             n_ranks: ranks,
             kernel,
             gather_state: false,
-            sub_chunks: None,
-            tile_qubits: None,
+            ..Default::default()
         });
         let out = sim.run(&exec, &schedule, uniform);
         let comm_pct = 100.0 * out.fabric.max_comm_seconds / out.sim_seconds.max(1e-12);

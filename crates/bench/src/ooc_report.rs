@@ -12,6 +12,7 @@ use qsim_core::single::strip_initial_hadamards;
 use qsim_kernels::apply::KernelConfig;
 use qsim_ooc::{IoStats, OocConfig, OocSimulator, ScratchDir};
 use qsim_sched::{plan, segment_stages, SchedulerConfig};
+use qsim_telemetry::Telemetry;
 
 /// One engine mode's measurements.
 #[derive(Clone, Debug)]
@@ -98,6 +99,10 @@ pub struct OocBenchReport {
     pub sync_coarse: OocModeReport,
     /// Batched + pipelined + compiled engine on the segmented schedule.
     pub pipelined: OocModeReport,
+    /// Telemetry snapshot of the bench: the pipelined run's live
+    /// `ooc.*` metrics and latency histograms, plus each mode's
+    /// `IoStats` republished under `ooc.<mode>.*` (raw JSON document).
+    pub metrics_json: String,
 }
 
 impl OocBenchReport {
@@ -129,7 +134,8 @@ impl OocBenchReport {
                 "  \"sync_coarse\": {},\n",
                 "  \"pipelined\": {},\n",
                 "  \"traversal_ratio\": {:.3},\n",
-                "  \"speedup\": {:.3}\n",
+                "  \"speedup\": {:.3},\n",
+                "  \"metrics\": {}\n",
                 "}}"
             ),
             self.n_qubits,
@@ -146,6 +152,7 @@ impl OocBenchReport {
             self.pipelined.to_json(),
             self.traversal_ratio(),
             self.speedup(),
+            self.metrics_json.trim_end(),
         )
     }
 }
@@ -184,6 +191,11 @@ pub fn run_ooc_bench(
         let mut sim = OocSimulator::new(config);
         sim.run(dir.path(), schedule, uniform).expect("ooc run")
     };
+    // The pipelined run records live telemetry (per-chunk latency
+    // histograms, ooc.* counters); the sync modes run with telemetry
+    // disabled so their timings stay undisturbed, and their IoStats are
+    // republished into the same registry afterwards for the report.
+    let telemetry = Telemetry::enabled();
 
     let out = run(
         OocConfig::sync_baseline(kernel),
@@ -197,6 +209,9 @@ pub fn run_ooc_bench(
         out.runs,
         out.entropy,
     );
+    if let Some(m) = telemetry.metrics() {
+        out.io.publish_into(m, "ooc.sync_segmented");
+    }
 
     let out = run(
         OocConfig::sync_baseline(kernel),
@@ -210,11 +225,15 @@ pub fn run_ooc_bench(
         out.runs,
         out.entropy,
     );
+    if let Some(m) = telemetry.metrics() {
+        out.io.publish_into(m, "ooc.sync_coarse");
+    }
 
     let out = run(
         OocConfig {
             kernel,
             prefetch_depth,
+            telemetry: telemetry.clone(),
             ..OocConfig::default()
         },
         &segmented,
@@ -244,5 +263,6 @@ pub fn run_ooc_bench(
         sync_segmented,
         sync_coarse,
         pipelined,
+        metrics_json: telemetry.metrics_json(),
     }
 }

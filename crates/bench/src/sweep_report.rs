@@ -14,6 +14,7 @@ use qsim_core::StateVector;
 use qsim_kernels::apply::KernelConfig;
 use qsim_kernels::SweepStats;
 use qsim_sched::{plan, SchedulerConfig};
+use qsim_telemetry::Telemetry;
 use std::time::Instant;
 
 /// One measured per-gate vs tiled comparison.
@@ -30,6 +31,11 @@ pub struct SweepBenchReport {
     /// Wall-clock of the tiled executor, seconds.
     pub sweep_seconds: f64,
     pub stats: SweepStats,
+    /// Telemetry snapshot of the bench (raw JSON document). Both
+    /// executors are timed with telemetry DISABLED — the sweep stats and
+    /// timings are published into a fresh registry afterwards, so the
+    /// measured numbers carry zero instrumentation overhead.
+    pub metrics_json: String,
 }
 
 impl SweepBenchReport {
@@ -76,7 +82,8 @@ impl SweepBenchReport {
                 "  \"diagonals_folded\": {},\n",
                 "  \"baseline_bytes\": {},\n",
                 "  \"bytes_streamed\": {},\n",
-                "  \"speedup\": {:.3}\n",
+                "  \"speedup\": {:.3},\n",
+                "  \"metrics\": {}\n",
                 "}}"
             ),
             self.n_qubits,
@@ -101,6 +108,7 @@ impl SweepBenchReport {
             self.stats.baseline_bytes,
             self.stats.bytes_streamed,
             self.per_gate_seconds / self.sweep_seconds.max(1e-12),
+            self.metrics_json.trim_end(),
         )
     }
 }
@@ -151,6 +159,19 @@ pub fn run_sweep_bench(
         "executors disagree"
     );
 
+    // Publish the measured counters into a fresh registry for the
+    // report; nothing was instrumented during the timed sections.
+    let telemetry = Telemetry::enabled();
+    let metrics_json = match telemetry.metrics() {
+        Some(m) => {
+            stats.publish_into(m, "single.sweep");
+            m.gauge_set("single.per_gate_seconds", per_gate_seconds);
+            m.gauge_set("single.sweep_seconds", sweep_seconds);
+            telemetry.metrics_json()
+        }
+        None => String::from("{}"),
+    };
+
     SweepBenchReport {
         n_qubits: n,
         depth,
@@ -161,5 +182,6 @@ pub fn run_sweep_bench(
         per_gate_seconds,
         sweep_seconds,
         stats,
+        metrics_json,
     }
 }

@@ -32,6 +32,7 @@ use qsim_net::collective::{
 };
 use qsim_net::fabric::{run_cluster, FabricStats, RankCtx};
 use qsim_sched::{DiagonalOp, Schedule, StageOp, SwapOp};
+use qsim_telemetry::Telemetry;
 use qsim_util::bits::BitPermutation;
 use qsim_util::c64;
 use qsim_util::complex::Complex;
@@ -54,6 +55,12 @@ pub struct DistConfig {
     /// Tile budget (log2 amplitudes) of the cache-tiled stage executor;
     /// `None` uses the measured `tune_tile_qubits` size.
     pub tile_qubits: Option<u32>,
+    /// Span/metrics sink: each rank records stage/swap/reduce spans on
+    /// its own `rank {r}` track (feeding the `stage_apply_ns` and
+    /// `swap_ns` histograms), and the driver publishes `FabricStats` and
+    /// `SweepStats` under the `dist.*` metric prefix. The default
+    /// disabled handle makes all of it a no-op.
+    pub telemetry: Telemetry,
 }
 
 impl Default for DistConfig {
@@ -64,6 +71,7 @@ impl Default for DistConfig {
             gather_state: false,
             sub_chunks: None,
             tile_qubits: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -134,6 +142,7 @@ impl DistSimulator {
             compile_stages(&schedule.stages, l, cfg, tile)
         });
 
+        let tele = &self.config.telemetry;
         let (rank_results, fabric) = run_cluster(self.config.n_ranks, |ctx| {
             run_rank(
                 ctx,
@@ -143,6 +152,7 @@ impl DistSimulator {
                 gather,
                 sub_chunks,
                 compiled.as_deref(),
+                tele,
             )
         });
 
@@ -159,6 +169,13 @@ impl DistSimulator {
             sweep: rank_results[0].sweep,
             state: None,
         };
+        if let Some(m) = tele.metrics() {
+            outcome.fabric.publish_into(m, "dist.fabric");
+            outcome.sweep.publish_into(m, "dist.sweep");
+            m.gauge_set("dist.sim_seconds", outcome.sim_seconds);
+            m.gauge_set("dist.entropy_seconds", outcome.entropy_seconds);
+            m.counter_add("dist.swap_bytes_copied", outcome.swap_bytes_copied);
+        }
         if gather {
             // Assemble physical slices, then reorder into logical basis.
             let mut physical = vec![c64::zero(); 1usize << n];
@@ -191,10 +208,13 @@ fn run_rank(
     gather: bool,
     sub_chunks: Option<usize>,
     compiled: Option<&[CompiledStage]>,
+    tele: &Telemetry,
 ) -> RankResult {
     let n = schedule.n_qubits;
     let l = schedule.local_qubits;
     let rank = ctx.rank();
+    let track = tele.track(&format!("rank {rank}"));
+    let _rank_span = track.span_id("rank", rank as u64);
     let t0 = Instant::now();
     let mut state = if init_uniform {
         StateVector::<f64>::uniform_slice(l, n)
@@ -209,25 +229,29 @@ fn run_rank(
     let mut sweep = SweepStats::default();
 
     for (si, stage) in schedule.stages.iter().enumerate() {
-        if let Some(cs) = compiled.map(|c| &c[si]) {
-            // Tiled stage executor: the shared compiled stage streams the
-            // slice once per op group; rank bits resolve global diagonal
-            // operands.
-            execute_compiled_stage(state.amplitudes_mut(), cs, rank, cfg.threads, &mut sweep);
-        } else {
-            for op in &stage.ops {
-                match op {
-                    // Diagonal fused clusters take the specialized
-                    // phase-multiply kernel here too (§3.5).
-                    StageOp::Cluster(c) => match c.matrix.as_diagonal() {
-                        Some(diag) => state.apply_diagonal(&c.qubits, &diag),
-                        None => state.apply(&c.qubits, &c.matrix, cfg),
-                    },
-                    StageOp::Diagonal(d) => apply_rank_diagonal(&mut state, d, rank, l),
+        {
+            let _s = track.span_timed("stage", si as u64, "stage_apply_ns");
+            if let Some(cs) = compiled.map(|c| &c[si]) {
+                // Tiled stage executor: the shared compiled stage streams
+                // the slice once per op group; rank bits resolve global
+                // diagonal operands.
+                execute_compiled_stage(state.amplitudes_mut(), cs, rank, cfg.threads, &mut sweep);
+            } else {
+                for op in &stage.ops {
+                    match op {
+                        // Diagonal fused clusters take the specialized
+                        // phase-multiply kernel here too (§3.5).
+                        StageOp::Cluster(c) => match c.matrix.as_diagonal() {
+                            Some(diag) => state.apply_diagonal(&c.qubits, &diag),
+                            None => state.apply(&c.qubits, &c.matrix, cfg),
+                        },
+                        StageOp::Diagonal(d) => apply_rank_diagonal(&mut state, d, rank, l),
+                    }
                 }
             }
         }
         if let Some(swap) = &stage.swap {
+            let _s = track.span_timed("swap", si as u64, "swap_ns");
             perform_swap(ctx, &mut state, swap, l, &mut swap_bufs);
         }
     }
@@ -249,8 +273,12 @@ fn run_rank(
     );
     let seconds = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let norm = all_reduce_sum(ctx, local_norm);
-    let entropy = all_reduce_sum(ctx, local_entropy);
+    let (norm, entropy) = {
+        let _s = track.span("reduce");
+        let norm = all_reduce_sum(ctx, local_norm);
+        let entropy = all_reduce_sum(ctx, local_entropy);
+        (norm, entropy)
+    };
     let entropy_seconds = t1.elapsed().as_secs_f64();
     RankResult {
         norm,
@@ -559,7 +587,7 @@ mod tests {
             // Exercise the pipelined exchange (odd depth, non-divisible
             // sub-ranges) in every equivalence test.
             sub_chunks: Some(3),
-            tile_qubits: None,
+            ..Default::default()
         });
         let out = sim.run(&exec, &schedule, true);
         // Reference: single-node run of the same circuit.
@@ -742,8 +770,7 @@ mod tests {
             n_ranks: 2,
             kernel: KernelConfig::sequential(),
             gather_state: true,
-            sub_chunks: None,
-            tile_qubits: None,
+            ..Default::default()
         });
         let out = sim.run(&c, &schedule, false);
         let state = out.state.unwrap();

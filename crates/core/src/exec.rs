@@ -28,6 +28,7 @@ use qsim_kernels::sweep::{
 };
 use qsim_kernels::tune_tile_qubits;
 use qsim_sched::{plan_stage_sweeps, Schedule, StageOp, SweepPass};
+use qsim_telemetry::Telemetry;
 use qsim_util::c64;
 
 /// One pass of a compiled stage.
@@ -163,6 +164,19 @@ pub fn execute_schedule_sweep(
     kernel: &KernelConfig,
     tile_qubits: Option<u32>,
 ) -> SweepStats {
+    execute_schedule_sweep_with(state, schedule, kernel, tile_qubits, &Telemetry::disabled())
+}
+
+/// [`execute_schedule_sweep`] with a telemetry sink: per-stage compile
+/// and apply spans land on the `single` track, and each stage apply
+/// feeds the `stage_apply_ns` histogram.
+pub fn execute_schedule_sweep_with(
+    state: &mut StateVector<f64>,
+    schedule: &Schedule,
+    kernel: &KernelConfig,
+    tile_qubits: Option<u32>,
+    telemetry: &Telemetry,
+) -> SweepStats {
     assert_eq!(schedule.n_swaps(), 0, "local execution cannot swap");
     assert_eq!(
         kernel.opt,
@@ -171,9 +185,14 @@ pub fn execute_schedule_sweep(
     );
     let l = state.n_qubits();
     let tile = resolve_tile_qubits(tile_qubits, l, kernel.threads);
+    let track = telemetry.track("single");
     let mut stats = SweepStats::default();
-    for stage in &schedule.stages {
-        let compiled = compile_stage(&stage.ops, l, kernel, tile);
+    for (si, stage) in schedule.stages.iter().enumerate() {
+        let compiled = {
+            let _s = track.span_id("compile", si as u64);
+            compile_stage(&stage.ops, l, kernel, tile)
+        };
+        let _s = track.span_timed("stage", si as u64, "stage_apply_ns");
         execute_compiled_stage(
             state.amplitudes_mut(),
             &compiled,

@@ -6,12 +6,13 @@
 //! (§3.6.2) can be applied first; the measured 2× claim is exercised by
 //! the bench harness.
 
-use crate::exec::execute_schedule_sweep;
+use crate::exec::execute_schedule_sweep_with;
 use crate::state::StateVector;
 use qsim_circuit::Circuit;
 use qsim_kernels::apply::{KernelConfig, OptLevel};
 use qsim_kernels::SweepStats;
 use qsim_sched::{plan, Schedule, SchedulerConfig, StageOp};
+use qsim_telemetry::Telemetry;
 use qsim_util::c64;
 use std::time::Instant;
 
@@ -37,6 +38,10 @@ pub struct SingleNodeSimulator {
     /// Tile budget (log2 amplitudes) of the cache-tiled stage executor;
     /// `None` uses the measured `tune_tile_qubits` size.
     pub tile_qubits: Option<u32>,
+    /// Span/metrics sink: the run records plan/init/stage spans on the
+    /// `single` track and publishes `SweepStats` under `single.sweep`.
+    /// The default disabled handle makes all of it a no-op.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SingleNodeSimulator {
@@ -46,6 +51,7 @@ impl Default for SingleNodeSimulator {
             kmax: 4,
             optimize_mapping: false,
             tile_qubits: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -57,6 +63,7 @@ impl SingleNodeSimulator {
             kmax,
             optimize_mapping: false,
             tile_qubits: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -77,6 +84,7 @@ impl SingleNodeSimulator {
             kmax: tuned.kmax,
             optimize_mapping: false,
             tile_qubits: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -85,6 +93,8 @@ impl SingleNodeSimulator {
     /// from |0…0⟩.
     pub fn run(&self, circuit: &Circuit) -> SingleOutcome {
         let n = circuit.n_qubits();
+        let track = self.telemetry.track("single");
+        let _run_span = track.span("run");
         let (exec_circuit, init_uniform) = strip_initial_hadamards(circuit);
         let mapped;
         let exec_ref = if self.optimize_mapping {
@@ -95,25 +105,43 @@ impl SingleNodeSimulator {
             &exec_circuit
         };
         let t0 = Instant::now();
-        let schedule = plan(exec_ref, &self.plan_cfg(n));
+        let schedule = {
+            let _s = track.span("plan");
+            plan(exec_ref, &self.plan_cfg(n))
+        };
         let plan_seconds = t0.elapsed().as_secs_f64();
 
-        let mut state = if init_uniform {
-            StateVector::<f64>::uniform(n)
-        } else {
-            StateVector::<f64>::zero(n)
+        let mut state = {
+            let _s = track.span("init");
+            if init_uniform {
+                StateVector::<f64>::uniform(n)
+            } else {
+                StateVector::<f64>::zero(n)
+            }
         };
         let t1 = Instant::now();
         let mut sweep = SweepStats::default();
         if self.kernel.opt == OptLevel::Blocked {
             // Tiled stage executor: one streaming pass per op group.
-            sweep = execute_schedule_sweep(&mut state, &schedule, &self.kernel, self.tile_qubits);
+            sweep = execute_schedule_sweep_with(
+                &mut state,
+                &schedule,
+                &self.kernel,
+                self.tile_qubits,
+                &self.telemetry,
+            );
         } else {
             // The lower ladder rungs have no packed range kernels; keep
             // the per-gate path for ablation runs.
+            let _s = track.span("apply per-gate");
             execute_schedule_local(&mut state, &schedule, &self.kernel);
         }
         let sim_seconds = t1.elapsed().as_secs_f64();
+        if let Some(m) = self.telemetry.metrics() {
+            sweep.publish_into(m, "single.sweep");
+            m.gauge_set("single.plan_seconds", plan_seconds);
+            m.gauge_set("single.sim_seconds", sim_seconds);
+        }
         SingleOutcome {
             state,
             schedule,

@@ -80,6 +80,20 @@ impl SweepStats {
     pub fn pass_ratio(&self) -> f64 {
         self.baseline_passes as f64 / (self.sweep_passes as f64).max(1.0)
     }
+
+    /// Flatten these counters into the unified metrics registry under
+    /// `prefix` (e.g. `single.sweep`). The struct remains the typed
+    /// view; the registry feeds the exported metrics snapshot.
+    pub fn publish_into(&self, metrics: &qsim_telemetry::MetricsRegistry, prefix: &str) {
+        metrics.counter_add(&format!("{prefix}.sweep_passes"), self.sweep_passes);
+        metrics.counter_add(&format!("{prefix}.baseline_passes"), self.baseline_passes);
+        metrics.counter_add(&format!("{prefix}.tile_local_gates"), self.tile_local_gates);
+        metrics.counter_add(&format!("{prefix}.fallback_gates"), self.fallback_gates);
+        metrics.counter_add(&format!("{prefix}.diagonals_folded"), self.diagonals_folded);
+        metrics.counter_add(&format!("{prefix}.bytes_streamed"), self.bytes_streamed);
+        metrics.counter_add(&format!("{prefix}.baseline_bytes"), self.baseline_bytes);
+        metrics.gauge_set(&format!("{prefix}.pass_ratio"), self.pass_ratio());
+    }
 }
 
 /// Clamp a (tuned) tile size to the local register and, with multiple

@@ -139,6 +139,32 @@ impl FabricStats {
             (1.0 - self.mean_blocked_seconds / self.mean_comm_seconds).clamp(0.0, 1.0)
         }
     }
+
+    /// Flatten these counters into the unified metrics registry under
+    /// `prefix` (e.g. `dist.fabric`). The struct remains the typed view;
+    /// the registry feeds the exported metrics snapshot.
+    pub fn publish_into(&self, metrics: &qsim_telemetry::MetricsRegistry, prefix: &str) {
+        metrics.counter_add(&format!("{prefix}.n_ranks"), self.n_ranks as u64);
+        metrics.counter_add(&format!("{prefix}.bytes_sent"), self.total_bytes_sent);
+        metrics.counter_add(&format!("{prefix}.wire_allocs"), self.wire_allocs);
+        metrics.gauge_set(&format!("{prefix}.max_comm_seconds"), self.max_comm_seconds);
+        metrics.gauge_set(
+            &format!("{prefix}.mean_comm_seconds"),
+            self.mean_comm_seconds,
+        );
+        metrics.gauge_set(
+            &format!("{prefix}.max_blocked_seconds"),
+            self.max_blocked_seconds,
+        );
+        metrics.gauge_set(
+            &format!("{prefix}.mean_blocked_seconds"),
+            self.mean_blocked_seconds,
+        );
+        metrics.gauge_set(
+            &format!("{prefix}.overlap_fraction"),
+            self.overlap_fraction(),
+        );
+    }
 }
 
 type MsgKey = (usize, u64); // (source rank, sequence number)

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use qsim_net::collective::{all_reduce_sum, all_to_all, Communicator};
-use qsim_net::fabric::run_cluster;
+use qsim_net::fabric::{run_cluster, FabricStats};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -70,5 +70,59 @@ proptest! {
         for r in results {
             prop_assert!((r - expect).abs() < 1e-9);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `FabricStats::overlap_fraction` is a derived ratio and must stay
+    /// in [0, 1] for arbitrary non-negative counters — including blocked
+    /// time exceeding total comm time (per-rank clock granularity) and
+    /// the no-communication degenerate case.
+    #[test]
+    fn fabric_stats_overlap_fraction_bounded(
+        n_ranks in 0usize..=1024,
+        total_bytes_sent in 0u64..=1u64 << 50,
+        max_comm in 0.0f64..1e9,
+        mean_comm in 0.0f64..1e9,
+        max_blocked in 0.0f64..2e9,
+        mean_blocked in 0.0f64..2e9,
+        wire_allocs in 0u64..=1u64 << 40,
+    ) {
+        let stats = FabricStats {
+            n_ranks,
+            total_bytes_sent,
+            max_comm_seconds: max_comm,
+            mean_comm_seconds: mean_comm,
+            max_blocked_seconds: max_blocked,
+            mean_blocked_seconds: mean_blocked,
+            wire_allocs,
+        };
+        let f = stats.overlap_fraction();
+        prop_assert!((0.0..=1.0).contains(&f), "overlap_fraction {} out of [0, 1]", f);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The same bound on stats measured from a real message workload.
+    #[test]
+    fn fabric_workload_overlap_fraction_bounded(
+        g in 1u32..=3,
+        payload_log in 0u32..=12,
+        rounds in 1usize..=4,
+    ) {
+        let ranks = 1usize << g;
+        let (_, stats) = run_cluster(ranks, move |ctx| {
+            let partner = ctx.rank() ^ 1;
+            let payload = vec![0u8; 1usize << payload_log];
+            for _ in 0..rounds {
+                ctx.exchange(partner, &payload);
+            }
+        });
+        let f = stats.overlap_fraction();
+        prop_assert!((0.0..=1.0).contains(&f), "overlap_fraction {} out of [0, 1]", f);
     }
 }

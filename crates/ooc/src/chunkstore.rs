@@ -56,6 +56,19 @@ pub struct IoStats {
 }
 
 impl IoStats {
+    /// Stats contribution of one pass's compute loop: the blocked-on-IO /
+    /// op-apply wall-clock split (no bytes — those come from the
+    /// reader/writer views). Both pass modes of `crate::pipeline` build
+    /// their loop stats through this one constructor and fold them in via
+    /// [`IoStats::merge`].
+    pub fn compute_loop(io_wait_seconds: f64, compute_seconds: f64) -> Self {
+        Self {
+            io_wait_seconds,
+            compute_seconds,
+            ..Self::default()
+        }
+    }
+
     /// Accumulate counters from a reader/writer view or a sub-pass.
     pub fn merge(&mut self, other: &IoStats) {
         self.bytes_read += other.bytes_read;
@@ -79,6 +92,24 @@ impl IoStats {
         } else {
             (1.0 - self.io_wait_seconds / io).clamp(0.0, 1.0)
         }
+    }
+
+    /// Flatten these counters into the unified metrics registry under
+    /// `prefix` (e.g. `ooc.io`). The struct remains the typed view; the
+    /// registry feeds the exported metrics snapshot.
+    pub fn publish_into(&self, metrics: &qsim_telemetry::MetricsRegistry, prefix: &str) {
+        metrics.counter_add(&format!("{prefix}.bytes_read"), self.bytes_read);
+        metrics.counter_add(&format!("{prefix}.bytes_written"), self.bytes_written);
+        metrics.counter_add(&format!("{prefix}.traversals"), self.traversals);
+        metrics.counter_add(&format!("{prefix}.buffer_allocs"), self.buffer_allocs);
+        metrics.gauge_set(&format!("{prefix}.read_seconds"), self.read_seconds);
+        metrics.gauge_set(&format!("{prefix}.write_seconds"), self.write_seconds);
+        metrics.gauge_set(&format!("{prefix}.io_wait_seconds"), self.io_wait_seconds);
+        metrics.gauge_set(&format!("{prefix}.compute_seconds"), self.compute_seconds);
+        metrics.gauge_set(
+            &format!("{prefix}.overlap_fraction"),
+            self.overlap_fraction(),
+        );
     }
 }
 

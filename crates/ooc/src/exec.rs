@@ -47,6 +47,7 @@ use qsim_kernels::parallel::par_gather;
 use qsim_kernels::specialized;
 use qsim_kernels::SweepStats;
 use qsim_sched::{plan_runs, Schedule, StageOp, StageRun, SwapOp};
+use qsim_telemetry::Telemetry;
 use qsim_util::align::AlignedVec;
 use qsim_util::c64;
 use std::path::Path;
@@ -71,6 +72,11 @@ pub struct OocConfig {
     /// Tile budget (log2 amplitudes) for compiled stages; `None` uses
     /// the measured auto-tune size.
     pub tile_qubits: Option<u32>,
+    /// Span/metrics sink. The engine records its timeline on the
+    /// `ooc.compute` / `ooc.prefetch` / `ooc.writeback` tracks and
+    /// publishes `IoStats`/`SweepStats` under the `ooc.*` metric prefix;
+    /// the default disabled handle makes all of it a no-op.
+    pub telemetry: Telemetry,
 }
 
 impl Default for OocConfig {
@@ -82,6 +88,7 @@ impl Default for OocConfig {
             batch_runs: true,
             compiled_stages: true,
             tile_qubits: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -107,6 +114,7 @@ impl OocConfig {
             batch_runs: false,
             compiled_stages: false,
             tile_qubits: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -169,10 +177,16 @@ impl OocSimulator {
         let g = schedule.n_qubits - l;
         assert!(l >= g, "external all-to-all needs l >= g");
         let t0 = std::time::Instant::now();
-        let mut store = if init_uniform {
-            ChunkStore::create_uniform(dir, l, g)?
-        } else {
-            ChunkStore::create_zero_state(dir, l, g)?
+        let telemetry = self.config.telemetry.clone();
+        let track = telemetry.track("ooc.compute");
+        let _run_span = track.span("run");
+        let mut store = {
+            let _s = track.span("init");
+            if init_uniform {
+                ChunkStore::create_uniform(dir, l, g)?
+            } else {
+                ChunkStore::create_zero_state(dir, l, g)?
+            }
         };
         let n_chunks = store.n_chunks();
         let chunk_len = store.chunk_len();
@@ -232,6 +246,7 @@ impl OocSimulator {
         // recursive-doubling all-reduce bit for bit.
         let mut partials: Vec<(f64, f64)> = vec![(0.0, 0.0); n_chunks];
         for (ri, run) in runs.iter().enumerate() {
+            let _rs = track.span_id("stage run", ri as u64);
             let stages = &schedule.stages[run.stages.clone()];
             let compiled = use_compiled.then(|| compile_stages(stages, l, &kernel, tile));
             let reduce = ri + 1 == runs.len();
@@ -239,6 +254,7 @@ impl OocSimulator {
                 pipelined: self.config.pipeline,
                 depth,
                 wires: 0,
+                telemetry: telemetry.clone(),
             };
             run_pass(
                 &mut store,
@@ -246,6 +262,7 @@ impl OocSimulator {
                 &mut self.wire_pool,
                 &cfg,
                 |c, mut buf, sink| {
+                    let _cs = track.span_timed("compute", c as u64, "stage_apply_ns");
                     match &compiled {
                         Some(cs) => {
                             for stage in cs {
@@ -273,7 +290,7 @@ impl OocSimulator {
                 },
             )?;
             if let Some(swap) = &run.swap {
-                self.external_swap(&mut store, swap, depth, wires)?;
+                self.external_swap(&mut store, swap, ri, depth, wires)?;
             }
         }
         if runs.is_empty() {
@@ -291,13 +308,20 @@ impl OocSimulator {
 
         let mut io = store.stats();
         io.buffer_allocs = self.chunk_pool.allocs() + self.wire_pool.allocs() - allocs0;
+        let sim_seconds = t0.elapsed().as_secs_f64();
+        if let Some(m) = telemetry.metrics() {
+            io.publish_into(m, "ooc.io");
+            sweep.publish_into(m, "ooc.sweep");
+            m.gauge_set("ooc.sim_seconds", sim_seconds);
+            m.counter_add("ooc.runs", runs.len() as u64);
+        }
         Ok(OocOutcome {
             norm,
             entropy,
             io,
             sweep,
             runs: runs.len(),
-            sim_seconds: t0.elapsed().as_secs_f64(),
+            sim_seconds,
         })
     }
 
@@ -336,9 +360,13 @@ impl OocSimulator {
         &mut self,
         store: &mut ChunkStore,
         swap: &SwapOp,
+        run_index: usize,
         depth: usize,
         wires: usize,
     ) -> std::io::Result<()> {
+        let telemetry = self.config.telemetry.clone();
+        let track = telemetry.track("ooc.compute");
+        let _sw = track.span_timed("external swap", run_index as u64, "swap_ns");
         let l = store.local_qubits();
         let g = store.global_qubits();
         assert_eq!(swap.local_slots.len(), g as usize, "full swap expected");
@@ -356,27 +384,34 @@ impl OocSimulator {
             pipelined: self.config.pipeline,
             depth,
             wires,
+            telemetry: telemetry.clone(),
         };
-        run_pass(
-            store,
-            &mut self.chunk_pool,
-            &mut self.wire_pool,
-            &cfg,
-            |src, buf, sink| {
-                for dst in 0..n_chunks {
-                    let mut wire = sink.take_wire()?;
-                    if perm.is_identity() {
-                        wire.copy_from_slice(&buf[dst * piece..(dst + 1) * piece]);
-                    } else {
-                        par_gather(&buf, &mut wire, |t| inv.apply(dst * piece + t));
+        {
+            let _s = track.span_id("scatter", run_index as u64);
+            run_pass(
+                store,
+                &mut self.chunk_pool,
+                &mut self.wire_pool,
+                &cfg,
+                |src, buf, sink| {
+                    for dst in 0..n_chunks {
+                        let mut wire = sink.take_wire()?;
+                        if perm.is_identity() {
+                            wire.copy_from_slice(&buf[dst * piece..(dst + 1) * piece]);
+                        } else {
+                            par_gather(&buf, &mut wire, |t| inv.apply(dst * piece + t));
+                        }
+                        sink.write_staged(dst, src * piece, wire)?;
                     }
-                    sink.write_staged(dst, src * piece, wire)?;
-                }
-                sink.recycle_chunk(buf);
-                Ok(())
-            },
-        )?;
-        store.commit_staged()?;
+                    sink.recycle_chunk(buf);
+                    Ok(())
+                },
+            )?;
+        }
+        {
+            let _s = track.span_id("commit", run_index as u64);
+            store.commit_staged()?;
+        }
 
         // Pass 2: fused gather-unpermute — `final[x] = buf[p(x)]` places
         // the incoming qubits at the swap's slots. An identity
@@ -384,11 +419,13 @@ impl OocSimulator {
         // engine-held scratch buffer double-buffers the gather, cycling
         // with the pipeline's chunk buffers.
         if !perm.is_identity() {
+            let _s = track.span_id("unpermute", run_index as u64);
             let mut scratch = self.scratch.take().expect("unpermute scratch");
             let cfg = PassConfig {
                 pipelined: self.config.pipeline,
                 depth,
                 wires: 0,
+                telemetry: telemetry.clone(),
             };
             run_pass(
                 store,

@@ -33,6 +33,7 @@
 
 use crate::chunkstore::{BufferPool, ChunkStore, IoStats};
 use parking_lot::{Condvar, Mutex};
+use qsim_telemetry::{Telemetry, TrackHandle};
 use qsim_util::align::AlignedVec;
 use qsim_util::c64;
 use std::collections::VecDeque;
@@ -162,6 +163,11 @@ pub(crate) struct PassConfig {
     pub depth: usize,
     /// Wire buffers in flight (0 for passes that stage nothing).
     pub wires: usize,
+    /// Span/metrics sink: the pipeline threads record per-chunk
+    /// read/write spans on their own tracks (`ooc.prefetch`,
+    /// `ooc.writeback`) and feed the `chunk_io_ns` histogram. Disabled
+    /// handles make all of that a no-op.
+    pub telemetry: Telemetry,
 }
 
 /// Stream every chunk of `store` through `compute` once. The closure
@@ -182,7 +188,7 @@ where
     if cfg.pipelined {
         run_pipelined(store, chunk_pool, wire_pool, cfg, compute)
     } else {
-        run_sync(store, chunk_pool, wire_pool, compute)
+        run_sync(store, chunk_pool, wire_pool, cfg, compute)
     }
 }
 
@@ -194,10 +200,12 @@ struct SyncSink<'a> {
     chunk_pool: &'a mut BufferPool,
     wire_pool: &'a mut BufferPool,
     io_wait: f64,
+    track: TrackHandle,
 }
 
 impl PassSink for SyncSink<'_> {
     fn write_chunk(&mut self, c: usize, buf: Buf) -> std::io::Result<()> {
+        let _s = self.track.span_timed("write", c as u64, "chunk_io_ns");
         let t = Instant::now();
         let r = self.writer.write_chunk_from(c, &buf);
         self.io_wait += t.elapsed().as_secs_f64();
@@ -206,6 +214,9 @@ impl PassSink for SyncSink<'_> {
     }
 
     fn write_staged(&mut self, c: usize, off: usize, buf: Buf) -> std::io::Result<()> {
+        let _s = self
+            .track
+            .span_timed("write staged", c as u64, "chunk_io_ns");
         let t = Instant::now();
         let r = self.writer.write_staged_range(c, off, &buf);
         self.io_wait += t.elapsed().as_secs_f64();
@@ -226,6 +237,7 @@ fn run_sync<F>(
     store: &mut ChunkStore,
     chunk_pool: &mut BufferPool,
     wire_pool: &mut BufferPool,
+    cfg: &PassConfig,
     mut compute: F,
 ) -> std::io::Result<()>
 where
@@ -234,18 +246,25 @@ where
     let n = store.n_chunks();
     let mut reader = store.reader()?;
     let writer = store.writer()?;
+    // Synchronous IO happens on the caller's thread; reads and writes
+    // share the compute track so the timeline shows the serialization.
     let mut sink = SyncSink {
         writer,
         chunk_pool,
         wire_pool,
         io_wait: 0.0,
+        track: cfg.telemetry.track("ooc.compute"),
     };
     let mut compute_seconds = 0.0;
     let mut result = Ok(());
     for c in 0..n {
         let mut buf = sink.chunk_pool.get();
         let t = Instant::now();
-        if let Err(e) = reader.read_into(c, &mut buf) {
+        let read = {
+            let _s = sink.track.span_timed("read", c as u64, "chunk_io_ns");
+            reader.read_into(c, &mut buf)
+        };
+        if let Err(e) = read {
             sink.chunk_pool.put(buf);
             result = Err(e);
             break;
@@ -260,11 +279,7 @@ where
             break;
         }
     }
-    let loop_stats = IoStats {
-        io_wait_seconds: sink.io_wait,
-        compute_seconds,
-        ..IoStats::default()
-    };
+    let loop_stats = IoStats::compute_loop(sink.io_wait, compute_seconds);
     store.absorb(&reader.stats());
     store.absorb(&sink.writer.stats());
     store.absorb(&loop_stats);
@@ -353,12 +368,17 @@ where
         // every buffer makes it back to a pool no matter how the pass
         // ends.
         let prefetch = s.spawn(|| {
+            let track = cfg.telemetry.track("ooc.prefetch");
             let mut reader = reader;
             let mut stranded: Vec<Buf> = Vec::new();
             for c in 0..n {
                 let (buf, _) = chunk_free.pop();
                 let Some(mut buf) = buf else { break };
-                if let Err(e) = reader.read_into(c, &mut buf) {
+                let read = {
+                    let _s = track.span_timed("read", c as u64, "chunk_io_ns");
+                    reader.read_into(c, &mut buf)
+                };
+                if let Err(e) = read {
                     set_err(&err, e);
                     stranded.push(buf);
                     break;
@@ -373,6 +393,7 @@ where
         });
 
         let writeback = s.spawn(|| {
+            let track = cfg.telemetry.track("ooc.writeback");
             let mut writer = writer;
             let mut stranded: Vec<Buf> = Vec::new();
             loop {
@@ -382,6 +403,7 @@ where
                     Some(WbItem::Chunk { c, buf }) => {
                         // `usize::MAX` marks a recycle-only request.
                         if c != usize::MAX {
+                            let _s = track.span_timed("write", c as u64, "chunk_io_ns");
                             if let Err(e) = writer.write_chunk_from(c, &buf) {
                                 set_err(&err, e);
                             }
@@ -391,8 +413,11 @@ where
                         }
                     }
                     Some(WbItem::Staged { c, off, buf }) => {
-                        if let Err(e) = writer.write_staged_range(c, off, &buf) {
-                            set_err(&err, e);
+                        {
+                            let _s = track.span_timed("write staged", c as u64, "chunk_io_ns");
+                            if let Err(e) = writer.write_staged_range(c, off, &buf) {
+                                set_err(&err, e);
+                            }
                         }
                         if let (Some(buf), _) = wire_free.push(buf) {
                             stranded.push(buf);
@@ -447,11 +472,7 @@ where
                 wire_pool.put(b);
             }
         }
-        let loop_stats = IoStats {
-            io_wait_seconds: sink.io_wait,
-            compute_seconds,
-            ..IoStats::default()
-        };
+        let loop_stats = IoStats::compute_loop(sink.io_wait, compute_seconds);
         (loop_stats, reader_stats, writer_stats)
     });
 
@@ -540,6 +561,7 @@ mod tests {
                 pipelined,
                 depth: 2,
                 wires: 0,
+                telemetry: Telemetry::disabled(),
             };
             run_pass(
                 &mut store,
@@ -578,6 +600,7 @@ mod tests {
             pipelined: true,
             depth: 2,
             wires: 2,
+            telemetry: Telemetry::disabled(),
         };
         // Transpose-like: piece `src` of staged chunk `dst` = src id.
         run_pass(
@@ -623,6 +646,7 @@ mod tests {
             pipelined: true,
             depth: 2,
             wires: 0,
+            telemetry: Telemetry::disabled(),
         };
         let r = run_pass(
             &mut store,

@@ -78,8 +78,8 @@ fn assert_ooc_bit_exact(
         n_ranks: 1 << g,
         kernel: KernelConfig::sequential(),
         gather_state: true,
-        sub_chunks: None,
         tile_qubits: tile,
+        ..Default::default()
     })
     .run(&exec, &schedule, uniform);
     let oracle = dist.state.as_ref().expect("gathered state");
@@ -99,6 +99,13 @@ fn assert_ooc_bit_exact(
          diverged bitwise from the distributed engine"
     );
     assert_eq!(out.norm, dist.norm, "norm reductions must match bitwise");
+    // Workload-driven ratio bound: whatever the pipeline measured, the
+    // derived overlap fraction must be a valid fraction.
+    let f = out.io.overlap_fraction();
+    assert!(
+        (0.0..=1.0).contains(&f),
+        "pipelined run reported overlap_fraction {f} outside [0, 1]"
+    );
 
     // Pipelining + batching + compiled compute must be invisible next to
     // the synchronous per-gate baseline.
@@ -136,6 +143,44 @@ proptest! {
         segment_ops in 1usize..=3,
     ) {
         assert_ooc_bit_exact(n, n_gates, seed, g, prefetch_depth, batch == 1, segment_ops);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `IoStats::overlap_fraction` is a derived ratio and must stay in
+    /// [0, 1] for *any* accumulation of non-negative counters — including
+    /// blocked time exceeding raw IO time (clock skew between the compute
+    /// loop and the IO threads) and the zero-IO degenerate case.
+    #[test]
+    fn io_stats_overlap_fraction_bounded(
+        read in 0.0f64..1e6,
+        write in 0.0f64..1e6,
+        wait in 0.0f64..4e6,
+        compute in 0.0f64..1e6,
+        bytes_read in 0u64..=1u64 << 40,
+        bytes_written in 0u64..=1u64 << 40,
+        loops in prop::collection::vec((0.0f64..1e3, 0.0f64..1e3), 0..8),
+    ) {
+        let mut io = qsim_ooc::IoStats {
+            bytes_read,
+            bytes_written,
+            read_seconds: read,
+            write_seconds: write,
+            io_wait_seconds: wait,
+            compute_seconds: compute,
+            ..qsim_ooc::IoStats::default()
+        };
+        let f = io.overlap_fraction();
+        prop_assert!((0.0..=1.0).contains(&f), "overlap_fraction {} out of [0, 1]", f);
+        // Folding in compute-loop contributions (the satellite-fixed
+        // single constructor both pass modes use) must preserve the bound.
+        for (w, c) in loops {
+            io.merge(&qsim_ooc::IoStats::compute_loop(w, c));
+            let f = io.overlap_fraction();
+            prop_assert!((0.0..=1.0).contains(&f), "after merge: overlap_fraction {} out of [0, 1]", f);
+        }
     }
 }
 

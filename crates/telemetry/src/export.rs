@@ -1,0 +1,244 @@
+//! JSON exporters: Chrome `trace_event` timelines and flat metric
+//! snapshots. Hand-rolled emission (the workspace carries no serde);
+//! [`crate::json`] parses the output back for validation.
+
+use crate::metrics::{Histogram, Metric};
+use crate::span::SpanEvent;
+use std::fmt::Write;
+
+/// Escape a string for a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A finite f64 as a JSON number (`null` for NaN/±inf, which JSON cannot
+/// represent).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The Chrome `trace_event` document for a set of track snapshots
+/// (`(name, events, dropped)` triples, as returned by
+/// `Telemetry::tracks_snapshot`). One `tid` per track, named via
+/// `thread_name` metadata; spans are complete (`"ph":"X"`) events with
+/// microsecond `ts`/`dur` at nanosecond resolution. Loadable in
+/// `chrome://tracing` and <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(tracks: &[(String, Vec<SpanEvent>, u64)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if *first {
+            *first = false;
+        } else {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+    };
+    for (tid, (name, events, dropped)) in tracks.iter().enumerate() {
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\""
+        );
+        escape_into(&mut out, name);
+        let _ = write!(out, "\",\"dropped_events\":{dropped}}}}}");
+        for ev in events {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"cat\":\"qsim\",\"name\":\""
+            );
+            escape_into(&mut out, ev.name);
+            let _ = write!(
+                out,
+                "\",\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"id\":{},\"depth\":{}}}}}",
+                ev.start_ns as f64 / 1e3,
+                ev.duration_ns() as f64 / 1e3,
+                ev.id,
+                ev.depth
+            );
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+fn hist_json(h: &Histogram) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"count\":{},\"sum\":{},\"mean\":{},\"buckets\":[",
+        h.count,
+        h.sum,
+        fmt_f64(h.mean())
+    );
+    let mut first = true;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ge\":{},\"le\":{},\"count\":{c}}}",
+            Histogram::bucket_lower(i),
+            Histogram::bucket_upper(i)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The flat metrics snapshot: `{"counters":{...},"gauges":{...},
+/// "histograms":{...}}` with names in registry (sorted) order.
+pub fn metrics_json(metrics: &[(String, Metric)]) -> String {
+    let mut counters = String::new();
+    let mut gauges = String::new();
+    let mut hists = String::new();
+    for (name, m) in metrics {
+        let (section, value) = match m {
+            Metric::Counter(c) => (&mut counters, c.to_string()),
+            Metric::Gauge(g) => (&mut gauges, fmt_f64(*g)),
+            Metric::Histogram(h) => (&mut hists, hist_json(h)),
+        };
+        if !section.is_empty() {
+            section.push(',');
+        }
+        section.push_str("\n    \"");
+        escape_into(section, name);
+        section.push_str("\": ");
+        section.push_str(&value);
+    }
+    format!(
+        "{{\n  \"counters\": {{{counters}\n  }},\n  \"gauges\": {{{gauges}\n  }},\n  \"histograms\": {{{hists}\n  }}\n}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::MetricsRegistry;
+
+    fn sample_tracks() -> Vec<(String, Vec<SpanEvent>, u64)> {
+        vec![
+            (
+                "rank 0".to_string(),
+                vec![
+                    SpanEvent {
+                        name: "stage",
+                        id: 0,
+                        depth: 0,
+                        start_ns: 1000,
+                        end_ns: 2500,
+                    },
+                    SpanEvent {
+                        name: "swap",
+                        id: 0,
+                        depth: 0,
+                        start_ns: 2500,
+                        end_ns: 9000,
+                    },
+                ],
+                0,
+            ),
+            ("\"weird\\name\"".to_string(), vec![], 3),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_round_trips() {
+        let doc = chrome_trace_json(&sample_tracks());
+        let j = parse(&doc).expect("valid JSON");
+        let events = j.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 thread_name metadata + 2 spans.
+        assert_eq!(events.len(), 4);
+        let meta: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2);
+        assert_eq!(
+            meta[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("rank 0")
+        );
+        assert_eq!(
+            meta[1].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("\"weird\\name\"")
+        );
+        let span = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("swap"))
+            .unwrap();
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(2.5));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(6.5));
+        assert_eq!(
+            span.get("args").unwrap().get("depth").unwrap().as_f64(),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips() {
+        let m = MetricsRegistry::new();
+        m.counter_add("dist.fabric.bytes_sent", 4096);
+        m.gauge_set("dist.fabric.overlap_fraction", 0.25);
+        m.gauge_set("bad.gauge", f64::NAN);
+        m.record_hist("swap_ns", 900);
+        m.record_hist("swap_ns", 1100);
+        let doc = metrics_json(&m.snapshot());
+        let j = parse(&doc).expect("valid JSON");
+        assert_eq!(
+            j.get("counters")
+                .unwrap()
+                .get("dist.fabric.bytes_sent")
+                .unwrap()
+                .as_f64(),
+            Some(4096.0)
+        );
+        assert_eq!(
+            j.get("gauges")
+                .unwrap()
+                .get("dist.fabric.overlap_fraction")
+                .unwrap()
+                .as_f64(),
+            Some(0.25)
+        );
+        assert!(matches!(
+            j.get("gauges").unwrap().get("bad.gauge"),
+            Some(Json::Null)
+        ));
+        let h = j.get("histograms").unwrap().get("swap_ns").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(2.0));
+        let buckets = h.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 2); // 900 → [512,1023], 1100 → [1024,2047]
+        assert_eq!(buckets[0].get("ge").unwrap().as_f64(), Some(512.0));
+        assert_eq!(buckets[0].get("le").unwrap().as_f64(), Some(1023.0));
+    }
+
+    #[test]
+    fn empty_exports_are_valid() {
+        assert!(parse(&chrome_trace_json(&[])).is_ok());
+        let j = parse(&metrics_json(&[])).unwrap();
+        assert!(matches!(j.get("counters"), Some(Json::Object(o)) if o.is_empty()));
+    }
+}

@@ -1,0 +1,211 @@
+//! The unified metrics registry: named counters, gauges and
+//! log2-bucketed histograms.
+//!
+//! This is the common schema the engines' typed stat structs
+//! (`FabricStats`, `SweepStats`, `IoStats`) publish into via their
+//! `publish_into` methods, and where the hot paths record per-event
+//! latencies (`swap_ns`, `chunk_io_ns`, `stage_apply_ns`). Updates take
+//! a short mutex on a name-keyed map; after a name's first use an update
+//! allocates nothing, so steady-state recording stays allocation-free.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Bucket count of [`Histogram`]: bucket `i ≥ 1` holds values in
+/// `[2^(i−1), 2^i − 1]`, bucket 0 holds exactly 0, and the last bucket
+/// absorbs everything from `2^62` up.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` samples (typically nanoseconds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index of `v`: 0 for 0, else `64 − leading_zeros(v)`
+    /// capped at the last bucket — i.e. one bucket per bit length.
+    pub fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Smallest value bucket `i` can hold.
+    pub fn bucket_lower(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Largest value bucket `i` can hold.
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One named metric's current value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Box<Histogram>),
+}
+
+/// Named counters, gauges and histograms behind one mutex. Mismatched
+/// updates (e.g. `counter_add` on a name holding a gauge) replace the
+/// entry with the new kind — last writer wins, deterministically.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to the counter `name` (creating it at 0).
+    pub fn counter_add(&self, name: &str, v: u64) {
+        let mut g = self.inner.lock();
+        match g.get_mut(name) {
+            Some(Metric::Counter(c)) => *c += v,
+            _ => {
+                g.insert(name.to_string(), Metric::Counter(v));
+            }
+        }
+    }
+
+    /// Set the gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.inner.lock().insert(name.to_string(), Metric::Gauge(v));
+    }
+
+    /// Record `v` into the histogram `name` (creating it empty).
+    pub fn record_hist(&self, name: &str, v: u64) {
+        let mut g = self.inner.lock();
+        match g.get_mut(name) {
+            Some(Metric::Histogram(h)) => h.record(v),
+            _ => {
+                let mut h = Box::new(Histogram::new());
+                h.record(v);
+                g.insert(name.to_string(), Metric::Histogram(h));
+            }
+        }
+    }
+
+    /// Current value of `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.inner.lock().get(name).cloned()
+    }
+
+    /// All metrics in name order.
+    pub fn snapshot(&self) -> Vec<(String, Metric)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 is exactly {0}; bucket i ≥ 1 is [2^(i−1), 2^i − 1].
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_lower(i)), i);
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_upper(i)), i);
+        }
+        // Powers of two land exactly on a boundary: 2^k opens bucket
+        // k+1, 2^k − 1 closes bucket k.
+        for k in 1..62u32 {
+            let v = 1u64 << k;
+            assert_eq!(Histogram::bucket_index(v), k as usize + 1);
+            assert_eq!(Histogram::bucket_index(v - 1), k as usize);
+        }
+        // The top bucket absorbs everything wide.
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_records_and_means() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[10], 1); // 1000 ∈ [512, 1023]
+        assert!((h.mean() - 201.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_kinds_and_snapshot_order() {
+        let m = MetricsRegistry::new();
+        m.counter_add("b.count", 2);
+        m.counter_add("b.count", 3);
+        m.gauge_set("a.ratio", 0.5);
+        m.gauge_set("a.ratio", 0.75);
+        m.record_hist("c.ns", 100);
+        assert_eq!(m.get("b.count"), Some(Metric::Counter(5)));
+        assert_eq!(m.get("a.ratio"), Some(Metric::Gauge(0.75)));
+        let names: Vec<String> = m.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a.ratio", "b.count", "c.ns"]);
+        // Kind mismatch: last writer wins.
+        m.counter_add("a.ratio", 1);
+        assert_eq!(m.get("a.ratio"), Some(Metric::Counter(1)));
+    }
+}

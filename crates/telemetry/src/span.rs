@@ -1,0 +1,208 @@
+//! Span recording: per-track lock-free ring buffers and RAII guards.
+//!
+//! A [`Track`] is one timeline row (a rank, a pipeline thread). Its ring
+//! is preallocated at registration, so recording a span in steady state
+//! is two clock reads and one slot write — no allocation, no locks. The
+//! ring is single-producer (see the crate-level contract); readers
+//! snapshot after the producer has quiesced.
+
+use crate::Inner;
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One completed span: a named `[start_ns, end_ns]` interval on its
+/// track's timeline, with a caller-chosen `id` (stage index, chunk
+/// index, …) and the nesting `depth` at which it was opened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    pub name: &'static str,
+    pub id: u64,
+    pub depth: u32,
+    /// Nanoseconds since the owning [`crate::Telemetry`]'s creation.
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl SpanEvent {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+const EMPTY: SpanEvent = SpanEvent {
+    name: "",
+    id: 0,
+    depth: 0,
+    start_ns: 0,
+    end_ns: 0,
+};
+
+/// A named span timeline backed by a fixed-capacity ring. Writes are
+/// wait-free slot stores by the single producer; the oldest events are
+/// overwritten once the ring is full.
+pub struct Track {
+    name: String,
+    slots: Box<[UnsafeCell<SpanEvent>]>,
+    /// Total events ever pushed; `head % capacity` is the next slot.
+    head: AtomicUsize,
+}
+
+// SAFETY: slot access is disciplined by the single-producer contract
+// (one live `TrackHandle` per track) plus quiesced-reader snapshots;
+// the `head` counter publishes completed writes with Release ordering.
+unsafe impl Send for Track {}
+unsafe impl Sync for Track {}
+
+impl Track {
+    pub(crate) fn new(name: &str, capacity: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            slots: (0..capacity.max(1))
+                .map(|_| UnsafeCell::new(EMPTY))
+                .collect(),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn push(&self, ev: SpanEvent) {
+        let h = self.head.load(Ordering::Relaxed);
+        // SAFETY: single producer — no concurrent writer for this slot,
+        // and readers only inspect slots at indices below the published
+        // head (Acquire on their side pairs with the Release below).
+        unsafe { *self.slots[h % self.slots.len()].get() = ev };
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// The retained events in push order, plus how many older events the
+    /// ring overwrote.
+    pub fn snapshot(&self) -> (Vec<SpanEvent>, u64) {
+        let h = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len();
+        let n = h.min(cap);
+        let events = (h - n..h)
+            // SAFETY: these slots were fully written before `head`
+            // advanced past them, and the producer has quiesced (crate
+            // contract), so no write races this read.
+            .map(|i| unsafe { *self.slots[i % cap].get() })
+            .collect();
+        (events, (h - n) as u64)
+    }
+}
+
+struct TrackRef {
+    track: Arc<Track>,
+    inner: Arc<Inner>,
+    /// Open-span nesting depth on this handle (single-threaded by the
+    /// producer contract, hence `Cell`).
+    depth: Cell<u32>,
+}
+
+/// A producer handle on one [`Track`]. Disabled handles (from a disabled
+/// [`crate::Telemetry`]) make every span call a no-op that never reads
+/// the clock.
+pub struct TrackHandle {
+    inner: Option<TrackRef>,
+}
+
+impl TrackHandle {
+    pub(crate) fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    pub(crate) fn new(track: Arc<Track>, inner: Arc<Inner>) -> Self {
+        Self {
+            inner: Some(TrackRef {
+                track,
+                inner,
+                depth: Cell::new(0),
+            }),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span; it records itself on drop.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.open(name, 0, None)
+    }
+
+    /// Open a span carrying an id (stage index, chunk index, rank, …).
+    pub fn span_id(&self, name: &'static str, id: u64) -> SpanGuard<'_> {
+        self.open(name, id, None)
+    }
+
+    /// Open a span that additionally records its duration into the
+    /// log2-bucketed histogram `hist` on drop.
+    pub fn span_timed(&self, name: &'static str, id: u64, hist: &'static str) -> SpanGuard<'_> {
+        self.open(name, id, Some(hist))
+    }
+
+    fn open(&self, name: &'static str, id: u64, hist: Option<&'static str>) -> SpanGuard<'_> {
+        match &self.inner {
+            None => SpanGuard { rec: None },
+            Some(r) => {
+                let depth = r.depth.get();
+                r.depth.set(depth + 1);
+                SpanGuard {
+                    rec: Some(OpenSpan {
+                        handle: r,
+                        name,
+                        id,
+                        depth,
+                        hist,
+                        start_ns: r.inner.t0.elapsed().as_nanos() as u64,
+                    }),
+                }
+            }
+        }
+    }
+}
+
+struct OpenSpan<'a> {
+    handle: &'a TrackRef,
+    name: &'static str,
+    id: u64,
+    depth: u32,
+    hist: Option<&'static str>,
+    start_ns: u64,
+}
+
+/// RAII guard of an open span: records the completed interval into the
+/// track's ring when dropped.
+#[must_use = "bind the guard (`let _s = ...`) so the span covers the scope"]
+pub struct SpanGuard<'a> {
+    rec: Option<OpenSpan<'a>>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec.take() {
+            let r = rec.handle;
+            let end_ns = r.inner.t0.elapsed().as_nanos() as u64;
+            r.depth.set(r.depth.get().saturating_sub(1));
+            r.track.push(SpanEvent {
+                name: rec.name,
+                id: rec.id,
+                depth: rec.depth,
+                start_ns: rec.start_ns,
+                end_ns,
+            });
+            if let Some(hist) = rec.hist {
+                r.inner
+                    .metrics
+                    .record_hist(hist, end_ns.saturating_sub(rec.start_ns));
+            }
+        }
+    }
+}

@@ -50,8 +50,7 @@ fn main() {
             n_ranks: ranks,
             kernel,
             gather_state: false,
-            sub_chunks: None,
-            tile_qubits: None,
+            ..Default::default()
         });
         let out = sim.run(&exec, &schedule, uniform);
         let base = BaselineSimulator::new(ranks, kernel).run(&circuit);

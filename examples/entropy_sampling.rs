@@ -37,8 +37,7 @@ fn main() {
             ..KernelConfig::default()
         },
         gather_state: true,
-        sub_chunks: None,
-        tile_qubits: None,
+        ..Default::default()
     });
     let out = sim.run(&exec, &schedule, uniform);
     println!("distributed (4 ranks):");

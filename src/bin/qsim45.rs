@@ -3,12 +3,18 @@
 //! ```text
 //! qsim45 plan   --rows 9 --cols 5 --depth 25 --local 30 [--kmax 4]
 //! qsim45 run    --rows 4 --cols 5 --depth 25 [--ranks 4] [--backend mem|ooc]
+//!               [--trace-out trace.json] [--metrics-out metrics.json]
 //! qsim45 sample --rows 4 --cols 4 --depth 25 --shots 16
 //! qsim45 kernels [--state-qubits 22]
 //! ```
 //!
 //! `plan` works at the paper's full scale (pure pre-computation); `run`
 //! allocates amplitudes and should stay ≤ ~26 qubits on a laptop.
+//!
+//! `--trace-out` writes a Chrome `trace_event` timeline of the run (one
+//! track per rank / pipeline thread; open in `chrome://tracing` or
+//! <https://ui.perfetto.dev>); `--metrics-out` writes the flat metrics
+//! snapshot. Either flag enables telemetry for the run.
 
 use qsim45::circuit::supremacy::{supremacy_circuit, SupremacySpec};
 use qsim45::core::observables::sample_bitstrings;
@@ -16,6 +22,7 @@ use qsim45::core::single::strip_initial_hadamards;
 use qsim45::core::{DistConfig, DistSimulator, SingleNodeSimulator};
 use qsim45::kernels::apply::KernelConfig;
 use qsim45::sched::{global_gate_count, plan, SchedulerConfig};
+use qsim45::telemetry::Telemetry;
 use qsim45::util::Xoshiro256;
 
 fn main() {
@@ -57,6 +64,27 @@ fn arg_str(name: &str, default: &str) -> String {
         }
     }
     default.into()
+}
+
+fn arg_opt(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Write the requested telemetry exports after a `run`.
+fn write_exports(t: &Telemetry, trace: &Option<String>, metrics: &Option<String>) {
+    if let Some(p) = trace {
+        t.write_chrome_trace(std::path::Path::new(p))
+            .expect("write --trace-out");
+        println!("trace       : {p}");
+    }
+    if let Some(p) = metrics {
+        t.write_metrics(std::path::Path::new(p))
+            .expect("write --metrics-out");
+        println!("metrics     : {p}");
+    }
 }
 
 fn spec() -> SupremacySpec {
@@ -109,15 +137,27 @@ fn cmd_run() {
     );
     let ranks = arg("--ranks", 1) as usize;
     let backend = arg_str("--backend", "mem");
+    let trace_out = arg_opt("--trace-out");
+    let metrics_out = arg_opt("--metrics-out");
+    let telemetry = if trace_out.is_some() || metrics_out.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let circuit = supremacy_circuit(&s);
     if ranks == 1 && backend == "mem" {
-        let out = SingleNodeSimulator::default().run(&circuit);
+        let sim = SingleNodeSimulator {
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        };
+        let out = sim.run(&circuit);
         println!(
             "single-node: {:.3} s sim, {:.3} s plan",
             out.sim_seconds, out.plan_seconds
         );
         println!("entropy     : {:.6} bits", out.state.entropy());
         println!("norm        : {:.12}", out.state.norm_sqr());
+        write_exports(&telemetry, &trace_out, &metrics_out);
         return;
     }
     let (exec, uniform) = strip_initial_hadamards(&circuit);
@@ -126,7 +166,10 @@ fn cmd_run() {
     match backend.as_str() {
         "ooc" => {
             let dir = qsim45::ooc::ScratchDir::new("cli");
-            let mut sim = qsim45::ooc::OocSimulator::default();
+            let mut sim = qsim45::ooc::OocSimulator::new(qsim45::ooc::OocConfig {
+                telemetry: telemetry.clone(),
+                ..Default::default()
+            });
             let out = sim
                 .run(dir.path(), &schedule, uniform)
                 .expect("ooc run failed");
@@ -149,9 +192,8 @@ fn cmd_run() {
                     threads: 1,
                     ..KernelConfig::default()
                 },
-                gather_state: false,
-                sub_chunks: None,
-                tile_qubits: None,
+                telemetry: telemetry.clone(),
+                ..Default::default()
             });
             let out = sim.run(&exec, &schedule, uniform);
             println!(
@@ -164,6 +206,7 @@ fn cmd_run() {
             println!("norm        : {:.12}", out.norm);
         }
     }
+    write_exports(&telemetry, &trace_out, &metrics_out);
 }
 
 fn cmd_sample() {

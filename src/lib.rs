@@ -12,6 +12,8 @@
 //! * [`net`] — the in-process multi-rank fabric standing in for MPI (§3.4).
 //! * [`core`] — single-node, distributed and baseline simulators plus
 //!   observables.
+//! * [`telemetry`] — structured spans, metrics and the Chrome-trace /
+//!   metrics-snapshot exporters (see `DESIGN.md` §10).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for architecture and
 //! substitutions, and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -22,4 +24,5 @@ pub use qsim_kernels as kernels;
 pub use qsim_net as net;
 pub use qsim_ooc as ooc;
 pub use qsim_sched as sched;
+pub use qsim_telemetry as telemetry;
 pub use qsim_util as util;

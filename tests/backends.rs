@@ -38,8 +38,7 @@ fn memory_and_disk_backends_agree_amplitude_for_amplitude() {
             n_ranks: 1usize << g,
             kernel: KernelConfig::sequential(),
             gather_state: true,
-            sub_chunks: None,
-            tile_qubits: None,
+            ..Default::default()
         });
         let dist_state = dist.run(&exec, &schedule, uniform).state.unwrap();
 

@@ -31,8 +31,7 @@ fn run_dist(circuit: &Circuit, ranks: usize, kmax: u32) -> Vec<c64> {
         n_ranks: ranks,
         kernel: KernelConfig::sequential(),
         gather_state: true,
-        sub_chunks: None,
-        tile_qubits: None,
+        ..Default::default()
     });
     sim.run(&exec, &schedule, uniform).state.unwrap()
 }
@@ -95,8 +94,7 @@ fn all_kmax_values_and_rank_counts_preserve_entropy() {
                 n_ranks: ranks,
                 kernel: KernelConfig::sequential(),
                 gather_state: false,
-                sub_chunks: None,
-                tile_qubits: None,
+                ..Default::default()
             });
             let out = sim.run(&exec, &schedule, uniform);
             assert!(
@@ -136,8 +134,7 @@ fn scheduler_ablations_do_not_change_physics() {
             n_ranks: 4,
             kernel: KernelConfig::sequential(),
             gather_state: true,
-            sub_chunks: None,
-            tile_qubits: None,
+            ..Default::default()
         });
         let out = sim.run(&exec, &schedule, uniform);
         let state = out.state.unwrap();
@@ -193,8 +190,7 @@ fn distributed_with_parallel_kernels_inside_ranks() {
         n_ranks: ranks,
         kernel: KernelConfig::default(),
         gather_state: true,
-        sub_chunks: None,
-        tile_qubits: None,
+        ..Default::default()
     });
     let out = sim.run(&exec, &schedule, uniform);
     let state = out.state.unwrap();
@@ -213,8 +209,7 @@ fn comm_bytes_scale_with_swap_count() {
         n_ranks: ranks,
         kernel: KernelConfig::sequential(),
         gather_state: false,
-        sub_chunks: None,
-        tile_qubits: None,
+        ..Default::default()
     });
     let out = sim.run(&exec, &schedule, uniform);
     // Each swap: every rank ships (ranks-1)/ranks of 2^l amplitudes.

@@ -77,8 +77,7 @@ proptest! {
             n_ranks: 4,
             kernel: KernelConfig::sequential(),
             gather_state: true,
-            sub_chunks: None,
-            tile_qubits: None,
+            ..Default::default()
         });
         let out = sim.run(&exec, &schedule, uniform);
         let state = out.state.unwrap();
