@@ -1,0 +1,623 @@
+//! Checkpoint/restart primitives shared by the three engines.
+//!
+//! The paper's stage segmentation (§3.6.1) exists so a petascale
+//! traversal can be cut at communication boundaries; this module is the
+//! on-disk half of that promise. A checkpoint is a [`Manifest`] — a
+//! small JSON document recording the schedule fingerprint, a *unit*
+//! cursor (stage, stage run or streaming pass, depending on the engine)
+//! and one digest per durable artifact (chunk file, rank slice or state
+//! snapshot).
+//!
+//! Durability protocol (every engine follows the same ordering):
+//!
+//! 1. write the new state artifacts and `sync_all` each;
+//! 2. write the manifest *atomically* — temp file → `sync_all` →
+//!    rename over [`MANIFEST_FILE`] → directory fsync — so a crash
+//!    leaves either the old or the new manifest, never a torn one;
+//! 3. only then retire artifacts the old manifest referenced.
+//!
+//! A crash between (1) and (2) is invisible: the old manifest still
+//! points at intact old-generation artifacts. A crash inside (2) is
+//! resolved by the atomicity of `rename`. A crash during (3) is rolled
+//! forward on open (see `ChunkStore::open_verified` in `qsim-ooc`).
+//!
+//! u64 values (hashes, digests, seeds) are serialized as *hex strings*:
+//! the in-workspace JSON parser ([`qsim_telemetry::json`]) reads numbers
+//! as f64, which would silently lose bits above 2^53.
+
+use qsim_sched::{Schedule, StageOp};
+use qsim_telemetry::json::{self, Json};
+use qsim_util::c64;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Manifest format version; bumped on any incompatible layout change.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// File name of the manifest inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Why a checkpoint could not be written or resumed from.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The manifest exists but cannot be parsed (torn write would be
+    /// prevented by the atomic protocol; this indicates corruption or a
+    /// foreign file).
+    Corrupt(String),
+    /// The manifest is well-formed but describes a different run
+    /// (schedule, geometry, engine or digest mismatch).
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint manifest: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for io::Error {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            CheckpointError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Where to restart: the first *unit* (stage / stage run / pass) whose
+/// effects are NOT yet durable on disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumePoint {
+    pub next_unit: usize,
+}
+
+/// The versioned checkpoint manifest (one per checkpoint directory).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Manifest {
+    pub version: u32,
+    /// Which engine wrote this checkpoint (`"single"`, `"dist"`, `"ooc"`).
+    pub engine: String,
+    /// Structural fingerprint of the schedule ([`schedule_fingerprint`]).
+    pub schedule_hash: u64,
+    pub n_qubits: u32,
+    pub local_qubits: u32,
+    /// Whether the run started from the uniform superposition (§3.6)
+    /// rather than |0…0⟩.
+    pub init_uniform: bool,
+    /// Seed of any stochastic stage (0 when unused) — recorded so a
+    /// resumed run reproduces the interrupted one exactly.
+    pub rng_seed: u64,
+    /// First unit not yet applied durably.
+    pub next_unit: usize,
+    /// Total units in the plan (cursor sanity bound).
+    pub total_units: usize,
+    /// FNV-1a digest of each durable artifact at this cursor, in
+    /// artifact order (chunk index / rank id).
+    pub digests: Vec<u64>,
+}
+
+impl Manifest {
+    /// Serialize to the on-disk JSON document.
+    pub fn to_json(&self) -> String {
+        let digests: Vec<String> = self
+            .digests
+            .iter()
+            .map(|d| format!("\"{d:016x}\""))
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"version\": {},\n",
+                "  \"engine\": \"{}\",\n",
+                "  \"schedule_hash\": \"{:016x}\",\n",
+                "  \"n_qubits\": {},\n",
+                "  \"local_qubits\": {},\n",
+                "  \"init_uniform\": {},\n",
+                "  \"rng_seed\": \"{:016x}\",\n",
+                "  \"next_unit\": {},\n",
+                "  \"total_units\": {},\n",
+                "  \"digests\": [{}]\n",
+                "}}\n"
+            ),
+            self.version,
+            self.engine,
+            self.schedule_hash,
+            self.n_qubits,
+            self.local_qubits,
+            self.init_uniform,
+            self.rng_seed,
+            self.next_unit,
+            self.total_units,
+            digests.join(", "),
+        )
+    }
+
+    /// Parse the on-disk JSON document.
+    pub fn from_json(text: &str) -> Result<Self, CheckpointError> {
+        let doc = json::parse(text).map_err(CheckpointError::Corrupt)?;
+        let num = |key: &str| -> Result<f64, CheckpointError> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| CheckpointError::Corrupt(format!("missing number '{key}'")))
+        };
+        let hex = |key: &str| -> Result<u64, CheckpointError> {
+            let s = doc
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| CheckpointError::Corrupt(format!("missing hex field '{key}'")))?;
+            u64::from_str_radix(s, 16)
+                .map_err(|e| CheckpointError::Corrupt(format!("bad hex in '{key}': {e}")))
+        };
+        let version = num("version")? as u32;
+        if version != MANIFEST_VERSION {
+            return Err(CheckpointError::Mismatch(format!(
+                "manifest version {version}, this build reads {MANIFEST_VERSION}"
+            )));
+        }
+        let engine = doc
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CheckpointError::Corrupt("missing 'engine'".into()))?
+            .to_string();
+        let init_uniform = match doc.get("init_uniform") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(CheckpointError::Corrupt("missing 'init_uniform'".into())),
+        };
+        let digests = doc
+            .get("digests")
+            .and_then(Json::as_array)
+            .ok_or_else(|| CheckpointError::Corrupt("missing 'digests'".into()))?
+            .iter()
+            .map(|j| {
+                let s = j
+                    .as_str()
+                    .ok_or_else(|| CheckpointError::Corrupt("non-string digest".into()))?;
+                u64::from_str_radix(s, 16)
+                    .map_err(|e| CheckpointError::Corrupt(format!("bad digest: {e}")))
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        let m = Manifest {
+            version,
+            engine,
+            schedule_hash: hex("schedule_hash")?,
+            n_qubits: num("n_qubits")? as u32,
+            local_qubits: num("local_qubits")? as u32,
+            init_uniform,
+            rng_seed: hex("rng_seed")?,
+            next_unit: num("next_unit")? as usize,
+            total_units: num("total_units")? as usize,
+            digests,
+        };
+        if m.next_unit > m.total_units {
+            return Err(CheckpointError::Corrupt(format!(
+                "cursor {} past total {}",
+                m.next_unit, m.total_units
+            )));
+        }
+        Ok(m)
+    }
+
+    /// Durably publish this manifest in `dir`: temp file → `sync_all` →
+    /// rename over [`MANIFEST_FILE`] → directory fsync. After this
+    /// returns, a crash at any instant leaves exactly this manifest (or
+    /// a later one) visible.
+    pub fn write_atomic(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(self.to_json().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+        fsync_dir(dir)
+    }
+
+    /// Load and parse the manifest in `dir`; `Ok(None)` when no
+    /// checkpoint has been published there yet.
+    pub fn load(dir: &Path) -> Result<Option<Self>, CheckpointError> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CheckpointError::Io(e)),
+        };
+        Self::from_json(&text).map(Some)
+    }
+
+    /// Check that this manifest belongs to the run the caller is about
+    /// to resume; returns the cursor on success.
+    pub fn validate(
+        &self,
+        engine: &str,
+        schedule: &Schedule,
+        init_uniform: bool,
+        total_units: usize,
+        n_artifacts: usize,
+    ) -> Result<ResumePoint, CheckpointError> {
+        let fail = |m: String| Err(CheckpointError::Mismatch(m));
+        if self.engine != engine {
+            return fail(format!("engine '{}' != '{engine}'", self.engine));
+        }
+        let hash = schedule_fingerprint(schedule);
+        if self.schedule_hash != hash {
+            return fail(format!(
+                "schedule hash {:016x} != {hash:016x} (different circuit or plan)",
+                self.schedule_hash
+            ));
+        }
+        if (self.n_qubits, self.local_qubits) != (schedule.n_qubits, schedule.local_qubits) {
+            return fail(format!(
+                "geometry n={} l={} != n={} l={}",
+                self.n_qubits, self.local_qubits, schedule.n_qubits, schedule.local_qubits
+            ));
+        }
+        if self.init_uniform != init_uniform {
+            return fail(format!(
+                "initial state uniform={} != uniform={init_uniform}",
+                self.init_uniform
+            ));
+        }
+        if self.total_units != total_units {
+            return fail(format!(
+                "plan has {} units, manifest recorded {}",
+                total_units, self.total_units
+            ));
+        }
+        if self.digests.len() != n_artifacts {
+            return fail(format!(
+                "{} artifacts on disk layout, manifest recorded {}",
+                n_artifacts,
+                self.digests.len()
+            ));
+        }
+        Ok(ResumePoint {
+            next_unit: self.next_unit,
+        })
+    }
+}
+
+/// fsync a directory so preceding renames/creates in it are durable.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Incremental FNV-1a (64-bit) over a byte stream. Multi-byte values
+/// are folded in little-endian, matching the raw-file digests of the
+/// chunk store on every supported target.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Fold in a float by bit pattern (exact, no rounding ambiguity).
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a of a byte slice (file-content digests).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Digest of an amplitude buffer, bit-identical to [`fnv1a64`] over the
+/// raw bytes the chunk store would write for it.
+pub fn digest_amps(amps: &[c64]) -> u64 {
+    let mut h = Fnv1a::new();
+    for a in amps {
+        h.write_f64(a.re);
+        h.write_f64(a.im);
+    }
+    h.finish()
+}
+
+/// Structural fingerprint of a schedule: a deterministic walk over the
+/// plan's geometry, mappings, fused matrices (by f64 bit pattern) and
+/// swaps. Two schedules collide only if they execute identically, so a
+/// manifest hash match guarantees the resumed run replays the same
+/// plan. (Deliberately not a `Debug`-string hash: formatting is not a
+/// stable encoding.)
+pub fn schedule_fingerprint(schedule: &Schedule) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(b"qsched/v1");
+    h.write_u32(schedule.n_qubits);
+    h.write_u32(schedule.local_qubits);
+    h.write_u32(schedule.kmax);
+    h.write_usize(schedule.stages.len());
+    for stage in &schedule.stages {
+        h.write_usize(stage.mapping.len());
+        for &m in &stage.mapping {
+            h.write_u32(m);
+        }
+        h.write_usize(stage.ops.len());
+        for op in &stage.ops {
+            match op {
+                StageOp::Cluster(c) => {
+                    h.write_u32(1);
+                    h.write_usize(c.qubits.len());
+                    for &q in &c.qubits {
+                        h.write_u32(q);
+                    }
+                    h.write_usize(c.gate_indices.len());
+                    for &gi in &c.gate_indices {
+                        h.write_usize(gi);
+                    }
+                    h.write_u32(c.matrix.k());
+                    for e in c.matrix.entries() {
+                        h.write_f64(e.re);
+                        h.write_f64(e.im);
+                    }
+                }
+                StageOp::Diagonal(d) => {
+                    h.write_u32(2);
+                    h.write_usize(d.positions.len());
+                    for &p in &d.positions {
+                        h.write_u32(p);
+                    }
+                    h.write_usize(d.diag.len());
+                    for e in &d.diag {
+                        h.write_f64(e.re);
+                        h.write_f64(e.im);
+                    }
+                    h.write_usize(d.gate_indices.len());
+                    for &gi in &d.gate_indices {
+                        h.write_usize(gi);
+                    }
+                }
+            }
+        }
+        match &stage.swap {
+            None => h.write_u32(0),
+            Some(s) => {
+                h.write_u32(1);
+                h.write_usize(s.local_slots.len());
+                for &slot in &s.local_slots {
+                    h.write_u32(slot);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Path of a generation-named state snapshot (single-node engine) or
+/// rank slice (distributed engine) inside a checkpoint directory.
+pub fn snapshot_path(dir: &Path, artifact: usize, unit: usize) -> PathBuf {
+    dir.join(format!("state_a{artifact:03}.u{unit:06}.amps"))
+}
+
+/// Write an amplitude snapshot durably (`sync_all` before returning)
+/// and report its digest. Bytes are little-endian f64 pairs — the same
+/// layout as the chunk store on every supported target.
+pub fn write_amps_snapshot(path: &Path, amps: &[c64]) -> io::Result<u64> {
+    let mut f = io::BufWriter::new(File::create(path)?);
+    let mut h = Fnv1a::new();
+    for a in amps {
+        let (re, im) = (a.re.to_bits(), a.im.to_bits());
+        f.write_all(&re.to_le_bytes())?;
+        f.write_all(&im.to_le_bytes())?;
+        h.write_u64(re);
+        h.write_u64(im);
+    }
+    let f = f.into_inner().map_err(|e| e.into_error())?;
+    f.sync_all()?;
+    Ok(h.finish())
+}
+
+/// Read an amplitude snapshot back, returning the amplitudes and the
+/// digest of the bytes actually read (callers verify it against the
+/// manifest before trusting the state).
+pub fn read_amps_snapshot(path: &Path, len: usize) -> io::Result<(Vec<c64>, u64)> {
+    let mut f = io::BufReader::new(File::open(path)?);
+    let mut amps = Vec::with_capacity(len);
+    let mut h = Fnv1a::new();
+    let mut word = [0u8; 8];
+    for _ in 0..len {
+        f.read_exact(&mut word)?;
+        let re = u64::from_le_bytes(word);
+        f.read_exact(&mut word)?;
+        let im = u64::from_le_bytes(word);
+        h.write_u64(re);
+        h.write_u64(im);
+        amps.push(c64::new(f64::from_bits(re), f64::from_bits(im)));
+    }
+    Ok((amps, h.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_sched::{Cluster, Stage, SwapOp};
+    use qsim_util::matrix::GateMatrix;
+
+    fn tiny_schedule() -> Schedule {
+        Schedule {
+            n_qubits: 3,
+            local_qubits: 2,
+            kmax: 2,
+            stages: vec![
+                Stage {
+                    mapping: vec![0, 1, 2],
+                    ops: vec![StageOp::Cluster(Cluster {
+                        qubits: vec![0, 1],
+                        gate_indices: vec![0],
+                        matrix: GateMatrix::identity(2),
+                    })],
+                    swap: Some(SwapOp {
+                        local_slots: vec![0],
+                    }),
+                },
+                Stage {
+                    mapping: vec![2, 1, 0],
+                    ops: vec![],
+                    swap: None,
+                },
+            ],
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "qsim_ckpt_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn manifest_round_trips_through_disk() {
+        let dir = tmpdir("roundtrip");
+        let m = Manifest {
+            version: MANIFEST_VERSION,
+            engine: "ooc".into(),
+            schedule_hash: 0xdead_beef_0123_4567,
+            n_qubits: 20,
+            local_qubits: 16,
+            init_uniform: true,
+            rng_seed: u64::MAX, // exercises full 64-bit width
+            next_unit: 3,
+            total_units: 9,
+            digests: vec![0, 1, u64::MAX - 1, 0x8000_0000_0000_0001],
+        };
+        m.write_atomic(&dir).unwrap();
+        let back = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(back, m);
+        assert!(
+            !dir.join(format!("{MANIFEST_FILE}.tmp")).exists(),
+            "temp file must not survive publication"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_is_none_without_manifest_and_rejects_garbage() {
+        let dir = tmpdir("missing");
+        assert!(Manifest::load(&dir).unwrap().is_none());
+        std::fs::write(dir.join(MANIFEST_FILE), b"{not json").unwrap();
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_rejects_foreign_runs() {
+        let sched = tiny_schedule();
+        let m = Manifest {
+            version: MANIFEST_VERSION,
+            engine: "ooc".into(),
+            schedule_hash: schedule_fingerprint(&sched),
+            n_qubits: sched.n_qubits,
+            local_qubits: sched.local_qubits,
+            init_uniform: true,
+            rng_seed: 0,
+            next_unit: 1,
+            total_units: 2,
+            digests: vec![7, 8],
+        };
+        assert_eq!(
+            m.validate("ooc", &sched, true, 2, 2).unwrap(),
+            ResumePoint { next_unit: 1 }
+        );
+        assert!(m.validate("dist", &sched, true, 2, 2).is_err());
+        assert!(m.validate("ooc", &sched, false, 2, 2).is_err());
+        assert!(m.validate("ooc", &sched, true, 3, 2).is_err());
+        assert!(m.validate("ooc", &sched, true, 2, 4).is_err());
+        let mut other = sched.clone();
+        other.stages[0].swap = None;
+        other.stages[1].mapping = sched.stages[0].mapping.clone();
+        assert!(m.validate("ooc", &other, true, 2, 2).is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_structure_sensitive() {
+        let a = tiny_schedule();
+        let b = tiny_schedule();
+        assert_eq!(schedule_fingerprint(&a), schedule_fingerprint(&b));
+        let mut c = tiny_schedule();
+        c.kmax = 3;
+        assert_ne!(schedule_fingerprint(&a), schedule_fingerprint(&c));
+        let mut d = tiny_schedule();
+        if let StageOp::Cluster(cl) = &mut d.stages[0].ops[0] {
+            cl.matrix.set(0, 0, c64::new(0.0, 1.0));
+        }
+        assert_ne!(schedule_fingerprint(&a), schedule_fingerprint(&d));
+    }
+
+    #[test]
+    fn snapshot_round_trip_matches_digests() {
+        let dir = tmpdir("snap");
+        let amps: Vec<c64> = (0..32)
+            .map(|i| c64::new(i as f64 * 0.25, -(i as f64)))
+            .collect();
+        let p = snapshot_path(&dir, 0, 4);
+        let wrote = write_amps_snapshot(&p, &amps).unwrap();
+        assert_eq!(wrote, digest_amps(&amps));
+        // The file digest matches the raw bytes on disk too.
+        assert_eq!(wrote, fnv1a64(&std::fs::read(&p).unwrap()));
+        let (back, read) = read_amps_snapshot(&p, amps.len()).unwrap();
+        assert_eq!(back, amps);
+        assert_eq!(read, wrote);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -20,6 +20,10 @@
 //!   [`perform_swap_reference`] keeps the textbook three-pass path as the
 //!   equivalence oracle.
 
+use crate::checkpoint::{
+    read_amps_snapshot, schedule_fingerprint, snapshot_path, write_amps_snapshot, Manifest,
+    ResumePoint, MANIFEST_VERSION,
+};
 use crate::exec::{compile_stages, execute_compiled_stage, resolve_tile_qubits, CompiledStage};
 use crate::state::StateVector;
 use qsim_circuit::Circuit;
@@ -30,12 +34,14 @@ use qsim_kernels::SweepStats;
 use qsim_net::collective::{
     all_reduce_sum, all_to_all, all_to_all_inplace, all_to_all_with, Communicator,
 };
-use qsim_net::fabric::{run_cluster, FabricStats, RankCtx};
-use qsim_sched::{DiagonalOp, Schedule, StageOp, SwapOp};
-use qsim_telemetry::Telemetry;
+use qsim_net::fabric::{try_run_cluster_with, FabricStats, RankCtx};
+use qsim_net::{FaultPlan, SimError};
+use qsim_sched::{plan_runs, DiagonalOp, Schedule, StageOp, StageRun, SwapOp};
+use qsim_telemetry::{Telemetry, TrackHandle};
 use qsim_util::bits::BitPermutation;
 use qsim_util::c64;
 use qsim_util::complex::Complex;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Distributed run configuration.
@@ -61,6 +67,18 @@ pub struct DistConfig {
     /// `SweepStats` under the `dist.*` metric prefix. The default
     /// disabled handle makes all of it a no-op.
     pub telemetry: Telemetry,
+    /// When set, every rank snapshots its slice at each stage-run
+    /// boundary and rank 0 publishes an atomic manifest there, so a
+    /// killed run can restart from the last completed run instead of
+    /// from scratch.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the manifest in `checkpoint_dir` when one exists
+    /// (validated against the schedule fingerprint; a fresh start when
+    /// the directory has no manifest yet).
+    pub resume: bool,
+    /// Scripted rank failures for fault-injection testing (see
+    /// [`qsim_net::FaultPlan`]); checked before every swap.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for DistConfig {
@@ -72,6 +90,9 @@ impl Default for DistConfig {
             sub_chunks: None,
             tile_qubits: None,
             telemetry: Telemetry::disabled(),
+            checkpoint_dir: None,
+            resume: false,
+            fault_plan: None,
         }
     }
 }
@@ -114,7 +135,24 @@ impl DistSimulator {
     /// used for sanity checks; all operations come from the schedule.
     /// Starts from the uniform superposition when `init_uniform` (the
     /// §3.6 supremacy-circuit start), else |0…0⟩.
+    ///
+    /// Infallible wrapper over [`DistSimulator::try_run`] for callers
+    /// without fault plans or checkpointing; any rank failure panics
+    /// with its root cause.
     pub fn run(&self, circuit: &Circuit, schedule: &Schedule, init_uniform: bool) -> DistOutcome {
+        self.try_run(circuit, schedule, init_uniform)
+            .unwrap_or_else(|e| panic!("distributed run failed: {e}"))
+    }
+
+    /// Fallible form of [`DistSimulator::run`]: injected faults, lost
+    /// ranks and checkpoint IO surface as a typed [`SimError`] after all
+    /// rank threads have been joined — never a panic or a hang.
+    pub fn try_run(
+        &self,
+        circuit: &Circuit,
+        schedule: &Schedule,
+        init_uniform: bool,
+    ) -> Result<DistOutcome, SimError> {
         let n = schedule.n_qubits;
         let l = schedule.local_qubits;
         let g = n - l;
@@ -131,6 +169,43 @@ impl DistSimulator {
         let cfg = &self.config.kernel;
         let gather = self.config.gather_state;
         let sub_chunks = self.config.sub_chunks;
+        let tele = &self.config.telemetry;
+        let runs = plan_runs(schedule);
+
+        // Resolve checkpoint/resume state on the driver before any rank
+        // spawns, so a mismatched manifest fails fast and loudly.
+        let checkpoint = match &self.config.checkpoint_dir {
+            None => None,
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| SimError::Checkpoint(format!("{}: {e}", dir.display())))?;
+                let driver = tele.track("dist driver");
+                let resume = if self.config.resume {
+                    let _s = driver.span("resume.validate");
+                    match Manifest::load(dir).map_err(|e| SimError::Checkpoint(e.to_string()))? {
+                        Some(m) => {
+                            let point = m
+                                .validate(
+                                    "dist",
+                                    schedule,
+                                    init_uniform,
+                                    runs.len(),
+                                    self.config.n_ranks,
+                                )
+                                .map_err(|e| SimError::Checkpoint(e.to_string()))?;
+                            Some((point, m.digests))
+                        }
+                        None => None, // nothing published yet: fresh start
+                    }
+                } else {
+                    None
+                };
+                Some(DistCheckpoint {
+                    dir: dir.clone(),
+                    resume,
+                })
+            }
+        };
 
         // Compile each stage ONCE on the driver: the SPMD ranks run
         // identical ops, so they share the packed matrices and tile
@@ -142,19 +217,21 @@ impl DistSimulator {
             compile_stages(&schedule.stages, l, cfg, tile)
         });
 
-        let tele = &self.config.telemetry;
-        let (rank_results, fabric) = run_cluster(self.config.n_ranks, |ctx| {
-            run_rank(
-                ctx,
-                schedule,
-                init_uniform,
-                cfg,
-                gather,
-                sub_chunks,
-                compiled.as_deref(),
-                tele,
-            )
-        });
+        let shared = RankShared {
+            schedule,
+            runs: &runs,
+            init_uniform,
+            cfg,
+            gather,
+            sub_chunks,
+            compiled: compiled.as_deref(),
+            tele,
+            checkpoint: checkpoint.as_ref(),
+        };
+        let (rank_results, fabric) =
+            try_run_cluster_with(self.config.n_ranks, self.config.fault_plan.clone(), |ctx| {
+                run_rank(ctx, &shared)
+            })?;
 
         let mut outcome = DistOutcome {
             norm: rank_results[0].norm,
@@ -185,7 +262,7 @@ impl DistSimulator {
             }
             outcome.state = Some(physical_to_logical(&physical, schedule.final_mapping()));
         }
-        outcome
+        Ok(outcome)
     }
 }
 
@@ -199,43 +276,94 @@ struct RankResult {
     slice: Option<Vec<c64>>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_rank(
-    ctx: &mut RankCtx,
-    schedule: &Schedule,
+/// Checkpoint configuration resolved once by the driver: where snapshots
+/// and the manifest live, plus the validated resume point (and the
+/// per-rank snapshot digests it promises) when restarting.
+struct DistCheckpoint {
+    dir: PathBuf,
+    resume: Option<(ResumePoint, Vec<u64>)>,
+}
+
+/// Read-only inputs shared by every rank body (the SPMD program).
+struct RankShared<'a> {
+    schedule: &'a Schedule,
+    runs: &'a [StageRun],
     init_uniform: bool,
-    cfg: &KernelConfig,
+    cfg: &'a KernelConfig,
     gather: bool,
     sub_chunks: Option<usize>,
-    compiled: Option<&[CompiledStage]>,
-    tele: &Telemetry,
-) -> RankResult {
+    compiled: Option<&'a [CompiledStage]>,
+    tele: &'a Telemetry,
+    checkpoint: Option<&'a DistCheckpoint>,
+}
+
+fn run_rank(ctx: &mut RankCtx, sh: &RankShared<'_>) -> Result<RankResult, SimError> {
+    let schedule = sh.schedule;
     let n = schedule.n_qubits;
     let l = schedule.local_qubits;
     let rank = ctx.rank();
-    let track = tele.track(&format!("rank {rank}"));
+    let track = sh.tele.track(&format!("rank {rank}"));
     let _rank_span = track.span_id("rank", rank as u64);
     let t0 = Instant::now();
-    let mut state = if init_uniform {
-        StateVector::<f64>::uniform_slice(l, n)
-    } else if rank == 0 {
-        StateVector::<f64>::zero(l)
-    } else {
-        StateVector::<f64>::null(l)
+
+    // Resume loads the slice snapshot of the last completed stage run
+    // and verifies it against the digest the manifest recorded for this
+    // rank — a torn or stale snapshot is a typed error, never silently
+    // wrong amplitudes. Otherwise start from the §3.6 initial state.
+    let (mut state, start_run) = match sh.checkpoint.and_then(|c| c.resume.as_ref()) {
+        Some((point, digests)) if point.next_unit > 0 => {
+            let dir = &sh.checkpoint.unwrap().dir;
+            let path = snapshot_path(dir, rank, point.next_unit);
+            let (amps, digest) = read_amps_snapshot(&path, 1usize << l).map_err(|e| {
+                SimError::Checkpoint(format!("rank {rank}: snapshot {}: {e}", path.display()))
+            })?;
+            if digest != digests[rank] {
+                return Err(SimError::Checkpoint(format!(
+                    "rank {rank}: snapshot {} does not match the manifest digest",
+                    path.display()
+                )));
+            }
+            (StateVector::from_amplitudes(amps), point.next_unit)
+        }
+        _ => {
+            let state = if sh.init_uniform {
+                StateVector::<f64>::uniform_slice(l, n)
+            } else if rank == 0 {
+                StateVector::<f64>::zero(l)
+            } else {
+                StateVector::<f64>::null(l)
+            };
+            (state, 0)
+        }
     };
+
     // One scratch for the whole run: every swap reuses it (and the
     // fabric's wire pools), so only the first swap pays any allocation.
-    let mut swap_bufs = SwapBuffers::new(sub_chunks);
+    let mut swap_bufs = SwapBuffers::new(sh.sub_chunks);
     let mut sweep = SweepStats::default();
+    // Swap indices are absolute over the schedule (fault points and the
+    // paper's swap count are schedule-level), so count the ones the
+    // resume skipped.
+    let mut swap_index = sh.runs[..start_run]
+        .iter()
+        .filter(|r| r.swap.is_some())
+        .count();
 
-    for (si, stage) in schedule.stages.iter().enumerate() {
-        {
+    for (ri, run) in sh.runs.iter().enumerate().skip(start_run) {
+        for si in run.stages.clone() {
+            let stage = &schedule.stages[si];
             let _s = track.span_timed("stage", si as u64, "stage_apply_ns");
-            if let Some(cs) = compiled.map(|c| &c[si]) {
+            if let Some(cs) = sh.compiled.map(|c| &c[si]) {
                 // Tiled stage executor: the shared compiled stage streams
                 // the slice once per op group; rank bits resolve global
                 // diagonal operands.
-                execute_compiled_stage(state.amplitudes_mut(), cs, rank, cfg.threads, &mut sweep);
+                execute_compiled_stage(
+                    state.amplitudes_mut(),
+                    cs,
+                    rank,
+                    sh.cfg.threads,
+                    &mut sweep,
+                );
             } else {
                 for op in &stage.ops {
                     match op {
@@ -243,16 +371,22 @@ fn run_rank(
                         // phase-multiply kernel here too (§3.5).
                         StageOp::Cluster(c) => match c.matrix.as_diagonal() {
                             Some(diag) => state.apply_diagonal(&c.qubits, &diag),
-                            None => state.apply(&c.qubits, &c.matrix, cfg),
+                            None => state.apply(&c.qubits, &c.matrix, sh.cfg),
                         },
                         StageOp::Diagonal(d) => apply_rank_diagonal(&mut state, d, rank, l),
                     }
                 }
             }
         }
-        if let Some(swap) = &stage.swap {
+        if let Some(swap) = &run.swap {
+            ctx.fault_point(swap_index)?;
+            let si = run.stages.end - 1;
             let _s = track.span_timed("swap", si as u64, "swap_ns");
             perform_swap(ctx, &mut state, swap, l, &mut swap_bufs);
+            swap_index += 1;
+        }
+        if let Some(cp) = sh.checkpoint {
+            checkpoint_unit(ctx, cp, sh, &track, &state, ri + 1)?;
         }
     }
 
@@ -280,15 +414,77 @@ fn run_rank(
         (norm, entropy)
     };
     let entropy_seconds = t1.elapsed().as_secs_f64();
-    RankResult {
+    Ok(RankResult {
         norm,
         entropy,
         seconds,
         entropy_seconds,
         swap_bytes_copied: swap_bufs.bytes_copied,
         sweep,
-        slice: gather.then(|| state.amplitudes().to_vec()),
+        slice: sh.gather.then(|| state.amplitudes().to_vec()),
+    })
+}
+
+/// Publish one completed stage run (`unit` = runs finished so far).
+///
+/// Ordering is the crux: every rank makes its own snapshot durable
+/// (`write_amps_snapshot` fsyncs) and ships its digest to rank 0, rank 0
+/// writes the manifest atomically, and only after a barrier — i.e. only
+/// once the manifest naming the new generation is on disk — does anyone
+/// delete the previous generation. A crash at any point leaves either the
+/// old manifest with the old snapshots intact, or the new manifest with
+/// the new snapshots intact.
+fn checkpoint_unit(
+    ctx: &mut RankCtx,
+    cp: &DistCheckpoint,
+    sh: &RankShared<'_>,
+    track: &TrackHandle,
+    state: &StateVector<f64>,
+    unit: usize,
+) -> Result<(), SimError> {
+    let _s = track.span_timed("checkpoint.write", unit as u64, "checkpoint_ns");
+    let rank = ctx.rank();
+    let n_ranks = ctx.n_ranks();
+    let path = snapshot_path(&cp.dir, rank, unit);
+    let digest = write_amps_snapshot(&path, state.amplitudes()).map_err(|e| {
+        SimError::Checkpoint(format!("rank {rank}: snapshot {}: {e}", path.display()))
+    })?;
+    if rank == 0 {
+        let mut digests = vec![digest; 1];
+        digests.resize(n_ranks, 0);
+        for (r, d) in digests.iter_mut().enumerate().skip(1) {
+            let bytes = ctx.recv_bytes(r);
+            let arr: [u8; 8] = bytes
+                .as_slice()
+                .try_into()
+                .map_err(|_| SimError::Checkpoint(format!("rank {r}: malformed digest message")))?;
+            *d = u64::from_le_bytes(arr);
+        }
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            engine: "dist".to_string(),
+            schedule_hash: schedule_fingerprint(sh.schedule),
+            n_qubits: sh.schedule.n_qubits,
+            local_qubits: sh.schedule.local_qubits,
+            init_uniform: sh.init_uniform,
+            rng_seed: 0,
+            next_unit: unit,
+            total_units: sh.runs.len(),
+            digests,
+        };
+        manifest
+            .write_atomic(&cp.dir)
+            .map_err(|e| SimError::Checkpoint(e.to_string()))?;
+    } else {
+        ctx.send_bytes(0, digest.to_le_bytes().to_vec());
     }
+    // Barrier: the manifest for `unit` is durable everywhere beyond this
+    // point, so the previous generation's snapshots are dead weight.
+    ctx.barrier();
+    if unit > 1 {
+        let _ = std::fs::remove_file(snapshot_path(&cp.dir, rank, unit - 1));
+    }
+    Ok(())
 }
 
 /// Reduce a (possibly global-operand) diagonal op to this rank's local

@@ -26,6 +26,7 @@
 //! the noise studies the paper motivates in §1).
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod dist;
 pub mod emulate;
 pub mod exec;
@@ -36,9 +37,10 @@ pub mod single;
 pub mod state;
 
 pub use baseline::BaselineSimulator;
+pub use checkpoint::{CheckpointError, Manifest, ResumePoint};
 pub use dist::{DistConfig, DistOutcome, DistSimulator};
 pub use exec::{
     compile_stage, compile_stages, execute_compiled_stage, execute_schedule_sweep, CompiledStage,
 };
-pub use single::{SingleNodeSimulator, SingleOutcome};
+pub use single::{SingleCheckpoint, SingleNodeSimulator, SingleOutcome};
 pub use state::StateVector;

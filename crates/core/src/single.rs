@@ -6,14 +6,22 @@
 //! (§3.6.2) can be applied first; the measured 2× claim is exercised by
 //! the bench harness.
 
-use crate::exec::execute_schedule_sweep_with;
+use crate::checkpoint::{
+    read_amps_snapshot, schedule_fingerprint, snapshot_path, write_amps_snapshot, Manifest,
+    MANIFEST_VERSION,
+};
+use crate::exec::{
+    compile_stages, execute_compiled_stage, execute_schedule_sweep_with, resolve_tile_qubits,
+};
 use crate::state::StateVector;
 use qsim_circuit::Circuit;
 use qsim_kernels::apply::{KernelConfig, OptLevel};
 use qsim_kernels::SweepStats;
+use qsim_net::SimError;
 use qsim_sched::{plan, Schedule, SchedulerConfig, StageOp};
 use qsim_telemetry::Telemetry;
 use qsim_util::c64;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Execution report of a single-node run.
@@ -29,6 +37,31 @@ pub struct SingleOutcome {
     pub sweep: SweepStats,
 }
 
+/// Checkpoint/restart options of the single-node engine. The checkpoint
+/// unit is a *stage* (single-node schedules have no swaps), so a run
+/// killed between stages resumes from the last completed stage.
+#[derive(Clone, Debug)]
+pub struct SingleCheckpoint {
+    /// Directory holding the state snapshot and `MANIFEST.json`.
+    pub dir: PathBuf,
+    /// Resume from the manifest when one exists (a fresh start when the
+    /// directory has no manifest yet).
+    pub resume: bool,
+    /// Fault injection: return [`SimError::InjectedStop`] after this
+    /// many stages have completed (and checkpointed).
+    pub stop_after: Option<usize>,
+}
+
+impl SingleCheckpoint {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            resume: false,
+            stop_after: None,
+        }
+    }
+}
+
 /// Single-node engine.
 pub struct SingleNodeSimulator {
     pub kernel: KernelConfig,
@@ -42,6 +75,9 @@ pub struct SingleNodeSimulator {
     /// `single` track and publishes `SweepStats` under `single.sweep`.
     /// The default disabled handle makes all of it a no-op.
     pub telemetry: Telemetry,
+    /// Stage-granular checkpoint/restart; `None` (the default) runs the
+    /// original non-checkpointed executor.
+    pub checkpoint: Option<SingleCheckpoint>,
 }
 
 impl Default for SingleNodeSimulator {
@@ -52,6 +88,7 @@ impl Default for SingleNodeSimulator {
             optimize_mapping: false,
             tile_qubits: None,
             telemetry: Telemetry::disabled(),
+            checkpoint: None,
         }
     }
 }
@@ -61,9 +98,7 @@ impl SingleNodeSimulator {
         Self {
             kernel,
             kmax,
-            optimize_mapping: false,
-            tile_qubits: None,
-            telemetry: Telemetry::disabled(),
+            ..Self::default()
         }
     }
 
@@ -82,16 +117,22 @@ impl SingleNodeSimulator {
                 ..KernelConfig::default()
             },
             kmax: tuned.kmax,
-            optimize_mapping: false,
-            tile_qubits: None,
-            telemetry: Telemetry::disabled(),
+            ..Self::default()
         }
     }
 
     /// Run `circuit` from the uniform superposition when its first cycle
     /// is the supremacy Hadamard layer (detected and skipped, §3.6), else
-    /// from |0…0⟩.
+    /// from |0…0⟩. Infallible wrapper over
+    /// [`SingleNodeSimulator::try_run`].
     pub fn run(&self, circuit: &Circuit) -> SingleOutcome {
+        self.try_run(circuit)
+            .unwrap_or_else(|e| panic!("single-node run failed: {e}"))
+    }
+
+    /// Fallible form of [`SingleNodeSimulator::run`]: checkpoint IO and
+    /// injected stop points surface as typed errors.
+    pub fn try_run(&self, circuit: &Circuit) -> Result<SingleOutcome, SimError> {
         let n = circuit.n_qubits();
         let track = self.telemetry.track("single");
         let _run_span = track.span("run");
@@ -110,6 +151,10 @@ impl SingleNodeSimulator {
             plan(exec_ref, &self.plan_cfg(n))
         };
         let plan_seconds = t0.elapsed().as_secs_f64();
+
+        if let Some(cp) = &self.checkpoint {
+            return self.run_checkpointed(cp, schedule, init_uniform, plan_seconds, n);
+        }
 
         let mut state = {
             let _s = track.span("init");
@@ -142,13 +187,145 @@ impl SingleNodeSimulator {
             m.gauge_set("single.plan_seconds", plan_seconds);
             m.gauge_set("single.sim_seconds", sim_seconds);
         }
-        SingleOutcome {
+        Ok(SingleOutcome {
             state,
             schedule,
             sim_seconds,
             plan_seconds,
             sweep,
+        })
+    }
+
+    /// The checkpointed executor: applies the schedule stage by stage,
+    /// snapshotting the state and publishing an atomic manifest after
+    /// each one. The snapshot for stage `u` is made durable *before* the
+    /// manifest naming it, and the previous snapshot is deleted only
+    /// after the new manifest is on disk, so a crash at any instant
+    /// leaves a consistent (snapshot, manifest) pair to resume from.
+    fn run_checkpointed(
+        &self,
+        cp: &SingleCheckpoint,
+        schedule: Schedule,
+        init_uniform: bool,
+        plan_seconds: f64,
+        n: u32,
+    ) -> Result<SingleOutcome, SimError> {
+        let track = self.telemetry.track("single");
+        let total_units = schedule.stages.len();
+        let ck = |e: crate::checkpoint::CheckpointError| SimError::Checkpoint(e.to_string());
+        std::fs::create_dir_all(&cp.dir)
+            .map_err(|e| SimError::Checkpoint(format!("{}: {e}", cp.dir.display())))?;
+
+        let resume_point = if cp.resume {
+            let _s = track.span("resume.validate");
+            match Manifest::load(&cp.dir).map_err(ck)? {
+                Some(m) => {
+                    let point = m
+                        .validate("single", &schedule, init_uniform, total_units, 1)
+                        .map_err(ck)?;
+                    Some((point, m.digests[0]))
+                }
+                None => None, // nothing published yet: fresh start
+            }
+        } else {
+            None
+        };
+
+        let t1 = Instant::now();
+        let (mut state, start_stage) = match resume_point {
+            Some((point, want)) if point.next_unit > 0 => {
+                let path = snapshot_path(&cp.dir, 0, point.next_unit);
+                let (amps, digest) = read_amps_snapshot(&path, 1usize << n)
+                    .map_err(|e| SimError::Checkpoint(format!("{}: {e}", path.display())))?;
+                if digest != want {
+                    return Err(SimError::Checkpoint(format!(
+                        "snapshot {} does not match the manifest digest",
+                        path.display()
+                    )));
+                }
+                (StateVector::from_amplitudes(amps), point.next_unit)
+            }
+            _ => {
+                let _s = track.span("init");
+                let state = if init_uniform {
+                    StateVector::<f64>::uniform(n)
+                } else {
+                    StateVector::<f64>::zero(n)
+                };
+                (state, 0)
+            }
+        };
+
+        let mut sweep = SweepStats::default();
+        let compiled = (self.kernel.opt == OptLevel::Blocked).then(|| {
+            let tile = resolve_tile_qubits(self.tile_qubits, n, self.kernel.threads);
+            compile_stages(&schedule.stages, n, &self.kernel, tile)
+        });
+        for si in start_stage..total_units {
+            {
+                let _s = track.span_timed("stage", si as u64, "stage_apply_ns");
+                if let Some(cs) = compiled.as_ref().map(|c| &c[si]) {
+                    execute_compiled_stage(
+                        state.amplitudes_mut(),
+                        cs,
+                        0,
+                        self.kernel.threads,
+                        &mut sweep,
+                    );
+                } else {
+                    for op in &schedule.stages[si].ops {
+                        match op {
+                            StageOp::Cluster(c) => match c.matrix.as_diagonal() {
+                                Some(diag) => state.apply_diagonal(&c.qubits, &diag),
+                                None => state.apply(&c.qubits, &c.matrix, &self.kernel),
+                            },
+                            StageOp::Diagonal(d) => state.apply_diagonal(&d.positions, &d.diag),
+                        }
+                    }
+                }
+            }
+            let unit = si + 1;
+            {
+                let _s = track.span_timed("checkpoint.write", unit as u64, "checkpoint_ns");
+                let path = snapshot_path(&cp.dir, 0, unit);
+                let digest = write_amps_snapshot(&path, state.amplitudes())
+                    .map_err(|e| SimError::Checkpoint(format!("{}: {e}", path.display())))?;
+                let manifest = Manifest {
+                    version: MANIFEST_VERSION,
+                    engine: "single".to_string(),
+                    schedule_hash: schedule_fingerprint(&schedule),
+                    n_qubits: n,
+                    local_qubits: schedule.local_qubits,
+                    init_uniform,
+                    rng_seed: 0,
+                    next_unit: unit,
+                    total_units,
+                    digests: vec![digest],
+                };
+                manifest
+                    .write_atomic(&cp.dir)
+                    .map_err(|e| SimError::Checkpoint(format!("manifest: {e}")))?;
+                if unit > 1 {
+                    let _ = std::fs::remove_file(snapshot_path(&cp.dir, 0, unit - 1));
+                }
+            }
+            if cp.stop_after == Some(unit) {
+                return Err(SimError::InjectedStop { unit });
+            }
         }
+        let sim_seconds = t1.elapsed().as_secs_f64();
+        if let Some(m) = self.telemetry.metrics() {
+            sweep.publish_into(m, "single.sweep");
+            m.gauge_set("single.plan_seconds", plan_seconds);
+            m.gauge_set("single.sim_seconds", sim_seconds);
+        }
+        Ok(SingleOutcome {
+            state,
+            schedule,
+            sim_seconds,
+            plan_seconds,
+            sweep,
+        })
     }
 
     fn plan_cfg(&self, n: u32) -> SchedulerConfig {

@@ -1,0 +1,204 @@
+//! Kill-and-resume and fault-injection coverage for the distributed
+//! engine: a rank killed mid-run by a [`FaultPlan`] must surface as a
+//! typed [`SimError`] (never a panic or a hang), and resuming from the
+//! published checkpoint must reproduce the uninterrupted run *bit
+//! exactly* — the amplitudes are compared with `max_dist == 0.0`, not a
+//! tolerance, because a resumed rank replays the identical instruction
+//! stream on the identical snapshot.
+
+use std::path::PathBuf;
+
+use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim_circuit::Circuit;
+use qsim_core::dist::{DistConfig, DistSimulator};
+use qsim_core::single::strip_initial_hadamards;
+use qsim_kernels::apply::KernelConfig;
+use qsim_net::{FaultPlan, SimError};
+use qsim_sched::{plan, plan_runs, Schedule, SchedulerConfig};
+use qsim_util::complex::max_dist;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "qsim_dist_ckpt_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A small supremacy instance planned for distribution; returns the
+/// executable circuit (initial Hadamards stripped) and its schedule.
+fn planned(l: u32, kmax: u32) -> (Circuit, Schedule) {
+    let c = supremacy_circuit(&SupremacySpec {
+        rows: 2,
+        cols: 5,
+        depth: 24, // deep enough for a multi-swap (multi-checkpoint) schedule
+        seed: 3,
+    });
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    assert!(uniform);
+    let schedule = plan(&exec, &SchedulerConfig::distributed(l, kmax));
+    schedule.verify(&exec);
+    (exec, schedule)
+}
+
+fn config(schedule: &Schedule) -> DistConfig {
+    DistConfig {
+        n_ranks: 1usize << (schedule.n_qubits - schedule.local_qubits),
+        kernel: KernelConfig::sequential(),
+        gather_state: true,
+        sub_chunks: Some(3),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn injected_kill_then_resume_is_bit_exact() {
+    let (exec, schedule) = planned(7, 3);
+    let runs = plan_runs(&schedule);
+    let n_swaps = runs.iter().filter(|r| r.swap.is_some()).count();
+    assert!(n_swaps >= 2, "test needs a multi-swap schedule");
+
+    // Uninterrupted baseline.
+    let baseline = DistSimulator::new(config(&schedule))
+        .run(&exec, &schedule, true)
+        .state
+        .unwrap();
+
+    // Checkpointed run, killed at the second swap: at least one stage
+    // run has completed and published a manifest by then.
+    let dir = tmpdir("kill_resume");
+    let mut cfg = config(&schedule);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.fault_plan = Some(FaultPlan::new().kill(1, 1));
+    let err = DistSimulator::new(cfg)
+        .try_run(&exec, &schedule, true)
+        .expect_err("killed run must fail");
+    match err {
+        SimError::InjectedFault { rank, swap_index } => {
+            assert_eq!((rank, swap_index), (1, 1));
+        }
+        other => panic!("expected InjectedFault, got {other}"),
+    }
+    assert!(
+        dir.join("MANIFEST.json").exists(),
+        "a completed stage run must have published a manifest"
+    );
+
+    // Resume from the manifest: the final state must equal the
+    // uninterrupted run bit for bit.
+    let mut cfg = config(&schedule);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.resume = true;
+    let out = DistSimulator::new(cfg)
+        .try_run(&exec, &schedule, true)
+        .expect("resume must succeed");
+    let got = out.state.unwrap();
+    assert_eq!(
+        max_dist(&got, &baseline),
+        0.0,
+        "resumed amplitudes must be bit-exact"
+    );
+    assert!((out.norm - 1.0).abs() < 1e-9);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_of_a_finished_run_replays_nothing_and_matches() {
+    let (exec, schedule) = planned(7, 3);
+    let dir = tmpdir("finished");
+
+    let mut cfg = config(&schedule);
+    cfg.checkpoint_dir = Some(dir.clone());
+    let first = DistSimulator::new(cfg)
+        .try_run(&exec, &schedule, true)
+        .expect("checkpointed run");
+    let expect = first.state.unwrap();
+
+    // The manifest now records every unit complete; a resume loads the
+    // final snapshots, skips all stage runs, and reduces.
+    let mut cfg = config(&schedule);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.resume = true;
+    let out = DistSimulator::new(cfg)
+        .try_run(&exec, &schedule, true)
+        .expect("resume of finished run");
+    assert_eq!(max_dist(&out.state.unwrap(), &expect), 0.0);
+    assert_eq!(out.swap_bytes_copied, 0, "no swap may re-run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_kill_without_checkpoint_is_a_typed_error() {
+    let (exec, schedule) = planned(7, 3);
+    let mut cfg = config(&schedule);
+    cfg.fault_plan = Some(FaultPlan::new().kill(0, 0));
+    let err = DistSimulator::new(cfg)
+        .try_run(&exec, &schedule, true)
+        .expect_err("killed run must fail");
+    assert!(
+        matches!(
+            err,
+            SimError::InjectedFault {
+                rank: 0,
+                swap_index: 0
+            }
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn resume_rejects_a_foreign_manifest() {
+    let (exec, schedule) = planned(7, 3);
+    let dir = tmpdir("foreign");
+    let mut cfg = config(&schedule);
+    cfg.checkpoint_dir = Some(dir.clone());
+    DistSimulator::new(cfg)
+        .try_run(&exec, &schedule, true)
+        .expect("checkpointed run");
+
+    // A different circuit (and thus schedule fingerprint) must refuse
+    // to resume from this directory.
+    let (exec2, schedule2) = {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 2,
+            cols: 5,
+            depth: 12,
+            seed: 8,
+        });
+        let (exec, _) = strip_initial_hadamards(&c);
+        let s = plan(&exec, &SchedulerConfig::distributed(7, 3));
+        (exec, s)
+    };
+    let mut cfg = config(&schedule2);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.resume = true;
+    let err = DistSimulator::new(cfg)
+        .try_run(&exec2, &schedule2, true)
+        .expect_err("foreign manifest must be rejected");
+    assert!(matches!(err, SimError::Checkpoint(_)), "got {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_flag_without_a_manifest_is_a_fresh_start() {
+    let (exec, schedule) = planned(7, 3);
+    let baseline = DistSimulator::new(config(&schedule))
+        .run(&exec, &schedule, true)
+        .state
+        .unwrap();
+
+    // --resume against an empty directory (the CI smoke's race window:
+    // the kill can land before the first checkpoint) just starts over.
+    let dir = tmpdir("fresh");
+    let mut cfg = config(&schedule);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.resume = true;
+    let out = DistSimulator::new(cfg)
+        .try_run(&exec, &schedule, true)
+        .expect("fresh start");
+    assert_eq!(max_dist(&out.state.unwrap(), &baseline), 0.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,153 @@
+//! Kill-and-resume property tests for the single-node engine: a run
+//! stopped by an injected fault after any stage must, when resumed from
+//! its checkpoint directory, produce the *bit-exact* final state of an
+//! uninterrupted run (`max_dist == 0.0`, not a tolerance) — the resumed
+//! process replays the identical per-stage instruction stream on the
+//! identical snapshot.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use qsim_core::single::{SingleCheckpoint, SingleNodeSimulator};
+use qsim_net::SimError;
+use qsim_util::complex::max_dist;
+use qsim_util::Xoshiro256;
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let id = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!(
+        "qsim_single_ckpt_{tag}_{}_{id}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Random mix of dense and diagonal gates (same generator as the sweep
+/// property tests) so checkpoints land between stages of every flavor.
+fn random_circuit(n: u32, n_gates: usize, seed: u64) -> qsim_circuit::Circuit {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut c = qsim_circuit::Circuit::new(n);
+    for _ in 0..n_gates {
+        let q = (rng.next_u64() % n as u64) as u32;
+        let mut q2 = (rng.next_u64() % n as u64) as u32;
+        if q2 == q {
+            q2 = (q + 1) % n;
+        }
+        match rng.next_u64() % 8 {
+            0 => c.h(q),
+            1 => c.t(q),
+            2 => c.sqrt_x(q),
+            3 => c.sqrt_y(q),
+            4 => c.z(q),
+            5 => c.cz(q, q2),
+            6 => c.cnot(q, q2),
+            _ => c.x(q),
+        };
+    }
+    c
+}
+
+fn sim(kmax: u32, checkpoint: Option<SingleCheckpoint>) -> SingleNodeSimulator {
+    SingleNodeSimulator {
+        kmax,
+        checkpoint,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn kill_and_resume_is_bit_exact(
+        n in 4u32..=8,
+        n_gates in 8usize..=40,
+        seed in 0u64..10_000,
+        kmax in 2u32..=4,
+    ) {
+        let c = random_circuit(n, n_gates, seed);
+
+        // The checkpointed executor must agree with the default one.
+        let plain = sim(kmax, None).run(&c);
+        let dir_base = tmpdir("base");
+        let base = sim(kmax, Some(SingleCheckpoint::new(&dir_base)))
+            .try_run(&c)
+            .unwrap();
+        prop_assert_eq!(
+            max_dist(base.state.amplitudes(), plain.state.amplitudes()),
+            0.0,
+            "checkpointed executor diverged from the default path"
+        );
+
+        // Stop after a (seed-chosen) stage, then resume: bit-exact.
+        let total = base.schedule.stages.len();
+        let stop = (seed as usize % total) + 1;
+        let dir = tmpdir("kill");
+        let mut cp = SingleCheckpoint::new(&dir);
+        cp.stop_after = Some(stop);
+        match sim(kmax, Some(cp)).try_run(&c) {
+            Err(SimError::InjectedStop { unit }) => prop_assert_eq!(unit, stop),
+            other => prop_assert!(false, "expected InjectedStop, got {:?}", other.map(|_| ())),
+        }
+        let mut cp = SingleCheckpoint::new(&dir);
+        cp.resume = true;
+        let resumed = sim(kmax, Some(cp)).try_run(&c).unwrap();
+        prop_assert_eq!(
+            max_dist(resumed.state.amplitudes(), base.state.amplitudes()),
+            0.0,
+            "resume after stage {} of {} diverged", stop, total
+        );
+
+        let _ = std::fs::remove_dir_all(&dir_base);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_rejects_a_foreign_manifest() {
+    let c = random_circuit(6, 20, 42);
+    let dir = tmpdir("foreign");
+    sim(3, Some(SingleCheckpoint::new(&dir)))
+        .try_run(&c)
+        .unwrap();
+
+    let other = random_circuit(6, 24, 43);
+    let mut cp = SingleCheckpoint::new(&dir);
+    cp.resume = true;
+    let err = match sim(3, Some(cp)).try_run(&other) {
+        Err(e) => e,
+        Ok(_) => panic!("foreign manifest must be rejected"),
+    };
+    assert!(matches!(err, SimError::Checkpoint(_)), "got {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_a_manifest_is_a_fresh_start() {
+    let c = random_circuit(5, 16, 7);
+    let plain = sim(3, None).run(&c);
+    let dir = tmpdir("fresh");
+    let mut cp = SingleCheckpoint::new(&dir);
+    cp.resume = true;
+    let out = sim(3, Some(cp)).try_run(&c).unwrap();
+    assert_eq!(
+        max_dist(out.state.amplitudes(), plain.state.amplitudes()),
+        0.0
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stop_past_the_last_stage_never_fires() {
+    let c = random_circuit(5, 12, 11);
+    let dir = tmpdir("past");
+    let mut cp = SingleCheckpoint::new(&dir);
+    cp.stop_after = Some(usize::MAX);
+    let out = sim(3, Some(cp)).try_run(&c);
+    assert!(out.is_ok(), "a stop point past the end must not trigger");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -13,10 +13,11 @@
 //! the same message sizes every swap) performs zero heap allocations
 //! after warm-up. Pool misses are counted in [`FabricStats::wire_allocs`].
 
+use crate::error::SimError;
+use crate::fault::{FaultAction, FaultPlan};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// An 8-byte-aligned, recyclable message payload.
@@ -183,25 +184,104 @@ impl Mailbox {
     }
 }
 
+/// Generation-counting barrier state (see [`Fabric::barrier_wait`]).
+#[derive(Default)]
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+/// Sentinel for "no rank has poisoned the fabric".
+const UNPOISONED: usize = usize::MAX;
+
 /// Shared fabric state.
 pub struct Fabric {
     mailboxes: Vec<Mailbox>,
-    barrier: Barrier,
+    /// The barrier deliberately uses std's futex-backed primitives, not
+    /// parking_lot: parking_lot heap-allocates a per-thread parking node
+    /// on a thread's first park, which would break the swap engine's
+    /// zero-allocation steady state whenever a rank's first blocking wait
+    /// happens to be a barrier.
+    barrier: std::sync::Mutex<BarrierState>,
+    barrier_cv: std::sync::Condvar,
     counters: Vec<CommCounters>,
     /// Recycled wire buffers, indexed by the rank that *sends* with them.
     /// Receivers return consumed buffers to the original sender's pool, so
     /// a repeating communication pattern finds right-sized buffers waiting.
     pools: Vec<Mutex<Vec<WireBuf>>>,
+    /// Rank id of the first rank that failed, or [`UNPOISONED`]. Once
+    /// set, every blocking wait (recv, barrier) aborts instead of
+    /// waiting for a peer that will never arrive.
+    poisoned_by: AtomicUsize,
+    /// Scripted failures for fault-injection testing.
+    faults: Option<FaultPlan>,
 }
 
 impl Fabric {
-    fn new(n_ranks: usize) -> Self {
+    fn new(n_ranks: usize, faults: Option<FaultPlan>) -> Self {
         Self {
             mailboxes: (0..n_ranks).map(|_| Mailbox::new()).collect(),
-            barrier: Barrier::new(n_ranks),
+            barrier: std::sync::Mutex::new(BarrierState::default()),
+            barrier_cv: std::sync::Condvar::new(),
             counters: (0..n_ranks).map(|_| CommCounters::default()).collect(),
             pools: (0..n_ranks).map(|_| Mutex::new(Vec::new())).collect(),
+            poisoned_by: AtomicUsize::new(UNPOISONED),
+            faults,
         }
+    }
+
+    fn n_ranks(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// First rank to have poisoned the fabric, if any.
+    fn poisoner(&self) -> Option<usize> {
+        match self.poisoned_by.load(Ordering::SeqCst) {
+            UNPOISONED => None,
+            r => Some(r),
+        }
+    }
+
+    /// Mark the fabric dead on behalf of `rank` (first writer wins) and
+    /// wake every blocked wait so peers abort instead of hanging. The
+    /// flag is set *before* the notifications, and waiters re-check it
+    /// under the same locks the notifications take, so no wakeup is
+    /// lost.
+    fn poison(&self, rank: usize) {
+        let _ =
+            self.poisoned_by
+                .compare_exchange(UNPOISONED, rank, Ordering::SeqCst, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            let _guard = mb.slots.lock();
+            mb.cv.notify_all();
+        }
+        let _guard = self.barrier.lock().unwrap_or_else(|e| e.into_inner());
+        self.barrier_cv.notify_all();
+    }
+
+    /// Generation barrier that aborts when the fabric is poisoned
+    /// (`std::sync::Barrier` cannot be interrupted, which is exactly the
+    /// hang this replaces).
+    fn barrier_wait(&self) -> Result<(), usize> {
+        let mut s = self.barrier.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = self.poisoner() {
+            return Err(p);
+        }
+        s.arrived += 1;
+        if s.arrived == self.n_ranks() {
+            s.arrived = 0;
+            s.generation += 1;
+            self.barrier_cv.notify_all();
+            return Ok(());
+        }
+        let generation = s.generation;
+        while s.generation == generation {
+            s = self.barrier_cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            if let Some(p) = self.poisoner() {
+                return Err(p);
+            }
+        }
+        Ok(())
     }
 
     /// Take a buffer of `bytes` from `owner`'s pool (best fit), allocating
@@ -259,14 +339,47 @@ impl<'a> RankCtx<'a> {
         self.n_ranks
     }
 
-    /// Synchronize all ranks.
+    /// Synchronize all ranks. Panics (with a poison marker the driver
+    /// classifies as [`SimError::FabricPoisoned`]) when a peer has
+    /// already failed — the barrier would otherwise wait forever.
     pub fn barrier(&self) {
         let t0 = Instant::now();
-        self.fabric.barrier.wait();
+        let res = self.fabric.barrier_wait();
         let dt = t0.elapsed().as_nanos() as u64;
         let c = &self.fabric.counters[self.rank];
         c.comm_nanos.fetch_add(dt, Ordering::Relaxed);
         c.blocked_nanos.fetch_add(dt, Ordering::Relaxed);
+        if let Err(p) = res {
+            panic!("{POISON_MARKER} by rank {p}; barrier aborted");
+        }
+    }
+
+    /// Execute the scripted fault (if any) for this rank at `swap_index`:
+    /// a delay sleeps here; a kill poisons the fabric (unblocking every
+    /// peer) and returns the typed error the driver will surface.
+    pub fn fault_point(&mut self, swap_index: usize) -> Result<(), SimError> {
+        let Some(plan) = &self.fabric.faults else {
+            return Ok(());
+        };
+        match plan.action(self.rank, swap_index) {
+            FaultAction::None => Ok(()),
+            FaultAction::Delay(by) => {
+                let t0 = Instant::now();
+                std::thread::sleep(by);
+                let dt = t0.elapsed().as_nanos() as u64;
+                let c = &self.fabric.counters[self.rank];
+                c.comm_nanos.fetch_add(dt, Ordering::Relaxed);
+                c.blocked_nanos.fetch_add(dt, Ordering::Relaxed);
+                Ok(())
+            }
+            FaultAction::Kill => {
+                self.fabric.poison(self.rank);
+                Err(SimError::InjectedFault {
+                    rank: self.rank,
+                    swap_index,
+                })
+            }
+        }
     }
 
     /// Send `len` elements to `dst`, letting `fill` pack them directly
@@ -313,6 +426,11 @@ impl<'a> RankCtx<'a> {
                         .fetch_add(blocked, Ordering::Relaxed);
                 }
                 return buf;
+            }
+            // A poisoned fabric means the message may never arrive:
+            // abort instead of waiting forever on a dead peer.
+            if let Some(p) = self.fabric.poisoner() {
+                panic!("{POISON_MARKER} by rank {p}; recv from {src} aborted");
             }
             let tb = Instant::now();
             mb.cv.wait(&mut slots);
@@ -416,42 +534,130 @@ impl<'a> RankCtx<'a> {
     }
 }
 
-/// Spawn `n_ranks` rank threads running `body` and collect their results
-/// plus fabric-wide statistics. Panics in any rank propagate.
-pub fn run_cluster<T, F>(n_ranks: usize, body: F) -> (Vec<T>, FabricStats)
+/// Marker prefix of the panic a blocked wait raises when the fabric is
+/// poisoned; the driver classifies such panics as
+/// [`SimError::FabricPoisoned`] (collateral) rather than a root cause.
+const POISON_MARKER: &str = "fabric poisoned";
+
+/// Best-effort string form of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Spawn `n_ranks` rank threads running a fallible `body` under an
+/// optional [`FaultPlan`] and collect their results plus fabric-wide
+/// statistics.
+///
+/// Failure semantics: the first rank to fail — by returning `Err`, by
+/// panicking, or by a scripted kill — poisons the fabric, which wakes
+/// every peer blocked in a recv or barrier; those peers abort and are
+/// recorded as [`SimError::FabricPoisoned`]. After *all* threads have
+/// joined (no detached ranks, no hangs), the root cause is selected:
+/// direct errors beat panics, panics beat collateral poisoning; ties go
+/// to the lowest rank.
+pub fn try_run_cluster_with<T, F>(
+    n_ranks: usize,
+    faults: Option<FaultPlan>,
+    body: F,
+) -> Result<(Vec<T>, FabricStats), SimError>
 where
     T: Send,
-    F: Fn(&mut RankCtx) -> T + Sync,
+    F: Fn(&mut RankCtx) -> Result<T, SimError> + Sync,
 {
     assert!(
         n_ranks >= 1 && n_ranks.is_power_of_two(),
         "rank count must be 2^g"
     );
-    let fabric = Fabric::new(n_ranks);
-    let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
+    let fabric = Fabric::new(n_ranks, faults);
+    let mut results: Vec<Option<Result<T, SimError>>> = (0..n_ranks).map(|_| None).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = results
-            .iter_mut()
-            .enumerate()
-            .map(|(r, slot)| {
-                let fabric = &fabric;
-                let body = &body;
-                scope.spawn(move || {
-                    let mut ctx = RankCtx {
-                        rank: r,
-                        n_ranks,
-                        fabric,
-                        send_seq: vec![0; n_ranks],
-                        recv_seq: vec![0; n_ranks],
-                    };
-                    *slot = Some(body(&mut ctx));
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("rank thread panicked");
+        for (r, slot) in results.iter_mut().enumerate() {
+            let fabric = &fabric;
+            let body = &body;
+            scope.spawn(move || {
+                let mut ctx = RankCtx {
+                    rank: r,
+                    n_ranks,
+                    fabric,
+                    send_seq: vec![0; n_ranks],
+                    recv_seq: vec![0; n_ranks],
+                };
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+                *slot = Some(match outcome {
+                    Ok(Ok(v)) => Ok(v),
+                    Ok(Err(e)) => {
+                        fabric.poison(r);
+                        Err(e)
+                    }
+                    Err(payload) => {
+                        fabric.poison(r);
+                        let message = panic_message(payload.as_ref());
+                        if message.starts_with(POISON_MARKER) {
+                            Err(SimError::FabricPoisoned { rank: r })
+                        } else {
+                            Err(SimError::RankPanicked { rank: r, message })
+                        }
+                    }
+                });
+            });
         }
+        // The scope joins every rank thread; poisoning guarantees none
+        // of them is still blocked on a dead peer.
     });
+    let stats = collect_stats(&fabric, n_ranks);
+    let mut values = Vec::with_capacity(n_ranks);
+    let mut first_error: Option<SimError> = None;
+    for res in results {
+        match res.expect("rank slot unfilled") {
+            Ok(v) => values.push(v),
+            Err(e) => {
+                let better = first_error
+                    .as_ref()
+                    .is_none_or(|f| e.severity() < f.severity());
+                if better {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok((values, stats)),
+    }
+}
+
+/// [`try_run_cluster_with`] without a fault plan.
+pub fn try_run_cluster<T, F>(n_ranks: usize, body: F) -> Result<(Vec<T>, FabricStats), SimError>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> Result<T, SimError> + Sync,
+{
+    try_run_cluster_with(n_ranks, None, body)
+}
+
+/// Spawn `n_ranks` rank threads running `body` and collect their results
+/// plus fabric-wide statistics. Infallible wrapper over
+/// [`try_run_cluster`]: any rank failure panics here (on the driver
+/// thread, after all ranks have been joined) with the root cause.
+pub fn run_cluster<T, F>(n_ranks: usize, body: F) -> (Vec<T>, FabricStats)
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    match try_run_cluster(n_ranks, |ctx| Ok(body(ctx))) {
+        Ok(out) => out,
+        Err(e) => panic!("rank thread panicked: {e}"),
+    }
+}
+
+fn collect_stats(fabric: &Fabric, n_ranks: usize) -> FabricStats {
     let total_bytes: u64 = fabric
         .counters
         .iter()
@@ -467,7 +673,7 @@ where
         .iter()
         .map(|c| c.blocked_nanos.load(Ordering::Relaxed) as f64 / 1e9)
         .collect();
-    let stats = FabricStats {
+    FabricStats {
         n_ranks,
         total_bytes_sent: total_bytes,
         max_comm_seconds: comm_secs.iter().cloned().fold(0.0, f64::max),
@@ -479,8 +685,7 @@ where
             .iter()
             .map(|c| c.wire_allocs.load(Ordering::Relaxed))
             .sum(),
-    };
-    (results.into_iter().map(|r| r.unwrap()).collect(), stats)
+    }
 }
 
 /// Reinterpret a `Copy` slice as bytes (one allocation + memcpy).
@@ -684,6 +889,99 @@ mod tests {
     #[should_panic(expected = "rank count must be 2^g")]
     fn rejects_non_power_of_two() {
         let _ = run_cluster(3, |_| ());
+    }
+
+    #[test]
+    fn injected_kill_yields_typed_error_and_unblocks_peers() {
+        // Rank 2 dies at "swap" 1; every other rank is blocked in a recv
+        // it will never satisfy. Without poisoning this hangs forever;
+        // with it, the driver returns the injected fault as root cause.
+        let plan = FaultPlan::new().kill(2, 1);
+        let res = try_run_cluster_with::<(), _>(4, Some(plan), |ctx| {
+            for swap in 0..2usize {
+                ctx.fault_point(swap)?;
+                if ctx.rank() == 2 {
+                    for dst in [0, 1, 3] {
+                        ctx.send_slice(dst, &[swap as u64]);
+                    }
+                } else {
+                    // At swap 1 this message never comes.
+                    let _ = ctx.recv_vec::<u64>(2);
+                }
+            }
+            Ok(())
+        });
+        match res {
+            Err(SimError::InjectedFault { rank, swap_index }) => {
+                assert_eq!((rank, swap_index), (2, 1));
+            }
+            other => panic!("expected InjectedFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_delay_still_completes() {
+        let plan = FaultPlan::new().delay(0, 0, std::time::Duration::from_millis(15));
+        let (vals, stats) = try_run_cluster_with(2, Some(plan), |ctx| {
+            ctx.fault_point(0)?;
+            let partner = 1 - ctx.rank();
+            Ok(ctx.exchange(partner, &[ctx.rank() as u64])[0])
+        })
+        .unwrap();
+        assert_eq!(vals, vec![1, 0]);
+        assert!(
+            stats.max_blocked_seconds >= 0.01,
+            "delay must be accounted as blocked time"
+        );
+    }
+
+    #[test]
+    fn panicking_rank_surfaces_as_root_cause_not_collateral() {
+        let res = try_run_cluster::<(), _>(4, |ctx| {
+            if ctx.rank() == 3 {
+                panic!("deliberate failure in rank body");
+            }
+            ctx.barrier(); // peers block here until poisoned
+            Ok(())
+        });
+        match res {
+            Err(SimError::RankPanicked { rank, message }) => {
+                assert_eq!(rank, 3);
+                assert!(message.contains("deliberate failure"));
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_at_barrier_unblocks_barrier_waiters() {
+        let plan = FaultPlan::new().kill(1, 0);
+        let res = try_run_cluster_with::<(), _>(8, Some(plan), |ctx| {
+            if ctx.rank() == 1 {
+                ctx.fault_point(0)?;
+            }
+            ctx.barrier();
+            Ok(())
+        });
+        assert!(
+            matches!(res, Err(SimError::InjectedFault { rank: 1, .. })),
+            "got {res:?}"
+        );
+    }
+
+    #[test]
+    fn error_return_propagates_with_rank_attribution() {
+        let res = try_run_cluster::<(), _>(2, |ctx| {
+            if ctx.rank() == 0 {
+                return Err(SimError::Checkpoint("slice digest mismatch".into()));
+            }
+            let _ = ctx.recv_vec::<u64>(0); // would hang without poisoning
+            Ok(())
+        });
+        match res {
+            Err(SimError::Checkpoint(m)) => assert!(m.contains("digest")),
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
     }
 
     #[test]

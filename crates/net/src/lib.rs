@@ -17,10 +17,20 @@
 //! * [`model`] — a dragonfly-style analytic network model for projecting
 //!   measured byte volumes to petascale machines (the paper's 45-qubit /
 //!   8192-node regime that no single host can execute).
+//! * [`error`] / [`fault`] — the typed failure surface ([`SimError`]) and
+//!   scripted fault injection ([`FaultPlan`]): a killed or panicking rank
+//!   poisons the fabric, peers unblock instead of hanging, and
+//!   [`fabric::try_run_cluster`] reports the root cause.
 
 pub mod collective;
+pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod model;
 
-pub use fabric::{run_cluster, CommCounters, FabricStats, RankCtx};
+pub use error::SimError;
+pub use fabric::{
+    run_cluster, try_run_cluster, try_run_cluster_with, CommCounters, FabricStats, RankCtx,
+};
+pub use fault::{FaultAction, FaultPlan};
 pub use model::NetModel;

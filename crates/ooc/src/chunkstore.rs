@@ -387,16 +387,137 @@ impl ChunkStore {
     }
 
     /// Promote all staged chunks written by `write_staged_range` (on the
-    /// store or any [`ChunkWriter`] view), atomically renaming each over
-    /// its live counterpart.
+    /// store or any [`ChunkWriter`] view), renaming each over its live
+    /// counterpart.
+    ///
+    /// Crash-consistent ordering: every staged file is `sync_all`ed
+    /// *before* the first rename, and the directory is fsynced after the
+    /// last, so a crash anywhere in the commit leaves each chunk either
+    /// fully old or fully new — never a renamed file whose contents were
+    /// still in the page cache. (A *mix* of old and new chunks across the
+    /// store is still possible mid-commit; the checkpoint manifest's
+    /// per-chunk digests let [`ChunkStore::open_verified`] roll that
+    /// forward.)
     pub fn commit_staged(&mut self) -> std::io::Result<()> {
+        let t = Instant::now();
+        let mut renamed = false;
         for c in 0..self.n_chunks() {
             let staged = self.staged_path(c);
             if staged.exists() {
+                File::open(&staged)?.sync_all()?;
                 std::fs::rename(staged, self.chunk_path(c))?;
+                renamed = true;
+            }
+        }
+        if renamed {
+            File::open(&self.dir)?.sync_all()?;
+        }
+        let dt = t.elapsed().as_secs_f64();
+        self.stats.write_seconds += dt;
+        self.stats.io_wait_seconds += dt;
+        Ok(())
+    }
+
+    /// FNV-1a digest of live chunk `c`'s current on-disk bytes.
+    pub fn chunk_digest(&mut self, c: usize) -> std::io::Result<u64> {
+        assert!(c < self.n_chunks(), "chunk {c} out of range");
+        let t = Instant::now();
+        let bytes = std::fs::read(self.chunk_path(c))?;
+        let dt = t.elapsed().as_secs_f64();
+        self.stats.read_seconds += dt;
+        self.stats.io_wait_seconds += dt;
+        self.stats.bytes_read += bytes.len() as u64;
+        Ok(qsim_core::checkpoint::fnv1a64(&bytes))
+    }
+
+    /// FNV-1a digest of chunk `c`'s *staged* file (the bytes that would
+    /// become live at the next [`ChunkStore::commit_staged`]); falls back
+    /// to the live chunk when nothing is staged.
+    pub fn staged_digest(&mut self, c: usize) -> std::io::Result<u64> {
+        assert!(c < self.n_chunks(), "chunk {c} out of range");
+        let staged = self.staged_path(c);
+        if !staged.exists() {
+            return self.chunk_digest(c);
+        }
+        let t = Instant::now();
+        let bytes = std::fs::read(staged)?;
+        let dt = t.elapsed().as_secs_f64();
+        self.stats.read_seconds += dt;
+        self.stats.io_wait_seconds += dt;
+        self.stats.bytes_read += bytes.len() as u64;
+        Ok(qsim_core::checkpoint::fnv1a64(&bytes))
+    }
+
+    /// `sync_all` every staged file so its bytes are durable before a
+    /// manifest referencing them is published.
+    pub fn sync_staged(&self) -> std::io::Result<()> {
+        for c in 0..self.n_chunks() {
+            let staged = self.staged_path(c);
+            if staged.exists() {
+                File::open(staged)?.sync_all()?;
             }
         }
         Ok(())
+    }
+
+    /// Delete every stray staged file. A fresh checkpointed run over a
+    /// reused directory must start from live chunks only — a leftover
+    /// shadow from an abandoned pass would otherwise be folded into the
+    /// next `commit_staged`.
+    pub fn clear_staged(&self) -> std::io::Result<()> {
+        for c in 0..self.n_chunks() {
+            let staged = self.staged_path(c);
+            if staged.exists() {
+                std::fs::remove_file(staged)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Open a store and reconcile it against a manifest's per-chunk
+    /// `digests`, recovering from a crash at any point of the commit
+    /// protocol:
+    ///
+    /// * a staged file whose digest matches the manifest is rolled
+    ///   *forward* (synced and renamed live) — the crash hit after the
+    ///   manifest was published but before the rename;
+    /// * any other staged file is deleted — the crash hit before the
+    ///   manifest flipped, so the staged bytes belong to an abandoned
+    ///   pass;
+    /// * every live chunk must then match its digest, or the store is
+    ///   rejected as torn ([`std::io::ErrorKind::InvalidData`]).
+    pub fn open_verified(
+        dir: &Path,
+        local_qubits: u32,
+        global_qubits: u32,
+        digests: &[u64],
+    ) -> std::io::Result<Self> {
+        let mut store = Self::open(dir, local_qubits, global_qubits)?;
+        assert_eq!(digests.len(), store.n_chunks(), "digest count mismatch");
+        let mut renamed = false;
+        for (c, &want) in digests.iter().enumerate() {
+            let staged = store.staged_path(c);
+            if staged.exists() && store.staged_digest(c)? == want {
+                File::open(&staged)?.sync_all()?;
+                std::fs::rename(&staged, store.chunk_path(c))?;
+                renamed = true;
+                continue;
+            }
+            if staged.exists() {
+                std::fs::remove_file(&staged)?;
+            }
+            let got = store.chunk_digest(c)?;
+            if got != want {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("chunk {c} digest {got:016x} != manifest {want:016x} (torn store)"),
+                ));
+            }
+        }
+        if renamed {
+            File::open(dir)?.sync_all()?;
+        }
+        Ok(store)
     }
 
     /// Delete all chunk files (cleanup helper for tests/examples).
@@ -522,7 +643,12 @@ impl ChunkWriter {
             f.set_len((self.chunk_len * 16) as u64)?;
             self.staged[c] = Some(f);
         }
-        let f = self.staged[c].as_mut().expect("staged handle");
+        // The slot was just populated above, but a pipeline writeback
+        // thread must be able to *report* an impossible state instead of
+        // double-panicking while the engine is already unwinding.
+        let f = self.staged[c].as_mut().ok_or_else(|| {
+            std::io::Error::other(format!("staged handle for chunk {c} missing after open"))
+        })?;
         f.seek(SeekFrom::Start((off * 16) as u64))?;
         f.write_all(amps_as_bytes(amps))?;
         self.stats.write_seconds += t.elapsed().as_secs_f64();

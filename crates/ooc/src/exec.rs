@@ -40,6 +40,7 @@
 
 use crate::chunkstore::{BufferPool, ChunkStore, IoStats};
 use crate::pipeline::{run_pass, PassConfig};
+use qsim_core::checkpoint::{schedule_fingerprint, Manifest, MANIFEST_VERSION};
 use qsim_core::dist::{apply_rank_diagonal_amps, physical_to_logical, slots_to_top_permutation};
 use qsim_core::exec::{compile_stages, execute_compiled_stage, resolve_tile_qubits};
 use qsim_kernels::apply::{apply_gate, KernelConfig, OptLevel};
@@ -47,7 +48,7 @@ use qsim_kernels::parallel::par_gather;
 use qsim_kernels::specialized;
 use qsim_kernels::SweepStats;
 use qsim_sched::{plan_runs, Schedule, StageOp, StageRun, SwapOp};
-use qsim_telemetry::Telemetry;
+use qsim_telemetry::{Telemetry, TrackHandle};
 use qsim_util::align::AlignedVec;
 use qsim_util::c64;
 use std::path::Path;
@@ -77,6 +78,57 @@ pub struct OocConfig {
     /// publishes `IoStats`/`SweepStats` under the `ooc.*` metric prefix;
     /// the default disabled handle makes all of it a no-op.
     pub telemetry: Telemetry,
+    /// Crash-consistent checkpointing: after every streaming *pass*
+    /// (stage run, swap scatter, swap unpermute), publish a manifest and
+    /// promote the pass's staged chunks, so a crash anywhere resumes
+    /// from the last completed pass. `None` (the default) runs the
+    /// original non-checkpointed data path, byte for byte.
+    pub checkpoint: Option<OocCheckpoint>,
+}
+
+/// Checkpoint/restart policy for an OOC run. The chunk store directory
+/// doubles as the checkpoint directory: the manifest sits next to the
+/// chunk files it describes.
+#[derive(Clone, Debug, Default)]
+pub struct OocCheckpoint {
+    /// Resume from the directory's manifest when one exists (a missing
+    /// manifest is a fresh start, not an error — the crash may have
+    /// landed before the first checkpoint was published).
+    pub resume: bool,
+    /// Fault injection: abort with [`std::io::ErrorKind::Interrupted`]
+    /// at the given point of the given pass's commit protocol.
+    pub crash: Option<(usize, CrashPoint)>,
+}
+
+impl OocCheckpoint {
+    /// Checkpoint every pass, starting fresh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checkpoint every pass, resuming from an existing manifest.
+    pub fn resume() -> Self {
+        Self {
+            resume: true,
+            crash: None,
+        }
+    }
+}
+
+/// Where in a pass's commit protocol an injected crash fires. The three
+/// points bracket the two durability steps (manifest publish, staged
+/// commit), covering every distinct recovery window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// After the pass's staged chunks are durable but before the
+    /// manifest flips: recovery discards the staged files and replays
+    /// the pass from the previous checkpoint.
+    BeforeManifest,
+    /// After the manifest flips but before the staged chunks are
+    /// renamed live: recovery rolls the staged files forward by digest.
+    BeforeCommit,
+    /// After the commit completes: recovery resumes at the next pass.
+    AfterCommit,
 }
 
 impl Default for OocConfig {
@@ -89,6 +141,7 @@ impl Default for OocConfig {
             compiled_stages: true,
             tile_qubits: None,
             telemetry: Telemetry::disabled(),
+            checkpoint: None,
         }
     }
 }
@@ -115,6 +168,7 @@ impl OocConfig {
             compiled_stages: false,
             tile_qubits: None,
             telemetry: Telemetry::disabled(),
+            checkpoint: None,
         }
     }
 }
@@ -180,14 +234,75 @@ impl OocSimulator {
         let telemetry = self.config.telemetry.clone();
         let track = telemetry.track("ooc.compute");
         let _run_span = track.span("run");
-        let mut store = {
-            let _s = track.span("init");
-            if init_uniform {
-                ChunkStore::create_uniform(dir, l, g)?
-            } else {
-                ChunkStore::create_zero_state(dir, l, g)?
+        let runs: Vec<StageRun> = if self.config.batch_runs {
+            plan_runs(schedule)
+        } else {
+            schedule
+                .stages
+                .iter()
+                .enumerate()
+                .map(|(i, s)| StageRun {
+                    stages: i..i + 1,
+                    swap: s.swap.clone(),
+                })
+                .collect()
+        };
+        // Checkpoint units are streaming *passes*, not stage runs: the
+        // external swap commits staged chunks mid-run (scatter) and then
+        // rewrites them (unpermute), so a run is not recoverable as a
+        // whole — but each pass leaves the store in exactly one durable
+        // generation, which is what a manifest can name.
+        let total_passes: usize = runs
+            .iter()
+            .map(|r| {
+                1 + r.swap.as_ref().map_or(0, |s| {
+                    1 + usize::from(!slots_to_top_permutation(&s.local_slots, l).is_identity())
+                })
+            })
+            .sum();
+        let ckpt = self.config.checkpoint.clone();
+        let (mut store, cursor) = {
+            let resumed = match &ckpt {
+                Some(cp) if cp.resume => {
+                    let _s = track.span("resume.validate");
+                    match Manifest::load(dir)? {
+                        Some(m) => {
+                            let point =
+                                m.validate("ooc", schedule, init_uniform, total_passes, 1 << g)?;
+                            let store = ChunkStore::open_verified(dir, l, g, &m.digests)?;
+                            Some((store, point.next_unit))
+                        }
+                        // No manifest: the crash landed before the first
+                        // checkpoint was published — start over.
+                        None => None,
+                    }
+                }
+                _ => None,
+            };
+            match resumed {
+                Some(sc) => sc,
+                None => {
+                    let store = create_store(dir, l, g, init_uniform, &track)?;
+                    if ckpt.is_some() {
+                        // A reused directory may hold shadow files from
+                        // an abandoned pass; they must not survive into
+                        // the first commit.
+                        store.clear_staged()?;
+                    }
+                    (store, 0)
+                }
             }
         };
+        let ckpt_ctx = ckpt.as_ref().map(|cp| CkptCtx {
+            dir,
+            schedule_hash: schedule_fingerprint(schedule),
+            n_qubits: schedule.n_qubits,
+            local_qubits: l,
+            init_uniform,
+            total_passes,
+            crash: cp.crash,
+        });
+        let checkpointing = ckpt_ctx.is_some();
         let n_chunks = store.n_chunks();
         let chunk_len = store.chunk_len();
 
@@ -225,19 +340,6 @@ impl OocSimulator {
         let kernel = self.config.kernel;
         let use_compiled = self.config.compiled_stages && kernel.opt == OptLevel::Blocked;
         let tile = resolve_tile_qubits(self.config.tile_qubits, l, kernel.threads);
-        let runs: Vec<StageRun> = if self.config.batch_runs {
-            plan_runs(schedule)
-        } else {
-            schedule
-                .stages
-                .iter()
-                .enumerate()
-                .map(|(i, s)| StageRun {
-                    stages: i..i + 1,
-                    swap: s.swap.clone(),
-                })
-                .collect()
-        };
 
         let mut sweep = SweepStats::default();
         // Per-chunk reduction partials, combined pairwise afterwards:
@@ -245,56 +347,84 @@ impl OocSimulator {
         // balanced binary tree reproduces the distributed engine's
         // recursive-doubling all-reduce bit for bit.
         let mut partials: Vec<(f64, f64)> = vec![(0.0, 0.0); n_chunks];
+        let mut pass_no = 0usize;
         for (ri, run) in runs.iter().enumerate() {
             let _rs = track.span_id("stage run", ri as u64);
-            let stages = &schedule.stages[run.stages.clone()];
-            let compiled = use_compiled.then(|| compile_stages(stages, l, &kernel, tile));
-            let reduce = ri + 1 == runs.len();
-            let cfg = PassConfig {
-                pipelined: self.config.pipeline,
-                depth,
-                wires: 0,
-                telemetry: telemetry.clone(),
-            };
-            run_pass(
-                &mut store,
-                &mut self.chunk_pool,
-                &mut self.wire_pool,
-                &cfg,
-                |c, mut buf, sink| {
-                    let _cs = track.span_timed("compute", c as u64, "stage_apply_ns");
-                    match &compiled {
-                        Some(cs) => {
-                            for stage in cs {
-                                execute_compiled_stage(
-                                    &mut buf,
-                                    stage,
-                                    c,
-                                    kernel.threads,
-                                    &mut sweep,
-                                );
+            let this_pass = pass_no;
+            pass_no += 1;
+            if this_pass >= cursor {
+                let stages = &schedule.stages[run.stages.clone()];
+                let compiled = use_compiled.then(|| compile_stages(stages, l, &kernel, tile));
+                // Checkpointing makes the reduction a separate final read
+                // pass: the last run's buffers go to *staged* files, and
+                // the fold must read what the commit made live.
+                let reduce = !checkpointing && ri + 1 == runs.len();
+                let cfg = PassConfig {
+                    pipelined: self.config.pipeline,
+                    depth,
+                    wires: 0,
+                    telemetry: telemetry.clone(),
+                };
+                run_pass(
+                    &mut store,
+                    &mut self.chunk_pool,
+                    &mut self.wire_pool,
+                    &cfg,
+                    |c, mut buf, sink| {
+                        let _cs = track.span_timed("compute", c as u64, "stage_apply_ns");
+                        match &compiled {
+                            Some(cs) => {
+                                for stage in cs {
+                                    execute_compiled_stage(
+                                        &mut buf,
+                                        stage,
+                                        c,
+                                        kernel.threads,
+                                        &mut sweep,
+                                    );
+                                }
+                            }
+                            None => {
+                                for stage in stages {
+                                    apply_ops_per_gate(&mut buf, &stage.ops, c, l, &kernel);
+                                }
                             }
                         }
-                        None => {
-                            for stage in stages {
-                                apply_ops_per_gate(&mut buf, &stage.ops, c, l, &kernel);
-                            }
+                        if reduce {
+                            // Fold the final reduction into the last
+                            // run's pass — it costs no extra traversal.
+                            partials[c] = reduce_chunk(&buf);
                         }
-                    }
-                    if reduce {
-                        // Fold the final reduction into the last run's
-                        // pass — it costs no extra traversal.
-                        partials[c] = reduce_chunk(&buf);
-                    }
-                    sink.write_chunk(c, buf)
-                },
-            )?;
+                        if checkpointing {
+                            sink.write_chunk_staged(c, buf)
+                        } else {
+                            sink.write_chunk(c, buf)
+                        }
+                    },
+                )?;
+                if let Some(ck) = &ckpt_ctx {
+                    checkpoint_pass(&mut store, ck, this_pass, &track)?;
+                }
+            }
             if let Some(swap) = &run.swap {
-                self.external_swap(&mut store, swap, ri, depth, wires)?;
+                self.external_swap(
+                    &mut store,
+                    swap,
+                    ri,
+                    depth,
+                    wires,
+                    ckpt_ctx.as_ref(),
+                    &mut pass_no,
+                    cursor,
+                )?;
             }
         }
-        if runs.is_empty() {
-            // Degenerate op-free schedule: reduce over the initial state.
+        if runs.is_empty() || checkpointing {
+            // One read pass over the final chunks: the degenerate op-free
+            // schedule reduces the initial state; a checkpointed run
+            // reduces here because its last pass went through staged
+            // files. Bitwise identical to the folded reduction — same
+            // bytes, same fold order.
             let mut buf = self.chunk_pool.get();
             for (c, partial) in partials.iter_mut().enumerate() {
                 store.read_chunk_into(c, &mut buf)?;
@@ -356,6 +486,7 @@ impl OocSimulator {
     /// gather-unpermute), and is skipped when `p` is the identity. Both
     /// passes run through the same prefetch/writeback pipeline as stage
     /// runs.
+    #[allow(clippy::too_many_arguments)]
     fn external_swap(
         &mut self,
         store: &mut ChunkStore,
@@ -363,6 +494,9 @@ impl OocSimulator {
         run_index: usize,
         depth: usize,
         wires: usize,
+        ck: Option<&CkptCtx>,
+        pass_no: &mut usize,
+        cursor: usize,
     ) -> std::io::Result<()> {
         let telemetry = self.config.telemetry.clone();
         let track = telemetry.track("ooc.compute");
@@ -380,37 +514,45 @@ impl OocSimulator {
         // at offset `src·piece` of `dst`'s staged file. Staging keeps
         // the live chunks readable until the whole exchange is
         // assembled; commit renames everything at once.
-        let cfg = PassConfig {
-            pipelined: self.config.pipeline,
-            depth,
-            wires,
-            telemetry: telemetry.clone(),
-        };
-        {
-            let _s = track.span_id("scatter", run_index as u64);
-            run_pass(
-                store,
-                &mut self.chunk_pool,
-                &mut self.wire_pool,
-                &cfg,
-                |src, buf, sink| {
-                    for dst in 0..n_chunks {
-                        let mut wire = sink.take_wire()?;
-                        if perm.is_identity() {
-                            wire.copy_from_slice(&buf[dst * piece..(dst + 1) * piece]);
-                        } else {
-                            par_gather(&buf, &mut wire, |t| inv.apply(dst * piece + t));
+        let scatter_pass = *pass_no;
+        *pass_no += 1;
+        if scatter_pass >= cursor {
+            let cfg = PassConfig {
+                pipelined: self.config.pipeline,
+                depth,
+                wires,
+                telemetry: telemetry.clone(),
+            };
+            {
+                let _s = track.span_id("scatter", run_index as u64);
+                run_pass(
+                    store,
+                    &mut self.chunk_pool,
+                    &mut self.wire_pool,
+                    &cfg,
+                    |src, buf, sink| {
+                        for dst in 0..n_chunks {
+                            let mut wire = sink.take_wire()?;
+                            if perm.is_identity() {
+                                wire.copy_from_slice(&buf[dst * piece..(dst + 1) * piece]);
+                            } else {
+                                par_gather(&buf, &mut wire, |t| inv.apply(dst * piece + t));
+                            }
+                            sink.write_staged(dst, src * piece, wire)?;
                         }
-                        sink.write_staged(dst, src * piece, wire)?;
-                    }
-                    sink.recycle_chunk(buf);
-                    Ok(())
-                },
-            )?;
-        }
-        {
-            let _s = track.span_id("commit", run_index as u64);
-            store.commit_staged()?;
+                        sink.recycle_chunk(buf);
+                        Ok(())
+                    },
+                )?;
+            }
+            match ck {
+                // The pass's commit is the checkpoint commit.
+                Some(ck) => checkpoint_pass(store, ck, scatter_pass, &track)?,
+                None => {
+                    let _s = track.span_id("commit", run_index as u64);
+                    store.commit_staged()?;
+                }
+            }
         }
 
         // Pass 2: fused gather-unpermute — `final[x] = buf[p(x)]` places
@@ -419,29 +561,120 @@ impl OocSimulator {
         // engine-held scratch buffer double-buffers the gather, cycling
         // with the pipeline's chunk buffers.
         if !perm.is_identity() {
-            let _s = track.span_id("unpermute", run_index as u64);
-            let mut scratch = self.scratch.take().expect("unpermute scratch");
-            let cfg = PassConfig {
-                pipelined: self.config.pipeline,
-                depth,
-                wires: 0,
-                telemetry: telemetry.clone(),
-            };
-            run_pass(
-                store,
-                &mut self.chunk_pool,
-                &mut self.wire_pool,
-                &cfg,
-                |c, buf, sink| {
-                    par_gather(&buf, &mut scratch, |x| perm.apply(x));
-                    let out = std::mem::replace(&mut scratch, buf);
-                    sink.write_chunk(c, out)
-                },
-            )?;
-            self.scratch = Some(scratch);
+            let unpermute_pass = *pass_no;
+            *pass_no += 1;
+            if unpermute_pass >= cursor {
+                let _s = track.span_id("unpermute", run_index as u64);
+                let mut scratch = self.scratch.take().expect("unpermute scratch");
+                let cfg = PassConfig {
+                    pipelined: self.config.pipeline,
+                    depth,
+                    wires: 0,
+                    telemetry: telemetry.clone(),
+                };
+                let checkpointing = ck.is_some();
+                run_pass(
+                    store,
+                    &mut self.chunk_pool,
+                    &mut self.wire_pool,
+                    &cfg,
+                    |c, buf, sink| {
+                        par_gather(&buf, &mut scratch, |x| perm.apply(x));
+                        let out = std::mem::replace(&mut scratch, buf);
+                        if checkpointing {
+                            sink.write_chunk_staged(c, out)
+                        } else {
+                            sink.write_chunk(c, out)
+                        }
+                    },
+                )?;
+                self.scratch = Some(scratch);
+                if let Some(ck) = ck {
+                    checkpoint_pass(store, ck, unpermute_pass, &track)?;
+                }
+            }
         }
         Ok(())
     }
+}
+
+/// Create a fresh chunk store in the engine's initial state.
+fn create_store(
+    dir: &Path,
+    l: u32,
+    g: u32,
+    init_uniform: bool,
+    track: &TrackHandle,
+) -> std::io::Result<ChunkStore> {
+    let _s = track.span("init");
+    if init_uniform {
+        ChunkStore::create_uniform(dir, l, g)
+    } else {
+        ChunkStore::create_zero_state(dir, l, g)
+    }
+}
+
+/// Checkpoint bookkeeping threaded through the pass loop (everything the
+/// per-pass commit needs besides the store itself).
+struct CkptCtx<'a> {
+    dir: &'a Path,
+    schedule_hash: u64,
+    n_qubits: u32,
+    local_qubits: u32,
+    init_uniform: bool,
+    total_passes: usize,
+    crash: Option<(usize, CrashPoint)>,
+}
+
+impl CkptCtx<'_> {
+    /// Fire the injected crash when this pass/point is the configured
+    /// target.
+    fn crash_at(&self, pass: usize, point: CrashPoint) -> std::io::Result<()> {
+        if self.crash == Some((pass, point)) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!("injected crash at pass {pass} ({point:?})"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Commit one completed pass as a checkpoint: staged bytes durable →
+/// manifest flip → staged promote. A crash between any two steps is
+/// recoverable (see [`CrashPoint`]): before the manifest flips the old
+/// generation is intact and named; after, `open_verified` rolls the
+/// staged files forward by digest.
+fn checkpoint_pass(
+    store: &mut ChunkStore,
+    ck: &CkptCtx,
+    pass: usize,
+    track: &TrackHandle,
+) -> std::io::Result<()> {
+    let _s = track.span_timed("checkpoint.write", pass as u64, "checkpoint_ns");
+    store.sync_staged()?;
+    let mut digests = Vec::with_capacity(store.n_chunks());
+    for c in 0..store.n_chunks() {
+        digests.push(store.staged_digest(c)?);
+    }
+    ck.crash_at(pass, CrashPoint::BeforeManifest)?;
+    Manifest {
+        version: MANIFEST_VERSION,
+        engine: "ooc".to_string(),
+        schedule_hash: ck.schedule_hash,
+        n_qubits: ck.n_qubits,
+        local_qubits: ck.local_qubits,
+        init_uniform: ck.init_uniform,
+        rng_seed: 0,
+        next_unit: pass + 1,
+        total_units: ck.total_passes,
+        digests,
+    }
+    .write_atomic(ck.dir)?;
+    ck.crash_at(pass, CrashPoint::BeforeCommit)?;
+    store.commit_staged()?;
+    ck.crash_at(pass, CrashPoint::AfterCommit)?;
+    Ok(())
 }
 
 /// Sequential norm/entropy partial over one chunk — the same fold order

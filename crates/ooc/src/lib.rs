@@ -36,5 +36,5 @@ mod pipeline;
 pub mod scratch;
 
 pub use chunkstore::{BufferPool, ChunkReader, ChunkStore, ChunkWriter, IoStats};
-pub use exec::{OocConfig, OocOutcome, OocSimulator};
+pub use exec::{CrashPoint, OocCheckpoint, OocConfig, OocOutcome, OocSimulator};
 pub use scratch::ScratchDir;

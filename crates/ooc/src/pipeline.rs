@@ -138,6 +138,10 @@ enum WbItem {
     /// Write `buf` at piece-offset `off` of chunk `c`'s staged file,
     /// then recycle `buf` as a wire buffer.
     Staged { c: usize, off: usize, buf: Buf },
+    /// Write `buf` as the complete staged contents of chunk `c`, then
+    /// recycle `buf` as a chunk buffer (checkpointed passes, where live
+    /// chunks must stay untouched until the manifest is durable).
+    StagedChunk { c: usize, buf: Buf },
 }
 
 /// The compute closure's handle on the pass: where finished chunks go
@@ -149,6 +153,10 @@ pub(crate) trait PassSink {
     fn write_chunk(&mut self, c: usize, buf: Buf) -> std::io::Result<()>;
     /// Stage `buf` at `[off, off+len)` of chunk `c`'s shadow file.
     fn write_staged(&mut self, c: usize, off: usize, buf: Buf) -> std::io::Result<()>;
+    /// Stage `buf` as the complete shadow contents of chunk `c`; the
+    /// live chunk is left untouched (crash-consistent checkpoint passes
+    /// commit the whole generation only after the manifest is durable).
+    fn write_chunk_staged(&mut self, c: usize, buf: Buf) -> std::io::Result<()>;
     /// Return a chunk buffer without writing it (scatter sources).
     fn recycle_chunk(&mut self, buf: Buf);
     /// Acquire a wire buffer (piece-sized staging).
@@ -221,6 +229,17 @@ impl PassSink for SyncSink<'_> {
         let r = self.writer.write_staged_range(c, off, &buf);
         self.io_wait += t.elapsed().as_secs_f64();
         self.wire_pool.put(buf);
+        r
+    }
+
+    fn write_chunk_staged(&mut self, c: usize, buf: Buf) -> std::io::Result<()> {
+        let _s = self
+            .track
+            .span_timed("write staged", c as u64, "chunk_io_ns");
+        let t = Instant::now();
+        let r = self.writer.write_staged_range(c, 0, &buf);
+        self.io_wait += t.elapsed().as_secs_f64();
+        self.chunk_pool.put(buf);
         r
     }
 
@@ -306,6 +325,12 @@ impl PassSink for PipeSink<'_> {
 
     fn write_staged(&mut self, c: usize, off: usize, buf: Buf) -> std::io::Result<()> {
         let (_, blocked) = self.wb.push(WbItem::Staged { c, off, buf });
+        self.io_wait += blocked;
+        Ok(())
+    }
+
+    fn write_chunk_staged(&mut self, c: usize, buf: Buf) -> std::io::Result<()> {
+        let (_, blocked) = self.wb.push(WbItem::StagedChunk { c, buf });
         self.io_wait += blocked;
         Ok(())
     }
@@ -420,6 +445,17 @@ where
                             }
                         }
                         if let (Some(buf), _) = wire_free.push(buf) {
+                            stranded.push(buf);
+                        }
+                    }
+                    Some(WbItem::StagedChunk { c, buf }) => {
+                        {
+                            let _s = track.span_timed("write staged", c as u64, "chunk_io_ns");
+                            if let Err(e) = writer.write_staged_range(c, 0, &buf) {
+                                set_err(&err, e);
+                            }
+                        }
+                        if let (Some(buf), _) = chunk_free.push(buf) {
                             stranded.push(buf);
                         }
                     }

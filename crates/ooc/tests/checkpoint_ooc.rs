@@ -1,0 +1,156 @@
+//! Crash-consistency tests for the out-of-core engine: an injected
+//! crash at *any* point of *any* pass's commit protocol (before the
+//! manifest flips, between manifest and staged commit, after the
+//! commit) must leave a directory that resumes to the bit-exact final
+//! state of an uninterrupted run (`max_dist == 0.0`, not a tolerance).
+
+use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim_circuit::Circuit;
+use qsim_core::single::strip_initial_hadamards;
+use qsim_ooc::{CrashPoint, OocCheckpoint, OocConfig, OocSimulator, ScratchDir};
+use qsim_sched::{plan, Schedule, SchedulerConfig};
+use qsim_util::c64;
+use qsim_util::complex::max_dist;
+
+/// A small supremacy instance with a multi-swap distributed plan.
+fn planned(l: u32, kmax: u32) -> (Circuit, Schedule, bool) {
+    let c = supremacy_circuit(&SupremacySpec {
+        rows: 2,
+        cols: 4,
+        depth: 18,
+        seed: 7,
+    });
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    let schedule = plan(&exec, &SchedulerConfig::distributed(l, kmax));
+    schedule.verify(&exec);
+    (exec, schedule, uniform)
+}
+
+fn ckpt_sim(pipeline: bool, checkpoint: OocCheckpoint) -> OocSimulator {
+    OocSimulator::new(OocConfig {
+        pipeline,
+        checkpoint: Some(checkpoint),
+        ..OocConfig::sequential()
+    })
+}
+
+/// Uninterrupted checkpointed oracle state for the given schedule.
+fn oracle(schedule: &Schedule, uniform: bool) -> (Vec<c64>, f64) {
+    let dir = ScratchDir::new("ooc_ckpt_oracle");
+    let mut sim = ckpt_sim(true, OocCheckpoint::new());
+    let (out, state) = sim.run_gather(dir.path(), schedule, uniform).unwrap();
+    (state, out.norm)
+}
+
+#[test]
+fn checkpointing_does_not_change_a_single_bit() {
+    let (_, schedule, uniform) = planned(6, 3);
+    for pipeline in [false, true] {
+        let dir = ScratchDir::new("ooc_ckpt_plain");
+        let mut plain = OocSimulator::new(OocConfig {
+            pipeline,
+            ..OocConfig::sequential()
+        });
+        let (pout, pstate) = plain.run_gather(dir.path(), &schedule, uniform).unwrap();
+
+        let dir = ScratchDir::new("ooc_ckpt_on");
+        let mut ck = ckpt_sim(pipeline, OocCheckpoint::new());
+        let (cout, cstate) = ck.run_gather(dir.path(), &schedule, uniform).unwrap();
+        assert_eq!(
+            max_dist(&cstate, &pstate),
+            0.0,
+            "checkpoint mode must be bit-exact (pipeline={pipeline})"
+        );
+        assert_eq!(cout.norm, pout.norm, "bitwise-equal reductions");
+        assert!(
+            dir.path().join("MANIFEST.json").exists(),
+            "a finished run leaves its final manifest"
+        );
+    }
+}
+
+#[test]
+fn crash_at_every_pass_and_point_then_resume_is_bit_exact() {
+    let (_, schedule, uniform) = planned(6, 3);
+    let (expect, _) = oracle(&schedule, uniform);
+
+    // Walk crash targets upward until one no longer fires (the run has
+    // fewer passes than that index) — this sweeps every (pass, point)
+    // recovery window without knowing the pass count a priori.
+    for point in [
+        CrashPoint::BeforeManifest,
+        CrashPoint::BeforeCommit,
+        CrashPoint::AfterCommit,
+    ] {
+        let mut pass = 0usize;
+        loop {
+            let dir = ScratchDir::new("ooc_ckpt_crash");
+            let mut cp = OocCheckpoint::new();
+            cp.crash = Some((pass, point));
+            match ckpt_sim(true, cp).run(dir.path(), &schedule, uniform) {
+                Ok(_) => break, // past the last pass: nothing to crash
+                Err(e) => assert_eq!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted,
+                    "injected crash must surface typed: {e}"
+                ),
+            }
+            let mut sim = ckpt_sim(true, OocCheckpoint::resume());
+            let (_, state) = sim.run_gather(dir.path(), &schedule, uniform).unwrap();
+            assert_eq!(
+                max_dist(&state, &expect),
+                0.0,
+                "resume after crash at pass {pass} ({point:?}) diverged"
+            );
+            pass += 1;
+        }
+        assert!(pass >= 3, "schedule too shallow to exercise {point:?}");
+    }
+}
+
+#[test]
+fn resume_of_a_finished_run_replays_no_pass() {
+    let (_, schedule, uniform) = planned(6, 3);
+    let dir = ScratchDir::new("ooc_ckpt_done");
+    let mut sim = ckpt_sim(true, OocCheckpoint::new());
+    let (_, expect) = sim.run_gather(dir.path(), &schedule, uniform).unwrap();
+
+    let mut sim = ckpt_sim(true, OocCheckpoint::resume());
+    let (out, state) = sim.run_gather(dir.path(), &schedule, uniform).unwrap();
+    assert_eq!(max_dist(&state, &expect), 0.0);
+    // Every pass is skipped: the only traffic is the resume
+    // verification read plus the final reduction read — no writes.
+    assert_eq!(out.io.bytes_written, 0, "a finished run must not re-run");
+}
+
+#[test]
+fn resume_rejects_a_foreign_manifest() {
+    let (_, schedule, uniform) = planned(6, 3);
+    let dir = ScratchDir::new("ooc_ckpt_foreign");
+    ckpt_sim(true, OocCheckpoint::new())
+        .run(dir.path(), &schedule, uniform)
+        .unwrap();
+
+    let other = supremacy_circuit(&SupremacySpec {
+        rows: 2,
+        cols: 4,
+        depth: 12,
+        seed: 9,
+    });
+    let (exec2, _) = strip_initial_hadamards(&other);
+    let schedule2 = plan(&exec2, &SchedulerConfig::distributed(6, 3));
+    let err = ckpt_sim(true, OocCheckpoint::resume())
+        .run(dir.path(), &schedule2, uniform)
+        .expect_err("foreign manifest must be rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "got {err}");
+}
+
+#[test]
+fn resume_without_a_manifest_is_a_fresh_start() {
+    let (_, schedule, uniform) = planned(6, 3);
+    let (expect, _) = oracle(&schedule, uniform);
+    let dir = ScratchDir::new("ooc_ckpt_fresh");
+    let mut sim = ckpt_sim(true, OocCheckpoint::resume());
+    let (_, state) = sim.run_gather(dir.path(), &schedule, uniform).unwrap();
+    assert_eq!(max_dist(&state, &expect), 0.0);
+}

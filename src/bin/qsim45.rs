@@ -3,6 +3,7 @@
 //! ```text
 //! qsim45 plan   --rows 9 --cols 5 --depth 25 --local 30 [--kmax 4]
 //! qsim45 run    --rows 4 --cols 5 --depth 25 [--ranks 4] [--backend mem|ooc]
+//!               [--checkpoint-dir DIR [--resume]]
 //!               [--trace-out trace.json] [--metrics-out metrics.json]
 //! qsim45 sample --rows 4 --cols 4 --depth 25 --shots 16
 //! qsim45 kernels [--state-qubits 22]
@@ -10,6 +11,13 @@
 //!
 //! `plan` works at the paper's full scale (pure pre-computation); `run`
 //! allocates amplitudes and should stay ≤ ~26 qubits on a laptop.
+//!
+//! `--checkpoint-dir` makes the run crash-recoverable: every engine
+//! publishes an atomic manifest per completed unit of work (stage,
+//! stage run, or streaming pass), and `--resume` picks the run back up
+//! from the last one — bit-exact with an uninterrupted run. A missing
+//! manifest under `--resume` is a fresh start, so the flag pair is safe
+//! to use unconditionally in retry loops.
 //!
 //! `--trace-out` writes a Chrome `trace_event` timeline of the run (one
 //! track per rank / pipeline thread; open in `chrome://tracing` or
@@ -19,7 +27,7 @@
 use qsim45::circuit::supremacy::{supremacy_circuit, SupremacySpec};
 use qsim45::core::observables::sample_bitstrings;
 use qsim45::core::single::strip_initial_hadamards;
-use qsim45::core::{DistConfig, DistSimulator, SingleNodeSimulator};
+use qsim45::core::{DistConfig, DistSimulator, SingleCheckpoint, SingleNodeSimulator};
 use qsim45::kernels::apply::KernelConfig;
 use qsim45::sched::{global_gate_count, plan, SchedulerConfig};
 use qsim45::telemetry::Telemetry;
@@ -36,6 +44,7 @@ fn main() {
             eprintln!("usage: qsim45 <plan|run|sample|kernels> [options]");
             eprintln!("  plan   --rows R --cols C --depth D --local L [--kmax K]");
             eprintln!("  run    --rows R --cols C --depth D [--ranks N] [--backend mem|ooc]");
+            eprintln!("         [--checkpoint-dir DIR [--resume]]");
             eprintln!("  sample --rows R --cols C --depth D [--shots S] [--seed X]");
             eprintln!("  kernels [--state-qubits N]");
             std::process::exit(2);
@@ -71,6 +80,10 @@ fn arg_opt(name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 /// Write the requested telemetry exports after a `run`.
@@ -139,6 +152,8 @@ fn cmd_run() {
     let backend = arg_str("--backend", "mem");
     let trace_out = arg_opt("--trace-out");
     let metrics_out = arg_opt("--metrics-out");
+    let checkpoint_dir = arg_opt("--checkpoint-dir");
+    let resume = flag("--resume");
     let telemetry = if trace_out.is_some() || metrics_out.is_some() {
         Telemetry::enabled()
     } else {
@@ -148,9 +163,17 @@ fn cmd_run() {
     if ranks == 1 && backend == "mem" {
         let sim = SingleNodeSimulator {
             telemetry: telemetry.clone(),
+            checkpoint: checkpoint_dir.as_ref().map(|d| {
+                let mut cp = SingleCheckpoint::new(d);
+                cp.resume = resume;
+                cp
+            }),
             ..Default::default()
         };
-        let out = sim.run(&circuit);
+        let out = sim.try_run(&circuit).unwrap_or_else(|e| {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        });
         println!(
             "single-node: {:.3} s sim, {:.3} s plan",
             out.sim_seconds, out.plan_seconds
@@ -165,14 +188,31 @@ fn cmd_run() {
     let schedule = plan(&exec, &SchedulerConfig::distributed(l, arg("--kmax", 4)));
     match backend.as_str() {
         "ooc" => {
-            let dir = qsim45::ooc::ScratchDir::new("cli");
+            // With checkpointing the chunk store must outlive the
+            // process, so it lives in the (persistent) checkpoint
+            // directory rather than a self-cleaning scratch dir.
+            let mut _scratch = None;
+            let store_dir = match &checkpoint_dir {
+                Some(d) => std::path::PathBuf::from(d),
+                None => {
+                    let s = qsim45::ooc::ScratchDir::new("cli");
+                    let p = s.path().to_path_buf();
+                    _scratch = Some(s);
+                    p
+                }
+            };
             let mut sim = qsim45::ooc::OocSimulator::new(qsim45::ooc::OocConfig {
                 telemetry: telemetry.clone(),
+                checkpoint: checkpoint_dir.as_ref().map(|_| qsim45::ooc::OocCheckpoint {
+                    resume,
+                    crash: None,
+                }),
                 ..Default::default()
             });
-            let out = sim
-                .run(dir.path(), &schedule, uniform)
-                .expect("ooc run failed");
+            let out = sim.run(&store_dir, &schedule, uniform).unwrap_or_else(|e| {
+                eprintln!("run failed: {e}");
+                std::process::exit(1);
+            });
             println!(
                 "out-of-core ({} chunks): {:.3} s ({} runs, {} traversals)",
                 ranks, out.sim_seconds, out.runs, out.io.traversals
@@ -184,6 +224,7 @@ fn cmd_run() {
                 100.0 * out.io.overlap_fraction()
             );
             println!("entropy     : {:.6} bits", out.entropy);
+            println!("norm        : {:.12}", out.norm);
         }
         _ => {
             let sim = DistSimulator::new(DistConfig {
@@ -193,9 +234,14 @@ fn cmd_run() {
                     ..KernelConfig::default()
                 },
                 telemetry: telemetry.clone(),
+                checkpoint_dir: checkpoint_dir.as_ref().map(std::path::PathBuf::from),
+                resume,
                 ..Default::default()
             });
-            let out = sim.run(&exec, &schedule, uniform);
+            let out = sim.try_run(&exec, &schedule, uniform).unwrap_or_else(|e| {
+                eprintln!("run failed: {e}");
+                std::process::exit(1);
+            });
             println!(
                 "distributed ({ranks} ranks): {:.3} s ({:.1}% comm, {} swaps)",
                 out.sim_seconds,
