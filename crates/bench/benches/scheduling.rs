@@ -76,7 +76,7 @@ fn bench_ooc_swap(c: &mut Criterion) {
     };
     let schedule = splan(&circuit, &SchedulerConfig::distributed(14, 4));
     c.bench_function("ooc_run_16q", |b| {
-        let mut sim = OocSimulator::default();
+        let mut sim = OocSimulator::<f64>::default();
         b.iter(|| {
             let dir = ScratchDir::new("bench_run16");
             let out = sim.run(dir.path(), &schedule, false).unwrap();

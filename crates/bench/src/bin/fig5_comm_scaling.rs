@@ -164,7 +164,10 @@ fn swap_engine(seed: u64, l: u32, iters: u32, sub_chunks: usize) {
             for _ in 0..iters {
                 perform_swap(ctx, &mut state, &swap, l, &mut bufs);
             }
-            (bufs.bytes_copied / bufs.swaps, bufs.depth_for(slice / p))
+            (
+                bufs.bytes_copied / bufs.swaps,
+                bufs.depth_for(slice / p, 16),
+            )
         });
         let fused_ms = t1.elapsed().as_secs_f64() / iters as f64 * 1e3;
 

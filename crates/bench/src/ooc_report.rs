@@ -188,7 +188,7 @@ pub fn run_ooc_bench(
 
     let run = |config: OocConfig, schedule, tag| {
         let dir = ScratchDir::new(tag);
-        let mut sim = OocSimulator::new(config);
+        let mut sim = OocSimulator::<f64>::new(config);
         sim.run(dir.path(), schedule, uniform).expect("ooc run")
     };
     // The pipelined run records live telemetry (per-chunk latency

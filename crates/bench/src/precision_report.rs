@@ -1,0 +1,182 @@
+//! Precision-tiering benchmark: the same compiled-stage schedule executed
+//! at f64 and at f32, reporting wall-clock, DRAM traffic (half the bytes
+//! per amplitude) and the fidelity cost of the narrow tier — the §5
+//! "46 qubits in single precision" trade quantified at laptop scale.
+//!
+//! Used by `fig7_kernel_scaling --mode precision` (which also emits the
+//! machine-readable `BENCH_precision.json`) and by the workspace smoke
+//! test checking the tiers agree at tiny n.
+
+use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim_core::exec::execute_schedule_sweep;
+use qsim_core::single::strip_initial_hadamards;
+use qsim_core::StateVector;
+use qsim_kernels::apply::KernelConfig;
+use qsim_sched::{plan, SchedulerConfig};
+use qsim_telemetry::Telemetry;
+use std::time::Instant;
+
+/// One measured f64-vs-f32 comparison on a fixed schedule.
+pub struct PrecisionBenchReport {
+    pub n_qubits: u32,
+    pub depth: u32,
+    pub kmax: u32,
+    pub threads: usize,
+    pub stages: usize,
+    /// Wall-clock of the f64 tiled executor, seconds.
+    pub f64_seconds: f64,
+    /// Wall-clock of the f32 tiled executor, seconds.
+    pub f32_seconds: f64,
+    /// DRAM bytes streamed by each tier (f32 ≈ half of f64).
+    pub f64_bytes_streamed: u64,
+    pub f32_bytes_streamed: u64,
+    /// Fidelity of the narrow tier against the f64 state.
+    pub f32_norm: f64,
+    pub max_amp_delta: f64,
+    pub entropy_delta: f64,
+    /// Telemetry snapshot (raw JSON). Both tiers are timed with
+    /// telemetry DISABLED; counters are published afterwards.
+    pub metrics_json: String,
+}
+
+impl PrecisionBenchReport {
+    /// f64 wall-clock over f32 wall-clock (target ≥ 1.3x).
+    pub fn speedup(&self) -> f64 {
+        self.f64_seconds / self.f32_seconds.max(1e-12)
+    }
+
+    /// Streamed-byte ratio (ideal 2.0: half the bytes per amplitude).
+    pub fn bytes_ratio(&self) -> f64 {
+        self.f64_bytes_streamed as f64 / self.f32_bytes_streamed.max(1) as f64
+    }
+
+    /// Machine-readable report (hand-rolled: no serde in the workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"n_qubits\": {},\n",
+                "  \"depth\": {},\n",
+                "  \"kmax\": {},\n",
+                "  \"threads\": {},\n",
+                "  \"stages\": {},\n",
+                "  \"f64_seconds\": {:.6},\n",
+                "  \"f32_seconds\": {:.6},\n",
+                "  \"speedup\": {:.3},\n",
+                "  \"f64_bytes_streamed\": {},\n",
+                "  \"f32_bytes_streamed\": {},\n",
+                "  \"bytes_ratio\": {:.3},\n",
+                "  \"f32_norm\": {:.9},\n",
+                "  \"max_amp_delta\": {:.3e},\n",
+                "  \"entropy_delta\": {:.3e},\n",
+                "  \"metrics\": {}\n",
+                "}}"
+            ),
+            self.n_qubits,
+            self.depth,
+            self.kmax,
+            self.threads,
+            self.stages,
+            self.f64_seconds,
+            self.f32_seconds,
+            self.speedup(),
+            self.f64_bytes_streamed,
+            self.f32_bytes_streamed,
+            self.bytes_ratio(),
+            self.f32_norm,
+            self.max_amp_delta,
+            self.entropy_delta,
+            self.metrics_json.trim_end(),
+        )
+    }
+}
+
+/// Plan one depth-`depth` supremacy circuit and time the compiled-stage
+/// executor at both precisions on the full state (single node).
+pub fn run_precision_bench(
+    rows: u32,
+    cols: u32,
+    depth: u32,
+    kmax: u32,
+    threads: usize,
+) -> PrecisionBenchReport {
+    let c = supremacy_circuit(&SupremacySpec {
+        rows,
+        cols,
+        depth,
+        seed: 0,
+    });
+    let n = c.n_qubits();
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    let schedule = plan(&exec, &SchedulerConfig::single_node(n, kmax));
+    let cfg = KernelConfig {
+        threads,
+        ..KernelConfig::default()
+    };
+
+    let mut state64 = if uniform {
+        StateVector::<f64>::uniform(n)
+    } else {
+        StateVector::<f64>::zero(n)
+    };
+    let t0 = Instant::now();
+    let stats64 = execute_schedule_sweep(&mut state64, &schedule, &cfg, None);
+    let f64_seconds = t0.elapsed().as_secs_f64();
+
+    let mut state32 = if uniform {
+        StateVector::<f32>::uniform(n)
+    } else {
+        StateVector::<f32>::zero(n)
+    };
+    let t1 = Instant::now();
+    let stats32 = execute_schedule_sweep(&mut state32, &schedule, &cfg, None);
+    let f32_seconds = t1.elapsed().as_secs_f64();
+
+    // Fidelity of the f32 state, accumulated in f64: summing 2^n f32
+    // terms in an f32 accumulator would swamp the per-amplitude error
+    // we are trying to measure.
+    let mut max_amp_delta = 0.0f64;
+    let mut f32_norm = 0.0f64;
+    let mut f32_entropy = 0.0f64;
+    for (a, b) in state64.amplitudes().iter().zip(state32.amplitudes()) {
+        max_amp_delta = max_amp_delta
+            .max((a.re - b.re as f64).abs())
+            .max((a.im - b.im as f64).abs());
+        let p = (b.re as f64) * (b.re as f64) + (b.im as f64) * (b.im as f64);
+        f32_norm += p;
+        if p > 0.0 {
+            f32_entropy -= p * p.log2();
+        }
+    }
+    let entropy_delta = (state64.entropy() - f32_entropy).abs();
+
+    // Publish the measured counters into a fresh registry for the
+    // report; nothing was instrumented during the timed sections.
+    let telemetry = Telemetry::enabled();
+    let metrics_json = match telemetry.metrics() {
+        Some(m) => {
+            stats64.publish_into(m, "f64.sweep");
+            stats32.publish_into(m, "f32.sweep");
+            m.gauge_set("f64.seconds", f64_seconds);
+            m.gauge_set("f32.seconds", f32_seconds);
+            telemetry.metrics_json()
+        }
+        None => String::from("{}"),
+    };
+
+    PrecisionBenchReport {
+        n_qubits: n,
+        depth,
+        kmax,
+        threads,
+        stages: schedule.stages.len(),
+        f64_seconds,
+        f32_seconds,
+        f64_bytes_streamed: stats64.bytes_streamed,
+        f32_bytes_streamed: stats32.bytes_streamed,
+        f32_norm,
+        max_amp_delta,
+        entropy_delta,
+        metrics_json,
+    }
+}

@@ -1,0 +1,38 @@
+//! Tiny-n smoke run of `fig7_kernel_scaling --mode precision`'s
+//! measurement path, wired into the workspace test suite: the f32 tier
+//! must stream half the bytes of f64 and stay within f32 rounding of
+//! the f64 state. Wall-clock speedup is NOT asserted at toy scale —
+//! timing at n = 12 is noise; the ≥ 1.3x floor is checked on the
+//! full-size `BENCH_precision.json` run.
+
+use qsim_bench::precision_report::run_precision_bench;
+
+#[test]
+fn precision_mode_smoke_halves_bytes_and_tracks_f64() {
+    // 3x4 grid (n = 12), depth 25, kmax 4 — the sweep smoke geometry.
+    let r = run_precision_bench(3, 4, 25, 4, 1);
+    assert_eq!(r.n_qubits, 12);
+    assert!(r.stages >= 1);
+    assert!(r.f64_bytes_streamed > 0 && r.f32_bytes_streamed > 0);
+    // Complex<f32> is exactly half the bytes of Complex<f64>, and both
+    // tiers execute the identical compiled stages, so the streamed-byte
+    // ratio is exactly 2.
+    assert_eq!(
+        r.bytes_ratio(),
+        2.0,
+        "f32 must stream exactly half the bytes"
+    );
+    // Fidelity at depth 25: norm within 1e-4, per-amplitude drift well
+    // under a typical amplitude (2^-6 here).
+    assert!((r.f32_norm - 1.0).abs() < 1e-4, "f32 norm {}", r.f32_norm);
+    assert!(r.max_amp_delta < 1e-4, "f32 drift {:e}", r.max_amp_delta);
+    assert!(
+        r.entropy_delta < 1e-2,
+        "entropy delta {:e}",
+        r.entropy_delta
+    );
+    let json = r.to_json();
+    assert!(json.contains("\"speedup\""));
+    assert!(json.contains("\"bytes_ratio\""));
+    assert!(json.contains("\"max_amp_delta\""));
+}

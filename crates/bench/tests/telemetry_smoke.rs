@@ -101,7 +101,7 @@ fn all_engines_emit_spans_and_metrics() {
 
     // Out-of-core pipelined engine on the same schedule.
     let dir = ScratchDir::new("telemetry_smoke");
-    let mut ooc = OocSimulator::new(OocConfig {
+    let mut ooc = OocSimulator::<f64>::new(OocConfig {
         kernel: KernelConfig::sequential(),
         telemetry: telemetry.clone(),
         ..OocConfig::default()

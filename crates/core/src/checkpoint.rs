@@ -27,14 +27,18 @@
 
 use qsim_sched::{Schedule, StageOp};
 use qsim_telemetry::json::{self, Json};
-use qsim_util::c64;
+use qsim_util::complex::Complex;
+use qsim_util::Real;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Manifest format version; bumped on any incompatible layout change.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Version 2 added the `precision` geometry field — amplitude artifacts
+/// are raw `2 * R::BYTES`-per-amplitude files, so precision is as
+/// load-bearing as `n_qubits`.
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// File name of the manifest inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "MANIFEST.json";
@@ -97,6 +101,10 @@ pub struct Manifest {
     pub schedule_hash: u64,
     pub n_qubits: u32,
     pub local_qubits: u32,
+    /// Amplitude precision of the durable artifacts ([`Real::NAME`]:
+    /// `"f64"` / `"f32"`). Resuming with a different precision is a
+    /// [`CheckpointError::Mismatch`], never a silent reinterpretation.
+    pub precision: String,
     /// Whether the run started from the uniform superposition (§3.6)
     /// rather than |0…0⟩.
     pub init_uniform: bool,
@@ -128,6 +136,7 @@ impl Manifest {
                 "  \"schedule_hash\": \"{:016x}\",\n",
                 "  \"n_qubits\": {},\n",
                 "  \"local_qubits\": {},\n",
+                "  \"precision\": \"{}\",\n",
                 "  \"init_uniform\": {},\n",
                 "  \"rng_seed\": \"{:016x}\",\n",
                 "  \"next_unit\": {},\n",
@@ -140,6 +149,7 @@ impl Manifest {
             self.schedule_hash,
             self.n_qubits,
             self.local_qubits,
+            self.precision,
             self.init_uniform,
             self.rng_seed,
             self.next_unit,
@@ -192,12 +202,18 @@ impl Manifest {
                     .map_err(|e| CheckpointError::Corrupt(format!("bad digest: {e}")))
             })
             .collect::<Result<Vec<u64>, _>>()?;
+        let precision = doc
+            .get("precision")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CheckpointError::Corrupt("missing 'precision'".into()))?
+            .to_string();
         let m = Manifest {
             version,
             engine,
             schedule_hash: hex("schedule_hash")?,
             n_qubits: num("n_qubits")? as u32,
             local_qubits: num("local_qubits")? as u32,
+            precision,
             init_uniform,
             rng_seed: hex("rng_seed")?,
             next_unit: num("next_unit")? as usize,
@@ -247,6 +263,7 @@ impl Manifest {
         &self,
         engine: &str,
         schedule: &Schedule,
+        precision: &str,
         init_uniform: bool,
         total_units: usize,
         n_artifacts: usize,
@@ -266,6 +283,13 @@ impl Manifest {
             return fail(format!(
                 "geometry n={} l={} != n={} l={}",
                 self.n_qubits, self.local_qubits, schedule.n_qubits, schedule.local_qubits
+            ));
+        }
+        if self.precision != precision {
+            return fail(format!(
+                "checkpoint written at precision {}, engine running at {precision} \
+                 (cross-precision resume would reinterpret raw amplitude bytes)",
+                self.precision
             ));
         }
         if self.init_uniform != init_uniform {
@@ -357,12 +381,14 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 /// Digest of an amplitude buffer, bit-identical to [`fnv1a64`] over the
-/// raw bytes the chunk store would write for it.
-pub fn digest_amps(amps: &[c64]) -> u64 {
+/// raw bytes the chunk store would write for it: `R::BYTES` little-
+/// endian bytes per scalar, so the digest stream matches the on-disk
+/// layout in both precisions.
+pub fn digest_amps<R: Real>(amps: &[Complex<R>]) -> u64 {
     let mut h = Fnv1a::new();
     for a in amps {
-        h.write_f64(a.re);
-        h.write_f64(a.im);
+        h.write(&a.re.to_bits_u64().to_le_bytes()[..R::BYTES]);
+        h.write(&a.im.to_bits_u64().to_le_bytes()[..R::BYTES]);
     }
     h.finish()
 }
@@ -443,17 +469,19 @@ pub fn snapshot_path(dir: &Path, artifact: usize, unit: usize) -> PathBuf {
 }
 
 /// Write an amplitude snapshot durably (`sync_all` before returning)
-/// and report its digest. Bytes are little-endian f64 pairs — the same
-/// layout as the chunk store on every supported target.
-pub fn write_amps_snapshot(path: &Path, amps: &[c64]) -> io::Result<u64> {
+/// and report its digest. Bytes are little-endian `(re, im)` scalar
+/// pairs at the state's precision — the same layout as the chunk store
+/// on every supported target.
+pub fn write_amps_snapshot<R: Real>(path: &Path, amps: &[Complex<R>]) -> io::Result<u64> {
     let mut f = io::BufWriter::new(File::create(path)?);
     let mut h = Fnv1a::new();
     for a in amps {
-        let (re, im) = (a.re.to_bits(), a.im.to_bits());
-        f.write_all(&re.to_le_bytes())?;
-        f.write_all(&im.to_le_bytes())?;
-        h.write_u64(re);
-        h.write_u64(im);
+        let re = a.re.to_bits_u64().to_le_bytes();
+        let im = a.im.to_bits_u64().to_le_bytes();
+        f.write_all(&re[..R::BYTES])?;
+        f.write_all(&im[..R::BYTES])?;
+        h.write(&re[..R::BYTES]);
+        h.write(&im[..R::BYTES]);
     }
     let f = f.into_inner().map_err(|e| e.into_error())?;
     f.sync_all()?;
@@ -463,19 +491,21 @@ pub fn write_amps_snapshot(path: &Path, amps: &[c64]) -> io::Result<u64> {
 /// Read an amplitude snapshot back, returning the amplitudes and the
 /// digest of the bytes actually read (callers verify it against the
 /// manifest before trusting the state).
-pub fn read_amps_snapshot(path: &Path, len: usize) -> io::Result<(Vec<c64>, u64)> {
+pub fn read_amps_snapshot<R: Real>(path: &Path, len: usize) -> io::Result<(Vec<Complex<R>>, u64)> {
     let mut f = io::BufReader::new(File::open(path)?);
     let mut amps = Vec::with_capacity(len);
     let mut h = Fnv1a::new();
-    let mut word = [0u8; 8];
     for _ in 0..len {
-        f.read_exact(&mut word)?;
-        let re = u64::from_le_bytes(word);
-        f.read_exact(&mut word)?;
-        let im = u64::from_le_bytes(word);
-        h.write_u64(re);
-        h.write_u64(im);
-        amps.push(c64::new(f64::from_bits(re), f64::from_bits(im)));
+        let mut re = [0u8; 8];
+        f.read_exact(&mut re[..R::BYTES])?;
+        h.write(&re[..R::BYTES]);
+        let mut im = [0u8; 8];
+        f.read_exact(&mut im[..R::BYTES])?;
+        h.write(&im[..R::BYTES]);
+        amps.push(Complex::new(
+            R::from_bits_u64(u64::from_le_bytes(re)),
+            R::from_bits_u64(u64::from_le_bytes(im)),
+        ));
     }
     Ok((amps, h.finish()))
 }
@@ -484,6 +514,7 @@ pub fn read_amps_snapshot(path: &Path, len: usize) -> io::Result<(Vec<c64>, u64)
 mod tests {
     use super::*;
     use qsim_sched::{Cluster, Stage, SwapOp};
+    use qsim_util::c64;
     use qsim_util::matrix::GateMatrix;
 
     fn tiny_schedule() -> Schedule {
@@ -532,6 +563,7 @@ mod tests {
             schedule_hash: 0xdead_beef_0123_4567,
             n_qubits: 20,
             local_qubits: 16,
+            precision: "f64".into(),
             init_uniform: true,
             rng_seed: u64::MAX, // exercises full 64-bit width
             next_unit: 3,
@@ -569,6 +601,7 @@ mod tests {
             schedule_hash: schedule_fingerprint(&sched),
             n_qubits: sched.n_qubits,
             local_qubits: sched.local_qubits,
+            precision: "f64".into(),
             init_uniform: true,
             rng_seed: 0,
             next_unit: 1,
@@ -576,17 +609,31 @@ mod tests {
             digests: vec![7, 8],
         };
         assert_eq!(
-            m.validate("ooc", &sched, true, 2, 2).unwrap(),
+            m.validate("ooc", &sched, "f64", true, 2, 2).unwrap(),
             ResumePoint { next_unit: 1 }
         );
-        assert!(m.validate("dist", &sched, true, 2, 2).is_err());
-        assert!(m.validate("ooc", &sched, false, 2, 2).is_err());
-        assert!(m.validate("ooc", &sched, true, 3, 2).is_err());
-        assert!(m.validate("ooc", &sched, true, 2, 4).is_err());
+        assert!(m.validate("dist", &sched, "f64", true, 2, 2).is_err());
+        assert!(m.validate("ooc", &sched, "f64", false, 2, 2).is_err());
+        assert!(m.validate("ooc", &sched, "f64", true, 3, 2).is_err());
+        assert!(m.validate("ooc", &sched, "f64", true, 2, 4).is_err());
+        // Cross-precision resume is a typed mismatch, both directions.
+        assert!(matches!(
+            m.validate("ooc", &sched, "f32", true, 2, 2),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        let m32 = Manifest {
+            precision: "f32".into(),
+            ..m.clone()
+        };
+        assert!(matches!(
+            m32.validate("ooc", &sched, "f64", true, 2, 2),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        assert!(m32.validate("ooc", &sched, "f32", true, 2, 2).is_ok());
         let mut other = sched.clone();
         other.stages[0].swap = None;
         other.stages[1].mapping = sched.stages[0].mapping.clone();
-        assert!(m.validate("ooc", &other, true, 2, 2).is_err());
+        assert!(m.validate("ooc", &other, "f64", true, 2, 2).is_err());
     }
 
     #[test]
@@ -616,6 +663,25 @@ mod tests {
         // The file digest matches the raw bytes on disk too.
         assert_eq!(wrote, fnv1a64(&std::fs::read(&p).unwrap()));
         let (back, read) = read_amps_snapshot(&p, amps.len()).unwrap();
+        assert_eq!(back, amps);
+        assert_eq!(read, wrote);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn f32_snapshot_round_trip_is_half_size() {
+        use qsim_util::c32;
+        let dir = tmpdir("snap32");
+        let amps: Vec<c32> = (0..32)
+            .map(|i| c32::new(i as f32 * 0.25, -(i as f32)))
+            .collect();
+        let p = snapshot_path(&dir, 0, 1);
+        let wrote = write_amps_snapshot(&p, &amps).unwrap();
+        assert_eq!(wrote, digest_amps(&amps));
+        let raw = std::fs::read(&p).unwrap();
+        assert_eq!(raw.len(), amps.len() * 8, "2 * 4 bytes per f32 amp");
+        assert_eq!(wrote, fnv1a64(&raw));
+        let (back, read) = read_amps_snapshot::<f32>(&p, amps.len()).unwrap();
         assert_eq!(back, amps);
         assert_eq!(read, wrote);
         let _ = std::fs::remove_dir_all(&dir);

@@ -27,10 +27,11 @@ use crate::checkpoint::{
 use crate::exec::{compile_stages, execute_compiled_stage, resolve_tile_qubits, CompiledStage};
 use crate::state::StateVector;
 use qsim_circuit::Circuit;
+use qsim_kernels::apply::ApplyDispatch;
 use qsim_kernels::apply::{KernelConfig, OptLevel};
 use qsim_kernels::parallel::{par_gather, par_reduce_amplitudes, par_scatter};
 use qsim_kernels::specialized;
-use qsim_kernels::SweepStats;
+use qsim_kernels::{SweepDispatch, SweepStats};
 use qsim_net::collective::{
     all_reduce_sum, all_to_all, all_to_all_inplace, all_to_all_with, Communicator,
 };
@@ -39,8 +40,8 @@ use qsim_net::{FaultPlan, SimError};
 use qsim_sched::{plan_runs, DiagonalOp, Schedule, StageOp, StageRun, SwapOp};
 use qsim_telemetry::{Telemetry, TrackHandle};
 use qsim_util::bits::BitPermutation;
-use qsim_util::c64;
 use qsim_util::complex::Complex;
+use qsim_util::Real;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -97,9 +98,10 @@ impl Default for DistConfig {
     }
 }
 
-/// Results of a distributed run.
+/// Results of a distributed run. Reductions (norm, entropy) are always
+/// accumulated and reported in f64, whatever the state precision `R`.
 #[derive(Clone, Debug)]
-pub struct DistOutcome {
+pub struct DistOutcome<R: SweepDispatch = f64> {
     /// Σ|α|², reduced across ranks.
     pub norm: f64,
     /// Shannon entropy (bits) of the outcome distribution (§4.2.2).
@@ -118,7 +120,7 @@ pub struct DistOutcome {
     /// (all ranks run identical passes; zeroed on the per-gate fallback).
     pub sweep: SweepStats,
     /// Full state in logical order (only when `gather_state`).
-    pub state: Option<Vec<c64>>,
+    pub state: Option<Vec<Complex<R>>>,
 }
 
 /// The distributed engine.
@@ -153,6 +155,19 @@ impl DistSimulator {
         schedule: &Schedule,
         init_uniform: bool,
     ) -> Result<DistOutcome, SimError> {
+        self.try_run_t::<f64>(circuit, schedule, init_uniform)
+    }
+
+    /// [`DistSimulator::try_run`] at an explicit precision tier: every
+    /// rank slice, compiled stage and swap wire buffer holds `Complex<R>`
+    /// amplitudes, so f32 runs move half the bytes end to end. The f64
+    /// instantiation is the exact code path `try_run` always took.
+    pub fn try_run_t<R: SweepDispatch>(
+        &self,
+        circuit: &Circuit,
+        schedule: &Schedule,
+        init_uniform: bool,
+    ) -> Result<DistOutcome<R>, SimError> {
         let n = schedule.n_qubits;
         let l = schedule.local_qubits;
         let g = n - l;
@@ -188,6 +203,7 @@ impl DistSimulator {
                                 .validate(
                                     "dist",
                                     schedule,
+                                    R::NAME,
                                     init_uniform,
                                     runs.len(),
                                     self.config.n_ranks,
@@ -212,7 +228,7 @@ impl DistSimulator {
         // plans instead of re-deriving them 2^g times. Only the blocked
         // ladder has packed range kernels; ablation configs fall back to
         // the per-gate path.
-        let compiled: Option<Vec<CompiledStage>> = (cfg.opt == OptLevel::Blocked).then(|| {
+        let compiled: Option<Vec<CompiledStage<R>>> = (cfg.opt == OptLevel::Blocked).then(|| {
             let tile = resolve_tile_qubits(self.config.tile_qubits, l, cfg.threads);
             compile_stages(&schedule.stages, l, cfg, tile)
         });
@@ -251,11 +267,16 @@ impl DistSimulator {
             outcome.sweep.publish_into(m, "dist.sweep");
             m.gauge_set("dist.sim_seconds", outcome.sim_seconds);
             m.gauge_set("dist.entropy_seconds", outcome.entropy_seconds);
+            m.gauge_set(
+                "dist.bytes_per_amp",
+                std::mem::size_of::<Complex<R>>() as f64,
+            );
+            m.gauge_set("dist.precision_bits", (R::BYTES * 8) as f64);
             m.counter_add("dist.swap_bytes_copied", outcome.swap_bytes_copied);
         }
         if gather {
             // Assemble physical slices, then reorder into logical basis.
-            let mut physical = vec![c64::zero(); 1usize << n];
+            let mut physical = vec![Complex::<R>::zero(); 1usize << n];
             for (r, res) in rank_results.iter().enumerate() {
                 let slice = res.slice.as_ref().expect("gather requested");
                 physical[r << l..(r + 1) << l].copy_from_slice(slice);
@@ -266,14 +287,14 @@ impl DistSimulator {
     }
 }
 
-struct RankResult {
+struct RankResult<R: SweepDispatch> {
     norm: f64,
     entropy: f64,
     seconds: f64,
     entropy_seconds: f64,
     swap_bytes_copied: u64,
     sweep: SweepStats,
-    slice: Option<Vec<c64>>,
+    slice: Option<Vec<Complex<R>>>,
 }
 
 /// Checkpoint configuration resolved once by the driver: where snapshots
@@ -285,19 +306,22 @@ struct DistCheckpoint {
 }
 
 /// Read-only inputs shared by every rank body (the SPMD program).
-struct RankShared<'a> {
+struct RankShared<'a, R: SweepDispatch> {
     schedule: &'a Schedule,
     runs: &'a [StageRun],
     init_uniform: bool,
     cfg: &'a KernelConfig,
     gather: bool,
     sub_chunks: Option<usize>,
-    compiled: Option<&'a [CompiledStage]>,
+    compiled: Option<&'a [CompiledStage<R>]>,
     tele: &'a Telemetry,
     checkpoint: Option<&'a DistCheckpoint>,
 }
 
-fn run_rank(ctx: &mut RankCtx, sh: &RankShared<'_>) -> Result<RankResult, SimError> {
+fn run_rank<R: SweepDispatch>(
+    ctx: &mut RankCtx,
+    sh: &RankShared<'_, R>,
+) -> Result<RankResult<R>, SimError> {
     let schedule = sh.schedule;
     let n = schedule.n_qubits;
     let l = schedule.local_qubits;
@@ -314,7 +338,7 @@ fn run_rank(ctx: &mut RankCtx, sh: &RankShared<'_>) -> Result<RankResult, SimErr
         Some((point, digests)) if point.next_unit > 0 => {
             let dir = &sh.checkpoint.unwrap().dir;
             let path = snapshot_path(dir, rank, point.next_unit);
-            let (amps, digest) = read_amps_snapshot(&path, 1usize << l).map_err(|e| {
+            let (amps, digest) = read_amps_snapshot::<R>(&path, 1usize << l).map_err(|e| {
                 SimError::Checkpoint(format!("rank {rank}: snapshot {}: {e}", path.display()))
             })?;
             if digest != digests[rank] {
@@ -327,11 +351,11 @@ fn run_rank(ctx: &mut RankCtx, sh: &RankShared<'_>) -> Result<RankResult, SimErr
         }
         _ => {
             let state = if sh.init_uniform {
-                StateVector::<f64>::uniform_slice(l, n)
+                StateVector::<R>::uniform_slice(l, n)
             } else if rank == 0 {
-                StateVector::<f64>::zero(l)
+                StateVector::<R>::zero(l)
             } else {
-                StateVector::<f64>::null(l)
+                StateVector::<R>::null(l)
             };
             (state, 0)
         }
@@ -370,8 +394,12 @@ fn run_rank(ctx: &mut RankCtx, sh: &RankShared<'_>) -> Result<RankResult, SimErr
                         // Diagonal fused clusters take the specialized
                         // phase-multiply kernel here too (§3.5).
                         StageOp::Cluster(c) => match c.matrix.as_diagonal() {
-                            Some(diag) => state.apply_diagonal(&c.qubits, &diag),
-                            None => state.apply(&c.qubits, &c.matrix, sh.cfg),
+                            Some(diag) => {
+                                let diag: Vec<Complex<R>> =
+                                    diag.iter().map(|a| a.convert()).collect();
+                                state.apply_diagonal(&c.qubits, &diag)
+                            }
+                            None => state.apply(&c.qubits, &c.matrix.convert::<R>(), sh.cfg),
                         },
                         StageOp::Diagonal(d) => apply_rank_diagonal(&mut state, d, rank, l),
                     }
@@ -390,13 +418,16 @@ fn run_rank(ctx: &mut RankCtx, sh: &RankShared<'_>) -> Result<RankResult, SimErr
         }
     }
 
-    // Reductions (§4.2.2: the entropy needs a final all-reduce).
-    let local_norm = state.norm_sqr();
+    // Reductions (§4.2.2: the entropy needs a final all-reduce). The
+    // cross-rank reduce and the entropy accumulate in f64 regardless of
+    // R, so the reported quantities are comparable across precision
+    // tiers (and bit-identical at R = f64).
+    let local_norm = state.norm_sqr().to_f64();
     let local_entropy = par_reduce_amplitudes(
         state.amplitudes(),
         || 0.0f64,
         |acc, _, a| {
-            let p = a.norm_sqr();
+            let p = a.norm_sqr().to_f64();
             if p > 0.0 {
                 acc - p * p.log2()
             } else {
@@ -434,12 +465,12 @@ fn run_rank(ctx: &mut RankCtx, sh: &RankShared<'_>) -> Result<RankResult, SimErr
 /// delete the previous generation. A crash at any point leaves either the
 /// old manifest with the old snapshots intact, or the new manifest with
 /// the new snapshots intact.
-fn checkpoint_unit(
+fn checkpoint_unit<R: SweepDispatch>(
     ctx: &mut RankCtx,
     cp: &DistCheckpoint,
-    sh: &RankShared<'_>,
+    sh: &RankShared<'_, R>,
     track: &TrackHandle,
-    state: &StateVector<f64>,
+    state: &StateVector<R>,
     unit: usize,
 ) -> Result<(), SimError> {
     let _s = track.span_timed("checkpoint.write", unit as u64, "checkpoint_ns");
@@ -466,6 +497,7 @@ fn checkpoint_unit(
             schedule_hash: schedule_fingerprint(sh.schedule),
             n_qubits: sh.schedule.n_qubits,
             local_qubits: sh.schedule.local_qubits,
+            precision: R::NAME.to_string(),
             init_uniform: sh.init_uniform,
             rng_seed: 0,
             next_unit: unit,
@@ -489,15 +521,28 @@ fn checkpoint_unit(
 
 /// Reduce a (possibly global-operand) diagonal op to this rank's local
 /// action and apply it (§3.5).
-pub fn apply_rank_diagonal(state: &mut StateVector<f64>, d: &DiagonalOp, rank: usize, l: u32) {
+pub fn apply_rank_diagonal<R: Real + ApplyDispatch>(
+    state: &mut StateVector<R>,
+    d: &DiagonalOp,
+    rank: usize,
+    l: u32,
+) {
     apply_rank_diagonal_amps(state.amplitudes_mut(), d, rank, l);
 }
 
 /// Slice-based form of [`apply_rank_diagonal`] for engines that hold
 /// amplitudes outside a [`StateVector`] (the out-of-core chunk loop,
 /// where `rank` is the chunk index). Branch-identical to the wrapper, so
-/// results are bitwise equal across engines.
-pub fn apply_rank_diagonal_amps(amps: &mut [c64], d: &DiagonalOp, rank: usize, l: u32) {
+/// results are bitwise equal across engines. Diagonal entries (always
+/// carried at f64 by the schedule) are rounded to `R` here, once per op
+/// application — identical to the compiled path's compile-time rounding
+/// because each entry is converted exactly once from the same f64 value.
+pub fn apply_rank_diagonal_amps<R: Real>(
+    amps: &mut [Complex<R>],
+    d: &DiagonalOp,
+    rank: usize,
+    l: u32,
+) {
     // Split operands into local and global; global bits come from the
     // rank id.
     let mut local_ops: Vec<(usize, u32)> = Vec::new(); // (operand j, position)
@@ -512,18 +557,18 @@ pub fn apply_rank_diagonal_amps(amps: &mut [c64], d: &DiagonalOp, rank: usize, l
     }
     if local_ops.is_empty() {
         // Pure rank-conditional global phase.
-        specialized::apply_global_phase(amps, d.diag[fixed_bits]);
+        specialized::apply_global_phase(amps, d.diag[fixed_bits].convert());
         return;
     }
     // Reduced diagonal over the local operands (preserving their order).
     let k = local_ops.len();
-    let mut reduced = vec![Complex::zero(); 1usize << k];
+    let mut reduced = vec![Complex::<R>::zero(); 1usize << k];
     for (x, r) in reduced.iter_mut().enumerate() {
         let mut idx = fixed_bits;
         for (b, &(j, _)) in local_ops.iter().enumerate() {
             idx |= ((x >> b) & 1) << j;
         }
-        *r = d.diag[idx];
+        *r = d.diag[idx].convert();
     }
     let positions: Vec<u32> = local_ops.iter().map(|&(_, p)| p).collect();
     specialized::apply_diagonal(amps, &positions, &reduced);
@@ -563,17 +608,18 @@ impl SwapBuffers {
         }
     }
 
-    /// Pipeline depth for a `seg_len`-amplitude peer segment.
-    pub fn depth_for(&self, seg_len: usize) -> usize {
+    /// Pipeline depth for a peer segment of `seg_len` amplitudes of
+    /// `amp_bytes` each (16 for f64 pairs, 8 for f32).
+    pub fn depth_for(&self, seg_len: usize, amp_bytes: usize) -> usize {
         match self.sub_chunks {
             Some(s) => s.max(1),
-            None => default_sub_chunks(seg_len),
+            None => default_sub_chunks_sized(seg_len, amp_bytes),
         }
     }
 
-    fn account(&mut self, group_size: usize, seg_len: usize) {
+    fn account(&mut self, group_size: usize, seg_len: usize, amp_bytes: usize) {
         self.swaps += 1;
-        self.bytes_copied += 2 * (group_size as u64 - 1) * seg_len as u64 * 16;
+        self.bytes_copied += 2 * (group_size as u64 - 1) * seg_len as u64 * amp_bytes as u64;
     }
 
     /// Permutation tables for a swap over `slots`, cached: a hit (the
@@ -604,8 +650,15 @@ impl SwapBuffers {
 /// ones where per-message overhead would dominate. Measured tuning:
 /// `qsim_kernels::autotune::tune_swap_sub_chunks`.
 pub fn default_sub_chunks(seg_len: usize) -> usize {
+    default_sub_chunks_sized(seg_len, 16)
+}
+
+/// [`default_sub_chunks`] for an explicit per-amplitude byte size: the
+/// pipeline depth tracks wire *bytes*, so an f32 segment of the same
+/// amplitude count splits into half as many sub-chunks.
+pub fn default_sub_chunks_sized(seg_len: usize, amp_bytes: usize) -> usize {
     const PIPELINE_TARGET_BYTES: usize = 1 << 20;
-    ((seg_len * 16) / PIPELINE_TARGET_BYTES).clamp(1, 8)
+    ((seg_len * amp_bytes) / PIPELINE_TARGET_BYTES).clamp(1, 8)
 }
 
 /// §3.4 global-to-local swap, fused: instead of permuting the slice,
@@ -619,9 +672,9 @@ pub fn default_sub_chunks(seg_len: usize) -> usize {
 /// identity that is skipped. Sub-chunks of the same segment are disjoint
 /// under `q`, and within a round all packs precede all unpacks, so the
 /// in-place exchange is race-free at any pipeline depth.
-pub fn perform_swap(
+pub fn perform_swap<R: SweepDispatch>(
     ctx: &mut RankCtx,
-    state: &mut StateVector<f64>,
+    state: &mut StateVector<R>,
     swap: &SwapOp,
     l: u32,
     bufs: &mut SwapBuffers,
@@ -632,9 +685,10 @@ pub fn perform_swap(
     if p == 1 {
         return;
     }
+    let amp_bytes = std::mem::size_of::<Complex<R>>();
     let comm = Communicator::world(ctx);
     let seg = state.len() / p;
-    let depth = bufs.depth_for(seg);
+    let depth = bufs.depth_for(seg, amp_bytes);
     {
         let cache = bufs.perm_for(&swap.local_slots, l);
         if cache.perm.is_identity() {
@@ -644,7 +698,7 @@ pub fn perform_swap(
             all_to_all_inplace(ctx, comm, state.amplitudes_mut(), depth);
         } else {
             let inv = &cache.inv;
-            all_to_all_with::<c64, [c64]>(
+            all_to_all_with::<Complex<R>, [Complex<R>]>(
                 ctx,
                 comm,
                 seg,
@@ -655,16 +709,16 @@ pub fn perform_swap(
             );
         }
     }
-    bufs.account(p, seg);
+    bufs.account(p, seg, amp_bytes);
 }
 
 /// The textbook §3.4 swap data path (local permutation → allocating
 /// all-to-all → copy back → inverse permutation). Kept as the equivalence
 /// oracle for [`perform_swap`] and for before/after copy accounting — it
 /// traverses the full slice ~6 times where the fused engine does 2.
-pub fn perform_swap_reference(
+pub fn perform_swap_reference<R: SweepDispatch>(
     ctx: &mut RankCtx,
-    state: &mut StateVector<f64>,
+    state: &mut StateVector<R>,
     swap: &SwapOp,
     l: u32,
 ) {
@@ -689,7 +743,12 @@ pub fn perform_swap_reference(
 /// The production scheduler emits full swaps (the paper's counting unit);
 /// this entry point exposes the generalized machinery for ablations and
 /// for workloads where only a few global qubits are ever needed locally.
-pub fn perform_partial_swap(ctx: &mut RankCtx, state: &mut StateVector<f64>, q: u32, l: u32) {
+pub fn perform_partial_swap<R: SweepDispatch>(
+    ctx: &mut RankCtx,
+    state: &mut StateVector<R>,
+    q: u32,
+    l: u32,
+) {
     let mut bufs = SwapBuffers::default();
     perform_partial_swap_with(ctx, state, q, l, &mut bufs);
 }
@@ -697,9 +756,9 @@ pub fn perform_partial_swap(ctx: &mut RankCtx, state: &mut StateVector<f64>, q: 
 /// [`perform_partial_swap`] with caller-owned scratch — the zero-alloc
 /// path. No local permutation is involved, so the exchange runs through
 /// the in-place pipelined collective directly.
-pub fn perform_partial_swap_with(
+pub fn perform_partial_swap_with<R: SweepDispatch>(
     ctx: &mut RankCtx,
-    state: &mut StateVector<f64>,
+    state: &mut StateVector<R>,
     q: u32,
     l: u32,
     bufs: &mut SwapBuffers,
@@ -710,10 +769,16 @@ pub fn perform_partial_swap_with(
         "partial swap width {q} out of range (g={g})"
     );
     assert!(l >= q, "need at least q local qubits");
+    let amp_bytes = std::mem::size_of::<Complex<R>>();
     let comm = Communicator::group_of(ctx.rank(), 1usize << q);
     let seg = state.len() / comm.size;
-    all_to_all_inplace(ctx, comm, state.amplitudes_mut(), bufs.depth_for(seg));
-    bufs.account(comm.size, seg);
+    all_to_all_inplace(
+        ctx,
+        comm,
+        state.amplitudes_mut(),
+        bufs.depth_for(seg, amp_bytes),
+    );
+    bufs.account(comm.size, seg, amp_bytes);
 }
 
 /// Build the local bit permutation taking `slots[i]` to position
@@ -738,11 +803,11 @@ pub fn slots_to_top_permutation(slots: &[u32], l: u32) -> BitPermutation {
 /// Reorder a full physical state into logical basis order:
 /// `out[b] = physical[p]` with `p`'s bit `mapping[q]` equal to `b`'s bit
 /// `q`.
-pub fn physical_to_logical(physical: &[c64], mapping: &[u32]) -> Vec<c64> {
+pub fn physical_to_logical<R: Real>(physical: &[Complex<R>], mapping: &[u32]) -> Vec<Complex<R>> {
     let n = mapping.len();
     assert_eq!(physical.len(), 1usize << n);
     let perm = BitPermutation::new(mapping.to_vec());
-    let mut out = vec![c64::zero(); physical.len()];
+    let mut out = vec![Complex::<R>::zero(); physical.len()];
     for b in 0..physical.len() {
         out[b] = physical[perm.apply(b)];
     }
@@ -755,6 +820,7 @@ mod tests {
     use crate::single::{strip_initial_hadamards, SingleNodeSimulator};
     use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
     use qsim_sched::{plan, SchedulerConfig};
+    use qsim_util::c64;
     use qsim_util::complex::max_dist;
 
     fn dist_run(

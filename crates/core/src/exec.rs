@@ -24,30 +24,36 @@
 use crate::state::StateVector;
 use qsim_kernels::apply::{KernelConfig, OptLevel};
 use qsim_kernels::sweep::{
-    effective_tile_qubits, run_full_pass, PreparedDiag, PreparedGate, SweepStats, TileOp, TiledPass,
+    effective_tile_qubits, run_full_pass, PreparedDiag, PreparedGate, SweepDispatch, SweepStats,
+    TileOp, TiledPass,
 };
 use qsim_kernels::tune_tile_qubits;
 use qsim_sched::{plan_stage_sweeps, Schedule, StageOp, SweepPass};
 use qsim_telemetry::Telemetry;
-use qsim_util::c64;
+use qsim_util::complex::Complex;
 
 /// One pass of a compiled stage.
-enum CompiledPass {
+enum CompiledPass<R: SweepDispatch> {
     /// Consecutive ops applied tile-by-tile in one streaming pass.
-    Tiled(TiledPass),
+    Tiled(TiledPass<R>),
     /// A cluster wider than the tile: dedicated full sweep.
-    Full(PreparedGate),
+    Full(PreparedGate<R>),
 }
 
 /// A stage compiled for tiled execution: matrices packed, operands
 /// resolved, ops grouped into streaming passes. Immutable after
 /// compilation, so one compiled stage is shared by every rank of an SPMD
 /// run.
-pub struct CompiledStage {
-    passes: Vec<CompiledPass>,
+///
+/// The precision parameter selects the execution tier: schedules always
+/// carry f64 matrices, and compilation converts them once — so an f32
+/// run rounds each gate entry exactly once, at compile time, never per
+/// amplitude.
+pub struct CompiledStage<R: SweepDispatch = f64> {
+    passes: Vec<CompiledPass<R>>,
 }
 
-impl CompiledStage {
+impl<R: SweepDispatch> CompiledStage<R> {
     /// Streaming passes this stage will perform (≤ the op count).
     pub fn n_passes(&self) -> usize {
         self.passes.len()
@@ -57,12 +63,12 @@ impl CompiledStage {
 /// Compile a stage's ops under a `tile_qubits` budget. `local_qubits` is
 /// the per-rank register width l (= n on a single node); diagonal
 /// operands at positions ≥ l resolve to rank bits at execution time.
-pub fn compile_stage(
+pub fn compile_stage<R: SweepDispatch>(
     ops: &[StageOp],
     local_qubits: u32,
     kernel: &KernelConfig,
     tile_qubits: u32,
-) -> CompiledStage {
+) -> CompiledStage<R> {
     let plan = plan_stage_sweeps(ops, local_qubits, tile_qubits);
     let mut passes = Vec::with_capacity(plan.passes.len());
     for pass in &plan.passes {
@@ -75,6 +81,8 @@ pub fn compile_stage(
                             // Diagonal fused cluster: fold as phases
                             // (same deterministic test as the planner).
                             Some(diag) => {
+                                let diag: Vec<Complex<R>> =
+                                    diag.iter().map(|a| a.convert()).collect();
                                 TileOp::Diag(PreparedDiag::new(&c.qubits, diag, tile, local_qubits))
                             }
                             None => {
@@ -85,12 +93,16 @@ pub fn compile_stage(
                                         tile.binary_search(q).expect("dense operand in tile") as u32
                                     })
                                     .collect();
-                                TileOp::Dense(PreparedGate::new(&compact, &c.matrix, kernel))
+                                TileOp::Dense(PreparedGate::new(
+                                    &compact,
+                                    &c.matrix.convert::<R>(),
+                                    kernel,
+                                ))
                             }
                         },
                         StageOp::Diagonal(d) => TileOp::Diag(PreparedDiag::new(
                             &d.positions,
-                            d.diag.clone(),
+                            d.diag.iter().map(|a| a.convert()).collect(),
                             tile,
                             local_qubits,
                         )),
@@ -103,7 +115,9 @@ pub fn compile_stage(
                     unreachable!("planner never emits a full pass for a diagonal")
                 };
                 passes.push(CompiledPass::Full(PreparedGate::new(
-                    &c.qubits, &c.matrix, kernel,
+                    &c.qubits,
+                    &c.matrix.convert::<R>(),
+                    kernel,
                 )));
             }
         }
@@ -112,9 +126,9 @@ pub fn compile_stage(
 }
 
 /// Execute a compiled stage on one rank's slice.
-pub fn execute_compiled_stage(
-    state: &mut [c64],
-    stage: &CompiledStage,
+pub fn execute_compiled_stage<R: SweepDispatch>(
+    state: &mut [Complex<R>],
+    stage: &CompiledStage<R>,
     rank: usize,
     threads: usize,
     stats: &mut SweepStats,
@@ -131,12 +145,12 @@ pub fn execute_compiled_stage(
 /// shared entry point for engines that execute several stages per state
 /// residency (the distributed driver compiling once for all SPMD ranks,
 /// the out-of-core engine compiling once per stage-run).
-pub fn compile_stages(
+pub fn compile_stages<R: SweepDispatch>(
     stages: &[qsim_sched::Stage],
     local_qubits: u32,
     kernel: &KernelConfig,
     tile_qubits: u32,
-) -> Vec<CompiledStage> {
+) -> Vec<CompiledStage<R>> {
     stages
         .iter()
         .map(|s| compile_stage(&s.ops, local_qubits, kernel, tile_qubits))
@@ -158,8 +172,8 @@ pub fn resolve_tile_qubits(requested: Option<u32>, local_qubits: u32, threads: u
 /// single-node counterpart of `execute_schedule_local`, one streaming
 /// pass per group of ops instead of one per op. Requires
 /// [`OptLevel::Blocked`] (the packed-kernel ladder).
-pub fn execute_schedule_sweep(
-    state: &mut StateVector<f64>,
+pub fn execute_schedule_sweep<R: SweepDispatch>(
+    state: &mut StateVector<R>,
     schedule: &Schedule,
     kernel: &KernelConfig,
     tile_qubits: Option<u32>,
@@ -170,8 +184,8 @@ pub fn execute_schedule_sweep(
 /// [`execute_schedule_sweep`] with a telemetry sink: per-stage compile
 /// and apply spans land on the `single` track, and each stage apply
 /// feeds the `stage_apply_ns` histogram.
-pub fn execute_schedule_sweep_with(
-    state: &mut StateVector<f64>,
+pub fn execute_schedule_sweep_with<R: SweepDispatch>(
+    state: &mut StateVector<R>,
     schedule: &Schedule,
     kernel: &KernelConfig,
     tile_qubits: Option<u32>,

@@ -16,7 +16,7 @@ use crate::exec::{
 use crate::state::StateVector;
 use qsim_circuit::Circuit;
 use qsim_kernels::apply::{KernelConfig, OptLevel};
-use qsim_kernels::SweepStats;
+use qsim_kernels::{SweepDispatch, SweepStats};
 use qsim_net::SimError;
 use qsim_sched::{plan, Schedule, SchedulerConfig, StageOp};
 use qsim_telemetry::Telemetry;
@@ -25,8 +25,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 /// Execution report of a single-node run.
-pub struct SingleOutcome {
-    pub state: StateVector<f64>,
+pub struct SingleOutcome<R: SweepDispatch = f64> {
+    pub state: StateVector<R>,
     pub schedule: Schedule,
     /// Seconds spent executing kernels (excludes planning).
     pub sim_seconds: f64,
@@ -133,6 +133,16 @@ impl SingleNodeSimulator {
     /// Fallible form of [`SingleNodeSimulator::run`]: checkpoint IO and
     /// injected stop points surface as typed errors.
     pub fn try_run(&self, circuit: &Circuit) -> Result<SingleOutcome, SimError> {
+        self.try_run_t::<f64>(circuit)
+    }
+
+    /// Precision-generic run (§5 tiering): the schedule is planned in
+    /// f64 as always, then compiled and executed at `R`. `try_run` is
+    /// this at `R = f64` and is bit-identical to the pre-tiering engine.
+    pub fn try_run_t<R: SweepDispatch>(
+        &self,
+        circuit: &Circuit,
+    ) -> Result<SingleOutcome<R>, SimError> {
         let n = circuit.n_qubits();
         let track = self.telemetry.track("single");
         let _run_span = track.span("run");
@@ -159,9 +169,9 @@ impl SingleNodeSimulator {
         let mut state = {
             let _s = track.span("init");
             if init_uniform {
-                StateVector::<f64>::uniform(n)
+                StateVector::<R>::uniform(n)
             } else {
-                StateVector::<f64>::zero(n)
+                StateVector::<R>::zero(n)
             }
         };
         let t1 = Instant::now();
@@ -179,13 +189,18 @@ impl SingleNodeSimulator {
             // The lower ladder rungs have no packed range kernels; keep
             // the per-gate path for ablation runs.
             let _s = track.span("apply per-gate");
-            execute_schedule_local(&mut state, &schedule, &self.kernel);
+            execute_schedule_local_t(&mut state, &schedule, &self.kernel);
         }
         let sim_seconds = t1.elapsed().as_secs_f64();
         if let Some(m) = self.telemetry.metrics() {
             sweep.publish_into(m, "single.sweep");
             m.gauge_set("single.plan_seconds", plan_seconds);
             m.gauge_set("single.sim_seconds", sim_seconds);
+            m.gauge_set(
+                "single.bytes_per_amp",
+                std::mem::size_of::<qsim_util::Complex<R>>() as f64,
+            );
+            m.gauge_set("single.precision_bits", (R::BYTES * 8) as f64);
         }
         Ok(SingleOutcome {
             state,
@@ -202,14 +217,14 @@ impl SingleNodeSimulator {
     /// manifest naming it, and the previous snapshot is deleted only
     /// after the new manifest is on disk, so a crash at any instant
     /// leaves a consistent (snapshot, manifest) pair to resume from.
-    fn run_checkpointed(
+    fn run_checkpointed<R: SweepDispatch>(
         &self,
         cp: &SingleCheckpoint,
         schedule: Schedule,
         init_uniform: bool,
         plan_seconds: f64,
         n: u32,
-    ) -> Result<SingleOutcome, SimError> {
+    ) -> Result<SingleOutcome<R>, SimError> {
         let track = self.telemetry.track("single");
         let total_units = schedule.stages.len();
         let ck = |e: crate::checkpoint::CheckpointError| SimError::Checkpoint(e.to_string());
@@ -221,7 +236,7 @@ impl SingleNodeSimulator {
             match Manifest::load(&cp.dir).map_err(ck)? {
                 Some(m) => {
                     let point = m
-                        .validate("single", &schedule, init_uniform, total_units, 1)
+                        .validate("single", &schedule, R::NAME, init_uniform, total_units, 1)
                         .map_err(ck)?;
                     Some((point, m.digests[0]))
                 }
@@ -235,7 +250,7 @@ impl SingleNodeSimulator {
         let (mut state, start_stage) = match resume_point {
             Some((point, want)) if point.next_unit > 0 => {
                 let path = snapshot_path(&cp.dir, 0, point.next_unit);
-                let (amps, digest) = read_amps_snapshot(&path, 1usize << n)
+                let (amps, digest) = read_amps_snapshot::<R>(&path, 1usize << n)
                     .map_err(|e| SimError::Checkpoint(format!("{}: {e}", path.display())))?;
                 if digest != want {
                     return Err(SimError::Checkpoint(format!(
@@ -248,9 +263,9 @@ impl SingleNodeSimulator {
             _ => {
                 let _s = track.span("init");
                 let state = if init_uniform {
-                    StateVector::<f64>::uniform(n)
+                    StateVector::<R>::uniform(n)
                 } else {
-                    StateVector::<f64>::zero(n)
+                    StateVector::<R>::zero(n)
                 };
                 (state, 0)
             }
@@ -276,10 +291,20 @@ impl SingleNodeSimulator {
                     for op in &schedule.stages[si].ops {
                         match op {
                             StageOp::Cluster(c) => match c.matrix.as_diagonal() {
-                                Some(diag) => state.apply_diagonal(&c.qubits, &diag),
-                                None => state.apply(&c.qubits, &c.matrix, &self.kernel),
+                                Some(diag) => {
+                                    let diag: Vec<qsim_util::Complex<R>> =
+                                        diag.iter().map(|x| x.convert()).collect();
+                                    state.apply_diagonal(&c.qubits, &diag);
+                                }
+                                None => {
+                                    state.apply(&c.qubits, &c.matrix.convert::<R>(), &self.kernel)
+                                }
                             },
-                            StageOp::Diagonal(d) => state.apply_diagonal(&d.positions, &d.diag),
+                            StageOp::Diagonal(d) => {
+                                let diag: Vec<qsim_util::Complex<R>> =
+                                    d.diag.iter().map(|x| x.convert()).collect();
+                                state.apply_diagonal(&d.positions, &diag);
+                            }
                         }
                     }
                 }
@@ -296,6 +321,7 @@ impl SingleNodeSimulator {
                     schedule_hash: schedule_fingerprint(&schedule),
                     n_qubits: n,
                     local_qubits: schedule.local_qubits,
+                    precision: R::NAME.to_string(),
                     init_uniform,
                     rng_seed: 0,
                     next_unit: unit,
@@ -318,6 +344,11 @@ impl SingleNodeSimulator {
             sweep.publish_into(m, "single.sweep");
             m.gauge_set("single.plan_seconds", plan_seconds);
             m.gauge_set("single.sim_seconds", sim_seconds);
+            m.gauge_set(
+                "single.bytes_per_amp",
+                std::mem::size_of::<qsim_util::Complex<R>>() as f64,
+            );
+            m.gauge_set("single.precision_bits", (R::BYTES * 8) as f64);
         }
         Ok(SingleOutcome {
             state,
@@ -396,17 +427,15 @@ pub fn execute_schedule_local_t<T>(
 
 /// Run a circuit entirely in single precision (§5): same planning, f32
 /// kernels, half the memory. Returns the f32 state.
+///
+/// Routes through the same generic compiled-stage executor as
+/// `try_run_t::<f32>` — one streaming pass per op group, AVX2 f32
+/// kernels — not the legacy per-gate path.
 pub fn run_single_precision(circuit: &Circuit, kmax: u32, cfg: &KernelConfig) -> StateVector<f32> {
-    let n = circuit.n_qubits();
-    let (exec, uniform) = strip_initial_hadamards(circuit);
-    let schedule = qsim_sched::plan(&exec, &SchedulerConfig::single_node(n, kmax));
-    let mut state = if uniform {
-        StateVector::<f32>::uniform(n)
-    } else {
-        StateVector::<f32>::zero(n)
-    };
-    execute_schedule_local_t(&mut state, &schedule, cfg);
-    state
+    let sim = SingleNodeSimulator::new(*cfg, kmax);
+    sim.try_run_t::<f32>(circuit)
+        .unwrap_or_else(|e| panic!("single-precision run failed: {e}"))
+        .state
 }
 
 /// If the circuit starts with a full layer of Hadamards (the supremacy

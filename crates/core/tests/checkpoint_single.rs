@@ -127,6 +127,45 @@ fn resume_rejects_a_foreign_manifest() {
 }
 
 #[test]
+fn resume_rejects_cross_precision_manifests() {
+    let c = random_circuit(6, 20, 99);
+
+    // Checkpoint an f64 run, then try to pick it up at f32: the raw
+    // amplitude bytes would be reinterpreted, so this must be a typed
+    // error, not a garbage resume.
+    let dir = tmpdir("prec64");
+    sim(3, Some(SingleCheckpoint::new(&dir)))
+        .try_run(&c)
+        .unwrap();
+    let mut cp = SingleCheckpoint::new(&dir);
+    cp.resume = true;
+    match sim(3, Some(cp)).try_run_t::<f32>(&c) {
+        Err(SimError::Checkpoint(m)) => {
+            assert!(m.contains("precision"), "unhelpful message: {m}")
+        }
+        Err(e) => panic!("expected Checkpoint error, got {e}"),
+        Ok(_) => panic!("cross-precision resume must be rejected"),
+    }
+
+    // And the reverse direction (f32 checkpoint, f64 resume).
+    let dir32 = tmpdir("prec32");
+    sim(3, Some(SingleCheckpoint::new(&dir32)))
+        .try_run_t::<f32>(&c)
+        .unwrap();
+    let mut cp = SingleCheckpoint::new(&dir32);
+    cp.resume = true;
+    match sim(3, Some(cp)).try_run(&c) {
+        Err(SimError::Checkpoint(m)) => {
+            assert!(m.contains("precision"), "unhelpful message: {m}")
+        }
+        Err(e) => panic!("expected Checkpoint error, got {e}"),
+        Ok(_) => panic!("cross-precision resume must be rejected"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir32);
+}
+
+#[test]
 fn resume_without_a_manifest_is_a_fresh_start() {
     let c = random_circuit(5, 16, 7);
     let plain = sim(3, None).run(&c);

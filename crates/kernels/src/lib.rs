@@ -39,4 +39,4 @@ pub mod sweep;
 pub use apply::{apply_gate, apply_gate_seq, KernelConfig, OptLevel, Simd};
 pub use autotune::{autotune, autotune_cached, tune_tile_qubits, TunedParams};
 pub use matrix::{GateMatrix, PackedMatrix};
-pub use sweep::SweepStats;
+pub use sweep::{SweepDispatch, SweepStats};

@@ -24,15 +24,16 @@
 //! one) the untouched half. The proptests in `qsim-core` assert
 //! `max_dist == 0.0`.
 
-use crate::apply::{choose_dense_path, DensePath, KernelConfig, OptLevel};
+use crate::apply::{choose_dense_path, ApplyDispatch, DensePath, KernelConfig, OptLevel, Simd};
 use crate::avx::apply_avx_range;
 use crate::avx512::{apply_avx512_range, Packed512};
+use crate::avxf32::{apply_avx_f32_range, PackedF32};
 use crate::matrix::{GateMatrix, PackedMatrix};
 use crate::opt::{self, apply_blocked_packed_range, MAX_K};
 use crate::parallel::{self, chunk_ranges, DisjointSlice, PAR_THRESHOLD};
 use qsim_util::bits::{get_bit, IndexExpander};
-use qsim_util::c64;
 use qsim_util::complex::Complex;
+use qsim_util::Real;
 use rayon::prelude::*;
 
 /// Smallest tile the auto-clamp will shrink to: a tile narrower than the
@@ -111,24 +112,164 @@ pub fn effective_tile_qubits(tile: u32, local_qubits: u32, threads: usize) -> u3
     t
 }
 
+/// Precision-directed kernel selection for the tiled executor — the
+/// sweep-level analogue of [`ApplyDispatch`]. Each precision packs a
+/// stage matrix once into its own kernel-ready representation, then
+/// applies it over block-counter ranges (tile-local) or the whole state
+/// (fallback full sweep), choosing exactly the SIMD rung the per-gate
+/// dispatch would pick — the bit-exactness contract holds per precision.
+pub trait SweepDispatch: Real + ApplyDispatch {
+    /// Packed-matrix representation for this precision's kernel ladder.
+    type Packed: Send + Sync;
+
+    /// Pack `pm` (already pre-permuted by the operand sort) for the
+    /// kernel rung `cfg` resolves to at width `pm.k()`.
+    fn pack(pm: &GateMatrix<Self>, cfg: &KernelConfig) -> Self::Packed;
+
+    /// Apply to block counters `[c0, c1)` of `state`, sequentially.
+    fn apply_range(
+        state: &mut [Complex<Self>],
+        exp: &IndexExpander,
+        packed: &Self::Packed,
+        offs: &[usize],
+        block: usize,
+        c0: usize,
+        c1: usize,
+    );
+
+    /// Apply to the whole state through the parallel drivers (including
+    /// the `PAR_THRESHOLD` seam).
+    fn apply_full(
+        state: &mut [Complex<Self>],
+        exp: &IndexExpander,
+        packed: &Self::Packed,
+        block: usize,
+        threads: usize,
+    );
+}
+
+/// f64 packed forms, one per rung [`choose_dense_path`] can pick.
+pub enum PackedDense64 {
+    Scalar(PackedMatrix<f64>),
+    Avx2(PackedMatrix<f64>),
+    Avx512(Packed512),
+}
+
+impl SweepDispatch for f64 {
+    type Packed = PackedDense64;
+
+    fn pack(pm: &GateMatrix<f64>, cfg: &KernelConfig) -> PackedDense64 {
+        match choose_dense_path(cfg, pm.k()) {
+            DensePath::Avx512 => PackedDense64::Avx512(Packed512::pack(pm)),
+            DensePath::Avx2 => PackedDense64::Avx2(PackedMatrix::pack(pm)),
+            DensePath::Scalar => PackedDense64::Scalar(PackedMatrix::pack(pm)),
+        }
+    }
+
+    fn apply_range(
+        state: &mut [Complex<f64>],
+        exp: &IndexExpander,
+        packed: &PackedDense64,
+        offs: &[usize],
+        block: usize,
+        c0: usize,
+        c1: usize,
+    ) {
+        match packed {
+            PackedDense64::Scalar(p) => {
+                apply_blocked_packed_range(state, exp, p, offs, block, c0, c1)
+            }
+            PackedDense64::Avx2(p) => apply_avx_range(state, exp, p, offs, block, c0, c1),
+            PackedDense64::Avx512(p) => apply_avx512_range(state, exp, p, offs, c0, c1),
+        }
+    }
+
+    fn apply_full(
+        state: &mut [Complex<f64>],
+        exp: &IndexExpander,
+        packed: &PackedDense64,
+        block: usize,
+        threads: usize,
+    ) {
+        match packed {
+            PackedDense64::Scalar(p) => parallel::par_apply_blocked(state, exp, p, block, threads),
+            PackedDense64::Avx2(p) => parallel::par_apply_avx(state, exp, p, block, threads),
+            PackedDense64::Avx512(p) => parallel::par_apply_avx512(state, exp, p, threads),
+        }
+    }
+}
+
+/// f32 packed forms: the 8-lane `avxf32` quad ladder when the per-gate
+/// f32 dispatch would take it, the portable blocked kernel otherwise.
+pub enum PackedDense32 {
+    Scalar(PackedMatrix<f32>),
+    Avx2(PackedF32),
+}
+
+impl SweepDispatch for f32 {
+    type Packed = PackedDense32;
+
+    fn pack(pm: &GateMatrix<f32>, cfg: &KernelConfig) -> PackedDense32 {
+        // Mirrors `ApplyDispatch for f32` exactly: AVX2 for k >= 2 at
+        // the blocked rung with SIMD enabled (`PackedF32` needs dim >= 4).
+        if cfg.opt == OptLevel::Blocked
+            && cfg.simd != Simd::Scalar
+            && pm.k() >= 2
+            && crate::avx::avx2_available()
+        {
+            PackedDense32::Avx2(PackedF32::pack(pm))
+        } else {
+            PackedDense32::Scalar(PackedMatrix::pack(pm))
+        }
+    }
+
+    fn apply_range(
+        state: &mut [Complex<f32>],
+        exp: &IndexExpander,
+        packed: &PackedDense32,
+        offs: &[usize],
+        block: usize,
+        c0: usize,
+        c1: usize,
+    ) {
+        match packed {
+            PackedDense32::Scalar(p) => {
+                apply_blocked_packed_range(state, exp, p, offs, block, c0, c1)
+            }
+            PackedDense32::Avx2(p) => apply_avx_f32_range(state, exp, p, offs, c0, c1),
+        }
+    }
+
+    fn apply_full(
+        state: &mut [Complex<f32>],
+        exp: &IndexExpander,
+        packed: &PackedDense32,
+        block: usize,
+        threads: usize,
+    ) {
+        match packed {
+            PackedDense32::Scalar(p) => parallel::par_apply_blocked(state, exp, p, block, threads),
+            PackedDense32::Avx2(p) => parallel::par_apply_avx_f32(state, exp, p, threads),
+        }
+    }
+}
+
 /// A dense cluster prepared once per stage: operands sorted, matrix
 /// pre-permuted and packed for the kernel path the per-gate dispatch
 /// would pick (satellite: no re-packing on every apply call).
-pub struct PreparedGate {
+pub struct PreparedGate<R: SweepDispatch = f64> {
     exp: IndexExpander,
     offs: Vec<usize>,
-    packed: Option<PackedMatrix<f64>>,
-    packed512: Option<Packed512>,
-    path: DensePath,
+    packed: R::Packed,
     block: usize,
     k: u32,
 }
 
-impl PreparedGate {
+impl<R: SweepDispatch> PreparedGate<R> {
     /// Prepare a gate at `qubits` (tile-compact or physical positions)
     /// under `cfg`. Only meaningful at `OptLevel::Blocked` — the other
     /// ladder rungs have no packed range kernels.
-    pub fn new(qubits: &[u32], m: &GateMatrix<f64>, cfg: &KernelConfig) -> Self {
+    pub fn new(qubits: &[u32], m: &GateMatrix<R>, cfg: &KernelConfig) -> Self {
         assert_eq!(
             cfg.opt,
             OptLevel::Blocked,
@@ -136,58 +277,33 @@ impl PreparedGate {
         );
         let (exp, pm) = opt::prepare_free(qubits, m);
         let k = pm.k();
-        let path = choose_dense_path(cfg, k);
         let offs = (0..pm.dim()).map(|x| exp.offset(x)).collect();
-        let (packed, packed512) = match path {
-            DensePath::Avx512 => (None, Some(Packed512::pack(&pm))),
-            DensePath::Scalar | DensePath::Avx2 => (Some(PackedMatrix::pack(&pm)), None),
-        };
+        let packed = R::pack(&pm, cfg);
         Self {
             exp,
             offs,
             packed,
-            packed512,
-            path,
             block: cfg.block,
             k,
         }
     }
 
     /// Apply to block counters `[c0, c1)` of `state`, sequentially.
-    fn apply_range(&self, state: &mut [c64], c0: usize, c1: usize) {
-        match self.path {
-            DensePath::Scalar => apply_blocked_packed_range(
-                state,
-                &self.exp,
-                self.packed.as_ref().unwrap(),
-                &self.offs,
-                self.block,
-                c0,
-                c1,
-            ),
-            DensePath::Avx2 => apply_avx_range(
-                state,
-                &self.exp,
-                self.packed.as_ref().unwrap(),
-                &self.offs,
-                self.block,
-                c0,
-                c1,
-            ),
-            DensePath::Avx512 => apply_avx512_range(
-                state,
-                &self.exp,
-                self.packed512.as_ref().unwrap(),
-                &self.offs,
-                c0,
-                c1,
-            ),
-        }
+    fn apply_range(&self, state: &mut [Complex<R>], c0: usize, c1: usize) {
+        R::apply_range(
+            state,
+            &self.exp,
+            &self.packed,
+            &self.offs,
+            self.block,
+            c0,
+            c1,
+        );
     }
 
     /// Apply to one cache tile (all blocks of `chunk`).
     #[inline]
-    pub fn apply_chunk(&self, chunk: &mut [c64]) {
+    pub fn apply_chunk(&self, chunk: &mut [Complex<R>]) {
         self.apply_range(chunk, 0, chunk.len() >> self.k);
     }
 
@@ -195,37 +311,16 @@ impl PreparedGate {
     /// fallback full sweep for clusters wider than the tile. Identical
     /// code path (including the `PAR_THRESHOLD` seam) to the per-gate
     /// dispatch, minus the re-packing.
-    pub fn apply_full(&self, state: &mut [c64], threads: usize) {
-        match self.path {
-            DensePath::Scalar => parallel::par_apply_blocked(
-                state,
-                &self.exp,
-                self.packed.as_ref().unwrap(),
-                self.block,
-                threads,
-            ),
-            DensePath::Avx2 => parallel::par_apply_avx(
-                state,
-                &self.exp,
-                self.packed.as_ref().unwrap(),
-                self.block,
-                threads,
-            ),
-            DensePath::Avx512 => parallel::par_apply_avx512(
-                state,
-                &self.exp,
-                self.packed512.as_ref().unwrap(),
-                threads,
-            ),
-        }
+    pub fn apply_full(&self, state: &mut [Complex<R>], threads: usize) {
+        R::apply_full(state, &self.exp, &self.packed, self.block, threads);
     }
 }
 
 /// A diagonal op prepared for per-tile folding. Each operand is resolved
 /// once: inside the tile (bit of the in-tile index), outside the tile but
 /// local (bit of the tile's base index), or global (bit of the rank).
-pub struct PreparedDiag {
-    diag: Vec<c64>,
+pub struct PreparedDiag<R: Real = f64> {
+    diag: Vec<Complex<R>>,
     /// (operand slot, compact in-tile position).
     in_tile: Vec<(usize, u32)>,
     /// (operand slot, physical position < local_qubits, not in tile).
@@ -234,9 +329,9 @@ pub struct PreparedDiag {
     from_rank: Vec<(usize, u32)>,
 }
 
-impl PreparedDiag {
+impl<R: Real> PreparedDiag<R> {
     /// Classify `positions` against a sorted `tile` position set.
-    pub fn new(positions: &[u32], diag: Vec<c64>, tile: &[u32], local_qubits: u32) -> Self {
+    pub fn new(positions: &[u32], diag: Vec<Complex<R>>, tile: &[u32], local_qubits: u32) -> Self {
         assert_eq!(diag.len(), 1usize << positions.len(), "diagonal size");
         let mut in_tile = Vec::new();
         let mut from_base = Vec::new();
@@ -267,7 +362,7 @@ impl PreparedDiag {
     /// oracle: the pure-global case is one scalar phase, the 1-local-
     /// operand unit-first-entry case touches only the bit-set half, and
     /// the general case multiplies every amplitude by its gathered entry.
-    pub fn apply_chunk(&self, chunk: &mut [c64], base: usize, rank: usize) {
+    pub fn apply_chunk(&self, chunk: &mut [Complex<R>], base: usize, rank: usize) {
         let mut rank_fixed = 0usize;
         for &(j, s) in &self.from_rank {
             rank_fixed |= ((rank >> s) & 1) << j;
@@ -280,7 +375,7 @@ impl PreparedDiag {
             }
             return;
         }
-        if n_local == 1 && (self.diag[rank_fixed] - Complex::one()).abs() <= f64::EPSILON {
+        if n_local == 1 && (self.diag[rank_fixed] - Complex::one()).abs() <= R::EPSILON {
             // apply_diagonal's fast path: skip — don't multiply by one —
             // the half whose local bit is clear.
             if let Some(&(j, cp)) = self.in_tile.first() {
@@ -317,15 +412,15 @@ impl PreparedDiag {
 }
 
 /// One op of a tiled pass.
-pub enum TileOp {
+pub enum TileOp<R: SweepDispatch = f64> {
     /// Dense cluster prepared over *compact* tile positions.
-    Dense(PreparedGate),
+    Dense(PreparedGate<R>),
     /// Diagonal folded as per-tile phases (operands may be anywhere).
-    Diag(PreparedDiag),
+    Diag(PreparedDiag<R>),
 }
 
 /// A group of stage ops applied in one streaming pass over the state.
-pub struct TiledPass {
+pub struct TiledPass<R: SweepDispatch = f64> {
     /// Sorted physical positions spanned by the tile.
     tile: Vec<u32>,
     /// Tile positions are exactly `0..T`: tiles are contiguous slices and
@@ -334,11 +429,11 @@ pub struct TiledPass {
     /// Gather tables of a non-contiguous tile, built once at compile
     /// time: the tile-counter expander and per-element offsets.
     gather: Option<(IndexExpander, Vec<usize>)>,
-    ops: Vec<TileOp>,
+    ops: Vec<TileOp<R>>,
 }
 
-impl TiledPass {
-    pub fn new(tile: Vec<u32>, ops: Vec<TileOp>) -> Self {
+impl<R: SweepDispatch> TiledPass<R> {
+    pub fn new(tile: Vec<u32>, ops: Vec<TileOp<R>>) -> Self {
         assert!(!tile.is_empty(), "empty tile");
         assert!(tile.windows(2).all(|w| w[0] < w[1]), "tile must be sorted");
         let contiguous = tile.iter().enumerate().all(|(i, &p)| p == i as u32);
@@ -361,7 +456,7 @@ impl TiledPass {
     }
 
     #[inline]
-    fn apply_ops(&self, chunk: &mut [c64], base: usize, rank: usize) {
+    fn apply_ops(&self, chunk: &mut [Complex<R>], base: usize, rank: usize) {
         for op in &self.ops {
             match op {
                 TileOp::Dense(g) => g.apply_chunk(chunk),
@@ -373,10 +468,10 @@ impl TiledPass {
     #[inline]
     fn run_gathered_tile(
         &self,
-        state: &mut [c64],
+        state: &mut [Complex<R>],
         exp: &IndexExpander,
         offs: &[usize],
-        scratch: &mut [c64],
+        scratch: &mut [Complex<R>],
         t: usize,
         rank: usize,
     ) {
@@ -391,7 +486,13 @@ impl TiledPass {
     }
 
     /// Stream the state once, applying every op of the pass per tile.
-    pub fn run(&self, state: &mut [c64], rank: usize, threads: usize, stats: &mut SweepStats) {
+    pub fn run(
+        &self,
+        state: &mut [Complex<R>],
+        rank: usize,
+        threads: usize,
+        stats: &mut SweepStats,
+    ) {
         let tb = self.tile.len() as u32;
         let tile_len = 1usize << tb;
         assert!(state.len().is_power_of_two() && state.len() >= tile_len);
@@ -420,13 +521,13 @@ impl TiledPass {
                         // disjoint index sets (DisjointSlice contract),
                         // and counter ranges partition [0, n_tiles).
                         let s = unsafe { shared.slice() };
-                        let mut scratch = vec![c64::zero(); tile_len];
+                        let mut scratch = vec![Complex::<R>::zero(); tile_len];
                         for t in t0..t1 {
                             self.run_gathered_tile(s, exp, offs, &mut scratch, t, rank);
                         }
                     });
             } else {
-                let mut scratch = vec![c64::zero(); tile_len];
+                let mut scratch = vec![Complex::<R>::zero(); tile_len];
                 for t in 0..n_tiles {
                     self.run_gathered_tile(state, exp, offs, &mut scratch, t, rank);
                 }
@@ -448,9 +549,9 @@ impl TiledPass {
 
 /// Fallback: apply one prepared gate as a dedicated full sweep (cluster
 /// wider than the tile).
-pub fn run_full_pass(
-    state: &mut [c64],
-    gate: &PreparedGate,
+pub fn run_full_pass<R: SweepDispatch>(
+    state: &mut [Complex<R>],
+    gate: &PreparedGate<R>,
     threads: usize,
     stats: &mut SweepStats,
 ) {
@@ -466,10 +567,10 @@ pub fn run_full_pass(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::apply::{apply_gate, Simd};
+    use crate::apply::apply_gate;
     use crate::specialized::apply_diagonal;
     use qsim_util::complex::max_dist;
-    use qsim_util::Xoshiro256;
+    use qsim_util::{c32, c64, Xoshiro256};
 
     fn random_state(n: u32, seed: u64) -> Vec<c64> {
         let mut rng = Xoshiro256::seed_from_u64(seed);
@@ -534,6 +635,45 @@ mod tests {
             assert_eq!(stats.baseline_passes, 3);
             assert_eq!(stats.tile_local_gates, 2);
             assert_eq!(stats.diagonals_folded, 1);
+        }
+    }
+
+    #[test]
+    fn f32_pass_is_bit_exact_vs_per_gate_f32() {
+        let n = 10u32;
+        for simd in [Simd::Scalar, Simd::Auto] {
+            let cfg = KernelConfig {
+                opt: OptLevel::Blocked,
+                simd,
+                block: 4,
+                threads: 1,
+            };
+            let m1 = random_matrix(2, 41).convert::<f32>();
+            let m2 = random_matrix(3, 42).convert::<f32>();
+            let state0: Vec<c32> = random_state(n, 43).iter().map(|a| a.convert()).collect();
+            let diag32: Vec<c32> = t_diag().iter().map(|a| a.convert()).collect();
+
+            let mut oracle = state0.clone();
+            apply_gate(&mut oracle, &[0, 3], &m1, &cfg);
+            apply_diagonal(&mut oracle, &[5], &diag32);
+            apply_gate(&mut oracle, &[1, 2, 4], &m2, &cfg);
+
+            let tile: Vec<u32> = (0..6).collect();
+            let pass = TiledPass::new(
+                tile.clone(),
+                vec![
+                    TileOp::Dense(PreparedGate::new(&[0, 3], &m1, &cfg)),
+                    TileOp::Diag(PreparedDiag::new(&[5], diag32.clone(), &tile, n)),
+                    TileOp::Dense(PreparedGate::new(&[1, 2, 4], &m2, &cfg)),
+                ],
+            );
+            let mut tiled = state0;
+            let mut stats = SweepStats::default();
+            pass.run(&mut tiled, 0, 1, &mut stats);
+            assert_eq!(max_dist(&tiled, &oracle), 0.0, "simd={simd:?}");
+            // f32 amplitudes are 8 bytes, not 16: the streamed-bytes
+            // counter must show half the f64 traffic per pass.
+            assert_eq!(stats.bytes_streamed, 2 * (1u64 << n) * 8);
         }
     }
 

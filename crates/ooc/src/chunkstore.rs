@@ -4,14 +4,20 @@
 //! amplitudes (n = g + l), mirroring the distributed layout: the chunk
 //! index is the high (global) bits, the offset within a chunk the low
 //! (local) bits. Files live in a caller-supplied directory and hold raw
-//! f64 pairs in native byte order (little-endian on every supported
-//! target); all IO is counted for the bandwidth analysis of the §5 SSD
-//! argument.
+//! `Complex<R>` component pairs (f64 or f32) in native byte order
+//! (little-endian on every supported target); all IO is counted for the
+//! bandwidth analysis of the §5 SSD argument.
+//!
+//! The store is generic over the scalar precision `R`: chunk files hold
+//! raw `Complex<R>` pairs (8 bytes per amplitude at f32, 16 at f64), so
+//! an f32 run halves both the on-disk footprint and every pass's disk
+//! traffic. The default `R = f64` layout is byte-identical to the
+//! pre-tiering format.
 //!
 //! IO is zero-copy: reads and writes move bytes directly between the
-//! files and caller-owned amplitude buffers (`c64` is `#[repr(C)]` with
-//! no padding, so a `&[c64]` reinterprets soundly as `&[u8]`) — no
-//! intermediate byte `Vec`s. The pipelined engine's IO threads use
+//! files and caller-owned amplitude buffers (`Complex<R>` is `#[repr(C)]`
+//! with no padding, so a `&[Complex<R>]` reinterprets soundly as `&[u8]`)
+//! — no intermediate byte `Vec`s. The pipelined engine's IO threads use
 //! [`ChunkReader`] / [`ChunkWriter`] views, which hold their own file
 //! handles (independent cursors) opened once per pass, plus local
 //! [`IoStats`] merged back on completion. Buffers come from a
@@ -20,7 +26,8 @@
 //! heap allocation (asserted by `tests/ooc_alloc.rs`).
 
 use qsim_util::align::AlignedVec;
-use qsim_util::c64;
+use qsim_util::complex::Complex;
+use qsim_util::Real;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -113,20 +120,27 @@ impl IoStats {
     }
 }
 
-/// Reinterpret amplitudes as raw bytes for file IO. Sound because `c64`
-/// is `#[repr(C)] { re: f64, im: f64 }` — 16 bytes, no padding.
+/// Bytes per stored amplitude at precision `R` (16 for f64, 8 for f32).
 #[inline]
-pub(crate) fn amps_as_bytes(amps: &[c64]) -> &[u8] {
-    // SAFETY: c64 is repr(C) with no padding; every byte is initialized.
+pub(crate) fn amp_bytes<R: Real>() -> usize {
+    std::mem::size_of::<Complex<R>>()
+}
+
+/// Reinterpret amplitudes as raw bytes for file IO. Sound because
+/// `Complex<R>` is `#[repr(C)] { re: R, im: R }` with no padding.
+#[inline]
+pub(crate) fn amps_as_bytes<R: Real>(amps: &[Complex<R>]) -> &[u8] {
+    // SAFETY: Complex<R> is repr(C) with no padding; every byte is
+    // initialized.
     unsafe { std::slice::from_raw_parts(amps.as_ptr().cast::<u8>(), std::mem::size_of_val(amps)) }
 }
 
 /// Mutable byte view of an amplitude buffer (for `read_exact`). Sound in
-/// the write direction too: every bit pattern is a valid f64.
+/// the write direction too: every bit pattern is a valid float.
 #[inline]
-pub(crate) fn amps_as_bytes_mut(amps: &mut [c64]) -> &mut [u8] {
+pub(crate) fn amps_as_bytes_mut<R: Real>(amps: &mut [Complex<R>]) -> &mut [u8] {
     let len = std::mem::size_of_val(amps);
-    // SAFETY: see `amps_as_bytes`; any byte pattern is a valid c64.
+    // SAFETY: see `amps_as_bytes`; any byte pattern is a valid Complex<R>.
     unsafe { std::slice::from_raw_parts_mut(amps.as_mut_ptr().cast::<u8>(), len) }
 }
 
@@ -135,13 +149,13 @@ pub(crate) fn amps_as_bytes_mut(amps: &mut [c64]) -> &mut [u8] {
 /// otherwise; `prewarm` front-loads those allocations so steady-state
 /// traffic is miss-free. Mirrors the PR 1 wire-buffer fabric.
 #[derive(Debug, Default)]
-pub struct BufferPool {
+pub struct BufferPool<R: Real = f64> {
     len: usize,
-    free: Vec<AlignedVec<c64>>,
+    free: Vec<AlignedVec<Complex<R>>>,
     allocs: u64,
 }
 
-impl BufferPool {
+impl<R: Real> BufferPool<R> {
     pub fn new(len: usize) -> Self {
         Self {
             len,
@@ -179,7 +193,7 @@ impl BufferPool {
     }
 
     /// Take a buffer (pool hit) or allocate one (counted miss).
-    pub fn get(&mut self) -> AlignedVec<c64> {
+    pub fn get(&mut self) -> AlignedVec<Complex<R>> {
         self.free.pop().unwrap_or_else(|| {
             self.allocs += 1;
             AlignedVec::new_zeroed(self.len)
@@ -187,7 +201,7 @@ impl BufferPool {
     }
 
     /// Return a buffer to the pool.
-    pub fn put(&mut self, buf: AlignedVec<c64>) {
+    pub fn put(&mut self, buf: AlignedVec<Complex<R>>) {
         assert_eq!(buf.len(), self.len, "foreign buffer returned to pool");
         self.free.push(buf);
     }
@@ -198,15 +212,17 @@ impl BufferPool {
     }
 }
 
-/// A directory of 2^g chunk files, each holding 2^l amplitudes.
-pub struct ChunkStore {
+/// A directory of 2^g chunk files, each holding 2^l `Complex<R>`
+/// amplitudes.
+pub struct ChunkStore<R: Real = f64> {
     dir: PathBuf,
     local_qubits: u32,
     global_qubits: u32,
     stats: IoStats,
+    _precision: std::marker::PhantomData<R>,
 }
 
-impl ChunkStore {
+impl<R: Real> ChunkStore<R> {
     /// Create a store under `dir` (created if missing; existing chunk
     /// files are overwritten) initialized to the given state.
     ///
@@ -216,7 +232,7 @@ impl ChunkStore {
         dir: &Path,
         local_qubits: u32,
         global_qubits: u32,
-        init: c64,
+        init: Complex<R>,
     ) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         let mut store = Self {
@@ -224,6 +240,7 @@ impl ChunkStore {
             local_qubits,
             global_qubits,
             stats: IoStats::default(),
+            _precision: std::marker::PhantomData,
         };
         let chunk = vec![init; 1usize << local_qubits];
         for c in 0..store.n_chunks() {
@@ -240,14 +257,15 @@ impl ChunkStore {
             local_qubits,
             global_qubits,
             stats: IoStats::default(),
+            _precision: std::marker::PhantomData,
         };
         for c in 0..store.n_chunks() {
             let p = store.chunk_path(c);
             let meta = std::fs::metadata(&p)?;
             assert_eq!(
                 meta.len(),
-                (store.chunk_len() * 16) as u64,
-                "chunk {c} has wrong size for this geometry"
+                (store.chunk_len() * amp_bytes::<R>()) as u64,
+                "chunk {c} has wrong size for this geometry/precision"
             );
         }
         Ok(store)
@@ -255,18 +273,21 @@ impl ChunkStore {
 
     /// |0…0⟩: amplitude 1 in chunk 0 slot 0, zero elsewhere.
     pub fn create_zero_state(dir: &Path, l: u32, g: u32) -> std::io::Result<Self> {
-        let mut store = Self::create_filled(dir, l, g, c64::zero())?;
+        let mut store = Self::create_filled(dir, l, g, Complex::zero())?;
         let mut chunk0 = store.read_chunk(0)?;
-        chunk0[0] = c64::one();
+        chunk0[0] = Complex::one();
         store.write_chunk_from(0, &chunk0)?;
         Ok(store)
     }
 
     /// The uniform superposition (the supremacy starting state, §3.6).
+    /// The amplitude is computed with the same expression as
+    /// `StateVector::uniform_slice`, so the initial chunks are bitwise
+    /// equal to the in-memory engines' initial slices at every tier.
     pub fn create_uniform(dir: &Path, l: u32, g: u32) -> std::io::Result<Self> {
         let n = l + g;
-        let amp = 1.0 / ((1u64 << n) as f64).sqrt();
-        Self::create_filled(dir, l, g, c64::new(amp, 0.0))
+        let amp = R::ONE / R::from_usize(1usize << n).sqrt();
+        Self::create_filled(dir, l, g, Complex::new(amp, R::ZERO))
     }
 
     #[inline]
@@ -318,7 +339,7 @@ impl ChunkStore {
     }
 
     /// Read chunk `c` directly into a caller-owned buffer.
-    pub fn read_chunk_into(&mut self, c: usize, out: &mut [c64]) -> std::io::Result<()> {
+    pub fn read_chunk_into(&mut self, c: usize, out: &mut [Complex<R>]) -> std::io::Result<()> {
         assert!(c < self.n_chunks(), "chunk {c} out of range");
         assert_eq!(out.len(), self.chunk_len(), "chunk size mismatch");
         let t = Instant::now();
@@ -330,19 +351,19 @@ impl ChunkStore {
         // waited for all of it (pass-level IO instead attributes wait
         // through the reader/writer views).
         self.stats.io_wait_seconds += dt;
-        self.stats.bytes_read += (out.len() * 16) as u64;
+        self.stats.bytes_read += (out.len() * amp_bytes::<R>()) as u64;
         Ok(())
     }
 
     /// Read chunk `c` into a fresh `Vec` (testing convenience).
-    pub fn read_chunk(&mut self, c: usize) -> std::io::Result<Vec<c64>> {
-        let mut out = vec![c64::zero(); self.chunk_len()];
+    pub fn read_chunk(&mut self, c: usize) -> std::io::Result<Vec<Complex<R>>> {
+        let mut out = vec![Complex::<R>::zero(); self.chunk_len()];
         self.read_chunk_into(c, &mut out)?;
         Ok(out)
     }
 
     /// Overwrite chunk `c` from a caller-owned buffer.
-    pub fn write_chunk_from(&mut self, c: usize, amps: &[c64]) -> std::io::Result<()> {
+    pub fn write_chunk_from(&mut self, c: usize, amps: &[Complex<R>]) -> std::io::Result<()> {
         assert!(c < self.n_chunks(), "chunk {c} out of range");
         assert_eq!(amps.len(), self.chunk_len(), "chunk size mismatch");
         let t = Instant::now();
@@ -351,7 +372,7 @@ impl ChunkStore {
         let dt = t.elapsed().as_secs_f64();
         self.stats.write_seconds += dt;
         self.stats.io_wait_seconds += dt;
-        self.stats.bytes_written += (amps.len() * 16) as u64;
+        self.stats.bytes_written += (amps.len() * amp_bytes::<R>()) as u64;
         Ok(())
     }
 
@@ -364,7 +385,7 @@ impl ChunkStore {
         &mut self,
         c: usize,
         off: usize,
-        amps: &[c64],
+        amps: &[Complex<R>],
     ) -> std::io::Result<()> {
         assert!(off + amps.len() <= self.chunk_len());
         let t = Instant::now();
@@ -373,16 +394,16 @@ impl ChunkStore {
             .create(true)
             .truncate(false)
             .open(self.staged_path(c))?;
-        let want = (self.chunk_len() * 16) as u64;
+        let want = (self.chunk_len() * amp_bytes::<R>()) as u64;
         if f.metadata()?.len() < want {
             f.set_len(want)?;
         }
-        f.seek(SeekFrom::Start((off * 16) as u64))?;
+        f.seek(SeekFrom::Start((off * amp_bytes::<R>()) as u64))?;
         f.write_all(amps_as_bytes(amps))?;
         let dt = t.elapsed().as_secs_f64();
         self.stats.write_seconds += dt;
         self.stats.io_wait_seconds += dt;
-        self.stats.bytes_written += (amps.len() * 16) as u64;
+        self.stats.bytes_written += (amps.len() * amp_bytes::<R>()) as u64;
         Ok(())
     }
 
@@ -532,8 +553,8 @@ impl ChunkStore {
     }
 
     /// Load the full state into memory (small n; testing).
-    pub fn to_vec(&mut self) -> std::io::Result<Vec<c64>> {
-        let mut out = vec![c64::zero(); self.chunk_len() * self.n_chunks()];
+    pub fn to_vec(&mut self) -> std::io::Result<Vec<Complex<R>>> {
+        let mut out = vec![Complex::<R>::zero(); self.chunk_len() * self.n_chunks()];
         for c in 0..self.n_chunks() {
             let off = c * self.chunk_len();
             let span = &mut out[off..off + self.chunk_len()];
@@ -545,7 +566,7 @@ impl ChunkStore {
     /// A read view with its own file handles (one per chunk, opened
     /// eagerly) and local counters — safe to move onto a prefetch thread
     /// while a [`ChunkWriter`] writes other chunks of the same store.
-    pub fn reader(&self) -> std::io::Result<ChunkReader> {
+    pub fn reader(&self) -> std::io::Result<ChunkReader<R>> {
         let files = (0..self.n_chunks())
             .map(|c| File::open(self.chunk_path(c)))
             .collect::<std::io::Result<Vec<_>>>()?;
@@ -553,13 +574,14 @@ impl ChunkStore {
             files,
             chunk_len: self.chunk_len(),
             stats: IoStats::default(),
+            _precision: std::marker::PhantomData,
         })
     }
 
     /// A write view with its own live handles plus lazily created staged
     /// files. Cursor state is private to the view, so a writeback thread
     /// never races the reader's seeks.
-    pub fn writer(&self) -> std::io::Result<ChunkWriter> {
+    pub fn writer(&self) -> std::io::Result<ChunkWriter<R>> {
         let files = (0..self.n_chunks())
             .map(|c| OpenOptions::new().write(true).open(self.chunk_path(c)))
             .collect::<std::io::Result<Vec<_>>>()?;
@@ -569,28 +591,30 @@ impl ChunkStore {
             staged: (0..self.n_chunks()).map(|_| None).collect(),
             chunk_len: self.chunk_len(),
             stats: IoStats::default(),
+            _precision: std::marker::PhantomData,
         })
     }
 }
 
 /// Cached-handle read view of a [`ChunkStore`] (see
 /// [`ChunkStore::reader`]). Reads are zero-copy and allocation-free.
-pub struct ChunkReader {
+pub struct ChunkReader<R: Real = f64> {
     files: Vec<File>,
     chunk_len: usize,
     stats: IoStats,
+    _precision: std::marker::PhantomData<R>,
 }
 
-impl ChunkReader {
+impl<R: Real> ChunkReader<R> {
     /// Read chunk `c` into `out` through the cached handle.
-    pub fn read_into(&mut self, c: usize, out: &mut [c64]) -> std::io::Result<()> {
+    pub fn read_into(&mut self, c: usize, out: &mut [Complex<R>]) -> std::io::Result<()> {
         assert_eq!(out.len(), self.chunk_len, "chunk size mismatch");
         let t = Instant::now();
         let f = &mut self.files[c];
         f.seek(SeekFrom::Start(0))?;
         f.read_exact(amps_as_bytes_mut(out))?;
         self.stats.read_seconds += t.elapsed().as_secs_f64();
-        self.stats.bytes_read += (out.len() * 16) as u64;
+        self.stats.bytes_read += (out.len() * amp_bytes::<R>()) as u64;
         Ok(())
     }
 
@@ -603,24 +627,25 @@ impl ChunkReader {
 /// [`ChunkStore::writer`]). Live-chunk writes are zero-copy and
 /// allocation-free; the first staged write per chunk creates the shadow
 /// file (once per all-to-all pass).
-pub struct ChunkWriter {
+pub struct ChunkWriter<R: Real = f64> {
     files: Vec<File>,
     staged_paths: Vec<PathBuf>,
     staged: Vec<Option<File>>,
     chunk_len: usize,
     stats: IoStats,
+    _precision: std::marker::PhantomData<R>,
 }
 
-impl ChunkWriter {
+impl<R: Real> ChunkWriter<R> {
     /// Overwrite live chunk `c` through the cached handle.
-    pub fn write_chunk_from(&mut self, c: usize, amps: &[c64]) -> std::io::Result<()> {
+    pub fn write_chunk_from(&mut self, c: usize, amps: &[Complex<R>]) -> std::io::Result<()> {
         assert_eq!(amps.len(), self.chunk_len, "chunk size mismatch");
         let t = Instant::now();
         let f = &mut self.files[c];
         f.seek(SeekFrom::Start(0))?;
         f.write_all(amps_as_bytes(amps))?;
         self.stats.write_seconds += t.elapsed().as_secs_f64();
-        self.stats.bytes_written += (amps.len() * 16) as u64;
+        self.stats.bytes_written += (amps.len() * amp_bytes::<R>()) as u64;
         Ok(())
     }
 
@@ -630,7 +655,7 @@ impl ChunkWriter {
         &mut self,
         c: usize,
         off: usize,
-        amps: &[c64],
+        amps: &[Complex<R>],
     ) -> std::io::Result<()> {
         assert!(off + amps.len() <= self.chunk_len);
         let t = Instant::now();
@@ -640,7 +665,7 @@ impl ChunkWriter {
                 .create(true)
                 .truncate(false)
                 .open(&self.staged_paths[c])?;
-            f.set_len((self.chunk_len * 16) as u64)?;
+            f.set_len((self.chunk_len * amp_bytes::<R>()) as u64)?;
             self.staged[c] = Some(f);
         }
         // The slot was just populated above, but a pipeline writeback
@@ -649,10 +674,10 @@ impl ChunkWriter {
         let f = self.staged[c].as_mut().ok_or_else(|| {
             std::io::Error::other(format!("staged handle for chunk {c} missing after open"))
         })?;
-        f.seek(SeekFrom::Start((off * 16) as u64))?;
+        f.seek(SeekFrom::Start((off * amp_bytes::<R>()) as u64))?;
         f.write_all(amps_as_bytes(amps))?;
         self.stats.write_seconds += t.elapsed().as_secs_f64();
-        self.stats.bytes_written += (amps.len() * 16) as u64;
+        self.stats.bytes_written += (amps.len() * amp_bytes::<R>()) as u64;
         Ok(())
     }
 
@@ -665,6 +690,7 @@ impl ChunkWriter {
 mod tests {
     use super::*;
     use crate::scratch::ScratchDir;
+    use qsim_util::c64;
 
     #[test]
     fn create_read_write_round_trip() {
@@ -686,7 +712,7 @@ mod tests {
     #[test]
     fn uniform_state_norm() {
         let dir = ScratchDir::new("store_uniform");
-        let mut store = ChunkStore::create_uniform(dir.path(), 5, 2).unwrap();
+        let mut store = ChunkStore::<f64>::create_uniform(dir.path(), 5, 2).unwrap();
         let v = store.to_vec().unwrap();
         let norm: f64 = v.iter().map(|a| a.norm_sqr()).sum();
         assert!((norm - 1.0).abs() < 1e-12);
@@ -749,7 +775,7 @@ mod tests {
 
     #[test]
     fn buffer_pool_reuses_and_counts() {
-        let mut pool = BufferPool::new(32);
+        let mut pool = BufferPool::<f64>::new(32);
         pool.prewarm(2);
         assert_eq!(pool.allocs(), 2);
         let a = pool.get();

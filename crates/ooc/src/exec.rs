@@ -43,14 +43,15 @@ use crate::pipeline::{run_pass, PassConfig};
 use qsim_core::checkpoint::{schedule_fingerprint, Manifest, MANIFEST_VERSION};
 use qsim_core::dist::{apply_rank_diagonal_amps, physical_to_logical, slots_to_top_permutation};
 use qsim_core::exec::{compile_stages, execute_compiled_stage, resolve_tile_qubits};
-use qsim_kernels::apply::{apply_gate, KernelConfig, OptLevel};
+use qsim_kernels::apply::{apply_gate, ApplyDispatch, KernelConfig, OptLevel};
 use qsim_kernels::parallel::par_gather;
 use qsim_kernels::specialized;
-use qsim_kernels::SweepStats;
+use qsim_kernels::{SweepDispatch, SweepStats};
 use qsim_sched::{plan_runs, Schedule, StageOp, StageRun, SwapOp};
 use qsim_telemetry::{Telemetry, TrackHandle};
 use qsim_util::align::AlignedVec;
-use qsim_util::c64;
+use qsim_util::complex::Complex;
+use qsim_util::Real;
 use std::path::Path;
 
 /// Out-of-core engine configuration. The default is the full pipeline;
@@ -188,22 +189,24 @@ pub struct OocOutcome {
 }
 
 /// The out-of-core engine. Owns the buffer pools, so repeated runs over
-/// the same geometry are allocation-free after the first.
-pub struct OocSimulator {
+/// the same geometry are allocation-free after the first. Generic over
+/// the working precision `R`; the default `f64` preserves the original
+/// data path byte for byte.
+pub struct OocSimulator<R: SweepDispatch = f64> {
     pub config: OocConfig,
-    chunk_pool: BufferPool,
-    wire_pool: BufferPool,
+    chunk_pool: BufferPool<R>,
+    wire_pool: BufferPool<R>,
     /// Double-buffer for the unpermute pass (the `+1` chunk buffer).
-    scratch: Option<AlignedVec<c64>>,
+    scratch: Option<AlignedVec<Complex<R>>>,
 }
 
-impl Default for OocSimulator {
+impl<R: SweepDispatch> Default for OocSimulator<R> {
     fn default() -> Self {
         Self::new(OocConfig::default())
     }
 }
 
-impl OocSimulator {
+impl<R: SweepDispatch> OocSimulator<R> {
     pub fn new(config: OocConfig) -> Self {
         Self {
             config,
@@ -267,8 +270,14 @@ impl OocSimulator {
                     let _s = track.span("resume.validate");
                     match Manifest::load(dir)? {
                         Some(m) => {
-                            let point =
-                                m.validate("ooc", schedule, init_uniform, total_passes, 1 << g)?;
+                            let point = m.validate(
+                                "ooc",
+                                schedule,
+                                R::NAME,
+                                init_uniform,
+                                total_passes,
+                                1 << g,
+                            )?;
                             let store = ChunkStore::open_verified(dir, l, g, &m.digests)?;
                             Some((store, point.next_unit))
                         }
@@ -443,6 +452,11 @@ impl OocSimulator {
             io.publish_into(m, "ooc.io");
             sweep.publish_into(m, "ooc.sweep");
             m.gauge_set("ooc.sim_seconds", sim_seconds);
+            m.gauge_set(
+                "ooc.bytes_per_amp",
+                std::mem::size_of::<Complex<R>>() as f64,
+            );
+            m.gauge_set("ooc.precision_bits", (R::BYTES * 8) as f64);
             m.counter_add("ooc.runs", runs.len() as u64);
         }
         Ok(OocOutcome {
@@ -462,11 +476,11 @@ impl OocSimulator {
         dir: &Path,
         schedule: &Schedule,
         init_uniform: bool,
-    ) -> std::io::Result<(OocOutcome, Vec<c64>)> {
+    ) -> std::io::Result<(OocOutcome, Vec<Complex<R>>)> {
         let outcome = self.run(dir, schedule, init_uniform)?;
         let l = schedule.local_qubits;
         let g = schedule.n_qubits - l;
-        let mut store = ChunkStore::open(dir, l, g)?;
+        let mut store = ChunkStore::<R>::open(dir, l, g)?;
         let physical = store.to_vec()?;
         let logical = physical_to_logical(&physical, schedule.final_mapping());
         Ok((outcome, logical))
@@ -489,7 +503,7 @@ impl OocSimulator {
     #[allow(clippy::too_many_arguments)]
     fn external_swap(
         &mut self,
-        store: &mut ChunkStore,
+        store: &mut ChunkStore<R>,
         swap: &SwapOp,
         run_index: usize,
         depth: usize,
@@ -599,13 +613,13 @@ impl OocSimulator {
 }
 
 /// Create a fresh chunk store in the engine's initial state.
-fn create_store(
+fn create_store<R: Real>(
     dir: &Path,
     l: u32,
     g: u32,
     init_uniform: bool,
     track: &TrackHandle,
-) -> std::io::Result<ChunkStore> {
+) -> std::io::Result<ChunkStore<R>> {
     let _s = track.span("init");
     if init_uniform {
         ChunkStore::create_uniform(dir, l, g)
@@ -645,8 +659,8 @@ impl CkptCtx<'_> {
 /// recoverable (see [`CrashPoint`]): before the manifest flips the old
 /// generation is intact and named; after, `open_verified` rolls the
 /// staged files forward by digest.
-fn checkpoint_pass(
-    store: &mut ChunkStore,
+fn checkpoint_pass<R: Real>(
+    store: &mut ChunkStore<R>,
     ck: &CkptCtx,
     pass: usize,
     track: &TrackHandle,
@@ -664,6 +678,7 @@ fn checkpoint_pass(
         schedule_hash: ck.schedule_hash,
         n_qubits: ck.n_qubits,
         local_qubits: ck.local_qubits,
+        precision: R::NAME.to_string(),
         init_uniform: ck.init_uniform,
         rng_seed: 0,
         next_unit: pass + 1,
@@ -678,11 +693,12 @@ fn checkpoint_pass(
 }
 
 /// Sequential norm/entropy partial over one chunk — the same fold order
-/// as one rank of the distributed engine.
-fn reduce_chunk(buf: &[c64]) -> (f64, f64) {
+/// as one rank of the distributed engine (per-amplitude `|a|²` computed
+/// at the working precision, accumulated in f64).
+fn reduce_chunk<R: Real>(buf: &[Complex<R>]) -> (f64, f64) {
     let (mut norm, mut entropy) = (0.0f64, 0.0f64);
     for a in buf.iter() {
-        let p = a.norm_sqr();
+        let p = a.norm_sqr().to_f64();
         norm += p;
         if p > 0.0 {
             entropy -= p * p.log2();
@@ -705,8 +721,8 @@ fn tree_sum(mut v: Vec<f64>) -> f64 {
 /// distributed rank loop's (diagonal fused clusters go through the
 /// specialized diagonal kernel, not a dense apply) so per-gate OOC and
 /// per-gate dist runs are bitwise equal.
-fn apply_ops_per_gate(
-    buf: &mut [c64],
+fn apply_ops_per_gate<R: Real + ApplyDispatch>(
+    buf: &mut [Complex<R>],
     ops: &[StageOp],
     chunk: usize,
     l: u32,
@@ -715,8 +731,11 @@ fn apply_ops_per_gate(
     for op in ops {
         match op {
             StageOp::Cluster(cl) => match cl.matrix.as_diagonal() {
-                Some(diag) => specialized::apply_diagonal(buf, &cl.qubits, &diag),
-                None => apply_gate(buf, &cl.qubits, &cl.matrix, kernel),
+                Some(diag) => {
+                    let diag: Vec<Complex<R>> = diag.iter().map(|a| a.convert()).collect();
+                    specialized::apply_diagonal(buf, &cl.qubits, &diag)
+                }
+                None => apply_gate(buf, &cl.qubits, &cl.matrix.convert::<R>(), kernel),
             },
             StageOp::Diagonal(d) => apply_rank_diagonal_amps(buf, d, chunk, l),
         }
@@ -730,6 +749,7 @@ mod tests {
     use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
     use qsim_core::single::{strip_initial_hadamards, SingleNodeSimulator};
     use qsim_sched::{plan, segment_stages, SchedulerConfig};
+    use qsim_util::c64;
     use qsim_util::complex::max_dist;
 
     #[test]
@@ -747,7 +767,7 @@ mod tests {
             let schedule = plan(&exec, &SchedulerConfig::distributed(l, 3));
             schedule.verify(&exec);
             let dir = ScratchDir::new("match");
-            let mut sim = OocSimulator::sequential();
+            let mut sim = OocSimulator::<f64>::sequential();
             let (out, state) = sim.run_gather(dir.path(), &schedule, uniform).unwrap();
             assert!(
                 max_dist(&state, single.state.amplitudes()) < 1e-10,
@@ -779,7 +799,7 @@ mod tests {
         let swaps = seg.n_swaps() as u64;
 
         let dir = ScratchDir::new("runs");
-        let mut sim = OocSimulator::sequential();
+        let mut sim = OocSimulator::<f64>::sequential();
         let (out, state) = sim.run_gather(dir.path(), &seg, uniform).unwrap();
         assert_eq!(out.runs, swaps as usize + 1, "runs = swap boundaries + 1");
         // Traversals: one per run + 2 per swap (scatter + unpermute), or
@@ -799,7 +819,8 @@ mod tests {
         // Without batching, the same segmented schedule pays one
         // traversal per stage.
         let dir2 = ScratchDir::new("runs_sync");
-        let mut sync = OocSimulator::new(OocConfig::sync_baseline(KernelConfig::sequential()));
+        let mut sync =
+            OocSimulator::<f64>::new(OocConfig::sync_baseline(KernelConfig::sequential()));
         let out2 = sync.run(dir2.path(), &seg, uniform).unwrap();
         assert_eq!(out2.runs, seg.stages.len());
         assert!(out2.io.traversals > out.io.traversals);
@@ -817,14 +838,14 @@ mod tests {
         let (exec, uniform) = strip_initial_hadamards(&c);
         let schedule = plan(&exec, &SchedulerConfig::distributed(6, 3));
         let dir = ScratchDir::new("bit_sync");
-        let mut sync = OocSimulator::new(OocConfig {
+        let mut sync = OocSimulator::<f64>::new(OocConfig {
             pipeline: false,
             ..OocConfig::sequential()
         });
         let (_, oracle) = sync.run_gather(dir.path(), &schedule, uniform).unwrap();
         for depth in [1usize, 2, 4] {
             let dir = ScratchDir::new("bit_pipe");
-            let mut sim = OocSimulator::new(OocConfig {
+            let mut sim = OocSimulator::<f64>::new(OocConfig {
                 prefetch_depth: depth,
                 ..OocConfig::sequential()
             });
@@ -850,7 +871,7 @@ mod tests {
         let (exec, uniform) = strip_initial_hadamards(&c);
         let schedule = plan(&exec, &SchedulerConfig::distributed(10, 4));
         let dir = ScratchDir::new("traffic");
-        let mut sim = OocSimulator::sequential();
+        let mut sim = OocSimulator::<f64>::sequential();
         let out = sim.run(dir.path(), &schedule, uniform).unwrap();
         let state_bytes = (1u64 << 12) * 16;
         // Budget: init write + per-run stream (r+w) + per-swap fused
@@ -877,7 +898,7 @@ mod tests {
         });
         let (exec, uniform) = strip_initial_hadamards(&c);
         let schedule = plan(&exec, &SchedulerConfig::distributed(4, 3));
-        let mut sim = OocSimulator::sequential();
+        let mut sim = OocSimulator::<f64>::sequential();
         let dir = ScratchDir::new("pool_a");
         let first = sim.run(dir.path(), &schedule, uniform).unwrap();
         let dir = ScratchDir::new("pool_b");
@@ -895,7 +916,7 @@ mod tests {
         circ.t(0).cz(0, 3);
         let schedule = plan(&circ, &SchedulerConfig::distributed(3, 2));
         let dir = ScratchDir::new("zero");
-        let mut sim = OocSimulator::sequential();
+        let mut sim = OocSimulator::<f64>::sequential();
         let (out, state) = sim.run_gather(dir.path(), &schedule, false).unwrap();
         assert!((state[0] - c64::one()).abs() < 1e-12);
         assert!((out.norm - 1.0).abs() < 1e-12);

@@ -35,11 +35,12 @@ use crate::chunkstore::{BufferPool, ChunkStore, IoStats};
 use parking_lot::{Condvar, Mutex};
 use qsim_telemetry::{Telemetry, TrackHandle};
 use qsim_util::align::AlignedVec;
-use qsim_util::c64;
+use qsim_util::complex::Complex;
+use qsim_util::Real;
 use std::collections::VecDeque;
 use std::time::Instant;
 
-type Buf = AlignedVec<c64>;
+type Buf<R> = AlignedVec<Complex<R>>;
 
 /// A bounded MPMC channel with close semantics and blocked-time
 /// accounting. Storage is preallocated to `cap`; `push`/`pop` return the
@@ -131,36 +132,36 @@ impl<T> Pipe<T> {
 }
 
 /// A writeback request.
-enum WbItem {
+enum WbItem<R: Real> {
     /// Overwrite live chunk `c` with `buf`, then recycle `buf` as a
     /// chunk buffer.
-    Chunk { c: usize, buf: Buf },
+    Chunk { c: usize, buf: Buf<R> },
     /// Write `buf` at piece-offset `off` of chunk `c`'s staged file,
     /// then recycle `buf` as a wire buffer.
-    Staged { c: usize, off: usize, buf: Buf },
+    Staged { c: usize, off: usize, buf: Buf<R> },
     /// Write `buf` as the complete staged contents of chunk `c`, then
     /// recycle `buf` as a chunk buffer (checkpointed passes, where live
     /// chunks must stay untouched until the manifest is durable).
-    StagedChunk { c: usize, buf: Buf },
+    StagedChunk { c: usize, buf: Buf<R> },
 }
 
 /// The compute closure's handle on the pass: where finished chunks go
 /// and where staging buffers come from. One implementation per mode so
 /// the same closure body drives both the synchronous baseline and the
 /// pipeline.
-pub(crate) trait PassSink {
+pub(crate) trait PassSink<R: Real> {
     /// Retire `buf` as the new contents of live chunk `c`.
-    fn write_chunk(&mut self, c: usize, buf: Buf) -> std::io::Result<()>;
+    fn write_chunk(&mut self, c: usize, buf: Buf<R>) -> std::io::Result<()>;
     /// Stage `buf` at `[off, off+len)` of chunk `c`'s shadow file.
-    fn write_staged(&mut self, c: usize, off: usize, buf: Buf) -> std::io::Result<()>;
+    fn write_staged(&mut self, c: usize, off: usize, buf: Buf<R>) -> std::io::Result<()>;
     /// Stage `buf` as the complete shadow contents of chunk `c`; the
     /// live chunk is left untouched (crash-consistent checkpoint passes
     /// commit the whole generation only after the manifest is durable).
-    fn write_chunk_staged(&mut self, c: usize, buf: Buf) -> std::io::Result<()>;
+    fn write_chunk_staged(&mut self, c: usize, buf: Buf<R>) -> std::io::Result<()>;
     /// Return a chunk buffer without writing it (scatter sources).
-    fn recycle_chunk(&mut self, buf: Buf);
+    fn recycle_chunk(&mut self, buf: Buf<R>);
     /// Acquire a wire buffer (piece-sized staging).
-    fn take_wire(&mut self) -> std::io::Result<Buf>;
+    fn take_wire(&mut self) -> std::io::Result<Buf<R>>;
 }
 
 /// Pass-shape knobs, derived from the engine config.
@@ -183,15 +184,15 @@ pub(crate) struct PassConfig {
 /// and must hand the buffer back through the sink (as a live write or a
 /// recycle). IO counters, wait/compute split and the traversal count
 /// are absorbed into the store's stats.
-pub(crate) fn run_pass<F>(
-    store: &mut ChunkStore,
-    chunk_pool: &mut BufferPool,
-    wire_pool: &mut BufferPool,
+pub(crate) fn run_pass<R: Real, F>(
+    store: &mut ChunkStore<R>,
+    chunk_pool: &mut BufferPool<R>,
+    wire_pool: &mut BufferPool<R>,
     cfg: &PassConfig,
     compute: F,
 ) -> std::io::Result<()>
 where
-    F: FnMut(usize, Buf, &mut dyn PassSink) -> std::io::Result<()>,
+    F: FnMut(usize, Buf<R>, &mut dyn PassSink<R>) -> std::io::Result<()>,
 {
     if cfg.pipelined {
         run_pipelined(store, chunk_pool, wire_pool, cfg, compute)
@@ -203,16 +204,16 @@ where
 /// Synchronous baseline: read → compute → write inline. All IO time is
 /// exposed to the compute loop, so `io_wait_seconds` ≈ raw IO time and
 /// `overlap_fraction` ≈ 0.
-struct SyncSink<'a> {
-    writer: crate::chunkstore::ChunkWriter,
-    chunk_pool: &'a mut BufferPool,
-    wire_pool: &'a mut BufferPool,
+struct SyncSink<'a, R: Real> {
+    writer: crate::chunkstore::ChunkWriter<R>,
+    chunk_pool: &'a mut BufferPool<R>,
+    wire_pool: &'a mut BufferPool<R>,
     io_wait: f64,
     track: TrackHandle,
 }
 
-impl PassSink for SyncSink<'_> {
-    fn write_chunk(&mut self, c: usize, buf: Buf) -> std::io::Result<()> {
+impl<R: Real> PassSink<R> for SyncSink<'_, R> {
+    fn write_chunk(&mut self, c: usize, buf: Buf<R>) -> std::io::Result<()> {
         let _s = self.track.span_timed("write", c as u64, "chunk_io_ns");
         let t = Instant::now();
         let r = self.writer.write_chunk_from(c, &buf);
@@ -221,7 +222,7 @@ impl PassSink for SyncSink<'_> {
         r
     }
 
-    fn write_staged(&mut self, c: usize, off: usize, buf: Buf) -> std::io::Result<()> {
+    fn write_staged(&mut self, c: usize, off: usize, buf: Buf<R>) -> std::io::Result<()> {
         let _s = self
             .track
             .span_timed("write staged", c as u64, "chunk_io_ns");
@@ -232,7 +233,7 @@ impl PassSink for SyncSink<'_> {
         r
     }
 
-    fn write_chunk_staged(&mut self, c: usize, buf: Buf) -> std::io::Result<()> {
+    fn write_chunk_staged(&mut self, c: usize, buf: Buf<R>) -> std::io::Result<()> {
         let _s = self
             .track
             .span_timed("write staged", c as u64, "chunk_io_ns");
@@ -243,24 +244,24 @@ impl PassSink for SyncSink<'_> {
         r
     }
 
-    fn recycle_chunk(&mut self, buf: Buf) {
+    fn recycle_chunk(&mut self, buf: Buf<R>) {
         self.chunk_pool.put(buf);
     }
 
-    fn take_wire(&mut self) -> std::io::Result<Buf> {
+    fn take_wire(&mut self) -> std::io::Result<Buf<R>> {
         Ok(self.wire_pool.get())
     }
 }
 
-fn run_sync<F>(
-    store: &mut ChunkStore,
-    chunk_pool: &mut BufferPool,
-    wire_pool: &mut BufferPool,
+fn run_sync<R: Real, F>(
+    store: &mut ChunkStore<R>,
+    chunk_pool: &mut BufferPool<R>,
+    wire_pool: &mut BufferPool<R>,
     cfg: &PassConfig,
     mut compute: F,
 ) -> std::io::Result<()>
 where
-    F: FnMut(usize, Buf, &mut dyn PassSink) -> std::io::Result<()>,
+    F: FnMut(usize, Buf<R>, &mut dyn PassSink<R>) -> std::io::Result<()>,
 {
     let n = store.n_chunks();
     let mut reader = store.reader()?;
@@ -308,14 +309,14 @@ where
 
 /// Pipelined sink: writes become enqueues; the writeback thread recycles
 /// buffers into the free pipes.
-struct PipeSink<'a> {
-    wb: &'a Pipe<WbItem>,
-    wire_free: &'a Pipe<Buf>,
+struct PipeSink<'a, R: Real> {
+    wb: &'a Pipe<WbItem<R>>,
+    wire_free: &'a Pipe<Buf<R>>,
     io_wait: f64,
 }
 
-impl PassSink for PipeSink<'_> {
-    fn write_chunk(&mut self, c: usize, buf: Buf) -> std::io::Result<()> {
+impl<R: Real> PassSink<R> for PipeSink<'_, R> {
+    fn write_chunk(&mut self, c: usize, buf: Buf<R>) -> std::io::Result<()> {
         // The wb pipe only closes after the compute loop finishes, so
         // these pushes are never rejected.
         let (_, blocked) = self.wb.push(WbItem::Chunk { c, buf });
@@ -323,19 +324,19 @@ impl PassSink for PipeSink<'_> {
         Ok(())
     }
 
-    fn write_staged(&mut self, c: usize, off: usize, buf: Buf) -> std::io::Result<()> {
+    fn write_staged(&mut self, c: usize, off: usize, buf: Buf<R>) -> std::io::Result<()> {
         let (_, blocked) = self.wb.push(WbItem::Staged { c, off, buf });
         self.io_wait += blocked;
         Ok(())
     }
 
-    fn write_chunk_staged(&mut self, c: usize, buf: Buf) -> std::io::Result<()> {
+    fn write_chunk_staged(&mut self, c: usize, buf: Buf<R>) -> std::io::Result<()> {
         let (_, blocked) = self.wb.push(WbItem::StagedChunk { c, buf });
         self.io_wait += blocked;
         Ok(())
     }
 
-    fn recycle_chunk(&mut self, buf: Buf) {
+    fn recycle_chunk(&mut self, buf: Buf<R>) {
         // Route through the writeback thread so ordering with in-flight
         // writes is preserved and the push never blocks (wb capacity
         // covers every buffer in existence).
@@ -343,7 +344,7 @@ impl PassSink for PipeSink<'_> {
         self.io_wait += blocked;
     }
 
-    fn take_wire(&mut self) -> std::io::Result<Buf> {
+    fn take_wire(&mut self) -> std::io::Result<Buf<R>> {
         let (buf, blocked) = self.wire_free.pop();
         self.io_wait += blocked;
         buf.ok_or_else(|| std::io::Error::other("pipeline aborted: wire pool closed"))
@@ -357,15 +358,15 @@ fn set_err(slot: &Mutex<Option<std::io::Error>>, e: std::io::Error) {
     }
 }
 
-fn run_pipelined<F>(
-    store: &mut ChunkStore,
-    chunk_pool: &mut BufferPool,
-    wire_pool: &mut BufferPool,
+fn run_pipelined<R: Real, F>(
+    store: &mut ChunkStore<R>,
+    chunk_pool: &mut BufferPool<R>,
+    wire_pool: &mut BufferPool<R>,
     cfg: &PassConfig,
     mut compute: F,
 ) -> std::io::Result<()>
 where
-    F: FnMut(usize, Buf, &mut dyn PassSink) -> std::io::Result<()>,
+    F: FnMut(usize, Buf<R>, &mut dyn PassSink<R>) -> std::io::Result<()>,
 {
     let n = store.n_chunks();
     let depth = cfg.depth.max(1);
@@ -375,10 +376,10 @@ where
     // Capacities are sized so no pipe can ever reject a buffer that
     // exists: `depth + 1` chunk buffers circulate (+1 for a compute-held
     // scratch, see the unpermute pass), `cfg.wires` wire buffers.
-    let chunk_free = Pipe::<Buf>::new(depth + 1);
-    let full = Pipe::<(usize, Buf)>::new(depth + 1);
-    let wb = Pipe::<WbItem>::new(depth + 1 + cfg.wires.max(1));
-    let wire_free = Pipe::<Buf>::new(cfg.wires.max(1));
+    let chunk_free = Pipe::<Buf<R>>::new(depth + 1);
+    let full = Pipe::<(usize, Buf<R>)>::new(depth + 1);
+    let wb = Pipe::<WbItem<R>>::new(depth + 1 + cfg.wires.max(1));
+    let wire_free = Pipe::<Buf<R>>::new(cfg.wires.max(1));
     for _ in 0..depth {
         chunk_free.push(chunk_pool.get());
     }
@@ -395,7 +396,7 @@ where
         let prefetch = s.spawn(|| {
             let track = cfg.telemetry.track("ooc.prefetch");
             let mut reader = reader;
-            let mut stranded: Vec<Buf> = Vec::new();
+            let mut stranded: Vec<Buf<R>> = Vec::new();
             for c in 0..n {
                 let (buf, _) = chunk_free.pop();
                 let Some(mut buf) = buf else { break };
@@ -420,7 +421,7 @@ where
         let writeback = s.spawn(|| {
             let track = cfg.telemetry.track("ooc.writeback");
             let mut writer = writer;
-            let mut stranded: Vec<Buf> = Vec::new();
+            let mut stranded: Vec<Buf<R>> = Vec::new();
             loop {
                 let (item, _) = wb.pop();
                 match item {
@@ -546,6 +547,7 @@ mod tests {
     use super::*;
     use crate::chunkstore::ChunkStore;
     use crate::scratch::ScratchDir;
+    use qsim_util::c64;
 
     #[test]
     fn pipe_is_fifo_and_bounded() {

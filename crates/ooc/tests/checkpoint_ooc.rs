@@ -146,6 +146,28 @@ fn resume_rejects_a_foreign_manifest() {
 }
 
 #[test]
+fn resume_rejects_cross_precision_manifests() {
+    let (_, schedule, uniform) = planned(6, 3);
+    // Publish f64 checkpoints, then point an f32 engine at the same
+    // store: the chunk files hold raw f64 amplitude bytes, so resuming
+    // at another precision must fail up front.
+    let dir = ScratchDir::new("ooc_ckpt_prec");
+    let mut sim = ckpt_sim(true, OocCheckpoint::new());
+    sim.run(dir.path(), &schedule, uniform).unwrap();
+    let mut sim32 = OocSimulator::<f32>::new(OocConfig {
+        checkpoint: Some(OocCheckpoint::resume()),
+        ..OocConfig::sequential()
+    });
+    let err = sim32
+        .run(dir.path(), &schedule, uniform)
+        .expect_err("cross-precision resume must be rejected");
+    assert!(
+        err.to_string().contains("precision"),
+        "unhelpful error: {err}"
+    );
+}
+
+#[test]
 fn resume_without_a_manifest_is_a_fresh_start() {
     let (_, schedule, uniform) = planned(6, 3);
     let (expect, _) = oracle(&schedule, uniform);

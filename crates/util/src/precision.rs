@@ -46,6 +46,10 @@ pub trait Real:
     /// Bytes occupied by one scalar (8 for f64, 4 for f32); a complex
     /// amplitude takes `2 * BYTES`.
     const BYTES: usize;
+    /// Canonical precision name (`"f64"` / `"f32"`) — recorded in
+    /// checkpoint manifests and telemetry so artifacts from different
+    /// tiers are never silently mixed.
+    const NAME: &'static str;
 
     /// Fused multiply-add: `self * a + b` with a single rounding.
     fn mul_add(self, a: Self, b: Self) -> Self;
@@ -59,6 +63,12 @@ pub trait Real:
     fn powi(self, n: i32) -> Self;
     fn from_f64(v: f64) -> Self;
     fn to_f64(self) -> f64;
+    /// Raw IEEE-754 bit pattern, zero-extended to 64 bits (an f32
+    /// occupies the low 32). Exact — the basis of bit-stable snapshot
+    /// digests, which must never round-trip through a wider type.
+    fn to_bits_u64(self) -> u64;
+    /// Inverse of [`Real::to_bits_u64`]; high bits are ignored for f32.
+    fn from_bits_u64(bits: u64) -> Self;
     fn from_usize(v: usize) -> Self;
     fn is_finite(self) -> bool;
     fn max_val(self, other: Self) -> Self;
@@ -70,7 +80,7 @@ pub trait Real:
 }
 
 macro_rules! impl_real {
-    ($t:ty, $pi:expr, $f1s2:expr, $bytes:expr) => {
+    ($t:ty, $pi:expr, $f1s2:expr, $bytes:expr, $name:expr) => {
         impl Real for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -78,6 +88,7 @@ macro_rules! impl_real {
             const HALF: Self = 0.5;
             const EPSILON: Self = <$t>::EPSILON;
             const BYTES: usize = $bytes;
+            const NAME: &'static str = $name;
 
             #[inline(always)]
             fn mul_add(self, a: Self, b: Self) -> Self {
@@ -124,6 +135,14 @@ macro_rules! impl_real {
                 self as f64
             }
             #[inline(always)]
+            fn to_bits_u64(self) -> u64 {
+                <$t>::to_bits(self) as u64
+            }
+            #[inline(always)]
+            fn from_bits_u64(bits: u64) -> Self {
+                <$t>::from_bits(bits as _)
+            }
+            #[inline(always)]
             fn from_usize(v: usize) -> Self {
                 v as $t
             }
@@ -155,13 +174,15 @@ impl_real!(
     f64,
     core::f64::consts::PI,
     core::f64::consts::FRAC_1_SQRT_2,
-    8
+    8,
+    "f64"
 );
 impl_real!(
     f32,
     core::f32::consts::PI,
     core::f32::consts::FRAC_1_SQRT_2,
-    4
+    4,
+    "f32"
 );
 
 #[cfg(test)]
@@ -200,5 +221,18 @@ mod tests {
     fn min_max_behave() {
         assert_eq!(1.0f64.max_val(2.0), 2.0);
         assert_eq!(1.0f64.min_val(2.0), 1.0);
+    }
+
+    #[test]
+    fn bit_patterns_round_trip_exactly() {
+        assert_eq!(f64::NAME, "f64");
+        assert_eq!(f32::NAME, "f32");
+        for v in [0.0f64, -0.0, 1.5, f64::EPSILON, -1e300] {
+            assert_eq!(f64::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+        }
+        for v in [0.0f32, -0.0, 1.5, f32::EPSILON, -1e30] {
+            assert_eq!(f32::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+            assert!(v.to_bits_u64() <= u32::MAX as u64, "zero-extended");
+        }
     }
 }

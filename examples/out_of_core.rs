@@ -47,7 +47,7 @@ fn main() {
     );
 
     let dir = ScratchDir::new("demo");
-    let mut sim = OocSimulator::default();
+    let mut sim = OocSimulator::<f64>::default();
     let out = sim
         .run(dir.path(), &schedule, uniform)
         .expect("out-of-core run failed");

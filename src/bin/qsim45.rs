@@ -3,7 +3,7 @@
 //! ```text
 //! qsim45 plan   --rows 9 --cols 5 --depth 25 --local 30 [--kmax 4]
 //! qsim45 run    --rows 4 --cols 5 --depth 25 [--ranks 4] [--backend mem|ooc]
-//!               [--checkpoint-dir DIR [--resume]]
+//!               [--precision f64|f32] [--checkpoint-dir DIR [--resume]]
 //!               [--trace-out trace.json] [--metrics-out metrics.json]
 //! qsim45 sample --rows 4 --cols 4 --depth 25 --shots 16
 //! qsim45 kernels [--state-qubits 22]
@@ -11,6 +11,12 @@
 //!
 //! `plan` works at the paper's full scale (pure pre-computation); `run`
 //! allocates amplitudes and should stay ≤ ~26 qubits on a laptop.
+//!
+//! `--precision f32` runs the whole hot path — compiled stages, swap
+//! wire format, OOC chunk files — in single precision (§5 of the
+//! paper: half the bytes per amplitude end to end). The default `f64`
+//! path is bit-identical to the pre-tiering engine. Checkpoints record
+//! the precision; resuming across precisions is rejected.
 //!
 //! `--checkpoint-dir` makes the run crash-recoverable: every engine
 //! publishes an atomic manifest per completed unit of work (stage,
@@ -29,6 +35,7 @@ use qsim45::core::observables::sample_bitstrings;
 use qsim45::core::single::strip_initial_hadamards;
 use qsim45::core::{DistConfig, DistSimulator, SingleCheckpoint, SingleNodeSimulator};
 use qsim45::kernels::apply::KernelConfig;
+use qsim45::kernels::SweepDispatch;
 use qsim45::sched::{global_gate_count, plan, SchedulerConfig};
 use qsim45::telemetry::Telemetry;
 use qsim45::util::Xoshiro256;
@@ -44,7 +51,7 @@ fn main() {
             eprintln!("usage: qsim45 <plan|run|sample|kernels> [options]");
             eprintln!("  plan   --rows R --cols C --depth D --local L [--kmax K]");
             eprintln!("  run    --rows R --cols C --depth D [--ranks N] [--backend mem|ooc]");
-            eprintln!("         [--checkpoint-dir DIR [--resume]]");
+            eprintln!("         [--precision f64|f32] [--checkpoint-dir DIR [--resume]]");
             eprintln!("  sample --rows R --cols C --depth D [--shots S] [--seed X]");
             eprintln!("  kernels [--state-qubits N]");
             std::process::exit(2);
@@ -142,6 +149,19 @@ fn cmd_plan() {
 }
 
 fn cmd_run() {
+    match arg_str("--precision", "f64").as_str() {
+        "f64" => run_at::<f64>(),
+        "f32" => run_at::<f32>(),
+        other => {
+            eprintln!("bad --precision '{other}' (expected f64 or f32)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `run` subcommand at working precision `R` — one code path for
+/// both tiers; `R = f64` is bit-identical to the pre-tiering driver.
+fn run_at<R: SweepDispatch>() {
     let s = spec();
     let n = s.n_qubits();
     assert!(
@@ -170,16 +190,18 @@ fn cmd_run() {
             }),
             ..Default::default()
         };
-        let out = sim.try_run(&circuit).unwrap_or_else(|e| {
+        let out = sim.try_run_t::<R>(&circuit).unwrap_or_else(|e| {
             eprintln!("run failed: {e}");
             std::process::exit(1);
         });
         println!(
-            "single-node: {:.3} s sim, {:.3} s plan",
-            out.sim_seconds, out.plan_seconds
+            "single-node ({}): {:.3} s sim, {:.3} s plan",
+            R::NAME,
+            out.sim_seconds,
+            out.plan_seconds
         );
         println!("entropy     : {:.6} bits", out.state.entropy());
-        println!("norm        : {:.12}", out.state.norm_sqr());
+        println!("norm        : {:.12}", out.state.norm_sqr().to_f64());
         write_exports(&telemetry, &trace_out, &metrics_out);
         return;
     }
@@ -201,7 +223,7 @@ fn cmd_run() {
                     p
                 }
             };
-            let mut sim = qsim45::ooc::OocSimulator::new(qsim45::ooc::OocConfig {
+            let mut sim = qsim45::ooc::OocSimulator::<R>::new(qsim45::ooc::OocConfig {
                 telemetry: telemetry.clone(),
                 checkpoint: checkpoint_dir.as_ref().map(|_| qsim45::ooc::OocCheckpoint {
                     resume,
@@ -214,8 +236,12 @@ fn cmd_run() {
                 std::process::exit(1);
             });
             println!(
-                "out-of-core ({} chunks): {:.3} s ({} runs, {} traversals)",
-                ranks, out.sim_seconds, out.runs, out.io.traversals
+                "out-of-core ({} chunks, {}): {:.3} s ({} runs, {} traversals)",
+                ranks,
+                R::NAME,
+                out.sim_seconds,
+                out.runs,
+                out.io.traversals
             );
             println!(
                 "disk traffic: {:.1} MiB read, {:.1} MiB written, {:.0}% IO overlapped",
@@ -238,12 +264,15 @@ fn cmd_run() {
                 resume,
                 ..Default::default()
             });
-            let out = sim.try_run(&exec, &schedule, uniform).unwrap_or_else(|e| {
-                eprintln!("run failed: {e}");
-                std::process::exit(1);
-            });
+            let out = sim
+                .try_run_t::<R>(&exec, &schedule, uniform)
+                .unwrap_or_else(|e| {
+                    eprintln!("run failed: {e}");
+                    std::process::exit(1);
+                });
             println!(
-                "distributed ({ranks} ranks): {:.3} s ({:.1}% comm, {} swaps)",
+                "distributed ({ranks} ranks, {}): {:.3} s ({:.1}% comm, {} swaps)",
+                R::NAME,
                 out.sim_seconds,
                 100.0 * out.fabric.max_comm_seconds / out.sim_seconds.max(1e-12),
                 schedule.n_swaps()

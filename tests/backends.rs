@@ -100,7 +100,7 @@ fn ooc_traffic_grows_with_swap_count_not_gate_count() {
         let (exec, uniform) = strip_initial_hadamards(c);
         let schedule = plan(&exec, &SchedulerConfig::distributed(l, 4));
         let dir = ScratchDir::new(tag);
-        let mut ooc = OocSimulator::sequential();
+        let mut ooc = OocSimulator::<f64>::sequential();
         let out = ooc.run(dir.path(), &schedule, uniform).unwrap();
         (
             c.len(),
@@ -133,6 +133,61 @@ fn ooc_traffic_grows_with_swap_count_not_gate_count() {
 }
 
 #[test]
+fn f32_backends_agree_bit_for_bit() {
+    // Precision tiering must not weaken the backend-equivalence story:
+    // at f32 the chunk store's uniform init matches the distributed
+    // engine's slice init bitwise, chunk compute replays the rank
+    // compute, so OOC vs dist is exact equality — not a tolerance. The
+    // single-node engine plans its own (undistributed) schedule, so it
+    // agrees only up to f32 rounding.
+    let c = workload();
+    let n = c.n_qubits();
+    let single = SingleNodeSimulator {
+        kernel: KernelConfig::sequential(),
+        ..Default::default()
+    }
+    .try_run_t::<f32>(&c)
+    .unwrap();
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    for g in [2u32, 3] {
+        let l = n - g;
+        let schedule = plan(&exec, &SchedulerConfig::distributed(l, 4));
+        let dist = DistSimulator::new(DistConfig {
+            n_ranks: 1usize << g,
+            kernel: KernelConfig::sequential(),
+            gather_state: true,
+            ..Default::default()
+        });
+        let dist_state = dist
+            .try_run_t::<f32>(&exec, &schedule, uniform)
+            .unwrap()
+            .state
+            .unwrap();
+
+        let dir = ScratchDir::new(&format!("backends32_g{g}"));
+        let mut ooc = OocSimulator::<f32>::sequential();
+        let (out, ooc_state) = ooc.run_gather(dir.path(), &schedule, uniform).unwrap();
+
+        assert_eq!(
+            max_dist(&ooc_state, &dist_state),
+            0.0,
+            "ooc f32 vs dist f32 must be bit-exact, g={g}"
+        );
+        assert!((out.norm - 1.0).abs() < 1e-4, "f32 norm {}", out.norm);
+        let mut worst = 0.0f64;
+        for (a, b) in single.state.amplitudes().iter().zip(&dist_state) {
+            worst = worst
+                .max((a.re as f64 - b.re as f64).abs())
+                .max((a.im as f64 - b.im as f64).abs());
+        }
+        assert!(
+            worst < 1e-6,
+            "single f32 vs dist f32 drift {worst:e}, g={g}"
+        );
+    }
+}
+
+#[test]
 fn pipelining_and_batching_are_bitwise_invisible() {
     // The full data path (batched runs, async pipeline, compiled-stage
     // compute) against the synchronous per-gate baseline: not a single
@@ -142,7 +197,7 @@ fn pipelining_and_batching_are_bitwise_invisible() {
     let (exec, uniform) = strip_initial_hadamards(&c);
     let schedule = plan(&exec, &SchedulerConfig::distributed(n - 3, 4));
     let dir = ScratchDir::new("backends_sync");
-    let mut sync = OocSimulator::new(OocConfig::sync_baseline(KernelConfig::sequential()));
+    let mut sync = OocSimulator::<f64>::new(OocConfig::sync_baseline(KernelConfig::sequential()));
     let (_, oracle) = sync.run_gather(dir.path(), &schedule, uniform).unwrap();
     let dir = ScratchDir::new("backends_pipe");
     let mut pipe = OocSimulator::sequential();

@@ -86,6 +86,50 @@ proptest! {
     }
 
     #[test]
+    fn f32_tracks_f64_within_depth_scaled_bound(c in arb_circuit(6, 40)) {
+        let f64_out = SingleNodeSimulator::default().run(&c);
+        let f32_out = SingleNodeSimulator::default().try_run_t::<f32>(&c).unwrap();
+        let norm = f32_out.state.norm_sqr() as f64;
+        prop_assert!((norm - 1.0).abs() < 1e-4, "f32 norm {}", norm);
+        // Rounding error grows with circuit depth; a unitary circuit
+        // accumulates O(eps) per gate, so budget eps-per-gate with
+        // headroom rather than a flat tolerance.
+        let bound = 2e-6 * (c.len() as f64 + 1.0);
+        let mut worst = 0.0f64;
+        for (a, b) in f64_out.state.amplitudes().iter().zip(f32_out.state.amplitudes()) {
+            worst = worst
+                .max((a.re - b.re as f64).abs())
+                .max((a.im - b.im as f64).abs());
+        }
+        prop_assert!(worst < bound, "f32 drift {:e} exceeds {:e} at {} gates",
+            worst, bound, c.len());
+    }
+
+    #[test]
+    fn f32_distributed_matches_f32_single_node(c in arb_circuit(6, 30)) {
+        let single = SingleNodeSimulator {
+            kernel: KernelConfig::sequential(),
+            ..Default::default()
+        }.try_run_t::<f32>(&c).unwrap();
+        let (exec, uniform) = strip_initial_hadamards(&c);
+        let schedule = plan(&exec, &SchedulerConfig::distributed(4, 3));
+        let sim = DistSimulator::new(DistConfig {
+            n_ranks: 4,
+            kernel: KernelConfig::sequential(),
+            gather_state: true,
+            ..Default::default()
+        });
+        let state = sim.try_run_t::<f32>(&exec, &schedule, uniform).unwrap().state.unwrap();
+        let mut worst = 0.0f64;
+        for (a, b) in single.state.amplitudes().iter().zip(&state) {
+            worst = worst
+                .max((a.re as f64 - b.re as f64).abs())
+                .max((a.im as f64 - b.im as f64).abs());
+        }
+        prop_assert!(worst < 2e-6 * (c.len() as f64 + 1.0), "drift {:e}", worst);
+    }
+
+    #[test]
     fn norm_preserved_under_random_circuits(c in arb_circuit(8, 60)) {
         let out = SingleNodeSimulator::default().run(&c);
         let norm = out.state.norm_sqr();
