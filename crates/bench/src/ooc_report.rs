@@ -10,9 +10,10 @@
 use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
 use qsim_core::single::strip_initial_hadamards;
 use qsim_kernels::apply::KernelConfig;
-use qsim_ooc::{IoStats, OocConfig, OocSimulator, ScratchDir};
+use qsim_ooc::{Codec, IoStats, OocConfig, OocSimulator, ScratchDir};
 use qsim_sched::{plan, segment_stages, SchedulerConfig};
 use qsim_telemetry::Telemetry;
+use qsim_util::complex::max_dist;
 
 /// One engine mode's measurements.
 #[derive(Clone, Debug)]
@@ -154,6 +155,223 @@ impl OocBenchReport {
             self.speedup(),
             self.metrics_json.trim_end(),
         )
+    }
+}
+
+/// One codec's measurements on the pipelined engine.
+#[derive(Clone, Debug)]
+pub struct CompressModeReport {
+    /// Codec name (`none`, `shuffle-rle`, `lossy-8`, …).
+    pub label: String,
+    pub seconds: f64,
+    /// Amplitude bytes retired by compute (codec-independent).
+    pub gb_logical_written: f64,
+    /// Physical bytes on disk (encoded bytes under a codec).
+    pub gb_written: f64,
+    pub compression_ratio: f64,
+    pub encode_seconds: f64,
+    pub decode_seconds: f64,
+    pub io_wait_seconds: f64,
+    pub overlap_fraction: f64,
+    pub entropy: f64,
+    /// Max amplitude distance against the `none` run — 0.0 exactly for
+    /// every lossless codec, the truncation budget for lossy ones.
+    pub max_dist_vs_raw: f64,
+}
+
+impl CompressModeReport {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "      \"label\": \"{}\",\n",
+                "      \"seconds\": {:.6},\n",
+                "      \"gb_logical_written\": {:.6},\n",
+                "      \"gb_written\": {:.6},\n",
+                "      \"compression_ratio\": {:.4},\n",
+                "      \"encode_seconds\": {:.6},\n",
+                "      \"decode_seconds\": {:.6},\n",
+                "      \"io_wait_seconds\": {:.6},\n",
+                "      \"overlap_fraction\": {:.4},\n",
+                "      \"max_dist_vs_raw\": {:e}\n",
+                "    }}"
+            ),
+            self.label,
+            self.seconds,
+            self.gb_logical_written,
+            self.gb_written,
+            self.compression_ratio,
+            self.encode_seconds,
+            self.decode_seconds,
+            self.io_wait_seconds,
+            self.overlap_fraction,
+            self.max_dist_vs_raw,
+        )
+    }
+}
+
+/// One schedule's codec comparison (`modes[0]` is always `none`).
+pub struct CompressBenchReport {
+    pub n_qubits: u32,
+    pub depth: u32,
+    pub kmax: u32,
+    pub global_qubits: u32,
+    pub prefetch_depth: usize,
+    pub threads: usize,
+    pub swaps: usize,
+    pub modes: Vec<CompressModeReport>,
+}
+
+impl CompressBenchReport {
+    /// The raw (`none`) baseline row.
+    pub fn raw(&self) -> &CompressModeReport {
+        &self.modes[0]
+    }
+
+    /// The named codec's row, if measured.
+    pub fn mode(&self, label: &str) -> Option<&CompressModeReport> {
+        self.modes.iter().find(|m| m.label == label)
+    }
+
+    /// Wall-clock of `label` relative to the raw run (< 1.0 = faster).
+    pub fn wallclock_ratio(&self, label: &str) -> f64 {
+        self.mode(label)
+            .map(|m| m.seconds / self.raw().seconds.max(1e-12))
+            .unwrap_or(f64::NAN)
+    }
+
+    fn to_json(&self) -> String {
+        let modes: Vec<String> = self.modes.iter().map(|m| m.to_json()).collect();
+        format!(
+            concat!(
+                "{{\n",
+                "    \"depth\": {},\n",
+                "    \"swaps\": {},\n",
+                "    \"modes\": [{}]\n",
+                "  }}"
+            ),
+            self.depth,
+            self.swaps,
+            modes.join(", "),
+        )
+    }
+}
+
+/// Serialize several depths' codec comparisons (one `run_compress_bench`
+/// each) into the `BENCH_ooc_compress.json` document.
+pub fn compress_reports_to_json(reports: &[CompressBenchReport]) -> String {
+    assert!(!reports.is_empty());
+    let runs: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"n_qubits\": {},\n",
+            "  \"kmax\": {},\n",
+            "  \"global_qubits\": {},\n",
+            "  \"prefetch_depth\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"runs\": [{}]\n",
+            "}}"
+        ),
+        reports[0].n_qubits,
+        reports[0].kmax,
+        reports[0].global_qubits,
+        reports[0].prefetch_depth,
+        reports[0].threads,
+        runs.join(", "),
+    )
+}
+
+/// Run the pipelined engine once per codec on one supremacy schedule and
+/// report byte traffic, codec time and wall-clock side by side. The
+/// `none` run doubles as the correctness oracle: every lossless codec
+/// must reproduce its state bit for bit (`max_dist_vs_raw == 0.0`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_compress_bench(
+    rows: u32,
+    cols: u32,
+    depth: u32,
+    kmax: u32,
+    global_qubits: u32,
+    prefetch_depth: usize,
+    threads: usize,
+    codecs: &[Codec],
+) -> CompressBenchReport {
+    let c = supremacy_circuit(&SupremacySpec {
+        rows,
+        cols,
+        depth,
+        seed: 0,
+    });
+    let n = c.n_qubits();
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    let schedule = plan(
+        &exec,
+        &SchedulerConfig::distributed(n - global_qubits, kmax),
+    );
+    let kernel = KernelConfig {
+        threads,
+        ..KernelConfig::default()
+    };
+
+    let run = |codec: Codec| {
+        let dir = ScratchDir::new(&format!("bench_comp_{}", codec.name()));
+        let mut sim = OocSimulator::<f64>::new(OocConfig {
+            kernel,
+            prefetch_depth,
+            compress: codec,
+            ..OocConfig::default()
+        });
+        sim.run_gather(dir.path(), &schedule, uniform)
+            .expect("compress bench run")
+    };
+
+    let (raw_out, raw_state) = run(Codec::None);
+    let mut modes = vec![CompressModeReport {
+        label: Codec::None.name(),
+        seconds: raw_out.sim_seconds,
+        gb_logical_written: raw_out.io.logical_bytes_written as f64 / 1e9,
+        gb_written: raw_out.io.bytes_written as f64 / 1e9,
+        compression_ratio: raw_out.io.compression_ratio(),
+        encode_seconds: raw_out.io.encode_seconds,
+        decode_seconds: raw_out.io.decode_seconds,
+        io_wait_seconds: raw_out.io.io_wait_seconds,
+        overlap_fraction: raw_out.io.overlap_fraction(),
+        entropy: raw_out.entropy,
+        max_dist_vs_raw: 0.0,
+    }];
+    for &codec in codecs.iter().filter(|c| !c.is_none()) {
+        let (out, state) = run(codec);
+        let d = max_dist(&state, &raw_state);
+        assert!(
+            !codec.is_lossless() || d == 0.0,
+            "lossless codec {} diverged from the raw state: {d:e}",
+            codec.name()
+        );
+        modes.push(CompressModeReport {
+            label: codec.name(),
+            seconds: out.sim_seconds,
+            gb_logical_written: out.io.logical_bytes_written as f64 / 1e9,
+            gb_written: out.io.bytes_written as f64 / 1e9,
+            compression_ratio: out.io.compression_ratio(),
+            encode_seconds: out.io.encode_seconds,
+            decode_seconds: out.io.decode_seconds,
+            io_wait_seconds: out.io.io_wait_seconds,
+            overlap_fraction: out.io.overlap_fraction(),
+            entropy: out.entropy,
+            max_dist_vs_raw: d,
+        });
+    }
+
+    CompressBenchReport {
+        n_qubits: n,
+        depth,
+        kmax,
+        global_qubits,
+        prefetch_depth,
+        threads,
+        swaps: schedule.n_swaps(),
+        modes,
     }
 }
 

@@ -5,7 +5,8 @@
 //! (The wall-clock floor is asserted by the full-size
 //! `fig_ooc_pipeline` run, not here — timing at toy sizes is noise.)
 
-use qsim_bench::ooc_report::run_ooc_bench;
+use qsim_bench::ooc_report::{run_compress_bench, run_ooc_bench};
+use qsim_ooc::Codec;
 
 #[test]
 fn ooc_pipeline_traversal_floor() {
@@ -29,4 +30,45 @@ fn ooc_pipeline_traversal_floor() {
     // construction cannot.
     assert!(r.pipelined.overlap_fraction >= 0.0);
     assert!(r.sync_segmented.overlap_fraction <= 0.05);
+}
+
+#[test]
+fn ooc_compress_smoke() {
+    // 3×4 grid (n = 12), depth 10, 4 chunks, single thread: the codec
+    // comparison must show shuffle-rle never losing to raw on bytes
+    // written and reproducing the raw state bit for bit, with lossy-8
+    // inside its truncation budget. (The ≥ 1.3x byte-reduction
+    // acceptance floor is asserted by the full-size
+    // `fig_ooc_pipeline --mode compress` run, not here — a toy state is
+    // not representative of the n=22 entropy profile.)
+    let r = run_compress_bench(
+        3,
+        4,
+        10,
+        4,
+        2,
+        3,
+        1,
+        &[Codec::None, Codec::ShuffleRle, Codec::Lossy(8)],
+    );
+    let raw = r.raw();
+    assert_eq!(raw.compression_ratio, 1.0, "raw runs store byte-for-byte");
+    let rle = r.mode("shuffle-rle").expect("shuffle-rle row");
+    assert_eq!(rle.max_dist_vs_raw, 0.0, "lossless parity");
+    assert!(
+        rle.compression_ratio >= 1.0,
+        "stored-raw fallback bounds the ratio at 1.0: {}",
+        rle.compression_ratio
+    );
+    assert_eq!(
+        rle.gb_logical_written, raw.gb_logical_written,
+        "codec must not change the amplitude traffic"
+    );
+    let lossy = r.mode("lossy-8").expect("lossy-8 row");
+    assert!(
+        lossy.max_dist_vs_raw < 1e-10,
+        "lossy-8 error {:e} above budget",
+        lossy.max_dist_vs_raw
+    );
+    assert!(lossy.compression_ratio >= rle.compression_ratio);
 }

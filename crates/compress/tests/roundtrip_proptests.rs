@@ -1,0 +1,126 @@
+//! Property tests: the codec round-trips bit-exactly at both precisions
+//! for every input class the OOC engine can produce — smooth early-depth
+//! states, all-zero chunks, denormal-heavy tails and incompressible
+//! random bit patterns (which must hit the stored-raw fallback rather
+//! than expand).
+
+use proptest::prelude::*;
+use qsim_compress::{decode_frames, encode_frame, Codec, CodecScratch, FRAME_HEADER_LEN};
+use qsim_util::complex::Complex;
+use qsim_util::Real;
+
+/// Bit-exact equality (distinguishes -0.0 from 0.0, preserves NaN bits).
+fn assert_bits_eq<R: Real>(a: &[Complex<R>], b: &[Complex<R>]) -> Result<(), String> {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x.re.to_bits_u64() != y.re.to_bits_u64() || x.im.to_bits_u64() != y.im.to_bits_u64() {
+            return Err(format!("amp {i}: {x:?} != {y:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn round_trip<R: Real>(codec: Codec, amps: &[Complex<R>]) -> Result<usize, String> {
+    let mut scratch = CodecScratch::default();
+    let mut bytes = Vec::new();
+    encode_frame(codec, 0, amps, &mut scratch, &mut bytes);
+    let mut back = vec![Complex::<R>::zero(); amps.len()];
+    decode_frames(&bytes, &mut scratch, &mut back).map_err(|e| e.to_string())?;
+    assert_bits_eq(amps, &back)?;
+    Ok(bytes.len())
+}
+
+/// One amplitude drawn from the classes the engine produces: smooth
+/// values, exact zeros, denormals and raw random bit patterns.
+fn amp_class(class: u8, bits: (u64, u64)) -> Complex<f64> {
+    match class {
+        0 => Complex::new(0.0, 0.0),
+        1 => {
+            // Smooth: few distinct magnitudes, like an early-depth state.
+            let m = [0.176_776_695_296_636_9, -0.125, 0.25, 0.0];
+            Complex::new(m[(bits.0 % 4) as usize], m[(bits.1 % 4) as usize])
+        }
+        2 => Complex::new(
+            // Denormal-heavy: exponent field zero, random mantissa.
+            f64::from_bits(bits.0 & 0x000f_ffff_ffff_ffff),
+            f64::from_bits(bits.1 & 0x800f_ffff_ffff_ffff),
+        ),
+        _ => Complex::new(f64::from_bits(bits.0), f64::from_bits(bits.1)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn f64_chunks_round_trip_bit_exactly(
+        class in 0u8..4,
+        len in 1usize..600,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = qsim_util::SplitMix64::new(seed);
+        let amps: Vec<Complex<f64>> = (0..len)
+            .map(|_| amp_class(class, (rng.next_u64(), rng.next_u64())))
+            .collect();
+        let encoded = round_trip(Codec::ShuffleRle, &amps)?;
+        let raw = len * 16 + FRAME_HEADER_LEN;
+        prop_assert!(
+            encoded <= raw,
+            "frame may never beat stored-raw: {encoded} > {raw} (class {class})"
+        );
+        if class == 3 && len >= 64 {
+            // Random bit patterns are incompressible: the fallback must
+            // engage, costing exactly the header.
+            prop_assert_eq!(encoded, raw, "stored-raw fallback expected");
+        }
+    }
+
+    #[test]
+    fn f32_chunks_round_trip_bit_exactly(
+        class in 0u8..4,
+        len in 1usize..600,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = qsim_util::SplitMix64::new(seed);
+        let amps: Vec<Complex<f32>> = (0..len)
+            .map(|_| {
+                let a = amp_class(class, (rng.next_u64(), rng.next_u64()));
+                match class {
+                    // Keep the denormal class denormal at f32 too.
+                    2 => Complex::new(
+                        f32::from_bits((rng.next_u64() as u32) & 0x007f_ffff),
+                        f32::from_bits((rng.next_u64() as u32) & 0x807f_ffff),
+                    ),
+                    3 => Complex::new(
+                        f32::from_bits(rng.next_u64() as u32),
+                        f32::from_bits(rng.next_u64() as u32),
+                    ),
+                    _ => Complex::new(a.re as f32, a.im as f32),
+                }
+            })
+            .collect();
+        let encoded = round_trip(Codec::ShuffleRle, &amps)?;
+        prop_assert!(encoded <= len * 8 + FRAME_HEADER_LEN);
+    }
+
+    #[test]
+    fn lossy_is_idempotent_and_bounded(
+        bits in 1u8..24,
+        len in 1usize..300,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Encoding already-truncated values must be lossless: masking is
+        // idempotent, so a lossy resume re-encodes its own output
+        // bit-exactly.
+        let mut rng = qsim_util::Xoshiro256::seed_from_u64(seed);
+        let mask = !((1u64 << bits) - 1);
+        let amps: Vec<Complex<f64>> = (0..len)
+            .map(|_| {
+                Complex::new(
+                    f64::from_bits((rng.next_f64().to_bits()) & mask),
+                    f64::from_bits(((-rng.next_f64()).to_bits()) & mask),
+                )
+            })
+            .collect();
+        round_trip(Codec::Lossy(bits), &amps)?;
+    }
+}

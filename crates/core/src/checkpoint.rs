@@ -37,8 +37,10 @@ use std::path::{Path, PathBuf};
 /// Manifest format version; bumped on any incompatible layout change.
 /// Version 2 added the `precision` geometry field — amplitude artifacts
 /// are raw `2 * R::BYTES`-per-amplitude files, so precision is as
-/// load-bearing as `n_qubits`.
-pub const MANIFEST_VERSION: u32 = 2;
+/// load-bearing as `n_qubits`. Version 3 added `codec`: under a chunk
+/// codec the artifacts hold encoded frames and their digests hash those
+/// encoded bytes, so resuming across codecs would mis-read every chunk.
+pub const MANIFEST_VERSION: u32 = 3;
 
 /// File name of the manifest inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "MANIFEST.json";
@@ -105,6 +107,10 @@ pub struct Manifest {
     /// `"f64"` / `"f32"`). Resuming with a different precision is a
     /// [`CheckpointError::Mismatch`], never a silent reinterpretation.
     pub precision: String,
+    /// Chunk codec the artifacts are stored under (`"none"`,
+    /// `"shuffle-rle"`, `"lossy-<bits>"`). Digests hash the bytes as
+    /// stored, so a cross-codec resume is a [`CheckpointError::Mismatch`].
+    pub codec: String,
     /// Whether the run started from the uniform superposition (§3.6)
     /// rather than |0…0⟩.
     pub init_uniform: bool,
@@ -137,6 +143,7 @@ impl Manifest {
                 "  \"n_qubits\": {},\n",
                 "  \"local_qubits\": {},\n",
                 "  \"precision\": \"{}\",\n",
+                "  \"codec\": \"{}\",\n",
                 "  \"init_uniform\": {},\n",
                 "  \"rng_seed\": \"{:016x}\",\n",
                 "  \"next_unit\": {},\n",
@@ -150,6 +157,7 @@ impl Manifest {
             self.n_qubits,
             self.local_qubits,
             self.precision,
+            self.codec,
             self.init_uniform,
             self.rng_seed,
             self.next_unit,
@@ -207,6 +215,11 @@ impl Manifest {
             .and_then(Json::as_str)
             .ok_or_else(|| CheckpointError::Corrupt("missing 'precision'".into()))?
             .to_string();
+        let codec = doc
+            .get("codec")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CheckpointError::Corrupt("missing 'codec'".into()))?
+            .to_string();
         let m = Manifest {
             version,
             engine,
@@ -214,6 +227,7 @@ impl Manifest {
             n_qubits: num("n_qubits")? as u32,
             local_qubits: num("local_qubits")? as u32,
             precision,
+            codec,
             init_uniform,
             rng_seed: hex("rng_seed")?,
             next_unit: num("next_unit")? as usize,
@@ -259,11 +273,13 @@ impl Manifest {
 
     /// Check that this manifest belongs to the run the caller is about
     /// to resume; returns the cursor on success.
+    #[allow(clippy::too_many_arguments)]
     pub fn validate(
         &self,
         engine: &str,
         schedule: &Schedule,
         precision: &str,
+        codec: &str,
         init_uniform: bool,
         total_units: usize,
         n_artifacts: usize,
@@ -290,6 +306,13 @@ impl Manifest {
                 "checkpoint written at precision {}, engine running at {precision} \
                  (cross-precision resume would reinterpret raw amplitude bytes)",
                 self.precision
+            ));
+        }
+        if self.codec != codec {
+            return fail(format!(
+                "checkpoint written under codec '{}', engine running with '{codec}' \
+                 (cross-codec resume would mis-read every chunk record)",
+                self.codec
             ));
         }
         if self.init_uniform != init_uniform {
@@ -564,6 +587,7 @@ mod tests {
             n_qubits: 20,
             local_qubits: 16,
             precision: "f64".into(),
+            codec: "shuffle-rle".into(),
             init_uniform: true,
             rng_seed: u64::MAX, // exercises full 64-bit width
             next_unit: 3,
@@ -602,6 +626,7 @@ mod tests {
             n_qubits: sched.n_qubits,
             local_qubits: sched.local_qubits,
             precision: "f64".into(),
+            codec: "none".into(),
             init_uniform: true,
             rng_seed: 0,
             next_unit: 1,
@@ -609,16 +634,25 @@ mod tests {
             digests: vec![7, 8],
         };
         assert_eq!(
-            m.validate("ooc", &sched, "f64", true, 2, 2).unwrap(),
+            m.validate("ooc", &sched, "f64", "none", true, 2, 2)
+                .unwrap(),
             ResumePoint { next_unit: 1 }
         );
-        assert!(m.validate("dist", &sched, "f64", true, 2, 2).is_err());
-        assert!(m.validate("ooc", &sched, "f64", false, 2, 2).is_err());
-        assert!(m.validate("ooc", &sched, "f64", true, 3, 2).is_err());
-        assert!(m.validate("ooc", &sched, "f64", true, 2, 4).is_err());
+        assert!(m
+            .validate("dist", &sched, "f64", "none", true, 2, 2)
+            .is_err());
+        assert!(m
+            .validate("ooc", &sched, "f64", "none", false, 2, 2)
+            .is_err());
+        assert!(m
+            .validate("ooc", &sched, "f64", "none", true, 3, 2)
+            .is_err());
+        assert!(m
+            .validate("ooc", &sched, "f64", "none", true, 2, 4)
+            .is_err());
         // Cross-precision resume is a typed mismatch, both directions.
         assert!(matches!(
-            m.validate("ooc", &sched, "f32", true, 2, 2),
+            m.validate("ooc", &sched, "f32", "none", true, 2, 2),
             Err(CheckpointError::Mismatch(_))
         ));
         let m32 = Manifest {
@@ -626,14 +660,35 @@ mod tests {
             ..m.clone()
         };
         assert!(matches!(
-            m32.validate("ooc", &sched, "f64", true, 2, 2),
+            m32.validate("ooc", &sched, "f64", "none", true, 2, 2),
             Err(CheckpointError::Mismatch(_))
         ));
-        assert!(m32.validate("ooc", &sched, "f32", true, 2, 2).is_ok());
+        assert!(m32
+            .validate("ooc", &sched, "f32", "none", true, 2, 2)
+            .is_ok());
+        // Cross-codec resume is a typed mismatch, both directions: the
+        // digests hash encoded bytes, so the codec is part of the format.
+        assert!(matches!(
+            m.validate("ooc", &sched, "f64", "shuffle-rle", true, 2, 2),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        let mrle = Manifest {
+            codec: "shuffle-rle".into(),
+            ..m.clone()
+        };
+        assert!(matches!(
+            mrle.validate("ooc", &sched, "f64", "none", true, 2, 2),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        assert!(mrle
+            .validate("ooc", &sched, "f64", "shuffle-rle", true, 2, 2)
+            .is_ok());
         let mut other = sched.clone();
         other.stages[0].swap = None;
         other.stages[1].mapping = sched.stages[0].mapping.clone();
-        assert!(m.validate("ooc", &other, "f64", true, 2, 2).is_err());
+        assert!(m
+            .validate("ooc", &other, "f64", "none", true, 2, 2)
+            .is_err());
     }
 
     #[test]

@@ -204,6 +204,7 @@ impl DistSimulator {
                                     "dist",
                                     schedule,
                                     R::NAME,
+                                    "none",
                                     init_uniform,
                                     runs.len(),
                                     self.config.n_ranks,
@@ -498,6 +499,7 @@ fn checkpoint_unit<R: SweepDispatch>(
             n_qubits: sh.schedule.n_qubits,
             local_qubits: sh.schedule.local_qubits,
             precision: R::NAME.to_string(),
+            codec: "none".to_string(),
             init_uniform: sh.init_uniform,
             rng_seed: 0,
             next_unit: unit,

@@ -236,7 +236,15 @@ impl SingleNodeSimulator {
             match Manifest::load(&cp.dir).map_err(ck)? {
                 Some(m) => {
                     let point = m
-                        .validate("single", &schedule, R::NAME, init_uniform, total_units, 1)
+                        .validate(
+                            "single",
+                            &schedule,
+                            R::NAME,
+                            "none",
+                            init_uniform,
+                            total_units,
+                            1,
+                        )
                         .map_err(ck)?;
                     Some((point, m.digests[0]))
                 }
@@ -322,6 +330,7 @@ impl SingleNodeSimulator {
                     n_qubits: n,
                     local_qubits: schedule.local_qubits,
                     precision: R::NAME.to_string(),
+                    codec: "none".to_string(),
                     init_uniform,
                     rng_seed: 0,
                     next_unit: unit,

@@ -24,7 +24,24 @@
 //! [`BufferPool`] of 64-byte-aligned allocations recycled across chunks,
 //! passes and engine runs, so the steady-state chunk loop performs no
 //! heap allocation (asserted by `tests/ooc_alloc.rs`).
+//!
+//! ## Compressed chunk records
+//!
+//! With a non-[`Codec::None`] codec every chunk file becomes a sequence
+//! of self-describing `qsim-compress` frames instead of fixed-offset raw
+//! scalars: a full-chunk write is one frame, a scattered staged file is
+//! one frame per piece (appended in write order, each carrying its
+//! amplitude offset). Reads slurp the whole file and decode; writes
+//! encode into a reusable buffer and truncate to the new length, since
+//! encoded sizes vary per generation. The `bytes_read`/`bytes_written`
+//! counters stay *physical* (on-disk bytes — the quantity the bandwidth
+//! analysis cares about) while `logical_bytes_*` record the amplitude
+//! bytes moved; their ratio is [`IoStats::compression_ratio`]. Digests
+//! ([`ChunkStore::chunk_digest`]/[`ChunkStore::staged_digest`]) hash the
+//! file bytes as stored, i.e. the *encoded* bytes, so the PR 5 staged →
+//! manifest → commit crash-consistency protocol is codec-oblivious.
 
+use qsim_compress::{decode_frames, encode_frame, Codec, CodecScratch};
 use qsim_util::align::AlignedVec;
 use qsim_util::complex::Complex;
 use qsim_util::Real;
@@ -45,12 +62,24 @@ use std::time::Instant;
 /// reports.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct IoStats {
+    /// Physical bytes read from disk (encoded bytes under a codec).
     pub bytes_read: u64,
+    /// Physical bytes written to disk (encoded bytes under a codec).
     pub bytes_written: u64,
+    /// Amplitude bytes delivered to compute (equals `bytes_read` at
+    /// [`Codec::None`]).
+    pub logical_bytes_read: u64,
+    /// Amplitude bytes retired by compute (equals `bytes_written` at
+    /// [`Codec::None`]).
+    pub logical_bytes_written: u64,
     /// Wall-clock spent inside read syscalls.
     pub read_seconds: f64,
     /// Wall-clock spent inside write syscalls.
     pub write_seconds: f64,
+    /// Wall-clock spent encoding chunk frames (writeback side).
+    pub encode_seconds: f64,
+    /// Wall-clock spent decoding chunk frames (prefetch side).
+    pub decode_seconds: f64,
     /// Compute-loop time blocked on IO (see type docs).
     pub io_wait_seconds: f64,
     /// Compute-loop time spent applying operations to resident chunks.
@@ -80,8 +109,12 @@ impl IoStats {
     pub fn merge(&mut self, other: &IoStats) {
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
+        self.logical_bytes_read += other.logical_bytes_read;
+        self.logical_bytes_written += other.logical_bytes_written;
         self.read_seconds += other.read_seconds;
         self.write_seconds += other.write_seconds;
+        self.encode_seconds += other.encode_seconds;
+        self.decode_seconds += other.decode_seconds;
         self.io_wait_seconds += other.io_wait_seconds;
         self.compute_seconds += other.compute_seconds;
         self.traversals += other.traversals;
@@ -101,16 +134,37 @@ impl IoStats {
         }
     }
 
+    /// Written-side compression achieved: amplitude bytes retired per
+    /// physical byte on disk. Exactly 1.0 at [`Codec::None`]; > 1.0 when
+    /// the codec wins; 1.0 when nothing was written.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes_written == 0 {
+            1.0
+        } else {
+            self.logical_bytes_written as f64 / self.bytes_written as f64
+        }
+    }
+
     /// Flatten these counters into the unified metrics registry under
     /// `prefix` (e.g. `ooc.io`). The struct remains the typed view; the
     /// registry feeds the exported metrics snapshot.
     pub fn publish_into(&self, metrics: &qsim_telemetry::MetricsRegistry, prefix: &str) {
         metrics.counter_add(&format!("{prefix}.bytes_read"), self.bytes_read);
         metrics.counter_add(&format!("{prefix}.bytes_written"), self.bytes_written);
+        metrics.counter_add(
+            &format!("{prefix}.logical_bytes_read"),
+            self.logical_bytes_read,
+        );
+        metrics.counter_add(
+            &format!("{prefix}.logical_bytes_written"),
+            self.logical_bytes_written,
+        );
         metrics.counter_add(&format!("{prefix}.traversals"), self.traversals);
         metrics.counter_add(&format!("{prefix}.buffer_allocs"), self.buffer_allocs);
         metrics.gauge_set(&format!("{prefix}.read_seconds"), self.read_seconds);
         metrics.gauge_set(&format!("{prefix}.write_seconds"), self.write_seconds);
+        metrics.gauge_set(&format!("{prefix}.encode_seconds"), self.encode_seconds);
+        metrics.gauge_set(&format!("{prefix}.decode_seconds"), self.decode_seconds);
         metrics.gauge_set(&format!("{prefix}.io_wait_seconds"), self.io_wait_seconds);
         metrics.gauge_set(&format!("{prefix}.compute_seconds"), self.compute_seconds);
         metrics.gauge_set(
@@ -213,16 +267,40 @@ impl<R: Real> BufferPool<R> {
 }
 
 /// A directory of 2^g chunk files, each holding 2^l `Complex<R>`
-/// amplitudes.
+/// amplitudes — raw scalars at [`Codec::None`] (byte-identical to the
+/// pre-codec format), encoded frames otherwise.
 pub struct ChunkStore<R: Real = f64> {
     dir: PathBuf,
     local_qubits: u32,
     global_qubits: u32,
     stats: IoStats,
+    codec: Codec,
+    /// Codec working memory + encoded-frame / raw-file staging, reused
+    /// across chunks so codec IO stays allocation-free once warm.
+    scratch: CodecScratch,
+    enc: Vec<u8>,
+    /// Staged files this store has appended frames to since the last
+    /// commit/clear (codec mode truncates each staged file on first
+    /// touch — frames append, they don't overwrite in place).
+    staged_open: Vec<bool>,
     _precision: std::marker::PhantomData<R>,
 }
 
 impl<R: Real> ChunkStore<R> {
+    fn bare(dir: &Path, local_qubits: u32, global_qubits: u32, codec: Codec) -> Self {
+        Self {
+            dir: dir.to_path_buf(),
+            local_qubits,
+            global_qubits,
+            stats: IoStats::default(),
+            codec,
+            scratch: CodecScratch::default(),
+            enc: Vec::new(),
+            staged_open: vec![false; 1usize << global_qubits],
+            _precision: std::marker::PhantomData,
+        }
+    }
+
     /// Create a store under `dir` (created if missing; existing chunk
     /// files are overwritten) initialized to the given state.
     ///
@@ -234,14 +312,19 @@ impl<R: Real> ChunkStore<R> {
         global_qubits: u32,
         init: Complex<R>,
     ) -> std::io::Result<Self> {
+        Self::create_filled_with(dir, local_qubits, global_qubits, init, Codec::None)
+    }
+
+    /// [`ChunkStore::create_filled`] with an explicit chunk codec.
+    pub fn create_filled_with(
+        dir: &Path,
+        local_qubits: u32,
+        global_qubits: u32,
+        init: Complex<R>,
+        codec: Codec,
+    ) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
-        let mut store = Self {
-            dir: dir.to_path_buf(),
-            local_qubits,
-            global_qubits,
-            stats: IoStats::default(),
-            _precision: std::marker::PhantomData,
-        };
+        let mut store = Self::bare(dir, local_qubits, global_qubits, codec);
         let chunk = vec![init; 1usize << local_qubits];
         for c in 0..store.n_chunks() {
             store.write_chunk_from(c, &chunk)?;
@@ -250,30 +333,53 @@ impl<R: Real> ChunkStore<R> {
     }
 
     /// Open an existing store (files must have been created by a prior
-    /// `create_*` with the same geometry).
+    /// `create_*` with the same geometry and codec mode).
     pub fn open(dir: &Path, local_qubits: u32, global_qubits: u32) -> std::io::Result<Self> {
-        let store = Self {
-            dir: dir.to_path_buf(),
-            local_qubits,
-            global_qubits,
-            stats: IoStats::default(),
-            _precision: std::marker::PhantomData,
-        };
+        Self::open_with(dir, local_qubits, global_qubits, Codec::None)
+    }
+
+    /// [`ChunkStore::open`] with an explicit chunk codec. Raw stores are
+    /// size-checked per chunk; framed stores vary in size, so only the
+    /// frame headers can vouch for them (verified on every read).
+    pub fn open_with(
+        dir: &Path,
+        local_qubits: u32,
+        global_qubits: u32,
+        codec: Codec,
+    ) -> std::io::Result<Self> {
+        let store = Self::bare(dir, local_qubits, global_qubits, codec);
         for c in 0..store.n_chunks() {
             let p = store.chunk_path(c);
             let meta = std::fs::metadata(&p)?;
-            assert_eq!(
-                meta.len(),
-                (store.chunk_len() * amp_bytes::<R>()) as u64,
-                "chunk {c} has wrong size for this geometry/precision"
-            );
+            if codec.is_none() {
+                assert_eq!(
+                    meta.len(),
+                    (store.chunk_len() * amp_bytes::<R>()) as u64,
+                    "chunk {c} has wrong size for this geometry/precision"
+                );
+            } else if (meta.len() as usize) < qsim_compress::FRAME_HEADER_LEN {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("chunk {c} too short to hold a frame (not a codec store?)"),
+                ));
+            }
         }
         Ok(store)
     }
 
     /// |0…0⟩: amplitude 1 in chunk 0 slot 0, zero elsewhere.
     pub fn create_zero_state(dir: &Path, l: u32, g: u32) -> std::io::Result<Self> {
-        let mut store = Self::create_filled(dir, l, g, Complex::zero())?;
+        Self::create_zero_state_with(dir, l, g, Codec::None)
+    }
+
+    /// [`ChunkStore::create_zero_state`] with an explicit chunk codec.
+    pub fn create_zero_state_with(
+        dir: &Path,
+        l: u32,
+        g: u32,
+        codec: Codec,
+    ) -> std::io::Result<Self> {
+        let mut store = Self::create_filled_with(dir, l, g, Complex::zero(), codec)?;
         let mut chunk0 = store.read_chunk(0)?;
         chunk0[0] = Complex::one();
         store.write_chunk_from(0, &chunk0)?;
@@ -285,9 +391,20 @@ impl<R: Real> ChunkStore<R> {
     /// `StateVector::uniform_slice`, so the initial chunks are bitwise
     /// equal to the in-memory engines' initial slices at every tier.
     pub fn create_uniform(dir: &Path, l: u32, g: u32) -> std::io::Result<Self> {
+        Self::create_uniform_with(dir, l, g, Codec::None)
+    }
+
+    /// [`ChunkStore::create_uniform`] with an explicit chunk codec.
+    pub fn create_uniform_with(dir: &Path, l: u32, g: u32, codec: Codec) -> std::io::Result<Self> {
         let n = l + g;
         let amp = R::ONE / R::from_usize(1usize << n).sqrt();
-        Self::create_filled(dir, l, g, Complex::new(amp, R::ZERO))
+        Self::create_filled_with(dir, l, g, Complex::new(amp, R::ZERO), codec)
+    }
+
+    /// The chunk codec this store reads and writes with.
+    #[inline]
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     #[inline]
@@ -342,16 +459,33 @@ impl<R: Real> ChunkStore<R> {
     pub fn read_chunk_into(&mut self, c: usize, out: &mut [Complex<R>]) -> std::io::Result<()> {
         assert!(c < self.n_chunks(), "chunk {c} out of range");
         assert_eq!(out.len(), self.chunk_len(), "chunk size mismatch");
-        let t = Instant::now();
-        let mut f = File::open(self.chunk_path(c))?;
-        f.read_exact(amps_as_bytes_mut(out))?;
-        let dt = t.elapsed().as_secs_f64();
-        self.stats.read_seconds += dt;
-        // Direct store IO is synchronous by definition: the caller
-        // waited for all of it (pass-level IO instead attributes wait
-        // through the reader/writer views).
-        self.stats.io_wait_seconds += dt;
-        self.stats.bytes_read += (out.len() * amp_bytes::<R>()) as u64;
+        let logical = (out.len() * amp_bytes::<R>()) as u64;
+        if self.codec.is_none() {
+            let t = Instant::now();
+            let mut f = File::open(self.chunk_path(c))?;
+            f.read_exact(amps_as_bytes_mut(out))?;
+            let dt = t.elapsed().as_secs_f64();
+            self.stats.read_seconds += dt;
+            // Direct store IO is synchronous by definition: the caller
+            // waited for all of it (pass-level IO instead attributes wait
+            // through the reader/writer views).
+            self.stats.io_wait_seconds += dt;
+            self.stats.bytes_read += logical;
+            self.stats.logical_bytes_read += logical;
+        } else {
+            let t = Instant::now();
+            self.enc.clear();
+            File::open(self.chunk_path(c))?.read_to_end(&mut self.enc)?;
+            let io_dt = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            decode_frames(&self.enc, &mut self.scratch, out)?;
+            let codec_dt = t.elapsed().as_secs_f64();
+            self.stats.read_seconds += io_dt;
+            self.stats.decode_seconds += codec_dt;
+            self.stats.io_wait_seconds += io_dt + codec_dt;
+            self.stats.bytes_read += self.enc.len() as u64;
+            self.stats.logical_bytes_read += logical;
+        }
         Ok(())
     }
 
@@ -366,13 +500,33 @@ impl<R: Real> ChunkStore<R> {
     pub fn write_chunk_from(&mut self, c: usize, amps: &[Complex<R>]) -> std::io::Result<()> {
         assert!(c < self.n_chunks(), "chunk {c} out of range");
         assert_eq!(amps.len(), self.chunk_len(), "chunk size mismatch");
-        let t = Instant::now();
-        let mut f = File::create(self.chunk_path(c))?;
-        f.write_all(amps_as_bytes(amps))?;
-        let dt = t.elapsed().as_secs_f64();
-        self.stats.write_seconds += dt;
-        self.stats.io_wait_seconds += dt;
-        self.stats.bytes_written += (amps.len() * amp_bytes::<R>()) as u64;
+        let logical = (amps.len() * amp_bytes::<R>()) as u64;
+        if self.codec.is_none() {
+            let t = Instant::now();
+            let mut f = File::create(self.chunk_path(c))?;
+            f.write_all(amps_as_bytes(amps))?;
+            let dt = t.elapsed().as_secs_f64();
+            self.stats.write_seconds += dt;
+            self.stats.io_wait_seconds += dt;
+            self.stats.bytes_written += logical;
+            self.stats.logical_bytes_written += logical;
+        } else {
+            let t = Instant::now();
+            self.enc.clear();
+            encode_frame(self.codec, 0, amps, &mut self.scratch, &mut self.enc);
+            let codec_dt = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            // `File::create` truncates, discarding any longer previous
+            // generation of this chunk (encoded sizes vary).
+            let mut f = File::create(self.chunk_path(c))?;
+            f.write_all(&self.enc)?;
+            let io_dt = t.elapsed().as_secs_f64();
+            self.stats.write_seconds += io_dt;
+            self.stats.encode_seconds += codec_dt;
+            self.stats.io_wait_seconds += io_dt + codec_dt;
+            self.stats.bytes_written += self.enc.len() as u64;
+            self.stats.logical_bytes_written += logical;
+        }
         Ok(())
     }
 
@@ -388,22 +542,50 @@ impl<R: Real> ChunkStore<R> {
         amps: &[Complex<R>],
     ) -> std::io::Result<()> {
         assert!(off + amps.len() <= self.chunk_len());
-        let t = Instant::now();
-        let mut f = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(self.staged_path(c))?;
-        let want = (self.chunk_len() * amp_bytes::<R>()) as u64;
-        if f.metadata()?.len() < want {
-            f.set_len(want)?;
+        let logical = (amps.len() * amp_bytes::<R>()) as u64;
+        if self.codec.is_none() {
+            let t = Instant::now();
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(self.staged_path(c))?;
+            let want = (self.chunk_len() * amp_bytes::<R>()) as u64;
+            if f.metadata()?.len() < want {
+                f.set_len(want)?;
+            }
+            f.seek(SeekFrom::Start((off * amp_bytes::<R>()) as u64))?;
+            f.write_all(amps_as_bytes(amps))?;
+            let dt = t.elapsed().as_secs_f64();
+            self.stats.write_seconds += dt;
+            self.stats.io_wait_seconds += dt;
+            self.stats.bytes_written += logical;
+            self.stats.logical_bytes_written += logical;
+        } else {
+            // Codec mode appends one offset-carrying frame per piece:
+            // the first touch since the last commit/clear truncates any
+            // stale shadow, later pieces append at the end.
+            let t = Instant::now();
+            self.enc.clear();
+            encode_frame(self.codec, off, amps, &mut self.scratch, &mut self.enc);
+            let codec_dt = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let first_touch = !self.staged_open[c];
+            self.staged_open[c] = true;
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(first_touch)
+                .open(self.staged_path(c))?;
+            f.seek(SeekFrom::End(0))?;
+            f.write_all(&self.enc)?;
+            let io_dt = t.elapsed().as_secs_f64();
+            self.stats.write_seconds += io_dt;
+            self.stats.encode_seconds += codec_dt;
+            self.stats.io_wait_seconds += io_dt + codec_dt;
+            self.stats.bytes_written += self.enc.len() as u64;
+            self.stats.logical_bytes_written += logical;
         }
-        f.seek(SeekFrom::Start((off * amp_bytes::<R>()) as u64))?;
-        f.write_all(amps_as_bytes(amps))?;
-        let dt = t.elapsed().as_secs_f64();
-        self.stats.write_seconds += dt;
-        self.stats.io_wait_seconds += dt;
-        self.stats.bytes_written += (amps.len() * amp_bytes::<R>()) as u64;
         Ok(())
     }
 
@@ -433,6 +615,7 @@ impl<R: Real> ChunkStore<R> {
         if renamed {
             File::open(&self.dir)?.sync_all()?;
         }
+        self.staged_open.iter_mut().for_each(|b| *b = false);
         let dt = t.elapsed().as_secs_f64();
         self.stats.write_seconds += dt;
         self.stats.io_wait_seconds += dt;
@@ -485,13 +668,14 @@ impl<R: Real> ChunkStore<R> {
     /// reused directory must start from live chunks only — a leftover
     /// shadow from an abandoned pass would otherwise be folded into the
     /// next `commit_staged`.
-    pub fn clear_staged(&self) -> std::io::Result<()> {
+    pub fn clear_staged(&mut self) -> std::io::Result<()> {
         for c in 0..self.n_chunks() {
             let staged = self.staged_path(c);
             if staged.exists() {
                 std::fs::remove_file(staged)?;
             }
         }
+        self.staged_open.iter_mut().for_each(|b| *b = false);
         Ok(())
     }
 
@@ -513,7 +697,20 @@ impl<R: Real> ChunkStore<R> {
         global_qubits: u32,
         digests: &[u64],
     ) -> std::io::Result<Self> {
-        let mut store = Self::open(dir, local_qubits, global_qubits)?;
+        Self::open_verified_with(dir, local_qubits, global_qubits, digests, Codec::None)
+    }
+
+    /// [`ChunkStore::open_verified`] with an explicit chunk codec. The
+    /// digests hash the bytes as stored — encoded frames under a codec —
+    /// so the roll-forward protocol is identical at every codec.
+    pub fn open_verified_with(
+        dir: &Path,
+        local_qubits: u32,
+        global_qubits: u32,
+        digests: &[u64],
+        codec: Codec,
+    ) -> std::io::Result<Self> {
+        let mut store = Self::open_with(dir, local_qubits, global_qubits, codec)?;
         assert_eq!(digests.len(), store.n_chunks(), "digest count mismatch");
         let mut renamed = false;
         for (c, &want) in digests.iter().enumerate() {
@@ -574,6 +771,9 @@ impl<R: Real> ChunkStore<R> {
             files,
             chunk_len: self.chunk_len(),
             stats: IoStats::default(),
+            codec: self.codec,
+            scratch: CodecScratch::default(),
+            enc: Vec::new(),
             _precision: std::marker::PhantomData,
         })
     }
@@ -591,6 +791,9 @@ impl<R: Real> ChunkStore<R> {
             staged: (0..self.n_chunks()).map(|_| None).collect(),
             chunk_len: self.chunk_len(),
             stats: IoStats::default(),
+            codec: self.codec,
+            scratch: CodecScratch::default(),
+            enc: Vec::new(),
             _precision: std::marker::PhantomData,
         })
     }
@@ -602,6 +805,9 @@ pub struct ChunkReader<R: Real = f64> {
     files: Vec<File>,
     chunk_len: usize,
     stats: IoStats,
+    codec: Codec,
+    scratch: CodecScratch,
+    enc: Vec<u8>,
     _precision: std::marker::PhantomData<R>,
 }
 
@@ -609,13 +815,36 @@ impl<R: Real> ChunkReader<R> {
     /// Read chunk `c` into `out` through the cached handle.
     pub fn read_into(&mut self, c: usize, out: &mut [Complex<R>]) -> std::io::Result<()> {
         assert_eq!(out.len(), self.chunk_len, "chunk size mismatch");
-        let t = Instant::now();
-        let f = &mut self.files[c];
-        f.seek(SeekFrom::Start(0))?;
-        f.read_exact(amps_as_bytes_mut(out))?;
-        self.stats.read_seconds += t.elapsed().as_secs_f64();
-        self.stats.bytes_read += (out.len() * amp_bytes::<R>()) as u64;
+        let logical = (out.len() * amp_bytes::<R>()) as u64;
+        if self.codec.is_none() {
+            let t = Instant::now();
+            let f = &mut self.files[c];
+            f.seek(SeekFrom::Start(0))?;
+            f.read_exact(amps_as_bytes_mut(out))?;
+            self.stats.read_seconds += t.elapsed().as_secs_f64();
+            self.stats.bytes_read += logical;
+            self.stats.logical_bytes_read += logical;
+        } else {
+            let t = Instant::now();
+            let f = &mut self.files[c];
+            f.seek(SeekFrom::Start(0))?;
+            self.enc.clear();
+            f.read_to_end(&mut self.enc)?;
+            let io_dt = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            decode_frames(&self.enc, &mut self.scratch, out)?;
+            self.stats.read_seconds += io_dt;
+            self.stats.decode_seconds += t.elapsed().as_secs_f64();
+            self.stats.bytes_read += self.enc.len() as u64;
+            self.stats.logical_bytes_read += logical;
+        }
         Ok(())
+    }
+
+    /// The chunk codec this view decodes with.
+    #[inline]
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     pub fn stats(&self) -> IoStats {
@@ -633,6 +862,9 @@ pub struct ChunkWriter<R: Real = f64> {
     staged: Vec<Option<File>>,
     chunk_len: usize,
     stats: IoStats,
+    codec: Codec,
+    scratch: CodecScratch,
+    enc: Vec<u8>,
     _precision: std::marker::PhantomData<R>,
 }
 
@@ -640,17 +872,40 @@ impl<R: Real> ChunkWriter<R> {
     /// Overwrite live chunk `c` through the cached handle.
     pub fn write_chunk_from(&mut self, c: usize, amps: &[Complex<R>]) -> std::io::Result<()> {
         assert_eq!(amps.len(), self.chunk_len, "chunk size mismatch");
-        let t = Instant::now();
-        let f = &mut self.files[c];
-        f.seek(SeekFrom::Start(0))?;
-        f.write_all(amps_as_bytes(amps))?;
-        self.stats.write_seconds += t.elapsed().as_secs_f64();
-        self.stats.bytes_written += (amps.len() * amp_bytes::<R>()) as u64;
+        let logical = (amps.len() * amp_bytes::<R>()) as u64;
+        if self.codec.is_none() {
+            let t = Instant::now();
+            let f = &mut self.files[c];
+            f.seek(SeekFrom::Start(0))?;
+            f.write_all(amps_as_bytes(amps))?;
+            self.stats.write_seconds += t.elapsed().as_secs_f64();
+            self.stats.bytes_written += logical;
+            self.stats.logical_bytes_written += logical;
+        } else {
+            let t = Instant::now();
+            self.enc.clear();
+            encode_frame(self.codec, 0, amps, &mut self.scratch, &mut self.enc);
+            let codec_dt = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let f = &mut self.files[c];
+            f.seek(SeekFrom::Start(0))?;
+            f.write_all(&self.enc)?;
+            // The cached handle doesn't truncate on write: chop any
+            // stale tail left by a longer previous generation, or the
+            // next decode would see trailing garbage frames.
+            f.set_len(self.enc.len() as u64)?;
+            self.stats.write_seconds += t.elapsed().as_secs_f64();
+            self.stats.encode_seconds += codec_dt;
+            self.stats.bytes_written += self.enc.len() as u64;
+            self.stats.logical_bytes_written += logical;
+        }
         Ok(())
     }
 
     /// Write `[off, off+len)` of chunk `c`'s shadow file, creating and
-    /// sizing it on first touch.
+    /// sizing it on first touch. Under a codec the shadow is a sequence
+    /// of offset-carrying frames instead: first touch truncates, every
+    /// piece appends one frame through the retained handle.
     pub fn write_staged_range(
         &mut self,
         c: usize,
@@ -658,14 +913,24 @@ impl<R: Real> ChunkWriter<R> {
         amps: &[Complex<R>],
     ) -> std::io::Result<()> {
         assert!(off + amps.len() <= self.chunk_len);
+        let logical = (amps.len() * amp_bytes::<R>()) as u64;
+        let mut codec_dt = 0.0;
+        if !self.codec.is_none() {
+            let t = Instant::now();
+            self.enc.clear();
+            encode_frame(self.codec, off, amps, &mut self.scratch, &mut self.enc);
+            codec_dt = t.elapsed().as_secs_f64();
+        }
         let t = Instant::now();
         if self.staged[c].is_none() {
             let f = OpenOptions::new()
                 .write(true)
                 .create(true)
-                .truncate(false)
+                .truncate(!self.codec.is_none())
                 .open(&self.staged_paths[c])?;
-            f.set_len((self.chunk_len * amp_bytes::<R>()) as u64)?;
+            if self.codec.is_none() {
+                f.set_len((self.chunk_len * amp_bytes::<R>()) as u64)?;
+            }
             self.staged[c] = Some(f);
         }
         // The slot was just populated above, but a pipeline writeback
@@ -674,11 +939,26 @@ impl<R: Real> ChunkWriter<R> {
         let f = self.staged[c].as_mut().ok_or_else(|| {
             std::io::Error::other(format!("staged handle for chunk {c} missing after open"))
         })?;
-        f.seek(SeekFrom::Start((off * amp_bytes::<R>()) as u64))?;
-        f.write_all(amps_as_bytes(amps))?;
+        if self.codec.is_none() {
+            f.seek(SeekFrom::Start((off * amp_bytes::<R>()) as u64))?;
+            f.write_all(amps_as_bytes(amps))?;
+            self.stats.bytes_written += logical;
+        } else {
+            // Retained handle: the cursor already sits at the end of the
+            // previous frame, so pieces append in write order.
+            f.write_all(&self.enc)?;
+            self.stats.bytes_written += self.enc.len() as u64;
+        }
         self.stats.write_seconds += t.elapsed().as_secs_f64();
-        self.stats.bytes_written += (amps.len() * amp_bytes::<R>()) as u64;
+        self.stats.encode_seconds += codec_dt;
+        self.stats.logical_bytes_written += logical;
         Ok(())
+    }
+
+    /// The chunk codec this view encodes with.
+    #[inline]
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     pub fn stats(&self) -> IoStats {
@@ -795,6 +1075,85 @@ mod tests {
         assert_eq!(pool.buf_len(), 64);
         let d = pool.get();
         assert_eq!(d.len(), 64);
+    }
+
+    #[test]
+    fn codec_store_round_trips_and_compresses() {
+        let dir = ScratchDir::new("store_codec");
+        let mut store =
+            ChunkStore::create_uniform_with(dir.path(), 6, 2, Codec::ShuffleRle).unwrap();
+        // The uniform state is maximally degenerate: far fewer encoded
+        // bytes than the 64 * 16 raw bytes per chunk.
+        let created = store.stats();
+        assert_eq!(created.logical_bytes_written, 4 * 64 * 16);
+        assert!(
+            created.bytes_written < created.logical_bytes_written / 4,
+            "uniform chunks should compress >4x, got {} / {}",
+            created.bytes_written,
+            created.logical_bytes_written
+        );
+        assert!(created.compression_ratio() > 4.0);
+        let v = store.to_vec().unwrap();
+        let amp = 1.0 / 16.0;
+        assert!(v.iter().all(|a| a.re == amp && a.im == 0.0));
+
+        // Shrinking rewrites through the cached writer handle must not
+        // leave stale frame tails behind.
+        let mut writer = store.writer().unwrap();
+        let noise: Vec<c64> = (0..64)
+            .map(|i| {
+                let mut s = qsim_util::SplitMix64::new(i as u64 + 7);
+                c64::new(f64::from_bits(s.next_u64()), f64::from_bits(s.next_u64()))
+            })
+            .collect();
+        writer.write_chunk_from(1, &noise).unwrap(); // incompressible (long file)
+        writer.write_chunk_from(1, &vec![c64::zero(); 64]).unwrap(); // tiny (short file)
+        let wstats = writer.stats();
+        drop(writer);
+        store.absorb(&wstats);
+        let mut back = vec![c64::one(); 64];
+        store.read_chunk_into(1, &mut back).unwrap();
+        assert!(back.iter().all(|&a| a == c64::zero()));
+        assert!(store.stats().encode_seconds >= 0.0);
+        assert!(store.stats().decode_seconds >= 0.0);
+    }
+
+    #[test]
+    fn codec_staged_scatter_commits_and_reopens() {
+        let dir = ScratchDir::new("store_codec_staged");
+        let mut store =
+            ChunkStore::create_filled_with(dir.path(), 3, 1, c64::one(), Codec::ShuffleRle)
+                .unwrap();
+        let hi = vec![c64::new(2.0, 0.0); 4];
+        let lo = vec![c64::new(3.0, 0.0); 4];
+        let mut writer = store.writer().unwrap();
+        writer.write_staged_range(0, 4, &hi).unwrap();
+        writer.write_staged_range(0, 0, &lo).unwrap();
+        drop(writer);
+        // Live chunk untouched until commit.
+        assert_eq!(store.read_chunk(0).unwrap(), vec![c64::one(); 8]);
+        store.commit_staged().unwrap();
+        let got = store.read_chunk(0).unwrap();
+        assert_eq!(&got[..4], &lo[..]);
+        assert_eq!(&got[4..], &hi[..]);
+        // Direct store staged writes go through first-touch truncation
+        // too: a second scatter generation must not inherit old frames.
+        store.write_staged_range(1, 0, &lo).unwrap();
+        store.write_staged_range(1, 4, &hi).unwrap();
+        store.commit_staged().unwrap();
+        let got = store.read_chunk(1).unwrap();
+        assert_eq!(&got[..4], &lo[..]);
+        assert_eq!(&got[4..], &hi[..]);
+        // Reopen with the matching codec and verify digests round-trip.
+        let d0 = store.chunk_digest(0).unwrap();
+        let d1 = store.chunk_digest(1).unwrap();
+        drop(store);
+        let mut re =
+            ChunkStore::<f64>::open_verified_with(dir.path(), 3, 1, &[d0, d1], Codec::ShuffleRle)
+                .unwrap();
+        let got = re.read_chunk(1).unwrap();
+        assert_eq!(&got[..4], &lo[..]);
+        assert_eq!(&got[4..], &hi[..]);
     }
 
     #[test]

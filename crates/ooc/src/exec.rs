@@ -40,6 +40,7 @@
 
 use crate::chunkstore::{BufferPool, ChunkStore, IoStats};
 use crate::pipeline::{run_pass, PassConfig};
+use qsim_compress::Codec;
 use qsim_core::checkpoint::{schedule_fingerprint, Manifest, MANIFEST_VERSION};
 use qsim_core::dist::{apply_rank_diagonal_amps, physical_to_logical, slots_to_top_permutation};
 use qsim_core::exec::{compile_stages, execute_compiled_stage, resolve_tile_qubits};
@@ -74,6 +75,12 @@ pub struct OocConfig {
     /// Tile budget (log2 amplitudes) for compiled stages; `None` uses
     /// the measured auto-tune size.
     pub tile_qubits: Option<u32>,
+    /// Chunk codec on the IO path: encode on writeback, decode on
+    /// prefetch, both hidden behind compute when pipelined. The default
+    /// [`Codec::None`] keeps the raw on-disk format byte for byte;
+    /// [`Codec::ShuffleRle`] is lossless (bit-exact state);
+    /// [`Codec::Lossy`] truncates low mantissa bits before encoding.
+    pub compress: Codec,
     /// Span/metrics sink. The engine records its timeline on the
     /// `ooc.compute` / `ooc.prefetch` / `ooc.writeback` tracks and
     /// publishes `IoStats`/`SweepStats` under the `ooc.*` metric prefix;
@@ -141,6 +148,7 @@ impl Default for OocConfig {
             batch_runs: true,
             compiled_stages: true,
             tile_qubits: None,
+            compress: Codec::None,
             telemetry: Telemetry::disabled(),
             checkpoint: None,
         }
@@ -168,6 +176,7 @@ impl OocConfig {
             batch_runs: false,
             compiled_stages: false,
             tile_qubits: None,
+            compress: Codec::None,
             telemetry: Telemetry::disabled(),
             checkpoint: None,
         }
@@ -274,11 +283,18 @@ impl<R: SweepDispatch> OocSimulator<R> {
                                 "ooc",
                                 schedule,
                                 R::NAME,
+                                &self.config.compress.name(),
                                 init_uniform,
                                 total_passes,
                                 1 << g,
                             )?;
-                            let store = ChunkStore::open_verified(dir, l, g, &m.digests)?;
+                            let store = ChunkStore::open_verified_with(
+                                dir,
+                                l,
+                                g,
+                                &m.digests,
+                                self.config.compress,
+                            )?;
                             Some((store, point.next_unit))
                         }
                         // No manifest: the crash landed before the first
@@ -291,7 +307,8 @@ impl<R: SweepDispatch> OocSimulator<R> {
             match resumed {
                 Some(sc) => sc,
                 None => {
-                    let store = create_store(dir, l, g, init_uniform, &track)?;
+                    let mut store =
+                        create_store(dir, l, g, init_uniform, self.config.compress, &track)?;
                     if ckpt.is_some() {
                         // A reused directory may hold shadow files from
                         // an abandoned pass; they must not survive into
@@ -307,6 +324,7 @@ impl<R: SweepDispatch> OocSimulator<R> {
             schedule_hash: schedule_fingerprint(schedule),
             n_qubits: schedule.n_qubits,
             local_qubits: l,
+            codec: self.config.compress.name(),
             init_uniform,
             total_passes,
             crash: cp.crash,
@@ -458,6 +476,8 @@ impl<R: SweepDispatch> OocSimulator<R> {
             );
             m.gauge_set("ooc.precision_bits", (R::BYTES * 8) as f64);
             m.counter_add("ooc.runs", runs.len() as u64);
+            m.counter_add("ooc.compressed_bytes", io.bytes_written);
+            m.gauge_set("ooc.compression_ratio", io.compression_ratio());
         }
         Ok(OocOutcome {
             norm,
@@ -480,7 +500,7 @@ impl<R: SweepDispatch> OocSimulator<R> {
         let outcome = self.run(dir, schedule, init_uniform)?;
         let l = schedule.local_qubits;
         let g = schedule.n_qubits - l;
-        let mut store = ChunkStore::<R>::open(dir, l, g)?;
+        let mut store = ChunkStore::<R>::open_with(dir, l, g, self.config.compress)?;
         let physical = store.to_vec()?;
         let logical = physical_to_logical(&physical, schedule.final_mapping());
         Ok((outcome, logical))
@@ -579,7 +599,15 @@ impl<R: SweepDispatch> OocSimulator<R> {
             *pass_no += 1;
             if unpermute_pass >= cursor {
                 let _s = track.span_id("unpermute", run_index as u64);
-                let mut scratch = self.scratch.take().expect("unpermute scratch");
+                // The scratch buffer is installed at run start and put
+                // back after every unpermute pass; if an earlier pass
+                // failed mid-swap the engine may be re-entered without
+                // it, which must surface as an error, not a panic.
+                let mut scratch = self.scratch.take().ok_or_else(|| {
+                    std::io::Error::other(
+                        "unpermute scratch buffer missing (engine re-entered after a failed pass?)",
+                    )
+                })?;
                 let cfg = PassConfig {
                     pipelined: self.config.pipeline,
                     depth,
@@ -618,13 +646,14 @@ fn create_store<R: Real>(
     l: u32,
     g: u32,
     init_uniform: bool,
+    codec: Codec,
     track: &TrackHandle,
 ) -> std::io::Result<ChunkStore<R>> {
     let _s = track.span("init");
     if init_uniform {
-        ChunkStore::create_uniform(dir, l, g)
+        ChunkStore::create_uniform_with(dir, l, g, codec)
     } else {
-        ChunkStore::create_zero_state(dir, l, g)
+        ChunkStore::create_zero_state_with(dir, l, g, codec)
     }
 }
 
@@ -635,6 +664,7 @@ struct CkptCtx<'a> {
     schedule_hash: u64,
     n_qubits: u32,
     local_qubits: u32,
+    codec: String,
     init_uniform: bool,
     total_passes: usize,
     crash: Option<(usize, CrashPoint)>,
@@ -679,6 +709,7 @@ fn checkpoint_pass<R: Real>(
         n_qubits: ck.n_qubits,
         local_qubits: ck.local_qubits,
         precision: R::NAME.to_string(),
+        codec: ck.codec.clone(),
         init_uniform: ck.init_uniform,
         rng_seed: 0,
         next_unit: pass + 1,

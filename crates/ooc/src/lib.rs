@@ -37,4 +37,5 @@ pub mod scratch;
 
 pub use chunkstore::{BufferPool, ChunkReader, ChunkStore, ChunkWriter, IoStats};
 pub use exec::{CrashPoint, OocCheckpoint, OocConfig, OocOutcome, OocSimulator};
+pub use qsim_compress::Codec;
 pub use scratch::ScratchDir;

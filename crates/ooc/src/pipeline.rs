@@ -358,6 +358,20 @@ fn set_err(slot: &Mutex<Option<std::io::Error>>, e: std::io::Error) {
     }
 }
 
+/// Convert an IO thread's panic payload into a typed error the pass can
+/// return, instead of re-panicking on the compute thread. IO threads are
+/// expected to report failures through the error slot; a panic here
+/// means a bug (e.g. a poisoned chunk index), and the caller deserves
+/// the message, not an abort.
+fn thread_panic_err(which: &str, payload: Box<dyn std::any::Any + Send>) -> std::io::Error {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    std::io::Error::other(format!("{which} thread panicked: {msg}"))
+}
+
 fn run_pipelined<R: Real, F>(
     store: &mut ChunkStore<R>,
     chunk_pool: &mut BufferPool<R>,
@@ -396,14 +410,21 @@ where
         let prefetch = s.spawn(|| {
             let track = cfg.telemetry.track("ooc.prefetch");
             let mut reader = reader;
+            let codec_on = !reader.codec().is_none();
             let mut stranded: Vec<Buf<R>> = Vec::new();
             for c in 0..n {
                 let (buf, _) = chunk_free.pop();
                 let Some(mut buf) = buf else { break };
+                let d0 = reader.stats().decode_seconds;
                 let read = {
                     let _s = track.span_timed("read", c as u64, "chunk_io_ns");
                     reader.read_into(c, &mut buf)
                 };
+                if codec_on {
+                    let dt = reader.stats().decode_seconds - d0;
+                    cfg.telemetry
+                        .record_duration_ns("codec_decode_ns", (dt * 1e9) as u64);
+                }
                 if let Err(e) = read {
                     set_err(&err, e);
                     stranded.push(buf);
@@ -421,9 +442,11 @@ where
         let writeback = s.spawn(|| {
             let track = cfg.telemetry.track("ooc.writeback");
             let mut writer = writer;
+            let codec_on = !writer.codec().is_none();
             let mut stranded: Vec<Buf<R>> = Vec::new();
             loop {
                 let (item, _) = wb.pop();
+                let e0 = writer.stats().encode_seconds;
                 match item {
                     None => break,
                     Some(WbItem::Chunk { c, buf }) => {
@@ -461,6 +484,11 @@ where
                         }
                     }
                 }
+                let dt = writer.stats().encode_seconds - e0;
+                if codec_on && dt > 0.0 {
+                    cfg.telemetry
+                        .record_duration_ns("codec_encode_ns", (dt * 1e9) as u64);
+                }
             }
             (writer.stats(), stranded)
         });
@@ -492,10 +520,16 @@ where
         // could otherwise park on a pipe nobody drains).
         wb.close();
         full.close();
-        let (writer_stats, wb_stranded) = writeback.join().expect("writeback thread");
+        let (writer_stats, wb_stranded) = writeback.join().unwrap_or_else(|p| {
+            set_err(&err, thread_panic_err("writeback", p));
+            (IoStats::default(), Vec::new())
+        });
         chunk_free.close();
         wire_free.close();
-        let (reader_stats, pf_stranded) = prefetch.join().expect("prefetch thread");
+        let (reader_stats, pf_stranded) = prefetch.join().unwrap_or_else(|p| {
+            set_err(&err, thread_panic_err("prefetch", p));
+            (IoStats::default(), Vec::new())
+        });
         for b in pf_stranded {
             chunk_pool.put(b);
         }

@@ -7,7 +7,7 @@
 use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
 use qsim_circuit::Circuit;
 use qsim_core::single::strip_initial_hadamards;
-use qsim_ooc::{CrashPoint, OocCheckpoint, OocConfig, OocSimulator, ScratchDir};
+use qsim_ooc::{Codec, CrashPoint, OocCheckpoint, OocConfig, OocSimulator, ScratchDir};
 use qsim_sched::{plan, Schedule, SchedulerConfig};
 use qsim_util::c64;
 use qsim_util::complex::max_dist;
@@ -165,6 +165,88 @@ fn resume_rejects_cross_precision_manifests() {
         err.to_string().contains("precision"),
         "unhelpful error: {err}"
     );
+}
+
+#[test]
+fn compressed_crash_resume_is_bit_exact() {
+    // The crash-consistency protocol digests *encoded* chunk bytes, so
+    // it must survive a crash at every commit window unchanged when the
+    // store holds codec frames instead of raw amplitudes. Resume reads
+    // back through the decoder and must land on the bit-exact state of
+    // an uninterrupted compressed run — which itself must equal the
+    // uncompressed oracle, because the codec is lossless.
+    let (_, schedule, uniform) = planned(6, 3);
+    let (expect, _) = oracle(&schedule, uniform);
+
+    let comp_sim = |checkpoint: OocCheckpoint| {
+        OocSimulator::<f64>::new(OocConfig {
+            pipeline: true,
+            checkpoint: Some(checkpoint),
+            compress: Codec::ShuffleRle,
+            ..OocConfig::sequential()
+        })
+    };
+    for point in [
+        CrashPoint::BeforeManifest,
+        CrashPoint::BeforeCommit,
+        CrashPoint::AfterCommit,
+    ] {
+        let mut pass = 0usize;
+        loop {
+            let dir = ScratchDir::new("ooc_ckpt_comp_crash");
+            let mut cp = OocCheckpoint::new();
+            cp.crash = Some((pass, point));
+            match comp_sim(cp).run(dir.path(), &schedule, uniform) {
+                Ok(_) => break,
+                Err(e) => assert_eq!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted,
+                    "injected crash must surface typed: {e}"
+                ),
+            }
+            let mut sim = comp_sim(OocCheckpoint::resume());
+            let (_, state) = sim.run_gather(dir.path(), &schedule, uniform).unwrap();
+            assert_eq!(
+                max_dist(&state, &expect),
+                0.0,
+                "compressed resume after crash at pass {pass} ({point:?}) diverged"
+            );
+            pass += 1;
+        }
+        assert!(pass >= 3, "schedule too shallow to exercise {point:?}");
+    }
+}
+
+#[test]
+fn resume_rejects_cross_codec_manifests() {
+    // Chunk records are raw bytes under `none` and self-describing
+    // frames under a codec; resuming with a different codec than the
+    // manifest records would mis-read every record, so it must be
+    // rejected up front — in both directions.
+    let (_, schedule, uniform) = planned(6, 3);
+    let codec_sim = |codec: Codec, checkpoint: OocCheckpoint| {
+        OocSimulator::<f64>::new(OocConfig {
+            pipeline: true,
+            checkpoint: Some(checkpoint),
+            compress: codec,
+            ..OocConfig::sequential()
+        })
+    };
+    for (wrote, resumes) in [
+        (Codec::ShuffleRle, Codec::None),
+        (Codec::None, Codec::ShuffleRle),
+        (Codec::ShuffleRle, Codec::Lossy(8)),
+    ] {
+        let dir = ScratchDir::new("ooc_ckpt_codec");
+        codec_sim(wrote, OocCheckpoint::new())
+            .run(dir.path(), &schedule, uniform)
+            .unwrap();
+        let err = codec_sim(resumes, OocCheckpoint::resume())
+            .run(dir.path(), &schedule, uniform)
+            .expect_err("cross-codec resume must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "got {err}");
+        assert!(err.to_string().contains("codec"), "unhelpful error: {err}");
+    }
 }
 
 #[test]

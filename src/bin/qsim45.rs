@@ -3,7 +3,8 @@
 //! ```text
 //! qsim45 plan   --rows 9 --cols 5 --depth 25 --local 30 [--kmax 4]
 //! qsim45 run    --rows 4 --cols 5 --depth 25 [--ranks 4] [--backend mem|ooc]
-//!               [--precision f64|f32] [--checkpoint-dir DIR [--resume]]
+//!               [--precision f64|f32] [--compress none|shuffle-rle|lossy-<bits>]
+//!               [--checkpoint-dir DIR [--resume]]
 //!               [--trace-out trace.json] [--metrics-out metrics.json]
 //! qsim45 sample --rows 4 --cols 4 --depth 25 --shots 16
 //! qsim45 kernels [--state-qubits 22]
@@ -17,6 +18,14 @@
 //! paper: half the bytes per amplitude end to end). The default `f64`
 //! path is bit-identical to the pre-tiering engine. Checkpoints record
 //! the precision; resuming across precisions is rejected.
+//!
+//! `--compress` (OOC backend only) selects the chunk codec on the IO
+//! path: `shuffle-rle` is lossless — the simulated state is bit-exact —
+//! while `lossy-<bits>` additionally truncates that many low mantissa
+//! bits before encoding. Encoding happens on the writeback thread and
+//! decoding on the prefetch thread, so with the pipeline enabled the
+//! codec hides behind compute. Checkpoints record the codec; resuming
+//! across codecs is rejected. Composes with `--precision`.
 //!
 //! `--checkpoint-dir` makes the run crash-recoverable: every engine
 //! publishes an atomic manifest per completed unit of work (stage,
@@ -51,7 +60,8 @@ fn main() {
             eprintln!("usage: qsim45 <plan|run|sample|kernels> [options]");
             eprintln!("  plan   --rows R --cols C --depth D --local L [--kmax K]");
             eprintln!("  run    --rows R --cols C --depth D [--ranks N] [--backend mem|ooc]");
-            eprintln!("         [--precision f64|f32] [--checkpoint-dir DIR [--resume]]");
+            eprintln!("         [--precision f64|f32] [--compress none|shuffle-rle|lossy-<bits>]");
+            eprintln!("         [--checkpoint-dir DIR [--resume]]");
             eprintln!("  sample --rows R --cols C --depth D [--shots S] [--seed X]");
             eprintln!("  kernels [--state-qubits N]");
             std::process::exit(2);
@@ -210,6 +220,11 @@ fn run_at<R: SweepDispatch>() {
     let schedule = plan(&exec, &SchedulerConfig::distributed(l, arg("--kmax", 4)));
     match backend.as_str() {
         "ooc" => {
+            let compress = qsim45::ooc::Codec::parse(&arg_str("--compress", "none"))
+                .unwrap_or_else(|e| {
+                    eprintln!("bad --compress: {e}");
+                    std::process::exit(2);
+                });
             // With checkpointing the chunk store must outlive the
             // process, so it lives in the (persistent) checkpoint
             // directory rather than a self-cleaning scratch dir.
@@ -229,6 +244,7 @@ fn run_at<R: SweepDispatch>() {
                     resume,
                     crash: None,
                 }),
+                compress,
                 ..Default::default()
             });
             let out = sim.run(&store_dir, &schedule, uniform).unwrap_or_else(|e| {
@@ -249,6 +265,15 @@ fn run_at<R: SweepDispatch>() {
                 out.io.bytes_written as f64 / (1 << 20) as f64,
                 100.0 * out.io.overlap_fraction()
             );
+            if !compress.is_none() {
+                println!(
+                    "compression : {} — {:.2}x ({:.1} MiB logical -> {:.1} MiB on disk)",
+                    compress.name(),
+                    out.io.compression_ratio(),
+                    out.io.logical_bytes_written as f64 / (1 << 20) as f64,
+                    out.io.bytes_written as f64 / (1 << 20) as f64
+                );
+            }
             println!("entropy     : {:.6} bits", out.entropy);
             println!("norm        : {:.12}", out.norm);
         }

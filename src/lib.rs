@@ -19,6 +19,7 @@
 //! substitutions, and `EXPERIMENTS.md` for the paper-vs-measured record.
 
 pub use qsim_circuit as circuit;
+pub use qsim_compress as compress;
 pub use qsim_core as core;
 pub use qsim_kernels as kernels;
 pub use qsim_net as net;

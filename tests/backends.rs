@@ -9,7 +9,7 @@ use qsim45::circuit::Circuit;
 use qsim45::core::single::{strip_initial_hadamards, SingleNodeSimulator};
 use qsim45::core::{DistConfig, DistSimulator};
 use qsim45::kernels::apply::KernelConfig;
-use qsim45::ooc::{OocConfig, OocSimulator, ScratchDir};
+use qsim45::ooc::{Codec, OocConfig, OocSimulator, ScratchDir};
 use qsim45::sched::{plan, SchedulerConfig};
 use qsim45::util::complex::max_dist;
 
@@ -185,6 +185,90 @@ fn f32_backends_agree_bit_for_bit() {
             "single f32 vs dist f32 drift {worst:e}, g={g}"
         );
     }
+}
+
+#[test]
+fn compressed_ooc_agrees_with_dist_bit_for_bit() {
+    // The lossless chunk codec sits on the IO path only: every
+    // amplitude that comes back from disk is the exact bytes that went
+    // in, so compressed OOC vs the in-memory distributed engine is
+    // exact equality — at both precisions — while writing fewer bytes
+    // than the raw store.
+    let c = workload();
+    let n = c.n_qubits();
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    let g = 3u32;
+    let schedule = plan(&exec, &SchedulerConfig::distributed(n - g, 4));
+    let dist = DistSimulator::new(DistConfig {
+        n_ranks: 1usize << g,
+        kernel: KernelConfig::sequential(),
+        gather_state: true,
+        ..Default::default()
+    });
+
+    let dist64 = dist.run(&exec, &schedule, uniform).state.unwrap();
+    let dir = ScratchDir::new("backends_comp64");
+    let mut ooc = OocSimulator::<f64>::new(OocConfig {
+        compress: Codec::ShuffleRle,
+        ..OocConfig::sequential()
+    });
+    let (out, state) = ooc.run_gather(dir.path(), &schedule, uniform).unwrap();
+    assert_eq!(
+        max_dist(&state, &dist64),
+        0.0,
+        "compressed ooc f64 vs dist must be bit-exact"
+    );
+    assert!(
+        out.io.compression_ratio() > 1.0,
+        "lossless codec must beat raw on this workload: ratio {}",
+        out.io.compression_ratio()
+    );
+    assert!(
+        out.io.bytes_written < out.io.logical_bytes_written,
+        "encoded bytes on disk must undercut amplitude bytes"
+    );
+
+    let dist32 = dist
+        .try_run_t::<f32>(&exec, &schedule, uniform)
+        .unwrap()
+        .state
+        .unwrap();
+    let dir = ScratchDir::new("backends_comp32");
+    let mut ooc = OocSimulator::<f32>::new(OocConfig {
+        compress: Codec::ShuffleRle,
+        ..OocConfig::sequential()
+    });
+    let (_, state) = ooc.run_gather(dir.path(), &schedule, uniform).unwrap();
+    assert_eq!(
+        max_dist(&state, &dist32),
+        0.0,
+        "compressed ooc f32 vs dist must be bit-exact"
+    );
+}
+
+#[test]
+fn lossy_codec_bounds_the_error_it_introduces() {
+    // `lossy-8` zeroes 8 low mantissa bits per component before
+    // encoding — a relative error around 2^-44 at f64. The result may
+    // differ from the exact state, but only within that budget (gates
+    // are unitary, so per-pass truncation error cannot blow up).
+    let c = workload();
+    let n = c.n_qubits();
+    let (exec, uniform) = strip_initial_hadamards(&c);
+    let schedule = plan(&exec, &SchedulerConfig::distributed(n - 3, 4));
+    let dir = ScratchDir::new("backends_exact");
+    let mut exact = OocSimulator::sequential();
+    let (_, oracle) = exact.run_gather(dir.path(), &schedule, uniform).unwrap();
+    let dir = ScratchDir::new("backends_lossy");
+    let mut lossy = OocSimulator::<f64>::new(OocConfig {
+        compress: Codec::Lossy(8),
+        ..OocConfig::sequential()
+    });
+    let (out, state) = lossy.run_gather(dir.path(), &schedule, uniform).unwrap();
+    let d = max_dist(&state, &oracle);
+    assert!(d > 0.0, "lossy-8 should actually drop bits on this state");
+    assert!(d < 1e-10, "lossy-8 error must stay tiny: {d:e}");
+    assert!((out.norm - 1.0).abs() < 1e-9, "norm {}", out.norm);
 }
 
 #[test]
