@@ -68,12 +68,6 @@ fn main() {
     println!("# closest to linear, k=1 saturates memory bandwidth early.");
 }
 
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
 /// `--mode sweep`: per-gate vs cache-tiled stage execution.
 fn sweep_mode() {
     let rows = arg_u32("--rows", 4);

@@ -152,9 +152,3 @@ fn compress_mode(rows: u32, cols: u32, kmax: u32, g: u32, prefetch_depth: usize,
     std::fs::write("BENCH_ooc_compress.json", &json).expect("write BENCH_ooc_compress.json");
     println!("# wrote BENCH_ooc_compress.json");
 }
-
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}

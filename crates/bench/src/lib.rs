@@ -24,4 +24,5 @@
 pub mod harness;
 pub mod ooc_report;
 pub mod precision_report;
+pub mod search_report;
 pub mod sweep_report;

@@ -33,6 +33,8 @@ pub mod exec;
 pub mod measure;
 pub mod noise;
 pub mod observables;
+pub mod planner;
+pub mod schedcache;
 pub mod single;
 pub mod state;
 
@@ -42,5 +44,7 @@ pub use dist::{DistConfig, DistOutcome, DistSimulator};
 pub use exec::{
     compile_stage, compile_stages, execute_compiled_stage, execute_schedule_sweep, CompiledStage,
 };
+pub use planner::{plan_schedule, PlanOptions, PlannedSchedule, ScheduleMode};
+pub use schedcache::{ScheduleArtifact, SearchMeta};
 pub use single::{SingleCheckpoint, SingleNodeSimulator, SingleOutcome};
 pub use state::StateVector;

@@ -1,0 +1,542 @@
+//! Fingerprint-keyed schedule-artifact cache.
+//!
+//! Schedule *search* ([`qsim_sched::search`]) spends seconds of planning
+//! to save minutes of execution — but the search result is a pure
+//! function of (circuit, planner config, search config), so repeated
+//! runs of the same circuit family should pay for it exactly once. This
+//! module stores the searched plan on disk, keyed by the
+//! [`schedule_fingerprint`](crate::checkpoint::schedule_fingerprint) of
+//! the *greedy* plan: greedy planning is cheap and deterministic, so the
+//! key is computable before any search happens, and it already encodes
+//! the circuit's gate stream, geometry and planner config (two circuits
+//! share a greedy fingerprint only if the planner treats them
+//! identically).
+//!
+//! The artifact also records the measured `tile_qubits` of the machine
+//! that produced it, letting a warm run skip the `tune_tile_qubits`
+//! autotune probe as well as the search.
+//!
+//! Durability follows the PR 5 checkpoint protocol: temp file →
+//! `sync_all` → atomic rename → directory fsync. Integrity is a whole-
+//! payload FNV-1a digest checked *before* decoding; a failed check is
+//! [`CheckpointError::Corrupt`], a well-formed artifact for a different
+//! version or key is [`CheckpointError::Mismatch`], and a missing file
+//! is simply `Ok(None)` (cache miss).
+
+use crate::checkpoint::{fnv1a64, fsync_dir, CheckpointError};
+use qsim_sched::{Cluster, DiagonalOp, Schedule, Stage, StageOp, SwapOp};
+use qsim_util::c64;
+use qsim_util::matrix::GateMatrix;
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Artifact format magic; also serves as the file extension's anchor.
+const MAGIC: &[u8; 8] = b"QSCHEDC\x01";
+
+/// Artifact format version; bump on any incompatible layout change.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Search provenance stored alongside the schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchMeta {
+    /// Whether the stored schedule is a searched plan (vs greedy).
+    pub adopted: bool,
+    /// `plan()` evaluations the search spent.
+    pub candidates: u64,
+    /// Modeled seconds of the greedy baseline.
+    pub greedy_cost: f64,
+    /// Modeled seconds of the stored schedule.
+    pub best_cost: f64,
+    /// Wall-clock seconds the search took on the producing machine.
+    pub search_seconds: f64,
+}
+
+/// One cached schedule plus its provenance.
+#[derive(Clone, Debug)]
+pub struct ScheduleArtifact {
+    /// Greedy-plan fingerprint this artifact is keyed by.
+    pub key: u64,
+    /// The schedule to execute (searched if `meta.adopted`, else greedy).
+    pub schedule: Schedule,
+    pub meta: SearchMeta,
+    /// Measured tile budget of the producing machine (`None` if it was
+    /// never tuned) — lets warm runs skip the autotune probe.
+    pub tile_qubits: Option<u32>,
+}
+
+/// Path of the artifact for `key` inside `dir`.
+pub fn artifact_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("sched-{key:016x}.bin"))
+}
+
+// ---- little-endian payload codec ----------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn u32s(&mut self, vs: &[u32]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+    fn usizes(&mut self, vs: &[usize]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u64(v as u64);
+        }
+    }
+    fn amps(&mut self, vs: &[c64]) {
+        self.u64(vs.len() as u64);
+        for v in vs {
+            self.f64(v.re);
+            self.f64(v.im);
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "schedule artifact truncated at byte {}",
+                self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    /// Length prefix, bounds-checked against the bytes actually left so
+    /// corrupt lengths cannot trigger huge allocations.
+    fn len(&mut self, elem_bytes: usize) -> Result<usize, CheckpointError> {
+        let n = self.u64()? as usize;
+        if n.saturating_mul(elem_bytes) > self.buf.len() - self.pos {
+            return Err(CheckpointError::Corrupt(format!(
+                "schedule artifact length {n} exceeds payload"
+            )));
+        }
+        Ok(n)
+    }
+    fn u32s(&mut self) -> Result<Vec<u32>, CheckpointError> {
+        let n = self.len(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+    fn usizes(&mut self) -> Result<Vec<usize>, CheckpointError> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.u64().map(|v| v as usize)).collect()
+    }
+    fn amps(&mut self) -> Result<Vec<c64>, CheckpointError> {
+        let n = self.len(16)?;
+        (0..n)
+            .map(|_| {
+                let re = self.f64()?;
+                let im = self.f64()?;
+                Ok(c64 { re, im })
+            })
+            .collect()
+    }
+}
+
+fn encode_schedule(e: &mut Enc, s: &Schedule) {
+    e.u32(s.n_qubits);
+    e.u32(s.local_qubits);
+    e.u32(s.kmax);
+    e.u64(s.stages.len() as u64);
+    for stage in &s.stages {
+        e.u32s(&stage.mapping);
+        e.u64(stage.ops.len() as u64);
+        for op in &stage.ops {
+            match op {
+                StageOp::Cluster(c) => {
+                    e.u8(1);
+                    e.u32s(&c.qubits);
+                    e.usizes(&c.gate_indices);
+                    e.u32(c.matrix.k());
+                    e.amps(c.matrix.entries());
+                }
+                StageOp::Diagonal(d) => {
+                    e.u8(2);
+                    e.u32s(&d.positions);
+                    e.amps(&d.diag);
+                    e.usizes(&d.gate_indices);
+                }
+            }
+        }
+        match &stage.swap {
+            Some(sw) => {
+                e.u8(1);
+                e.u32s(&sw.local_slots);
+            }
+            None => e.u8(0),
+        }
+    }
+}
+
+fn decode_schedule(d: &mut Dec) -> Result<Schedule, CheckpointError> {
+    let n_qubits = d.u32()?;
+    let local_qubits = d.u32()?;
+    let kmax = d.u32()?;
+    let n_stages = d.len(1)?;
+    let mut stages = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        let mapping = d.u32s()?;
+        let n_ops = d.len(1)?;
+        let mut ops = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            match d.u8()? {
+                1 => {
+                    let qubits = d.u32s()?;
+                    let gate_indices = d.usizes()?;
+                    let k = d.u32()?;
+                    let entries = d.amps()?;
+                    if k > 16 || entries.len() != 1usize << (2 * k) {
+                        return Err(CheckpointError::Corrupt(format!(
+                            "cluster matrix k={k} with {} entries",
+                            entries.len()
+                        )));
+                    }
+                    ops.push(StageOp::Cluster(Cluster {
+                        qubits,
+                        gate_indices,
+                        matrix: GateMatrix::from_rows(k, entries),
+                    }));
+                }
+                2 => {
+                    let positions = d.u32s()?;
+                    let diag = d.amps()?;
+                    let gate_indices = d.usizes()?;
+                    ops.push(StageOp::Diagonal(DiagonalOp {
+                        positions,
+                        diag,
+                        gate_indices,
+                    }));
+                }
+                t => {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "unknown stage-op tag {t}"
+                    )))
+                }
+            }
+        }
+        let swap = match d.u8()? {
+            0 => None,
+            1 => Some(SwapOp {
+                local_slots: d.u32s()?,
+            }),
+            t => {
+                return Err(CheckpointError::Corrupt(format!("unknown swap tag {t}")));
+            }
+        };
+        stages.push(Stage { mapping, ops, swap });
+    }
+    Ok(Schedule {
+        n_qubits,
+        local_qubits,
+        kmax,
+        stages,
+    })
+}
+
+fn encode_artifact(a: &ScheduleArtifact) -> Vec<u8> {
+    let mut e = Enc(Vec::with_capacity(4096));
+    e.u8(a.meta.adopted as u8);
+    e.u64(a.meta.candidates);
+    e.f64(a.meta.greedy_cost);
+    e.f64(a.meta.best_cost);
+    e.f64(a.meta.search_seconds);
+    match a.tile_qubits {
+        Some(t) => {
+            e.u8(1);
+            e.u32(t);
+        }
+        None => e.u8(0),
+    }
+    encode_schedule(&mut e, &a.schedule);
+    e.0
+}
+
+fn decode_artifact(key: u64, payload: &[u8]) -> Result<ScheduleArtifact, CheckpointError> {
+    let mut d = Dec {
+        buf: payload,
+        pos: 0,
+    };
+    let adopted = d.u8()? != 0;
+    let candidates = d.u64()?;
+    let greedy_cost = d.f64()?;
+    let best_cost = d.f64()?;
+    let search_seconds = d.f64()?;
+    let tile_qubits = match d.u8()? {
+        0 => None,
+        1 => Some(d.u32()?),
+        t => {
+            return Err(CheckpointError::Corrupt(format!(
+                "unknown tile-qubits tag {t}"
+            )))
+        }
+    };
+    let schedule = decode_schedule(&mut d)?;
+    if d.pos != payload.len() {
+        return Err(CheckpointError::Corrupt(format!(
+            "{} trailing bytes after schedule",
+            payload.len() - d.pos
+        )));
+    }
+    Ok(ScheduleArtifact {
+        key,
+        schedule,
+        meta: SearchMeta {
+            adopted,
+            candidates,
+            greedy_cost,
+            best_cost,
+            search_seconds,
+        },
+        tile_qubits,
+    })
+}
+
+/// Atomically publish `artifact` into `dir` (created if absent). Returns
+/// the artifact's path.
+pub fn store_artifact(dir: &Path, artifact: &ScheduleArtifact) -> Result<PathBuf, CheckpointError> {
+    fs::create_dir_all(dir)?;
+    let payload = encode_artifact(artifact);
+    let mut bytes = Vec::with_capacity(payload.len() + 36);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&artifact.key.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let path = artifact_path(dir, artifact.key);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    fsync_dir(dir)?;
+    Ok(path)
+}
+
+/// Load the artifact for `key` from `dir`. `Ok(None)` when absent;
+/// [`CheckpointError::Corrupt`] when the file fails magic or digest
+/// validation; [`CheckpointError::Mismatch`] when it is a valid artifact
+/// of a different version or key.
+pub fn load_artifact(dir: &Path, key: u64) -> Result<Option<ScheduleArtifact>, CheckpointError> {
+    let path = artifact_path(dir, key);
+    let mut bytes = Vec::new();
+    match File::open(&path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    if bytes.len() < 36 || &bytes[..8] != MAGIC {
+        return Err(CheckpointError::Corrupt(format!(
+            "{} is not a schedule artifact",
+            path.display()
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != ARTIFACT_VERSION {
+        return Err(CheckpointError::Mismatch(format!(
+            "schedule artifact version {version}, expected {ARTIFACT_VERSION}"
+        )));
+    }
+    let file_key = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    if file_key != key {
+        return Err(CheckpointError::Mismatch(format!(
+            "schedule artifact keyed {file_key:016x}, expected {key:016x}"
+        )));
+    }
+    let payload_len = u64::from_le_bytes(bytes[20..28].try_into().unwrap()) as usize;
+    let digest = u64::from_le_bytes(bytes[28..36].try_into().unwrap());
+    let payload = &bytes[36..];
+    if payload.len() != payload_len {
+        return Err(CheckpointError::Corrupt(format!(
+            "schedule artifact payload {} bytes, header says {payload_len}",
+            payload.len()
+        )));
+    }
+    if fnv1a64(payload) != digest {
+        return Err(CheckpointError::Corrupt(
+            "schedule artifact digest mismatch".into(),
+        ));
+    }
+    decode_artifact(key, payload).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::schedule_fingerprint;
+    use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+    use qsim_sched::{plan, SchedulerConfig};
+
+    fn sample_schedule() -> Schedule {
+        let c = supremacy_circuit(&SupremacySpec {
+            rows: 3,
+            cols: 4,
+            depth: 16,
+            seed: 3,
+        });
+        plan(&c, &SchedulerConfig::distributed(9, 4))
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("qsim-schedcache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn round_trip_preserves_fingerprint() {
+        let dir = tmpdir("rt");
+        let schedule = sample_schedule();
+        let key = schedule_fingerprint(&schedule);
+        let art = ScheduleArtifact {
+            key,
+            schedule,
+            meta: SearchMeta {
+                adopted: true,
+                candidates: 17,
+                greedy_cost: 1.5,
+                best_cost: 1.25,
+                search_seconds: 0.03,
+            },
+            tile_qubits: Some(13),
+        };
+        store_artifact(&dir, &art).unwrap();
+        let back = load_artifact(&dir, key).unwrap().expect("artifact present");
+        assert_eq!(schedule_fingerprint(&back.schedule), key);
+        assert_eq!(back.meta, art.meta);
+        assert_eq!(back.tile_qubits, Some(13));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_artifact_is_a_clean_miss() {
+        let dir = tmpdir("miss");
+        assert!(load_artifact(&dir, 0xdead_beef).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_rejected_not_loaded() {
+        let dir = tmpdir("corrupt");
+        let schedule = sample_schedule();
+        let key = schedule_fingerprint(&schedule);
+        let art = ScheduleArtifact {
+            key,
+            schedule,
+            meta: SearchMeta {
+                adopted: false,
+                candidates: 1,
+                greedy_cost: 1.0,
+                best_cost: 1.0,
+                search_seconds: 0.0,
+            },
+            tile_qubits: None,
+        };
+        let path = store_artifact(&dir, &art).unwrap();
+
+        // Flip one payload byte: digest check must fire.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        match load_artifact(&dir, key) {
+            Err(CheckpointError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // Truncation must also be Corrupt, not a panic.
+        fs::write(&path, &bytes[..40]).unwrap();
+        match load_artifact(&dir, key) {
+            Err(CheckpointError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // A foreign file fails the magic check.
+        fs::write(&path, b"not an artifact").unwrap();
+        match load_artifact(&dir, key) {
+            Err(CheckpointError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_key_or_version_is_a_mismatch() {
+        let dir = tmpdir("mismatch");
+        let schedule = sample_schedule();
+        let key = schedule_fingerprint(&schedule);
+        let art = ScheduleArtifact {
+            key,
+            schedule,
+            meta: SearchMeta {
+                adopted: false,
+                candidates: 1,
+                greedy_cost: 1.0,
+                best_cost: 1.0,
+                search_seconds: 0.0,
+            },
+            tile_qubits: None,
+        };
+        let path = store_artifact(&dir, &art).unwrap();
+
+        // Same file renamed under a different key: key check fires.
+        let other = artifact_path(&dir, key ^ 1);
+        fs::copy(&path, &other).unwrap();
+        match load_artifact(&dir, key ^ 1) {
+            Err(CheckpointError::Mismatch(_)) => {}
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+
+        // Bumped version field: version check fires (digest still valid —
+        // the digest covers the payload, not the header).
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8] = 0xEE;
+        fs::write(&path, &bytes).unwrap();
+        match load_artifact(&dir, key) {
+            Err(CheckpointError::Mismatch(_)) => {}
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -13,12 +13,13 @@ use crate::checkpoint::{
 use crate::exec::{
     compile_stages, execute_compiled_stage, execute_schedule_sweep_with, resolve_tile_qubits,
 };
+use crate::planner::{plan_schedule, PlanOptions, ScheduleMode};
 use crate::state::StateVector;
 use qsim_circuit::Circuit;
 use qsim_kernels::apply::{KernelConfig, OptLevel};
 use qsim_kernels::{SweepDispatch, SweepStats};
 use qsim_net::SimError;
-use qsim_sched::{plan, Schedule, SchedulerConfig, StageOp};
+use qsim_sched::{Schedule, SchedulerConfig, StageOp};
 use qsim_telemetry::Telemetry;
 use qsim_util::c64;
 use std::path::PathBuf;
@@ -78,6 +79,13 @@ pub struct SingleNodeSimulator {
     /// Stage-granular checkpoint/restart; `None` (the default) runs the
     /// original non-checkpointed executor.
     pub checkpoint: Option<SingleCheckpoint>,
+    /// Schedule policy: greedy (the default, bit-identical to the
+    /// pre-search engine) or cost-guided search.
+    pub schedule_mode: ScheduleMode,
+    /// Schedule-artifact cache directory (search mode only).
+    pub schedule_cache: Option<PathBuf>,
+    /// Search budget in `plan()` evaluations (search mode only).
+    pub search_budget: usize,
 }
 
 impl Default for SingleNodeSimulator {
@@ -89,6 +97,9 @@ impl Default for SingleNodeSimulator {
             tile_qubits: None,
             telemetry: Telemetry::disabled(),
             checkpoint: None,
+            schedule_mode: ScheduleMode::Greedy,
+            schedule_cache: None,
+            search_budget: qsim_sched::SearchConfig::default().budget,
         }
     }
 }
@@ -155,15 +166,29 @@ impl SingleNodeSimulator {
         } else {
             &exec_circuit
         };
-        let t0 = Instant::now();
-        let schedule = {
+        let planned = {
             let _s = track.span("plan");
-            plan(exec_ref, &self.plan_cfg(n))
+            plan_schedule(
+                exec_ref,
+                &self.plan_cfg(n),
+                &PlanOptions {
+                    mode: self.schedule_mode,
+                    cache_dir: self.schedule_cache.clone(),
+                    search_budget: self.search_budget,
+                    amp_bytes: 2 * R::BYTES as u64,
+                    telemetry: self.telemetry.clone(),
+                },
+            )
         };
-        let plan_seconds = t0.elapsed().as_secs_f64();
+        let plan_seconds = planned.plan_seconds;
+        let schedule = planned.schedule;
+        // A cache hit carries the producing machine's measured tile
+        // budget: adopt it when the caller didn't pin one, skipping the
+        // autotune probe.
+        let tile_qubits = self.tile_qubits.or(planned.tile_qubits);
 
         if let Some(cp) = &self.checkpoint {
-            return self.run_checkpointed(cp, schedule, init_uniform, plan_seconds, n);
+            return self.run_checkpointed(cp, schedule, init_uniform, plan_seconds, n, tile_qubits);
         }
 
         let mut state = {
@@ -182,7 +207,7 @@ impl SingleNodeSimulator {
                 &mut state,
                 &schedule,
                 &self.kernel,
-                self.tile_qubits,
+                tile_qubits,
                 &self.telemetry,
             );
         } else {
@@ -224,6 +249,7 @@ impl SingleNodeSimulator {
         init_uniform: bool,
         plan_seconds: f64,
         n: u32,
+        tile_qubits: Option<u32>,
     ) -> Result<SingleOutcome<R>, SimError> {
         let track = self.telemetry.track("single");
         let total_units = schedule.stages.len();
@@ -281,7 +307,7 @@ impl SingleNodeSimulator {
 
         let mut sweep = SweepStats::default();
         let compiled = (self.kernel.opt == OptLevel::Blocked).then(|| {
-            let tile = resolve_tile_qubits(self.tile_qubits, n, self.kernel.threads);
+            let tile = resolve_tile_qubits(tile_qubits, n, self.kernel.threads);
             compile_stages(&schedule.stages, n, &self.kernel, tile)
         });
         for si in start_stage..total_units {

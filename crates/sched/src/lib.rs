@@ -27,23 +27,33 @@
 //! * [`sweep`] — stage-sweep planning for the cache-tiled executor:
 //!   footprint-aware op ordering and grouping of consecutive ops into
 //!   single streaming passes.
+//! * [`cost`] — the schedule cost model: machine-independent resource
+//!   counts ([`PlanResources`]) weighted into modeled seconds by a
+//!   per-machine [`CostModel`].
+//! * [`search`] — cost-guided schedule search: beam over planner
+//!   configurations plus annealing over logical relabelings, with the
+//!   greedy plan as a structural floor.
 //!
 //! The top-level entry point is [`stage::plan`]: circuit + config →
-//! [`Schedule`].
+//! [`Schedule`]; [`search::search_plan`] is the optimizing variant.
 
 pub mod cluster;
 pub mod comm;
 pub mod config;
+pub mod cost;
 pub mod fuse;
 pub mod mapping;
 pub mod runs;
 pub mod schedule;
+pub mod search;
 pub mod stage;
 pub mod sweep;
 
 pub use comm::{global_gate_count, CommStats};
 pub use config::SchedulerConfig;
+pub use cost::{plan_resources, CostModel, PlanResources};
 pub use runs::{plan_runs, segment_stages, StageRun};
 pub use schedule::{Cluster, DiagonalOp, Schedule, Stage, StageOp, SwapOp};
+pub use search::{search_plan, SearchConfig, SearchOutcome};
 pub use stage::plan;
 pub use sweep::{plan_stage_sweeps, SweepPass, SweepPlan};

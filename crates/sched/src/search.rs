@@ -1,0 +1,474 @@
+//! Cost-model-guided schedule search.
+//!
+//! The greedy planner ([`crate::stage::plan`]) is one-shot: it commits to
+//! the paper's heuristics (§3.6) at a fixed `kmax` and never revisits a
+//! decision. Scheduling is pure precomputation, so [`search_plan`] spends
+//! a bounded budget of extra `plan()` evaluations exploring the axes the
+//! greedy pass fixes up front:
+//!
+//! 1. **Beam over planner configurations** — `kmax` neighbors and the
+//!    sweep-order toggle, each a full greedy plan scored by the
+//!    [`CostModel`];
+//! 2. **Annealing over logical relabelings** — random transpositions of
+//!    qubit labels change which qubits the mapping heuristics group into
+//!    clusters, accepted by simulated annealing on modeled cost.
+//!
+//! A relabeled plan is translated back into a schedule of the *original*
+//! circuit (see [`unpermute_schedule`]): stage ops and swaps live in
+//! physical space and carry over unchanged; only the logical→physical
+//! mappings are composed with the relabeling. The result is `verify`'d
+//! against the original circuit before it can be adopted.
+//!
+//! Greedy is the floor: the searched plan is adopted only if its modeled
+//! cost clears an adoption margin below greedy's
+//! ([`SearchConfig::adopt_margin`]), and never if it schedules *more*
+//! swaps than greedy — so enabling search can never make the modeled
+//! plan worse, and noise-level model deltas cannot trade away the
+//! paper's primary objective.
+
+use crate::config::SchedulerConfig;
+use crate::cost::{plan_resources, CostModel, PlanResources};
+use crate::schedule::Schedule;
+use crate::stage::plan;
+use crate::sweep::DEFAULT_TILE_QUBITS;
+use qsim_circuit::Circuit;
+use qsim_util::Xoshiro256;
+
+/// Knobs of one search run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchConfig {
+    /// Maximum number of `plan()` evaluations beyond the greedy baseline.
+    /// Each evaluation is a full greedy plan of the circuit, so search
+    /// time is roughly `budget ×` greedy planning time.
+    pub budget: usize,
+    /// Beam width of the configuration sweep: the best `beam_width`
+    /// configurations each get an annealing refinement pass.
+    pub beam_width: usize,
+    /// Seed of the annealing proposal stream (search is deterministic
+    /// for a fixed seed + budget).
+    pub seed: u64,
+    /// Bytes per amplitude under the target precision (16 for f64, 8
+    /// for f32) — feeds the cost model's byte counts.
+    pub amp_bytes: u64,
+    /// Explore logical relabelings. Must be `false` for consumers that
+    /// read the final state in *physical* order without translating
+    /// through the schedule's final mapping (the single-node engine).
+    pub permute_labels: bool,
+    /// Tile budget the pass counts are modeled under.
+    pub tile_qubits: u32,
+    /// Minimum *relative* modeled improvement required for adoption:
+    /// the searched plan must model below `greedy × (1 − adopt_margin)`.
+    /// The cost model is only trusted for ranking, not for resolving
+    /// sub-percent differences — without a margin the search happily
+    /// trades real resources for noise-level flop shavings.
+    pub adopt_margin: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            budget: 32,
+            beam_width: 2,
+            seed: 0x5eed_5eed,
+            amp_bytes: 16,
+            permute_labels: true,
+            tile_qubits: DEFAULT_TILE_QUBITS,
+            adopt_margin: 0.02,
+        }
+    }
+}
+
+/// Result of [`search_plan`].
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The winning schedule: the cheapest candidate if one beat greedy,
+    /// otherwise the greedy plan itself.
+    pub schedule: Schedule,
+    /// Whether a searched candidate was adopted over greedy.
+    pub adopted: bool,
+    /// Total `plan()` evaluations spent (greedy baseline included).
+    pub candidates: usize,
+    /// Modeled seconds of the greedy baseline.
+    pub greedy_cost: f64,
+    /// Modeled seconds of the returned schedule (`== greedy_cost` when
+    /// not adopted).
+    pub best_cost: f64,
+    /// Resource counts of the greedy baseline.
+    pub greedy_resources: PlanResources,
+    /// Resource counts of the returned schedule.
+    pub best_resources: PlanResources,
+}
+
+/// One scored candidate inside the search.
+#[derive(Clone)]
+struct Candidate {
+    cfg: SchedulerConfig,
+    /// Logical relabeling under which the plan was produced
+    /// (`perm[original] = relabeled`); identity for pure config variants.
+    perm: Vec<u32>,
+    schedule: Schedule,
+    resources: PlanResources,
+    cost: f64,
+}
+
+/// Translate a schedule planned for `circuit.remapped(perm)` back into a
+/// schedule of the original circuit.
+///
+/// `remapped` relabels gate operands (`q → perm[q]`) while preserving
+/// gate order, so gate indices, clusters, diagonal ops and swaps — all of
+/// which live in *physical* space or index the gate list — are already
+/// correct for the original circuit. Only the logical→physical mappings
+/// mention labels: the relabeled plan sends label `perm[q]` to physical
+/// slot `mapping[perm[q]]`, so the original logical qubit `q` lives at
+/// `mapping[perm[q]]`.
+pub fn unpermute_schedule(mut schedule: Schedule, perm: &[u32]) -> Schedule {
+    for stage in &mut schedule.stages {
+        let old = stage.mapping.clone();
+        for (q, slot) in stage.mapping.iter_mut().enumerate() {
+            *slot = old[perm[q] as usize];
+        }
+    }
+    schedule
+}
+
+fn identity_perm(n: u32) -> Vec<u32> {
+    (0..n).collect()
+}
+
+fn is_identity(perm: &[u32]) -> bool {
+    perm.iter().enumerate().all(|(i, &p)| p == i as u32)
+}
+
+/// Plan `circuit` under `cfg` with logical labels permuted by `perm`,
+/// returning a schedule of the *original* circuit plus its score.
+fn evaluate(
+    circuit: &Circuit,
+    cfg: &SchedulerConfig,
+    perm: &[u32],
+    model: &CostModel,
+    search: &SearchConfig,
+) -> Candidate {
+    let schedule = if is_identity(perm) {
+        plan(circuit, cfg)
+    } else {
+        unpermute_schedule(plan(&circuit.remapped(perm), cfg), perm)
+    };
+    let resources = plan_resources(&schedule, search.amp_bytes, search.tile_qubits);
+    let cost = model.seconds(&resources);
+    Candidate {
+        cfg: *cfg,
+        perm: perm.to_vec(),
+        schedule,
+        resources,
+        cost,
+    }
+}
+
+/// Neighboring planner configurations of `base`: `kmax ± 1` (clamped to
+/// `2..=local_qubits`, never below the widest gate) crossed with the
+/// sweep-order toggle, excluding `base` itself.
+fn config_variants(base: &SchedulerConfig, circuit: &Circuit) -> Vec<SchedulerConfig> {
+    let widest = circuit
+        .gates()
+        .iter()
+        .map(|g| g.qubits().len() as u32)
+        .max()
+        .unwrap_or(1);
+    let kmax_floor = widest.max(2);
+    let kmax_ceil = base.local_qubits;
+    let mut out = Vec::new();
+    for dk in [-1i32, 0, 1] {
+        let kmax = (base.kmax as i32 + dk).clamp(kmax_floor as i32, kmax_ceil as i32) as u32;
+        for sweep_order in [base.sweep_order, !base.sweep_order] {
+            let cand = SchedulerConfig {
+                kmax,
+                sweep_order,
+                ..*base
+            };
+            if cand != *base && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
+/// Search for a cheaper schedule of `circuit` than the greedy plan under
+/// `base`. See the module docs for the algorithm; the returned outcome
+/// always contains a schedule that `verify`s against `circuit`, and its
+/// modeled cost is never above greedy's.
+pub fn search_plan(
+    circuit: &Circuit,
+    base: &SchedulerConfig,
+    model: &CostModel,
+    search: &SearchConfig,
+) -> SearchOutcome {
+    let n = circuit.n_qubits();
+    let ident = identity_perm(n);
+    let greedy = evaluate(circuit, base, &ident, model, search);
+    let greedy_cost = greedy.cost;
+    let greedy_resources = greedy.resources;
+    let mut candidates = 1usize;
+    let mut budget = search.budget;
+
+    // Swaps are the paper's primary objective and the model's weakest
+    // axis (the slow tier of a real cluster is far worse than any probe
+    // run on this host can see), so a candidate with more swaps than
+    // greedy is never viable no matter how cheap it models.
+    let viable = |c: &Candidate| c.resources.n_swaps <= greedy_resources.n_swaps;
+
+    // Phase 1: beam over planner configurations.
+    let mut beam: Vec<Candidate> = vec![greedy.clone()];
+    for cfg in config_variants(base, circuit) {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        candidates += 1;
+        let cand = evaluate(circuit, &cfg, &ident, model, search);
+        if viable(&cand) {
+            beam.push(cand);
+        }
+    }
+    beam.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    beam.truncate(search.beam_width.max(1));
+
+    // Phase 2: annealing over logical relabelings, refining each beam
+    // survivor with an equal share of the remaining budget.
+    let mut best = beam[0].clone();
+    if search.permute_labels && n >= 2 && budget > 0 {
+        let share = budget / beam.len();
+        let mut leftover = budget - share * beam.len();
+        for (b, seed_lane) in beam.iter().enumerate() {
+            let steps = share + if b == 0 { leftover } else { 0 };
+            leftover = 0;
+            if steps == 0 {
+                continue;
+            }
+            let mut rng = Xoshiro256::seed_from_u64(search.seed ^ (b as u64).wrapping_mul(0x9e37));
+            let mut current = seed_lane.clone();
+            // Temperature starts at a fifth of the greedy cost and decays
+            // geometrically to ~1% of that over the lane's steps.
+            let t0 = 0.2 * greedy_cost.max(f64::MIN_POSITIVE);
+            let alpha = 0.01f64.powf(1.0 / steps as f64);
+            let mut t = t0;
+            for _ in 0..steps {
+                let mut perm = current.perm.clone();
+                let i = (rng.next_u64() % n as u64) as usize;
+                let mut j = (rng.next_u64() % (n as u64 - 1)) as usize;
+                if j >= i {
+                    j += 1;
+                }
+                perm.swap(i, j);
+                candidates += 1;
+                let cand = evaluate(circuit, &current.cfg, &perm, model, search);
+                let delta = cand.cost - current.cost;
+                if viable(&cand) && (delta < 0.0 || rng.next_f64() < (-delta / t).exp()) {
+                    current = cand;
+                }
+                if current.cost < best.cost {
+                    best = current.clone();
+                }
+                t *= alpha;
+            }
+        }
+    }
+
+    // Greedy is the floor: adopt only an improvement that clears the
+    // margin (the model ranks, it does not resolve sub-percent deltas),
+    // and never a plan that fails structural validation against the
+    // original circuit.
+    let adopted = best.cost < greedy_cost * (1.0 - search.adopt_margin.max(0.0))
+        && (is_identity(&best.perm) || !best.schedule.stages.is_empty());
+    if adopted {
+        best.schedule.verify(circuit);
+        SearchOutcome {
+            schedule: best.schedule,
+            adopted: true,
+            candidates,
+            greedy_cost,
+            best_cost: best.cost,
+            greedy_resources,
+            best_resources: best.resources,
+        }
+    } else {
+        SearchOutcome {
+            schedule: greedy.schedule,
+            adopted: false,
+            candidates,
+            greedy_cost,
+            best_cost: greedy_cost,
+            greedy_resources,
+            best_resources: greedy_resources,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_circuit::supremacy::{supremacy_circuit, SupremacySpec};
+
+    fn workload(rows: u32, cols: u32, depth: u32, seed: u64) -> Circuit {
+        supremacy_circuit(&SupremacySpec {
+            rows,
+            cols,
+            depth,
+            seed,
+        })
+    }
+
+    #[test]
+    fn search_never_adopts_costlier_than_greedy() {
+        let model = CostModel::analytic();
+        for (l, seed) in [(9u32, 1u64), (9, 2), (10, 3), (12, 4)] {
+            let c = workload(3, 4, 20, seed);
+            let base = SchedulerConfig::distributed(l, 4);
+            let out = search_plan(
+                &c,
+                &base,
+                &model,
+                &SearchConfig {
+                    budget: 12,
+                    ..SearchConfig::default()
+                },
+            );
+            assert!(out.best_cost <= out.greedy_cost);
+            if out.adopted {
+                assert!(out.best_cost < out.greedy_cost);
+            }
+            // The swap floor: search never returns more swaps than greedy.
+            assert!(out.best_resources.n_swaps <= out.greedy_resources.n_swaps);
+            out.schedule.verify(&c);
+        }
+    }
+
+    #[test]
+    fn adopt_margin_blocks_noise_level_wins() {
+        // With a 100% margin no candidate can clear the bar, so search
+        // must fall back to greedy no matter what it finds.
+        let c = workload(3, 4, 24, 3);
+        let base = SchedulerConfig::distributed(8, 4);
+        let out = search_plan(
+            &c,
+            &base,
+            &CostModel::analytic(),
+            &SearchConfig {
+                budget: 16,
+                adopt_margin: 1.0,
+                ..SearchConfig::default()
+            },
+        );
+        assert!(!out.adopted);
+        assert_eq!(out.best_cost, out.greedy_cost);
+    }
+
+    #[test]
+    fn search_is_deterministic_for_fixed_seed() {
+        let c = workload(3, 4, 16, 7);
+        let base = SchedulerConfig::distributed(9, 4);
+        let model = CostModel::analytic();
+        let cfg = SearchConfig {
+            budget: 10,
+            seed: 42,
+            ..SearchConfig::default()
+        };
+        let a = search_plan(&c, &base, &model, &cfg);
+        let b = search_plan(&c, &base, &model, &cfg);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.adopted, b.adopted);
+        assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+        assert_eq!(a.schedule.n_swaps(), b.schedule.n_swaps());
+    }
+
+    #[test]
+    fn budget_bounds_evaluations() {
+        let c = workload(3, 3, 12, 5);
+        let base = SchedulerConfig::distributed(7, 4);
+        let out = search_plan(
+            &c,
+            &base,
+            &CostModel::analytic(),
+            &SearchConfig {
+                budget: 5,
+                ..SearchConfig::default()
+            },
+        );
+        assert!(out.candidates <= 6, "greedy + budget: {}", out.candidates);
+        let zero = search_plan(
+            &c,
+            &base,
+            &CostModel::analytic(),
+            &SearchConfig {
+                budget: 0,
+                ..SearchConfig::default()
+            },
+        );
+        assert_eq!(zero.candidates, 1);
+        assert!(!zero.adopted);
+    }
+
+    #[test]
+    fn unpermuted_relabeled_plan_verifies_against_original() {
+        let c = workload(3, 4, 20, 9);
+        let n = c.n_qubits();
+        // A deliberately non-trivial relabeling: reverse the labels.
+        let perm: Vec<u32> = (0..n).rev().collect();
+        let cfg = SchedulerConfig::distributed(9, 4);
+        let s = unpermute_schedule(plan(&c.remapped(&perm), &cfg), &perm);
+        s.verify(&c);
+    }
+
+    #[test]
+    fn permute_labels_off_keeps_identity_mappings_axis() {
+        // Single-node consumers read physical order: with the permutation
+        // axis off, search must only return plans the greedy planner could
+        // have produced itself (identity relabeling).
+        let c = workload(3, 4, 16, 11);
+        let base = SchedulerConfig::single_node(12, 4);
+        let out = search_plan(
+            &c,
+            &base,
+            &CostModel::analytic(),
+            &SearchConfig {
+                budget: 8,
+                permute_labels: false,
+                ..SearchConfig::default()
+            },
+        );
+        out.schedule.verify(&c);
+        assert!(out.best_cost <= out.greedy_cost);
+    }
+
+    #[test]
+    fn searched_plan_reduces_or_matches_modeled_resources() {
+        // The headline property of the bench: at a scale where the flop
+        // term dominates, search corrects a suboptimal base `kmax` and
+        // the relabeling axis finds plans with strictly fewer swaps or
+        // passes. Run a small seed sweep and require it to happen at
+        // least once (deterministic seeds).
+        let model = CostModel::analytic();
+        let mut improved = false;
+        for seed in 1..=6u64 {
+            let c = workload(4, 4, 24, seed);
+            let base = SchedulerConfig::distributed(12, 3);
+            let out = search_plan(
+                &c,
+                &base,
+                &model,
+                &SearchConfig {
+                    budget: 24,
+                    ..SearchConfig::default()
+                },
+            );
+            assert!(out.best_resources.n_swaps <= out.greedy_resources.n_swaps);
+            if out.adopted
+                && (out.best_resources.n_swaps < out.greedy_resources.n_swaps
+                    || out.best_resources.stage_passes < out.greedy_resources.stage_passes)
+            {
+                improved = true;
+            }
+        }
+        assert!(improved, "search failed to improve any of 6 seeds");
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the §3.6.2 qubit-mapping heuristic.
+//!
+//! `mapping_from_clusters` feeds `Circuit::remapped`, which asserts its
+//! input is a permutation — but the heuristic itself asserted bijectivity
+//! nowhere. These tests pin it down for arbitrary cluster sets: empty
+//! clusters, overlapping clusters, qubits absent from every cluster,
+//! duplicated clusters and out-of-order membership.
+
+use proptest::prelude::*;
+use qsim_sched::mapping::mapping_from_clusters;
+use std::collections::HashSet;
+
+fn assert_permutation(map: &[u32], n: u32) {
+    assert_eq!(map.len(), n as usize);
+    let mut seen = vec![false; n as usize];
+    for &m in map {
+        assert!(m < n, "mapped position {m} out of range 0..{n}");
+        assert!(!seen[m as usize], "position {m} assigned twice");
+        seen[m as usize] = true;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary cluster sets over 1..=24 qubits always yield a valid
+    /// permutation of 0..n.
+    #[test]
+    fn mapping_is_always_a_permutation(
+        n in 1u32..=24,
+        raw in prop::collection::vec(
+            prop::collection::vec(0u32..64, 0..6),
+            0..12,
+        ),
+    ) {
+        let clusters: Vec<HashSet<u32>> = raw
+            .iter()
+            .map(|c| c.iter().map(|&q| q % n).collect())
+            .collect();
+        let map = mapping_from_clusters(&clusters, n);
+        assert_permutation(&map, n);
+    }
+
+    /// Degenerate inputs: no clusters at all, and every cluster empty.
+    #[test]
+    fn empty_and_trivial_cluster_sets(n in 1u32..=16, m in 0usize..5) {
+        let map = mapping_from_clusters(&[], n);
+        assert_permutation(&map, n);
+        let empties = vec![HashSet::new(); m];
+        let map = mapping_from_clusters(&empties, n);
+        assert_permutation(&map, n);
+    }
+
+    /// Duplicated clusters (the same set many times) must not double-
+    /// assign the same position.
+    #[test]
+    fn repeated_clusters_stay_bijective(
+        n in 2u32..=20,
+        reps in 1usize..8,
+        members in prop::collection::vec(0u32..64, 1..5),
+    ) {
+        let set: HashSet<u32> = members.iter().map(|&q| q % n).collect();
+        let clusters = vec![set; reps];
+        let map = mapping_from_clusters(&clusters, n);
+        assert_permutation(&map, n);
+    }
+}

@@ -4,6 +4,8 @@
 //! qsim45 plan   --rows 9 --cols 5 --depth 25 --local 30 [--kmax 4]
 //! qsim45 run    --rows 4 --cols 5 --depth 25 [--ranks 4] [--backend mem|ooc]
 //!               [--precision f64|f32] [--compress none|shuffle-rle|lossy-<bits>]
+//!               [--schedule greedy|search] [--schedule-cache DIR]
+//!               [--search-budget N]
 //!               [--checkpoint-dir DIR [--resume]]
 //!               [--trace-out trace.json] [--metrics-out metrics.json]
 //! qsim45 sample --rows 4 --cols 4 --depth 25 --shots 16
@@ -27,6 +29,15 @@
 //! codec hides behind compute. Checkpoints record the codec; resuming
 //! across codecs is rejected. Composes with `--precision`.
 //!
+//! `--schedule search` runs the cost-model-guided schedule search on
+//! top of the greedy planner (greedy stays the floor: a searched plan is
+//! adopted only when its modeled cost is strictly lower).
+//! `--schedule-cache DIR` stores the result keyed by the greedy plan's
+//! fingerprint, so a second run of the same circuit family skips both
+//! the search and the tile-size autotune probe (`sched.cache_hit` in
+//! the metrics snapshot); corrupted cache artifacts are rejected and
+//! rewritten. `--search-budget N` caps the extra planning evaluations.
+//!
 //! `--checkpoint-dir` makes the run crash-recoverable: every engine
 //! publishes an atomic manifest per completed unit of work (stage,
 //! stage run, or streaming pass), and `--resume` picks the run back up
@@ -42,10 +53,13 @@
 use qsim45::circuit::supremacy::{supremacy_circuit, SupremacySpec};
 use qsim45::core::observables::sample_bitstrings;
 use qsim45::core::single::strip_initial_hadamards;
-use qsim45::core::{DistConfig, DistSimulator, SingleCheckpoint, SingleNodeSimulator};
+use qsim45::core::{
+    plan_schedule, DistConfig, DistSimulator, PlanOptions, ScheduleMode, SingleCheckpoint,
+    SingleNodeSimulator,
+};
 use qsim45::kernels::apply::KernelConfig;
 use qsim45::kernels::SweepDispatch;
-use qsim45::sched::{global_gate_count, plan, SchedulerConfig};
+use qsim45::sched::{global_gate_count, plan, SchedulerConfig, SearchConfig};
 use qsim45::telemetry::Telemetry;
 use qsim45::util::Xoshiro256;
 
@@ -61,6 +75,9 @@ fn main() {
             eprintln!("  plan   --rows R --cols C --depth D --local L [--kmax K]");
             eprintln!("  run    --rows R --cols C --depth D [--ranks N] [--backend mem|ooc]");
             eprintln!("         [--precision f64|f32] [--compress none|shuffle-rle|lossy-<bits>]");
+            eprintln!(
+                "         [--schedule greedy|search] [--schedule-cache DIR] [--search-budget N]"
+            );
             eprintln!("         [--checkpoint-dir DIR [--resume]]");
             eprintln!("  sample --rows R --cols C --depth D [--shots S] [--seed X]");
             eprintln!("  kernels [--state-qubits N]");
@@ -189,6 +206,15 @@ fn run_at<R: SweepDispatch>() {
     } else {
         Telemetry::disabled()
     };
+    let schedule_mode = {
+        let v = arg_str("--schedule", "greedy");
+        ScheduleMode::parse(&v).unwrap_or_else(|| {
+            eprintln!("bad --schedule '{v}' (expected greedy or search)");
+            std::process::exit(2);
+        })
+    };
+    let schedule_cache = arg_opt("--schedule-cache").map(std::path::PathBuf::from);
+    let search_budget = arg("--search-budget", SearchConfig::default().budget as u32) as usize;
     let circuit = supremacy_circuit(&s);
     if ranks == 1 && backend == "mem" {
         let sim = SingleNodeSimulator {
@@ -198,6 +224,9 @@ fn run_at<R: SweepDispatch>() {
                 cp.resume = resume;
                 cp
             }),
+            schedule_mode,
+            schedule_cache,
+            search_budget,
             ..Default::default()
         };
         let out = sim.try_run_t::<R>(&circuit).unwrap_or_else(|e| {
@@ -217,7 +246,37 @@ fn run_at<R: SweepDispatch>() {
     }
     let (exec, uniform) = strip_initial_hadamards(&circuit);
     let l = n - ranks.trailing_zeros();
-    let schedule = plan(&exec, &SchedulerConfig::distributed(l, arg("--kmax", 4)));
+    let planned = plan_schedule(
+        &exec,
+        &SchedulerConfig::distributed(l, arg("--kmax", 4)),
+        &PlanOptions {
+            mode: schedule_mode,
+            cache_dir: schedule_cache,
+            search_budget,
+            amp_bytes: 2 * R::BYTES as u64,
+            telemetry: telemetry.clone(),
+        },
+    );
+    let schedule = planned.schedule;
+    println!(
+        "schedule    : {} ({} swaps, {:.3} s plan{}{})",
+        if schedule_mode == ScheduleMode::Search {
+            "search"
+        } else {
+            "greedy"
+        },
+        schedule.n_swaps(),
+        planned.plan_seconds,
+        if planned.cache_hit { ", cache hit" } else { "" },
+        if planned.adopted {
+            ", searched plan adopted"
+        } else {
+            ""
+        },
+    );
+    // A cache hit carries the producing machine's measured tile budget:
+    // adopt it so the warm path skips the autotune probe entirely.
+    let tile_qubits = planned.tile_qubits;
     match backend.as_str() {
         "ooc" => {
             let compress = qsim45::ooc::Codec::parse(&arg_str("--compress", "none"))
@@ -245,6 +304,7 @@ fn run_at<R: SweepDispatch>() {
                     crash: None,
                 }),
                 compress,
+                tile_qubits,
                 ..Default::default()
             });
             let out = sim.run(&store_dir, &schedule, uniform).unwrap_or_else(|e| {
@@ -287,6 +347,7 @@ fn run_at<R: SweepDispatch>() {
                 telemetry: telemetry.clone(),
                 checkpoint_dir: checkpoint_dir.as_ref().map(std::path::PathBuf::from),
                 resume,
+                tile_qubits,
                 ..Default::default()
             });
             let out = sim
