@@ -12,7 +12,7 @@ use qsim_core::single::strip_initial_hadamards;
 use qsim_kernels::apply::KernelConfig;
 use qsim_ooc::{Codec, IoStats, OocConfig, OocSimulator, ScratchDir};
 use qsim_sched::{plan, segment_stages, SchedulerConfig};
-use qsim_telemetry::Telemetry;
+use qsim_telemetry::{MetricsSnapshot, Telemetry};
 use qsim_util::complex::max_dist;
 
 /// One engine mode's measurements.
@@ -102,8 +102,9 @@ pub struct OocBenchReport {
     pub pipelined: OocModeReport,
     /// Telemetry snapshot of the bench: the pipelined run's live
     /// `ooc.*` metrics and latency histograms, plus each mode's
-    /// `IoStats` republished under `ooc.<mode>.*` (raw JSON document).
-    pub metrics_json: String,
+    /// `IoStats` republished under `ooc.<mode>.*`. Rendered by
+    /// [`MetricsSnapshot::to_json`] in [`Self::to_json`].
+    pub metrics: MetricsSnapshot,
 }
 
 impl OocBenchReport {
@@ -153,7 +154,7 @@ impl OocBenchReport {
             self.pipelined.to_json(),
             self.traversal_ratio(),
             self.speedup(),
-            self.metrics_json.trim_end(),
+            self.metrics.to_json().trim_end(),
         )
     }
 }
@@ -481,6 +482,6 @@ pub fn run_ooc_bench(
         sync_segmented,
         sync_coarse,
         pipelined,
-        metrics_json: telemetry.metrics_json(),
+        metrics: telemetry.metrics_snapshot(),
     }
 }

@@ -13,7 +13,7 @@ use qsim_core::single::strip_initial_hadamards;
 use qsim_core::StateVector;
 use qsim_kernels::apply::KernelConfig;
 use qsim_sched::{plan, SchedulerConfig};
-use qsim_telemetry::Telemetry;
+use qsim_telemetry::{MetricsSnapshot, Telemetry};
 use std::time::Instant;
 
 /// One measured f64-vs-f32 comparison on a fixed schedule.
@@ -34,9 +34,10 @@ pub struct PrecisionBenchReport {
     pub f32_norm: f64,
     pub max_amp_delta: f64,
     pub entropy_delta: f64,
-    /// Telemetry snapshot (raw JSON). Both tiers are timed with
-    /// telemetry DISABLED; counters are published afterwards.
-    pub metrics_json: String,
+    /// Telemetry snapshot. Both tiers are timed with telemetry
+    /// DISABLED; counters are published afterwards. Rendered by
+    /// [`MetricsSnapshot::to_json`] in [`Self::to_json`].
+    pub metrics: MetricsSnapshot,
 }
 
 impl PrecisionBenchReport {
@@ -86,7 +87,7 @@ impl PrecisionBenchReport {
             self.f32_norm,
             self.max_amp_delta,
             self.entropy_delta,
-            self.metrics_json.trim_end(),
+            self.metrics.to_json().trim_end(),
         )
     }
 }
@@ -153,16 +154,13 @@ pub fn run_precision_bench(
     // Publish the measured counters into a fresh registry for the
     // report; nothing was instrumented during the timed sections.
     let telemetry = Telemetry::enabled();
-    let metrics_json = match telemetry.metrics() {
-        Some(m) => {
-            stats64.publish_into(m, "f64.sweep");
-            stats32.publish_into(m, "f32.sweep");
-            m.gauge_set("f64.seconds", f64_seconds);
-            m.gauge_set("f32.seconds", f32_seconds);
-            telemetry.metrics_json()
-        }
-        None => String::from("{}"),
-    };
+    if let Some(m) = telemetry.metrics() {
+        stats64.publish_into(m, "f64.sweep");
+        stats32.publish_into(m, "f32.sweep");
+        m.gauge_set("f64.seconds", f64_seconds);
+        m.gauge_set("f32.seconds", f32_seconds);
+    }
+    let metrics = telemetry.metrics_snapshot();
 
     PrecisionBenchReport {
         n_qubits: n,
@@ -177,6 +175,6 @@ pub fn run_precision_bench(
         f32_norm,
         max_amp_delta,
         entropy_delta,
-        metrics_json,
+        metrics,
     }
 }

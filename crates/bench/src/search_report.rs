@@ -14,7 +14,7 @@ use qsim_core::{plan_schedule, DistConfig, DistSimulator, PlanOptions, ScheduleM
 use qsim_kernels::apply::KernelConfig;
 use qsim_sched::sweep::DEFAULT_TILE_QUBITS;
 use qsim_sched::{plan_resources, SchedulerConfig};
-use qsim_telemetry::Telemetry;
+use qsim_telemetry::{MetricsSnapshot, Telemetry};
 use std::time::Instant;
 
 /// One greedy-vs-search measurement.
@@ -43,8 +43,9 @@ pub struct SearchBenchReport {
     /// End-to-end wall-clock: planning + distributed execution, seconds.
     pub greedy_total_seconds: f64,
     pub search_total_seconds: f64,
-    /// Telemetry snapshot (raw JSON) published after the timed sections.
-    pub metrics_json: String,
+    /// Telemetry snapshot published after the timed sections. Rendered
+    /// by [`MetricsSnapshot::to_json`] in [`Self::to_json`].
+    pub metrics: MetricsSnapshot,
 }
 
 impl SearchBenchReport {
@@ -98,7 +99,7 @@ impl SearchBenchReport {
             self.greedy_total_seconds,
             self.search_total_seconds,
             self.wall_ratio(),
-            self.metrics_json.trim_end(),
+            self.metrics.to_json().trim_end(),
         )
     }
 }
@@ -221,17 +222,14 @@ pub fn run_search_bench(
     // Publish the measured numbers into a fresh registry for the report;
     // nothing was instrumented during the timed sections.
     let telemetry = Telemetry::enabled();
-    let metrics_json = match telemetry.metrics() {
-        Some(m) => {
-            m.counter_add("sched.search_candidates", searched.candidates as u64);
-            m.gauge_set("sched.plan_seconds", search_plan_seconds);
-            m.gauge_set("sched.greedy_plan_seconds", greedy_plan_seconds);
-            m.gauge_set("dist.greedy_sim_seconds", greedy_out.sim_seconds);
-            m.gauge_set("dist.search_sim_seconds", search_out.sim_seconds);
-            telemetry.metrics_json()
-        }
-        None => String::from("{}"),
-    };
+    if let Some(m) = telemetry.metrics() {
+        m.counter_add("sched.search_candidates", searched.candidates as u64);
+        m.gauge_set("sched.plan_seconds", search_plan_seconds);
+        m.gauge_set("sched.greedy_plan_seconds", greedy_plan_seconds);
+        m.gauge_set("dist.greedy_sim_seconds", greedy_out.sim_seconds);
+        m.gauge_set("dist.search_sim_seconds", search_out.sim_seconds);
+    }
+    let metrics = telemetry.metrics_snapshot();
 
     SearchBenchReport {
         n_qubits: n,
@@ -251,7 +249,7 @@ pub fn run_search_bench(
         search_plan_seconds,
         greedy_total_seconds,
         search_total_seconds,
-        metrics_json,
+        metrics,
     }
 }
 

@@ -14,7 +14,7 @@ use qsim_core::StateVector;
 use qsim_kernels::apply::KernelConfig;
 use qsim_kernels::SweepStats;
 use qsim_sched::{plan, SchedulerConfig};
-use qsim_telemetry::Telemetry;
+use qsim_telemetry::{MetricsSnapshot, Telemetry};
 use std::time::Instant;
 
 /// One measured per-gate vs tiled comparison.
@@ -31,11 +31,12 @@ pub struct SweepBenchReport {
     /// Wall-clock of the tiled executor, seconds.
     pub sweep_seconds: f64,
     pub stats: SweepStats,
-    /// Telemetry snapshot of the bench (raw JSON document). Both
-    /// executors are timed with telemetry DISABLED — the sweep stats and
-    /// timings are published into a fresh registry afterwards, so the
-    /// measured numbers carry zero instrumentation overhead.
-    pub metrics_json: String,
+    /// Telemetry snapshot of the bench. Both executors are timed with
+    /// telemetry DISABLED — the sweep stats and timings are published
+    /// into a fresh registry afterwards, so the measured numbers carry
+    /// zero instrumentation overhead. Rendered by
+    /// [`MetricsSnapshot::to_json`] in [`Self::to_json`].
+    pub metrics: MetricsSnapshot,
 }
 
 impl SweepBenchReport {
@@ -108,7 +109,7 @@ impl SweepBenchReport {
             self.stats.baseline_bytes,
             self.stats.bytes_streamed,
             self.per_gate_seconds / self.sweep_seconds.max(1e-12),
-            self.metrics_json.trim_end(),
+            self.metrics.to_json().trim_end(),
         )
     }
 }
@@ -162,15 +163,12 @@ pub fn run_sweep_bench(
     // Publish the measured counters into a fresh registry for the
     // report; nothing was instrumented during the timed sections.
     let telemetry = Telemetry::enabled();
-    let metrics_json = match telemetry.metrics() {
-        Some(m) => {
-            stats.publish_into(m, "single.sweep");
-            m.gauge_set("single.per_gate_seconds", per_gate_seconds);
-            m.gauge_set("single.sweep_seconds", sweep_seconds);
-            telemetry.metrics_json()
-        }
-        None => String::from("{}"),
-    };
+    if let Some(m) = telemetry.metrics() {
+        stats.publish_into(m, "single.sweep");
+        m.gauge_set("single.per_gate_seconds", per_gate_seconds);
+        m.gauge_set("single.sweep_seconds", sweep_seconds);
+    }
+    let metrics = telemetry.metrics_snapshot();
 
     SweepBenchReport {
         n_qubits: n,
@@ -182,6 +180,6 @@ pub fn run_sweep_bench(
         per_gate_seconds,
         sweep_seconds,
         stats,
-        metrics_json,
+        metrics,
     }
 }

@@ -45,6 +45,14 @@ pub const MANIFEST_VERSION: u32 = 3;
 /// File name of the manifest inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "MANIFEST.json";
 
+/// Where the crash flight record lands: next to the checkpoint manifest,
+/// so the post-mortem artifact travels with the resume state it
+/// describes. (The name is fixed by `qsim_telemetry::FLIGHT_FILE`; this
+/// helper just pins the *placement* policy in one place.)
+pub fn flight_path(dir: &Path) -> PathBuf {
+    dir.join(qsim_telemetry::recorder::FLIGHT_FILE)
+}
+
 /// Why a checkpoint could not be written or resumed from.
 #[derive(Debug)]
 pub enum CheckpointError {

@@ -35,10 +35,10 @@ use qsim_kernels::{SweepDispatch, SweepStats};
 use qsim_net::collective::{
     all_reduce_sum, all_to_all, all_to_all_inplace, all_to_all_with, Communicator,
 };
-use qsim_net::fabric::{try_run_cluster_with, FabricStats, RankCtx};
-use qsim_net::{FaultPlan, SimError};
+use qsim_net::fabric::{try_run_cluster_hooked, FabricStats, RankCtx};
+use qsim_net::{FaultPlan, PoisonHook, SimError};
 use qsim_sched::{plan_runs, DiagonalOp, Schedule, StageOp, StageRun, SwapOp};
-use qsim_telemetry::{Telemetry, TrackHandle};
+use qsim_telemetry::{Phase, RunState, Telemetry, TrackHandle};
 use qsim_util::bits::BitPermutation;
 use qsim_util::complex::Complex;
 use qsim_util::Real;
@@ -46,7 +46,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 /// Distributed run configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct DistConfig {
     /// Rank count; must equal `2^(n − schedule.local_qubits)`.
     pub n_ranks: usize,
@@ -80,6 +80,28 @@ pub struct DistConfig {
     /// Scripted rank failures for fault-injection testing (see
     /// [`qsim_net::FaultPlan`]); checked before every swap.
     pub fault_plan: Option<FaultPlan>,
+    /// Fired once, with the root-cause rank, when the fabric is first
+    /// poisoned (rank error, panic, or scripted kill) — the flight
+    /// recorder's tap. Runs on the dying rank's thread before any peer
+    /// is woken, so a crash dump written here captures that rank's final
+    /// spans and counters.
+    pub poison_hook: Option<PoisonHook>,
+}
+
+impl std::fmt::Debug for DistConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistConfig")
+            .field("n_ranks", &self.n_ranks)
+            .field("kernel", &self.kernel)
+            .field("gather_state", &self.gather_state)
+            .field("sub_chunks", &self.sub_chunks)
+            .field("tile_qubits", &self.tile_qubits)
+            .field("checkpoint_dir", &self.checkpoint_dir)
+            .field("resume", &self.resume)
+            .field("fault_plan", &self.fault_plan)
+            .field("poison_hook", &self.poison_hook.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for DistConfig {
@@ -94,6 +116,7 @@ impl Default for DistConfig {
             checkpoint_dir: None,
             resume: false,
             fault_plan: None,
+            poison_hook: None,
         }
     }
 }
@@ -234,6 +257,39 @@ impl DistSimulator {
             compile_stages(&schedule.stages, l, cfg, tile)
         });
 
+        // Seed the live-progress denominators with the units this run
+        // will actually execute (a resume pre-credits nothing: skipped
+        // runs are simply not planned). Only rank 0 reports completions,
+        // so planned counts are schedule-level, not ×2^g.
+        let start_run = checkpoint
+            .as_ref()
+            .and_then(|c| c.resume.as_ref())
+            .map_or(0, |(point, _)| point.next_unit);
+        if let Some(p) = tele.progress() {
+            let stage_units: u64 = runs[start_run..]
+                .iter()
+                .map(|r| r.stages.len() as u64)
+                .sum();
+            let swap_units = runs[start_run..]
+                .iter()
+                .filter(|r| r.swap.is_some())
+                .count();
+            p.set_planned_units(Phase::Stage, stage_units);
+            p.set_planned_units(Phase::Swap, swap_units as u64);
+            crate::planner::seed_progress(
+                tele,
+                schedule,
+                2 * R::BYTES as u64,
+                // Default tile, not `resolve_tile_qubits`: seeding an
+                // ETA must not trigger the autotune probe.
+                self.config
+                    .tile_qubits
+                    .unwrap_or(qsim_sched::sweep::DEFAULT_TILE_QUBITS),
+                crate::planner::ProgressBackend::Dist,
+            );
+            p.set_state(RunState::Running);
+        }
+
         let shared = RankShared {
             schedule,
             runs: &runs,
@@ -245,10 +301,26 @@ impl DistSimulator {
             tele,
             checkpoint: checkpoint.as_ref(),
         };
-        let (rank_results, fabric) =
-            try_run_cluster_with(self.config.n_ranks, self.config.fault_plan.clone(), |ctx| {
-                run_rank(ctx, &shared)
-            })?;
+        let cluster = try_run_cluster_hooked(
+            self.config.n_ranks,
+            self.config.fault_plan.clone(),
+            self.config.poison_hook.clone(),
+            |ctx| run_rank(ctx, &shared),
+        );
+        let (rank_results, fabric) = match cluster {
+            Ok(out) => out,
+            Err(e) => {
+                if let Some(p) = tele.progress() {
+                    p.set_state(RunState::Failed);
+                }
+                tele.publish_progress_gauges();
+                return Err(e);
+            }
+        };
+        if let Some(p) = tele.progress() {
+            p.set_state(RunState::Done);
+        }
+        tele.publish_progress_gauges();
 
         let mut outcome = DistOutcome {
             norm: rank_results[0].norm,
@@ -375,8 +447,14 @@ fn run_rank<R: SweepDispatch>(
         .count();
 
     for (ri, run) in sh.runs.iter().enumerate().skip(start_run) {
+        if rank == 0 {
+            if let Some(p) = sh.tele.progress() {
+                p.set_stage(ri as u64, sh.runs.len() as u64);
+            }
+        }
         for si in run.stages.clone() {
             let stage = &schedule.stages[si];
+            let t_stage = Instant::now();
             let _s = track.span_timed("stage", si as u64, "stage_apply_ns");
             if let Some(cs) = sh.compiled.map(|c| &c[si]) {
                 // Tiled stage executor: the shared compiled stage streams
@@ -406,16 +484,42 @@ fn run_rank<R: SweepDispatch>(
                     }
                 }
             }
+            // Rank 0 speaks for the SPMD cluster: all ranks run the same
+            // stage, so one completion report per stage is the truth.
+            if rank == 0 {
+                sh.tele
+                    .progress_unit(Phase::Stage, t_stage.elapsed().as_nanos() as u64);
+            }
         }
         if let Some(swap) = &run.swap {
             ctx.fault_point(swap_index)?;
             let si = run.stages.end - 1;
+            let t_swap = Instant::now();
             let _s = track.span_timed("swap", si as u64, "swap_ns");
             perform_swap(ctx, &mut state, swap, l, &mut swap_bufs);
             swap_index += 1;
+            if rank == 0 {
+                sh.tele
+                    .progress_unit(Phase::Swap, t_swap.elapsed().as_nanos() as u64);
+            }
         }
         if let Some(cp) = sh.checkpoint {
             checkpoint_unit(ctx, cp, sh, &track, &state, ri + 1)?;
+        }
+        // Per-rank straggler gauges, refreshed at every stage-run
+        // boundary so /status shows live comm/blocked skew across ranks
+        // mid-run. Keys are distinct per rank, so concurrent sets from
+        // the 2^g rank threads never collide.
+        if let Some(m) = sh.tele.metrics() {
+            m.gauge_set(&format!("live.rank{rank}.comm_seconds"), ctx.comm_seconds());
+            m.gauge_set(
+                &format!("live.rank{rank}.blocked_seconds"),
+                ctx.blocked_seconds(),
+            );
+            m.gauge_set(
+                &format!("live.rank{rank}.bytes_sent"),
+                ctx.bytes_sent() as f64,
+            );
         }
     }
 

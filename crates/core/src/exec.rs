@@ -200,19 +200,33 @@ pub fn execute_schedule_sweep_with<R: SweepDispatch>(
     let l = state.n_qubits();
     let tile = resolve_tile_qubits(tile_qubits, l, kernel.threads);
     let track = telemetry.track("single");
+    let n_stages = schedule.stages.len() as u64;
+    if let Some(p) = telemetry.progress() {
+        p.set_planned_units(qsim_telemetry::Phase::Stage, n_stages);
+    }
     let mut stats = SweepStats::default();
     for (si, stage) in schedule.stages.iter().enumerate() {
+        if let Some(p) = telemetry.progress() {
+            p.set_stage(si as u64, n_stages);
+        }
         let compiled = {
             let _s = track.span_id("compile", si as u64);
             compile_stage(&stage.ops, l, kernel, tile)
         };
-        let _s = track.span_timed("stage", si as u64, "stage_apply_ns");
-        execute_compiled_stage(
-            state.amplitudes_mut(),
-            &compiled,
-            0,
-            kernel.threads,
-            &mut stats,
+        let t_stage = std::time::Instant::now();
+        {
+            let _s = track.span_timed("stage", si as u64, "stage_apply_ns");
+            execute_compiled_stage(
+                state.amplitudes_mut(),
+                &compiled,
+                0,
+                kernel.threads,
+                &mut stats,
+            );
+        }
+        telemetry.progress_unit(
+            qsim_telemetry::Phase::Stage,
+            t_stage.elapsed().as_nanos() as u64,
         );
     }
     stats

@@ -44,7 +44,9 @@ pub use dist::{DistConfig, DistOutcome, DistSimulator};
 pub use exec::{
     compile_stage, compile_stages, execute_compiled_stage, execute_schedule_sweep, CompiledStage,
 };
-pub use planner::{plan_schedule, PlanOptions, PlannedSchedule, ScheduleMode};
+pub use planner::{
+    plan_schedule, seed_progress, PlanOptions, PlannedSchedule, ProgressBackend, ScheduleMode,
+};
 pub use schedcache::{ScheduleArtifact, SearchMeta};
 pub use single::{SingleCheckpoint, SingleNodeSimulator, SingleOutcome};
 pub use state::StateVector;

@@ -23,7 +23,7 @@ use crate::checkpoint::schedule_fingerprint;
 use crate::schedcache::{load_artifact, store_artifact, ScheduleArtifact, SearchMeta};
 use qsim_circuit::Circuit;
 use qsim_sched::{plan, search_plan, CostModel, Schedule, SchedulerConfig, SearchConfig};
-use qsim_telemetry::Telemetry;
+use qsim_telemetry::{Phase, RunState, Telemetry};
 use std::path::PathBuf;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -114,6 +114,58 @@ pub fn process_cost_model() -> &'static CostModel {
     })
 }
 
+/// Which engine a progress seed prices for — the live phases differ:
+/// single-node runs are pure stage work, distributed runs split into
+/// stage + swap phases, and the out-of-core engine streams everything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgressBackend {
+    Single,
+    Dist,
+    Ooc,
+}
+
+/// Price `schedule` with the [`process_cost_model`] and seed the
+/// telemetry progress engine's predicted-seconds denominators (the
+/// cost-model prior the live ETA starts from, before measured unit
+/// times take over). The split follows the model's own terms: the Stage
+/// phase gets the streaming + per-pass + kernel-flop seconds, the Swap
+/// phase the swap-byte seconds, and the OOC Stream phase the full
+/// modeled seconds. Planned *unit counts* are seeded by the engines
+/// themselves, which know their unit structure; this only prices them.
+/// A disabled telemetry handle makes it a no-op.
+pub fn seed_progress(
+    telemetry: &Telemetry,
+    schedule: &Schedule,
+    amp_bytes: u64,
+    tile_qubits: u32,
+    backend: ProgressBackend,
+) {
+    let Some(p) = telemetry.progress() else {
+        return;
+    };
+    let r = qsim_sched::plan_resources(schedule, amp_bytes, tile_qubits);
+    let model = process_cost_model();
+    let flop_seconds: f64 = r
+        .flops_by_k
+        .iter()
+        .zip(model.flop_seconds_by_k.iter())
+        .map(|(&f, &w)| f as f64 * w)
+        .sum();
+    let stage_seconds = r.streamed_bytes as f64 * model.stream_byte_seconds
+        + r.stage_passes as f64 * model.pass_seconds
+        + flop_seconds;
+    let swap_seconds = r.swap_bytes as f64 * model.swap_byte_seconds;
+    match backend {
+        ProgressBackend::Single => p.set_predicted_seconds(Phase::Stage, stage_seconds),
+        ProgressBackend::Dist => {
+            p.set_predicted_seconds(Phase::Stage, stage_seconds);
+            p.set_predicted_seconds(Phase::Swap, swap_seconds);
+        }
+        ProgressBackend::Ooc => p.set_predicted_seconds(Phase::Stream, model.seconds(&r)),
+    }
+    telemetry.publish_progress_gauges();
+}
+
 /// Total gates a schedule applies (cache-hit sanity check: a fingerprint
 /// collision across circuits would execute the wrong gate stream).
 fn scheduled_gates(schedule: &Schedule) -> usize {
@@ -135,6 +187,9 @@ pub fn plan_schedule(
     opts: &PlanOptions,
 ) -> PlannedSchedule {
     let t0 = Instant::now();
+    if let Some(p) = opts.telemetry.progress() {
+        p.set_state(RunState::Planning);
+    }
     let track = opts.telemetry.track("sched");
     let planned = {
         let _span = track.span("plan");

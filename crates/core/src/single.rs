@@ -186,9 +186,32 @@ impl SingleNodeSimulator {
         // budget: adopt it when the caller didn't pin one, skipping the
         // autotune probe.
         let tile_qubits = self.tile_qubits.or(planned.tile_qubits);
+        if let Some(p) = self.telemetry.progress() {
+            // Default tile rather than `resolve_tile_qubits`: the ETA
+            // prior must not pay for an autotune probe the run itself
+            // may never need.
+            crate::planner::seed_progress(
+                &self.telemetry,
+                &schedule,
+                2 * R::BYTES as u64,
+                tile_qubits.unwrap_or(qsim_sched::sweep::DEFAULT_TILE_QUBITS),
+                crate::planner::ProgressBackend::Single,
+            );
+            p.set_state(qsim_telemetry::RunState::Running);
+        }
 
         if let Some(cp) = &self.checkpoint {
-            return self.run_checkpointed(cp, schedule, init_uniform, plan_seconds, n, tile_qubits);
+            let out =
+                self.run_checkpointed(cp, schedule, init_uniform, plan_seconds, n, tile_qubits);
+            if let Some(p) = self.telemetry.progress() {
+                p.set_state(if out.is_ok() {
+                    qsim_telemetry::RunState::Done
+                } else {
+                    qsim_telemetry::RunState::Failed
+                });
+            }
+            self.telemetry.publish_progress_gauges();
+            return out;
         }
 
         let mut state = {
@@ -227,6 +250,10 @@ impl SingleNodeSimulator {
             );
             m.gauge_set("single.precision_bits", (R::BYTES * 8) as f64);
         }
+        if let Some(p) = self.telemetry.progress() {
+            p.set_state(qsim_telemetry::RunState::Done);
+        }
+        self.telemetry.publish_progress_gauges();
         Ok(SingleOutcome {
             state,
             schedule,
@@ -310,7 +337,19 @@ impl SingleNodeSimulator {
             let tile = resolve_tile_qubits(tile_qubits, n, self.kernel.threads);
             compile_stages(&schedule.stages, n, &self.kernel, tile)
         });
+        // Seed the live-progress denominator with the stages this run
+        // will actually execute — a resume pre-credits nothing.
+        if let Some(p) = self.telemetry.progress() {
+            p.set_planned_units(
+                qsim_telemetry::Phase::Stage,
+                (total_units - start_stage) as u64,
+            );
+        }
         for si in start_stage..total_units {
+            if let Some(p) = self.telemetry.progress() {
+                p.set_stage(si as u64, total_units as u64);
+            }
+            let t_stage = Instant::now();
             {
                 let _s = track.span_timed("stage", si as u64, "stage_apply_ns");
                 if let Some(cs) = compiled.as_ref().map(|c| &c[si]) {
@@ -343,6 +382,10 @@ impl SingleNodeSimulator {
                     }
                 }
             }
+            self.telemetry.progress_unit(
+                qsim_telemetry::Phase::Stage,
+                t_stage.elapsed().as_nanos() as u64,
+            );
             let unit = si + 1;
             {
                 let _s = track.span_timed("checkpoint.write", unit as u64, "checkpoint_ns");

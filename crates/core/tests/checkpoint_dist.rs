@@ -15,6 +15,7 @@ use qsim_core::single::strip_initial_hadamards;
 use qsim_kernels::apply::KernelConfig;
 use qsim_net::{FaultPlan, SimError};
 use qsim_sched::{plan, plan_runs, Schedule, SchedulerConfig};
+use qsim_telemetry::{FlightRecorder, Telemetry};
 use qsim_util::complex::max_dist;
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -179,6 +180,59 @@ fn resume_rejects_a_foreign_manifest() {
         .try_run(&exec2, &schedule2, true)
         .expect_err("foreign manifest must be rejected");
     assert!(matches!(err, SimError::Checkpoint(_)), "got {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_kill_flushes_a_flight_record() {
+    let (exec, schedule) = planned(7, 3);
+    let dir = tmpdir("flight");
+
+    let telemetry = Telemetry::enabled();
+    let recorder = FlightRecorder::new(telemetry.clone(), &dir);
+    recorder.record_snapshot();
+
+    let mut cfg = config(&schedule);
+    cfg.telemetry = telemetry.clone();
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.fault_plan = Some(FaultPlan::new().kill(1, 1));
+    let hook_rec = recorder.clone();
+    cfg.poison_hook = Some(std::sync::Arc::new(move |rank: usize| {
+        let _ = hook_rec.flush(&format!("fabric poisoned by rank {rank}"));
+    }));
+    DistSimulator::new(cfg)
+        .try_run(&exec, &schedule, true)
+        .expect_err("killed run must fail");
+
+    // The hook flushed on the dying rank's thread: the record names the
+    // root-cause rank and carries its final spans plus the last metrics
+    // snapshot.
+    let path = qsim_core::checkpoint::flight_path(&dir);
+    let doc = std::fs::read_to_string(&path).expect("FLIGHT.json written");
+    let j = qsim_telemetry::json::parse(&doc).expect("flight record is valid JSON");
+    assert_eq!(
+        j.get("reason").unwrap().as_str(),
+        Some("fabric poisoned by rank 1")
+    );
+    let tracks = j.get("tracks").unwrap().as_array().unwrap();
+    let rank1 = tracks
+        .iter()
+        .find(|t| t.get("name").unwrap().as_str() == Some("rank 1"))
+        .expect("dying rank's track present");
+    assert!(
+        !rank1.get("spans").unwrap().as_array().unwrap().is_empty(),
+        "dying rank's final spans present"
+    );
+    assert!(j.get("metrics").unwrap().get("counters").is_some());
+    assert!(
+        !j.get("history").unwrap().as_array().unwrap().is_empty(),
+        "rolling snapshot window present"
+    );
+
+    // Write-once: the driver's error epilogue must not clobber the
+    // poison-time record.
+    assert!(recorder.flush("error: late epilogue").unwrap().is_none());
+    assert!(std::fs::read_to_string(&path).unwrap().contains("poisoned"));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -194,6 +194,14 @@ struct BarrierState {
 /// Sentinel for "no rank has poisoned the fabric".
 const UNPOISONED: usize = usize::MAX;
 
+/// Observer invoked exactly once, with the root-cause rank, when the
+/// fabric is first poisoned. This is the flight-recorder tap: it runs
+/// on the dying rank's thread *before* the poison notifications wake
+/// the other ranks, so a crash dump taken inside the hook captures the
+/// fabric at the instant of death. Keep it quick — every peer is
+/// blocked until it returns.
+pub type PoisonHook = std::sync::Arc<dyn Fn(usize) + Send + Sync>;
+
 /// Shared fabric state.
 pub struct Fabric {
     mailboxes: Vec<Mailbox>,
@@ -215,10 +223,12 @@ pub struct Fabric {
     poisoned_by: AtomicUsize,
     /// Scripted failures for fault-injection testing.
     faults: Option<FaultPlan>,
+    /// First-poison observer (see [`PoisonHook`]).
+    poison_hook: Option<PoisonHook>,
 }
 
 impl Fabric {
-    fn new(n_ranks: usize, faults: Option<FaultPlan>) -> Self {
+    fn new(n_ranks: usize, faults: Option<FaultPlan>, poison_hook: Option<PoisonHook>) -> Self {
         Self {
             mailboxes: (0..n_ranks).map(|_| Mailbox::new()).collect(),
             barrier: std::sync::Mutex::new(BarrierState::default()),
@@ -227,6 +237,7 @@ impl Fabric {
             pools: (0..n_ranks).map(|_| Mutex::new(Vec::new())).collect(),
             poisoned_by: AtomicUsize::new(UNPOISONED),
             faults,
+            poison_hook,
         }
     }
 
@@ -248,9 +259,18 @@ impl Fabric {
     /// under the same locks the notifications take, so no wakeup is
     /// lost.
     fn poison(&self, rank: usize) {
-        let _ =
-            self.poisoned_by
-                .compare_exchange(UNPOISONED, rank, Ordering::SeqCst, Ordering::SeqCst);
+        let won = self
+            .poisoned_by
+            .compare_exchange(UNPOISONED, rank, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        // Only the root-cause poisoner fires the hook, and it fires
+        // before the wakeups: the crash record sees the fabric exactly
+        // as the first failure left it.
+        if won {
+            if let Some(hook) = &self.poison_hook {
+                hook(rank);
+            }
+        }
         for mb in &self.mailboxes {
             let _guard = mb.slots.lock();
             mb.cv.notify_all();
@@ -570,11 +590,28 @@ where
     T: Send,
     F: Fn(&mut RankCtx) -> Result<T, SimError> + Sync,
 {
+    try_run_cluster_hooked(n_ranks, faults, None, body)
+}
+
+/// [`try_run_cluster_with`] plus a [`PoisonHook`] observing the first
+/// poisoning. The hook fires at most once per cluster run, on the thread
+/// of the root-cause rank, before any peer is woken — a flight recorder
+/// installed here sees the dying rank's final spans and counters.
+pub fn try_run_cluster_hooked<T, F>(
+    n_ranks: usize,
+    faults: Option<FaultPlan>,
+    poison_hook: Option<PoisonHook>,
+    body: F,
+) -> Result<(Vec<T>, FabricStats), SimError>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> Result<T, SimError> + Sync,
+{
     assert!(
         n_ranks >= 1 && n_ranks.is_power_of_two(),
         "rank count must be 2^g"
     );
-    let fabric = Fabric::new(n_ranks, faults);
+    let fabric = Fabric::new(n_ranks, faults, poison_hook);
     let mut results: Vec<Option<Result<T, SimError>>> = (0..n_ranks).map(|_| None).collect();
     std::thread::scope(|scope| {
         for (r, slot) in results.iter_mut().enumerate() {
@@ -982,6 +1019,60 @@ mod tests {
             Err(SimError::Checkpoint(m)) => assert!(m.contains("digest")),
             other => panic!("expected Checkpoint error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn poison_hook_fires_once_with_root_cause_rank() {
+        use std::sync::Arc;
+
+        // Rank 2 is killed; every peer then dies of collateral poisoning
+        // (which also calls `poison`). The hook must still fire exactly
+        // once, and with the root-cause rank.
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen_rank = Arc::new(AtomicUsize::new(usize::MAX));
+        let hook: PoisonHook = {
+            let calls = Arc::clone(&calls);
+            let seen_rank = Arc::clone(&seen_rank);
+            Arc::new(move |rank| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                seen_rank.store(rank, Ordering::SeqCst);
+            })
+        };
+        let plan = FaultPlan::new().kill(2, 0);
+        let res = try_run_cluster_hooked::<(), _>(4, Some(plan), Some(hook), |ctx| {
+            ctx.fault_point(0)?;
+            ctx.barrier(); // peers block here until poisoned
+            Ok(())
+        });
+        assert!(
+            matches!(res, Err(SimError::InjectedFault { rank: 2, .. })),
+            "got {res:?}"
+        );
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "hook must fire exactly once"
+        );
+        assert_eq!(seen_rank.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn poison_hook_silent_on_clean_run() {
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicU64::new(0));
+        let hook: PoisonHook = {
+            let calls = Arc::clone(&calls);
+            Arc::new(move |_| {
+                calls.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let (vals, _) = try_run_cluster_hooked(2, None, Some(hook), |ctx| {
+            ctx.barrier();
+            Ok(ctx.rank())
+        })
+        .unwrap();
+        assert_eq!(vals, vec![0, 1]);
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub mod model;
 
 pub use error::SimError;
 pub use fabric::{
-    run_cluster, try_run_cluster, try_run_cluster_with, CommCounters, FabricStats, RankCtx,
+    run_cluster, try_run_cluster, try_run_cluster_hooked, try_run_cluster_with, CommCounters,
+    FabricStats, PoisonHook, RankCtx,
 };
 pub use fault::{FaultAction, FaultPlan};
 pub use model::NetModel;

@@ -319,6 +319,16 @@ impl<R: SweepDispatch> OocSimulator<R> {
                 }
             }
         };
+        // Seed the live-progress denominator: the unit of OOC progress
+        // is the streaming pass, and a resume pre-credits nothing (only
+        // the passes beyond the manifest cursor are planned).
+        if let Some(p) = telemetry.progress() {
+            p.set_planned_units(
+                qsim_telemetry::Phase::Stream,
+                total_passes.saturating_sub(cursor) as u64,
+            );
+            p.set_state(qsim_telemetry::RunState::Running);
+        }
         let ckpt_ctx = ckpt.as_ref().map(|cp| CkptCtx {
             dir,
             schedule_hash: schedule_fingerprint(schedule),
@@ -367,6 +377,17 @@ impl<R: SweepDispatch> OocSimulator<R> {
         let kernel = self.config.kernel;
         let use_compiled = self.config.compiled_stages && kernel.opt == OptLevel::Blocked;
         let tile = resolve_tile_qubits(self.config.tile_qubits, l, kernel.threads);
+        // Price the planned passes with the cost model so the live ETA
+        // has a prior before measured pass times take over.
+        if telemetry.progress().is_some() {
+            qsim_core::planner::seed_progress(
+                &telemetry,
+                schedule,
+                std::mem::size_of::<Complex<R>>() as u64,
+                tile,
+                qsim_core::planner::ProgressBackend::Ooc,
+            );
+        }
 
         let mut sweep = SweepStats::default();
         // Per-chunk reduction partials, combined pairwise afterwards:
@@ -380,6 +401,7 @@ impl<R: SweepDispatch> OocSimulator<R> {
             let this_pass = pass_no;
             pass_no += 1;
             if this_pass >= cursor {
+                let t_pass = std::time::Instant::now();
                 let stages = &schedule.stages[run.stages.clone()];
                 let compiled = use_compiled.then(|| compile_stages(stages, l, &kernel, tile));
                 // Checkpointing makes the reduction a separate final read
@@ -432,6 +454,13 @@ impl<R: SweepDispatch> OocSimulator<R> {
                 if let Some(ck) = &ckpt_ctx {
                     checkpoint_pass(&mut store, ck, this_pass, &track)?;
                 }
+                live_pass_done(
+                    &telemetry,
+                    &store,
+                    this_pass,
+                    total_passes,
+                    t_pass.elapsed().as_nanos() as u64,
+                );
             }
             if let Some(swap) = &run.swap {
                 self.external_swap(
@@ -443,6 +472,7 @@ impl<R: SweepDispatch> OocSimulator<R> {
                     ckpt_ctx.as_ref(),
                     &mut pass_no,
                     cursor,
+                    total_passes,
                 )?;
             }
         }
@@ -479,6 +509,10 @@ impl<R: SweepDispatch> OocSimulator<R> {
             m.counter_add("ooc.compressed_bytes", io.bytes_written);
             m.gauge_set("ooc.compression_ratio", io.compression_ratio());
         }
+        if let Some(p) = telemetry.progress() {
+            p.set_state(qsim_telemetry::RunState::Done);
+        }
+        telemetry.publish_progress_gauges();
         Ok(OocOutcome {
             norm,
             entropy,
@@ -531,6 +565,7 @@ impl<R: SweepDispatch> OocSimulator<R> {
         ck: Option<&CkptCtx>,
         pass_no: &mut usize,
         cursor: usize,
+        total_passes: usize,
     ) -> std::io::Result<()> {
         let telemetry = self.config.telemetry.clone();
         let track = telemetry.track("ooc.compute");
@@ -551,6 +586,7 @@ impl<R: SweepDispatch> OocSimulator<R> {
         let scatter_pass = *pass_no;
         *pass_no += 1;
         if scatter_pass >= cursor {
+            let t_pass = std::time::Instant::now();
             let cfg = PassConfig {
                 pipelined: self.config.pipeline,
                 depth,
@@ -587,6 +623,13 @@ impl<R: SweepDispatch> OocSimulator<R> {
                     store.commit_staged()?;
                 }
             }
+            live_pass_done(
+                &telemetry,
+                store,
+                scatter_pass,
+                total_passes,
+                t_pass.elapsed().as_nanos() as u64,
+            );
         }
 
         // Pass 2: fused gather-unpermute — `final[x] = buf[p(x)]` places
@@ -598,6 +641,7 @@ impl<R: SweepDispatch> OocSimulator<R> {
             let unpermute_pass = *pass_no;
             *pass_no += 1;
             if unpermute_pass >= cursor {
+                let t_pass = std::time::Instant::now();
                 let _s = track.span_id("unpermute", run_index as u64);
                 // The scratch buffer is installed at run start and put
                 // back after every unpermute pass; if an earlier pass
@@ -634,9 +678,43 @@ impl<R: SweepDispatch> OocSimulator<R> {
                 if let Some(ck) = ck {
                     checkpoint_pass(store, ck, unpermute_pass, &track)?;
                 }
+                live_pass_done(
+                    &telemetry,
+                    store,
+                    unpermute_pass,
+                    total_passes,
+                    t_pass.elapsed().as_nanos() as u64,
+                );
             }
         }
         Ok(())
+    }
+}
+
+/// One streaming pass completed: report it to the live progress engine
+/// (the Stream phase's unit) and refresh the `live.ooc.*` gauges that
+/// `/status` reads mid-run — the prefetch/compute/writeback thread
+/// split, overlap fraction, and cumulative disk traffic so far.
+fn live_pass_done<R: Real>(
+    telemetry: &Telemetry,
+    store: &ChunkStore<R>,
+    pass: usize,
+    total_passes: usize,
+    pass_ns: u64,
+) {
+    if let Some(p) = telemetry.progress() {
+        p.set_stage(pass as u64 + 1, total_passes as u64);
+    }
+    telemetry.progress_unit(qsim_telemetry::Phase::Stream, pass_ns);
+    if let Some(m) = telemetry.metrics() {
+        let io = store.stats();
+        m.gauge_set("live.ooc.io_wait_seconds", io.io_wait_seconds);
+        m.gauge_set("live.ooc.compute_seconds", io.compute_seconds);
+        m.gauge_set("live.ooc.read_seconds", io.read_seconds);
+        m.gauge_set("live.ooc.write_seconds", io.write_seconds);
+        m.gauge_set("live.ooc.overlap_fraction", io.overlap_fraction());
+        m.gauge_set("live.ooc.bytes_read", io.bytes_read as f64);
+        m.gauge_set("live.ooc.bytes_written", io.bytes_written as f64);
     }
 }
 

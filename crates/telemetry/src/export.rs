@@ -7,7 +7,7 @@ use crate::span::SpanEvent;
 use std::fmt::Write;
 
 /// Escape a string for a JSON string literal.
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -25,7 +25,7 @@ fn escape_into(out: &mut String, s: &str) {
 
 /// A finite f64 as a JSON number (`null` for NaN/±inf, which JSON cannot
 /// represent).
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -83,11 +83,15 @@ fn hist_json(h: &Histogram) -> String {
     let mut out = String::from("{");
     let _ = write!(
         out,
-        "\"count\":{},\"sum\":{},\"mean\":{},\"buckets\":[",
+        "\"count\":{},\"sum\":{},\"mean\":{},",
         h.count,
         h.sum,
         fmt_f64(h.mean())
     );
+    for (q, v) in h.summary(&crate::metrics::SUMMARY_QUANTILES) {
+        let _ = write!(out, "\"p{}\":{},", (q * 100.0).round() as u32, fmt_f64(v));
+    }
+    out.push_str("\"buckets\":[");
     let mut first = true;
     for (i, &c) in h.buckets.iter().enumerate() {
         if c == 0 {
@@ -205,7 +209,7 @@ mod tests {
         m.gauge_set("bad.gauge", f64::NAN);
         m.record_hist("swap_ns", 900);
         m.record_hist("swap_ns", 1100);
-        let doc = metrics_json(&m.snapshot());
+        let doc = metrics_json(&m.snapshot().metrics);
         let j = parse(&doc).expect("valid JSON");
         assert_eq!(
             j.get("counters")

@@ -31,13 +31,25 @@
 //! same ring and is fine). Snapshots and exports must happen after the
 //! producing threads have quiesced (joined or barriered); the engines
 //! export after `run` returns, which satisfies this by construction.
+//! The one sanctioned exception is the crash flight recorder
+//! ([`recorder`]): at flush time producers may still be live, so its
+//! snapshot is best-effort — see the module docs for the exact
+//! guarantee. [`Telemetry::tracks_census`] (counts only) is always
+//! race-free.
 
 mod export;
 pub mod json;
+pub mod live;
 mod metrics;
+pub mod prom;
+pub mod recorder;
 mod span;
 
-pub use metrics::{Histogram, Metric, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use live::{Phase, Progress, ProgressTicker, RunState, StatusServer};
+pub use metrics::{
+    Histogram, Metric, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS, SUMMARY_QUANTILES,
+};
+pub use recorder::{FlightRecorder, FLIGHT_FILE};
 pub use span::{SpanEvent, SpanGuard, Track, TrackHandle};
 
 use parking_lot::Mutex;
@@ -54,6 +66,7 @@ pub(crate) struct Inner {
     pub(crate) track_capacity: usize,
     pub(crate) tracks: Mutex<Vec<Arc<Track>>>,
     pub(crate) metrics: MetricsRegistry,
+    pub(crate) progress: live::Progress,
 }
 
 /// A cheaply-clonable telemetry handle. [`Telemetry::disabled`] (the
@@ -92,6 +105,7 @@ impl Telemetry {
                 track_capacity: track_capacity.max(1),
                 tracks: Mutex::new(Vec::new()),
                 metrics: MetricsRegistry::new(),
+                progress: live::Progress::new(),
             })),
         }
     }
@@ -126,6 +140,37 @@ impl Telemetry {
         self.inner.as_deref().map(|i| &i.metrics)
     }
 
+    /// The live progress/ETA state, when enabled.
+    pub fn progress(&self) -> Option<&live::Progress> {
+        self.inner.as_deref().map(|i| &i.progress)
+    }
+
+    /// Record one completed progress unit (no-op when disabled) — the
+    /// engines' tap at stage/swap/pass boundaries.
+    pub fn progress_unit(&self, phase: live::Phase, measured_ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.progress.unit_done(phase, measured_ns);
+        }
+    }
+
+    /// Publish the derived progress gauges (`run.progress_permille`,
+    /// `sched.eta_seconds`, …) into the metrics registry (no-op when
+    /// disabled).
+    pub fn publish_progress_gauges(&self) {
+        if let Some(inner) = &self.inner {
+            inner.progress.publish_gauges(&inner.metrics);
+        }
+    }
+
+    /// Seconds since this telemetry handle was created (the common time
+    /// base of every track); 0 when disabled.
+    pub fn elapsed_seconds(&self) -> f64 {
+        match &self.inner {
+            None => 0.0,
+            Some(inner) => inner.t0.elapsed().as_secs_f64(),
+        }
+    }
+
     /// Record `ns` into the log2-bucketed histogram `name` (no-op when
     /// disabled).
     pub fn record_duration_ns(&self, name: &str, ns: u64) {
@@ -151,18 +196,39 @@ impl Telemetry {
         }
     }
 
+    /// A `(name, events_recorded, capacity)` census of every track —
+    /// reads only the published head counters, so it is race-free even
+    /// while producers are live (unlike [`Telemetry::tracks_snapshot`]).
+    pub fn tracks_census(&self) -> Vec<(String, u64, usize)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .tracks
+                .lock()
+                .iter()
+                .map(|t| (t.name().to_string(), t.recorded(), t.capacity()))
+                .collect(),
+        }
+    }
+
     /// The Chrome `trace_event` JSON timeline of every track (empty
     /// object-with-no-events when disabled).
     pub fn chrome_trace_json(&self) -> String {
         export::chrome_trace_json(&self.tracks_snapshot())
     }
 
+    /// An ordered point-in-time copy of the metrics registry (empty
+    /// when disabled). All renderers hang off [`MetricsSnapshot`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match self.metrics() {
+            Some(m) => m.snapshot(),
+            None => MetricsSnapshot::empty(),
+        }
+    }
+
     /// The flat metrics-snapshot JSON (counters, gauges, histograms).
     pub fn metrics_json(&self) -> String {
-        match self.metrics() {
-            Some(m) => export::metrics_json(&m.snapshot()),
-            None => export::metrics_json(&[]),
-        }
+        self.metrics_snapshot().to_json()
     }
 
     /// Write [`Telemetry::chrome_trace_json`] to `path`.

@@ -76,7 +76,52 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Approximate `q`-quantile (`0 ≤ q ≤ 1`, clamped) of the recorded
+    /// samples, or `None` when empty. Resolution is the log2 bucket
+    /// width: the rank-`⌈q·count⌉` sample is located by a cumulative
+    /// walk and interpolated linearly inside its bucket, so the result
+    /// is always within the true sample's bucket bounds. The top bucket
+    /// is unbounded and reports its lower edge.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let prev = cum;
+            cum += c;
+            if cum >= rank {
+                let lo = Self::bucket_lower(i) as f64;
+                let hi = if i >= HISTOGRAM_BUCKETS - 1 {
+                    lo
+                } else {
+                    Self::bucket_upper(i) as f64
+                };
+                let frac = (rank - prev) as f64 / c as f64;
+                return Some(lo + frac * (hi - lo));
+            }
+        }
+        None
+    }
+
+    /// `(q, quantile(q))` pairs for each requested `q` — the summary
+    /// block exporters attach next to the raw buckets. Empty histograms
+    /// yield an empty summary.
+    pub fn summary(&self, qs: &[f64]) -> Vec<(f64, f64)> {
+        qs.iter()
+            .filter_map(|&q| self.quantile(q).map(|v| (q, v)))
+            .collect()
+    }
 }
+
+/// Default quantiles exporters attach to histograms.
+pub const SUMMARY_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
 
 /// One named metric's current value.
 #[derive(Clone, Debug, PartialEq)]
@@ -84,6 +129,48 @@ pub enum Metric {
     Counter(u64),
     Gauge(f64),
     Histogram(Box<Histogram>),
+}
+
+/// An ordered point-in-time copy of a [`MetricsRegistry`]. Every
+/// renderer — the flat JSON exporter ([`MetricsSnapshot::to_json`]),
+/// the Prometheus text endpoint ([`MetricsSnapshot::to_prometheus`]),
+/// the bench `BENCH_*.json` metrics blocks and the flight recorder —
+/// goes through this one type, so the snapshot schema is defined in
+/// exactly one place.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in registry (sorted) order.
+    pub metrics: Vec<(String, Metric)>,
+}
+
+impl MetricsSnapshot {
+    /// The empty snapshot (what a disabled [`crate::Telemetry`] yields).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The captured value of `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// The flat metrics-snapshot JSON document
+    /// (`{"counters":…,"gauges":…,"histograms":…}`).
+    pub fn to_json(&self) -> String {
+        crate::export::metrics_json(&self.metrics)
+    }
+
+    /// The Prometheus text exposition (version 0.0.4) of the snapshot.
+    pub fn to_prometheus(&self) -> String {
+        crate::prom::render(&self.metrics)
+    }
 }
 
 /// Named counters, gauges and histograms behind one mutex. Mismatched
@@ -134,12 +221,15 @@ impl MetricsRegistry {
     }
 
     /// All metrics in name order.
-    pub fn snapshot(&self) -> Vec<(String, Metric)> {
-        self.inner
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self
+                .inner
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -202,10 +292,83 @@ mod tests {
         m.record_hist("c.ns", 100);
         assert_eq!(m.get("b.count"), Some(Metric::Counter(5)));
         assert_eq!(m.get("a.ratio"), Some(Metric::Gauge(0.75)));
-        let names: Vec<String> = m.snapshot().into_iter().map(|(n, _)| n).collect();
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["a.ratio", "b.count", "c.ns"]);
+        assert_eq!(snap.get("b.count"), Some(&Metric::Counter(5)));
+        assert_eq!(snap.get("missing"), None);
         // Kind mismatch: last writer wins.
         m.counter_add("a.ratio", 1);
         assert_eq!(m.get("a.ratio"), Some(Metric::Counter(1)));
+    }
+
+    #[test]
+    fn quantile_respects_bucket_boundaries() {
+        // Empty histogram has no quantiles.
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        assert!(Histogram::new().summary(&SUMMARY_QUANTILES).is_empty());
+
+        // Every sample is the same power of two: any quantile must land
+        // inside that sample's bucket — including at the exact bucket
+        // boundaries 2^k (opens bucket k+1) and 2^k − 1 (closes k).
+        for v in [1u64, 2, 1023, 1024, 1 << 20] {
+            let mut h = Histogram::new();
+            for _ in 0..100 {
+                h.record(v);
+            }
+            let i = Histogram::bucket_index(v);
+            let (lo, hi) = (
+                Histogram::bucket_lower(i) as f64,
+                Histogram::bucket_upper(i) as f64,
+            );
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                let est = h.quantile(q).unwrap();
+                assert!(
+                    (lo..=hi).contains(&est),
+                    "q{q} of 100×{v} = {est}, outside [{lo}, {hi}]"
+                );
+            }
+        }
+
+        // Bucket 0 is exactly {0}.
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(1.0), Some(0.0));
+
+        // Two-bucket split: 50 samples in [512,1023], 50 in [1024,2047].
+        // The median closes the low bucket; q just past 0.5 opens the
+        // high one; quantiles are monotone in q.
+        let mut h = Histogram::new();
+        for _ in 0..50 {
+            h.record(600);
+            h.record(1500);
+        }
+        assert_eq!(h.quantile(0.5), Some(1023.0));
+        let q51 = h.quantile(0.51).unwrap();
+        assert!((1024.0..=2047.0).contains(&q51), "q51 = {q51}");
+        let mut prev = f64::MIN;
+        for q in [0.0, 0.1, 0.5, 0.51, 0.9, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "quantile not monotone at q={q}");
+            prev = v;
+        }
+
+        // The unbounded top bucket reports its lower edge, not +inf.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        let top = h.quantile(0.5).unwrap();
+        assert_eq!(top, Histogram::bucket_lower(HISTOGRAM_BUCKETS - 1) as f64);
+        assert!(top.is_finite());
+
+        // summary() pairs each q with its estimate.
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary(&SUMMARY_QUANTILES);
+        assert_eq!(s.len(), 3);
+        assert!(s.windows(2).all(|w| w[0].1 <= w[1].1));
+        // p50 of 1..=1000 lives in [256, 1023] (rank 500's bucket).
+        assert!((256.0..=1023.0).contains(&s[0].1), "p50 = {}", s[0].1);
     }
 }

@@ -1,0 +1,175 @@
+//! Prometheus text exposition (format version 0.0.4) of a metrics
+//! snapshot — what the status server serves on `/metrics`.
+//!
+//! The registry's dotted names (`dist.fabric.bytes_sent`) are sanitized
+//! to the Prometheus grammar (`qsim_dist_fabric_bytes_sent`). Counters
+//! and gauges map directly; a log2 [`Histogram`] becomes a native
+//! Prometheus histogram (cumulative `_bucket{le="…"}` series over its
+//! non-empty buckets plus `_sum`/`_count`) together with a companion
+//! `<name>_approx` summary carrying the [`SUMMARY_QUANTILES`] estimates,
+//! so dashboards get both exact bucket counts and ready-made p50/p90/p99
+//! lines without a recording rule.
+
+use crate::metrics::{Histogram, Metric, SUMMARY_QUANTILES};
+use std::fmt::Write;
+
+/// Sanitize a registry name into a Prometheus metric name: prefix
+/// `qsim_`, map every character outside `[a-zA-Z0-9_:]` to `_`.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("qsim_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// A f64 in Prometheus value syntax (`NaN`, `+Inf`, `-Inf` are legal
+/// there, unlike JSON).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        // The top bucket is unbounded; its cumulative count is the
+        // `+Inf` line below rather than a finite `le`.
+        if i < crate::HISTOGRAM_BUCKETS - 1 {
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cum}",
+                Histogram::bucket_upper(i)
+            );
+        }
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+    let summary = h.summary(&SUMMARY_QUANTILES);
+    if !summary.is_empty() {
+        let _ = writeln!(out, "# TYPE {name}_approx summary");
+        for (q, v) in summary {
+            let _ = writeln!(out, "{name}_approx{{quantile=\"{q}\"}} {}", fmt_value(v));
+        }
+        let _ = writeln!(out, "{name}_approx_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_approx_count {}", h.count);
+    }
+}
+
+/// Render a snapshot's `(name, metric)` pairs as Prometheus text
+/// exposition. Always ends with a newline (required by the format) even
+/// when empty.
+pub fn render(metrics: &[(String, Metric)]) -> String {
+    let mut out = String::new();
+    for (raw, m) in metrics {
+        let name = metric_name(raw);
+        match m {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {c}");
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", fmt_value(*g));
+            }
+            Metric::Histogram(h) => render_histogram(&mut out, &name, h),
+        }
+    }
+    if out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    /// Structural validator mirroring the CI python check: every
+    /// non-comment line is `name[{labels}] value`, TYPE comments
+    /// well-formed, histogram buckets cumulative and `+Inf`-terminated.
+    fn assert_valid_exposition(doc: &str) {
+        assert!(doc.ends_with('\n'), "exposition must end with a newline");
+        for line in doc.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap();
+                let kind = parts.next().unwrap();
+                assert!(name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+                assert!(["counter", "gauge", "histogram", "summary"].contains(&kind));
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("name value");
+            let name_end = series.find('{').unwrap_or(series.len());
+            let name = &series[..name_end];
+            assert!(
+                !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line:?}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                "bad value in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn renders_all_metric_kinds_validly() {
+        let m = MetricsRegistry::new();
+        m.counter_add("dist.fabric.bytes_sent", 4096);
+        m.gauge_set("ooc.io/overlap fraction", 0.25);
+        m.gauge_set("bad.gauge", f64::NAN);
+        for v in [700u64, 900, 1100, 5000] {
+            m.record_hist("swap_ns", v);
+        }
+        let doc = render(&m.snapshot().metrics);
+        assert_valid_exposition(&doc);
+        assert!(doc.contains("# TYPE qsim_dist_fabric_bytes_sent counter\n"));
+        assert!(doc.contains("qsim_dist_fabric_bytes_sent 4096\n"));
+        // Sanitization: '.', '/' and ' ' all collapse to '_'.
+        assert!(doc.contains("qsim_ooc_io_overlap_fraction 0.25\n"));
+        assert!(doc.contains("qsim_bad_gauge NaN\n"));
+        // Histogram: cumulative buckets, +Inf terminal, sum/count.
+        assert!(doc.contains("qsim_swap_ns_bucket{le=\"1023\"} 2\n"));
+        assert!(doc.contains("qsim_swap_ns_bucket{le=\"2047\"} 3\n"));
+        assert!(doc.contains("qsim_swap_ns_bucket{le=\"+Inf\"} 4\n"));
+        assert!(doc.contains("qsim_swap_ns_sum 7700\n"));
+        assert!(doc.contains("qsim_swap_ns_count 4\n"));
+        // Companion quantile summary.
+        assert!(doc.contains("# TYPE qsim_swap_ns_approx summary\n"));
+        assert!(doc.contains("qsim_swap_ns_approx{quantile=\"0.5\"}"));
+        assert!(doc.contains("qsim_swap_ns_approx{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn empty_exposition_is_just_a_newline() {
+        let doc = render(&[]);
+        assert_eq!(doc, "\n");
+        assert_valid_exposition(&doc);
+    }
+}

@@ -73,6 +73,13 @@ impl Track {
         self.slots.len()
     }
 
+    /// Total events ever pushed (monotone; the ring retains the most
+    /// recent `min(recorded, capacity)`). Safe to read while the
+    /// producer is live — it touches only the published head counter.
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire) as u64
+    }
+
     fn push(&self, ev: SpanEvent) {
         let h = self.head.load(Ordering::Relaxed);
         // SAFETY: single producer — no concurrent writer for this slot,

@@ -8,6 +8,7 @@
 //!               [--search-budget N]
 //!               [--checkpoint-dir DIR [--resume]]
 //!               [--trace-out trace.json] [--metrics-out metrics.json]
+//!               [--status-addr HOST:PORT] [--progress]
 //! qsim45 sample --rows 4 --cols 4 --depth 25 --shots 16
 //! qsim45 kernels [--state-qubits 22]
 //! ```
@@ -49,6 +50,22 @@
 //! track per rank / pipeline thread; open in `chrome://tracing` or
 //! <https://ui.perfetto.dev>); `--metrics-out` writes the flat metrics
 //! snapshot. Either flag enables telemetry for the run.
+//!
+//! `--status-addr HOST:PORT` serves the run live over HTTP while it
+//! executes: `/metrics` is a Prometheus text exposition of every
+//! counter/gauge/histogram (with `_approx` quantile summaries), and
+//! `/status` is a JSON document with the run phase, progress fraction,
+//! cost-model-anchored ETA, and per-rank / per-pipeline-thread live
+//! gauges. Port `0` binds an ephemeral port; the chosen address is
+//! printed on startup. `--progress` prints a one-line progress/ETA
+//! report to stderr every ticker beat. Either flag enables telemetry.
+//!
+//! Any `run` with telemetry enabled also arms a crash **flight
+//! recorder**: on a panic, a rank failure (fabric poisoning), a run
+//! error, or SIGTERM, the final spans, the metrics snapshot, and a
+//! rolling window of recent snapshots are written to `FLIGHT.json` —
+//! next to the checkpoint manifest when `--checkpoint-dir` is set, else
+//! in the working directory. A clean exit writes nothing.
 
 use qsim45::circuit::supremacy::{supremacy_circuit, SupremacySpec};
 use qsim45::core::observables::sample_bitstrings;
@@ -79,6 +96,7 @@ fn main() {
                 "         [--schedule greedy|search] [--schedule-cache DIR] [--search-budget N]"
             );
             eprintln!("         [--checkpoint-dir DIR [--resume]]");
+            eprintln!("         [--status-addr HOST:PORT] [--progress]");
             eprintln!("  sample --rows R --cols C --depth D [--shots S] [--seed X]");
             eprintln!("  kernels [--state-qubits N]");
             std::process::exit(2);
@@ -201,10 +219,55 @@ fn run_at<R: SweepDispatch>() {
     let metrics_out = arg_opt("--metrics-out");
     let checkpoint_dir = arg_opt("--checkpoint-dir");
     let resume = flag("--resume");
-    let telemetry = if trace_out.is_some() || metrics_out.is_some() {
-        Telemetry::enabled()
-    } else {
-        Telemetry::disabled()
+    let status_addr = arg_opt("--status-addr");
+    let progress = flag("--progress");
+    let telemetry =
+        if trace_out.is_some() || metrics_out.is_some() || status_addr.is_some() || progress {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+    // Crash flight recorder: armed for the whole run whenever telemetry
+    // is on, disarmed only on a clean exit. Lands next to the checkpoint
+    // manifest when there is one, else in the working directory.
+    let recorder = telemetry.is_enabled().then(|| {
+        let dir = checkpoint_dir
+            .as_deref()
+            .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from);
+        let rec = qsim45::telemetry::FlightRecorder::new(telemetry.clone(), dir);
+        qsim45::telemetry::recorder::arm_process(&rec);
+        qsim45::telemetry::recorder::install_sigterm_recorder();
+        rec
+    });
+    let _status = status_addr.as_deref().map(|addr| {
+        let srv =
+            qsim45::telemetry::StatusServer::bind(telemetry.clone(), addr).unwrap_or_else(|e| {
+                eprintln!("status: cannot bind {addr}: {e}");
+                std::process::exit(2);
+            });
+        // Printed before the run starts so a harness using port 0 can
+        // discover the ephemeral port and poll mid-run.
+        println!("status      : listening on http://{}", srv.local_addr());
+        srv
+    });
+    let _ticker = telemetry.is_enabled().then(|| {
+        qsim45::telemetry::ProgressTicker::spawn(
+            telemetry.clone(),
+            recorder.clone(),
+            progress,
+            std::time::Duration::from_millis(500),
+        )
+    });
+    let fail = |e: &dyn std::fmt::Display| -> ! {
+        eprintln!("run failed: {e}");
+        let _ = qsim45::telemetry::recorder::flush_armed(&format!("error: {e}"));
+        std::process::exit(1);
+    };
+    let disarm = || {
+        if let Some(r) = &recorder {
+            r.disarm();
+        }
+        qsim45::telemetry::recorder::disarm_process();
     };
     let schedule_mode = {
         let v = arg_str("--schedule", "greedy");
@@ -229,10 +292,7 @@ fn run_at<R: SweepDispatch>() {
             search_budget,
             ..Default::default()
         };
-        let out = sim.try_run_t::<R>(&circuit).unwrap_or_else(|e| {
-            eprintln!("run failed: {e}");
-            std::process::exit(1);
-        });
+        let out = sim.try_run_t::<R>(&circuit).unwrap_or_else(|e| fail(&e));
         println!(
             "single-node ({}): {:.3} s sim, {:.3} s plan",
             R::NAME,
@@ -241,6 +301,7 @@ fn run_at<R: SweepDispatch>() {
         );
         println!("entropy     : {:.6} bits", out.state.entropy());
         println!("norm        : {:.12}", out.state.norm_sqr().to_f64());
+        disarm();
         write_exports(&telemetry, &trace_out, &metrics_out);
         return;
     }
@@ -307,10 +368,9 @@ fn run_at<R: SweepDispatch>() {
                 tile_qubits,
                 ..Default::default()
             });
-            let out = sim.run(&store_dir, &schedule, uniform).unwrap_or_else(|e| {
-                eprintln!("run failed: {e}");
-                std::process::exit(1);
-            });
+            let out = sim
+                .run(&store_dir, &schedule, uniform)
+                .unwrap_or_else(|e| fail(&e));
             println!(
                 "out-of-core ({} chunks, {}): {:.3} s ({} runs, {} traversals)",
                 ranks,
@@ -348,14 +408,19 @@ fn run_at<R: SweepDispatch>() {
                 checkpoint_dir: checkpoint_dir.as_ref().map(std::path::PathBuf::from),
                 resume,
                 tile_qubits,
+                // A rank death flushes the flight record from the dying
+                // rank's own thread, before the poison wakes its peers.
+                poison_hook: recorder.as_ref().map(|r| {
+                    let r = r.clone();
+                    std::sync::Arc::new(move |rank: usize| {
+                        let _ = r.flush(&format!("fabric poisoned by rank {rank}"));
+                    }) as qsim45::net::PoisonHook
+                }),
                 ..Default::default()
             });
             let out = sim
                 .try_run_t::<R>(&exec, &schedule, uniform)
-                .unwrap_or_else(|e| {
-                    eprintln!("run failed: {e}");
-                    std::process::exit(1);
-                });
+                .unwrap_or_else(|e| fail(&e));
             println!(
                 "distributed ({ranks} ranks, {}): {:.3} s ({:.1}% comm, {} swaps)",
                 R::NAME,
@@ -367,6 +432,7 @@ fn run_at<R: SweepDispatch>() {
             println!("norm        : {:.12}", out.norm);
         }
     }
+    disarm();
     write_exports(&telemetry, &trace_out, &metrics_out);
 }
 
