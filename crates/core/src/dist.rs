@@ -77,6 +77,13 @@ pub struct DistConfig {
     /// (validated against the schedule fingerprint; a fresh start when
     /// the directory has no manifest yet).
     pub resume: bool,
+    /// Fault injection: every rank returns [`SimError::InjectedStop`]
+    /// after this many stage runs have completed — after the unit's
+    /// checkpoint barrier when `checkpoint_dir` is set, so the manifest
+    /// for the unit is durable and the run is resumable. The uniform
+    /// kill switch of the backend conformance suite (the single-node
+    /// engine's counterpart is [`crate::SingleCheckpoint::stop_after`]).
+    pub stop_after: Option<usize>,
     /// Scripted rank failures for fault-injection testing (see
     /// [`qsim_net::FaultPlan`]); checked before every swap.
     pub fault_plan: Option<FaultPlan>,
@@ -98,6 +105,7 @@ impl std::fmt::Debug for DistConfig {
             .field("tile_qubits", &self.tile_qubits)
             .field("checkpoint_dir", &self.checkpoint_dir)
             .field("resume", &self.resume)
+            .field("stop_after", &self.stop_after)
             .field("fault_plan", &self.fault_plan)
             .field("poison_hook", &self.poison_hook.is_some())
             .finish_non_exhaustive()
@@ -115,6 +123,7 @@ impl Default for DistConfig {
             telemetry: Telemetry::disabled(),
             checkpoint_dir: None,
             resume: false,
+            stop_after: None,
             fault_plan: None,
             poison_hook: None,
         }
@@ -166,7 +175,7 @@ impl DistSimulator {
     /// with its root cause.
     pub fn run(&self, circuit: &Circuit, schedule: &Schedule, init_uniform: bool) -> DistOutcome {
         self.try_run(circuit, schedule, init_uniform)
-            .unwrap_or_else(|e| panic!("distributed run failed: {e}"))
+            .unwrap_or_else(|e| crate::backend::abort_run("distributed run failed", &e))
     }
 
     /// Fallible form of [`DistSimulator::run`]: injected faults, lost
@@ -300,6 +309,7 @@ impl DistSimulator {
             compiled: compiled.as_deref(),
             tele,
             checkpoint: checkpoint.as_ref(),
+            stop_after: self.config.stop_after,
         };
         let cluster = try_run_cluster_hooked(
             self.config.n_ranks,
@@ -389,6 +399,7 @@ struct RankShared<'a, R: SweepDispatch> {
     compiled: Option<&'a [CompiledStage<R>]>,
     tele: &'a Telemetry,
     checkpoint: Option<&'a DistCheckpoint>,
+    stop_after: Option<usize>,
 }
 
 fn run_rank<R: SweepDispatch>(
@@ -505,6 +516,12 @@ fn run_rank<R: SweepDispatch>(
         }
         if let Some(cp) = sh.checkpoint {
             checkpoint_unit(ctx, cp, sh, &track, &state, ri + 1)?;
+        }
+        // Injected stop: every rank returns the same typed error at the
+        // same run boundary (post-barrier when checkpointing, so the
+        // manifest for the unit is already durable everywhere).
+        if sh.stop_after == Some(ri + 1) {
+            return Err(SimError::InjectedStop { unit: ri + 1 });
         }
         // Per-rank straggler gauges, refreshed at every stage-run
         // boundary so /status shows live comm/blocked skew across ranks

@@ -25,6 +25,7 @@
 //! collapse) and [`noise`] (stochastic-Pauli trajectory simulation for
 //! the noise studies the paper motivates in §1).
 
+pub mod backend;
 pub mod baseline;
 pub mod checkpoint;
 pub mod dist;
@@ -38,6 +39,10 @@ pub mod schedcache;
 pub mod single;
 pub mod state;
 
+pub use backend::{
+    plan_partitioned, Backend, BackendOutcome, BackendPlan, BackendStats, DistBackend,
+    SingleBackend,
+};
 pub use baseline::BaselineSimulator;
 pub use checkpoint::{CheckpointError, Manifest, ResumePoint};
 pub use dist::{DistConfig, DistOutcome, DistSimulator};
@@ -47,6 +52,7 @@ pub use exec::{
 pub use planner::{
     plan_schedule, seed_progress, PlanOptions, PlannedSchedule, ProgressBackend, ScheduleMode,
 };
+pub use qsim_net::SimError;
 pub use schedcache::{ScheduleArtifact, SearchMeta};
-pub use single::{SingleCheckpoint, SingleNodeSimulator, SingleOutcome};
+pub use single::{SingleCheckpoint, SingleNodeSimulator, SingleOutcome, SinglePlan};
 pub use state::StateVector;

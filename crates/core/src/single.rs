@@ -38,6 +38,25 @@ pub struct SingleOutcome<R: SweepDispatch = f64> {
     pub sweep: SweepStats,
 }
 
+/// A planned single-node execution: output of
+/// [`SingleNodeSimulator::plan_t`], input of
+/// [`SingleNodeSimulator::run_planned_t`].
+#[derive(Clone, Debug)]
+pub struct SinglePlan {
+    pub schedule: Schedule,
+    /// Start from the uniform superposition (stripped Hadamard layer).
+    pub init_uniform: bool,
+    pub plan_seconds: f64,
+    /// Tile budget: the caller's pin, else the plan cache's measured
+    /// size, else `None` (resolve at execution time).
+    pub tile_qubits: Option<u32>,
+    /// The schedule came from the plan cache.
+    pub cache_hit: bool,
+    /// Cost-guided search beat the greedy baseline and was adopted.
+    pub adopted: bool,
+    pub n_qubits: u32,
+}
+
 /// Checkpoint/restart options of the single-node engine. The checkpoint
 /// unit is a *stage* (single-node schedules have no swaps), so a run
 /// killed between stages resumes from the last completed stage.
@@ -135,10 +154,12 @@ impl SingleNodeSimulator {
     /// Run `circuit` from the uniform superposition when its first cycle
     /// is the supremacy Hadamard layer (detected and skipped, §3.6), else
     /// from |0…0⟩. Infallible wrapper over
-    /// [`SingleNodeSimulator::try_run`].
+    /// [`SingleNodeSimulator::try_run`]; a failure flushes the armed
+    /// flight recorder (if any) before panicking, so a checkpoint IO
+    /// error can never abort the process without a FLIGHT.json.
     pub fn run(&self, circuit: &Circuit) -> SingleOutcome {
         self.try_run(circuit)
-            .unwrap_or_else(|e| panic!("single-node run failed: {e}"))
+            .unwrap_or_else(|e| crate::backend::abort_run("single-node run failed", &e))
     }
 
     /// Fallible form of [`SingleNodeSimulator::run`]: checkpoint IO and
@@ -154,9 +175,22 @@ impl SingleNodeSimulator {
         &self,
         circuit: &Circuit,
     ) -> Result<SingleOutcome<R>, SimError> {
-        let n = circuit.n_qubits();
         let track = self.telemetry.track("single");
         let _run_span = track.span("run");
+        let plan = self.plan_t::<R>(circuit);
+        self.run_planned_t(plan)
+    }
+
+    /// Planning half of [`SingleNodeSimulator::try_run_t`]: Hadamard-layer
+    /// strip, optional §3.6.2 qubit remapping, schedule planning.
+    /// Executing the returned plan with
+    /// [`SingleNodeSimulator::run_planned_t`] is byte-identical to
+    /// `try_run_t` end to end — the split exists so the unified
+    /// [`crate::backend::Backend`] surface can report the plan before
+    /// committing state memory.
+    pub fn plan_t<R: SweepDispatch>(&self, circuit: &Circuit) -> SinglePlan {
+        let n = circuit.n_qubits();
+        let track = self.telemetry.track("single");
         let (exec_circuit, init_uniform) = strip_initial_hadamards(circuit);
         let mapped;
         let exec_ref = if self.optimize_mapping {
@@ -180,12 +214,36 @@ impl SingleNodeSimulator {
                 },
             )
         };
-        let plan_seconds = planned.plan_seconds;
-        let schedule = planned.schedule;
-        // A cache hit carries the producing machine's measured tile
-        // budget: adopt it when the caller didn't pin one, skipping the
-        // autotune probe.
-        let tile_qubits = self.tile_qubits.or(planned.tile_qubits);
+        SinglePlan {
+            schedule: planned.schedule,
+            init_uniform,
+            plan_seconds: planned.plan_seconds,
+            // A cache hit carries the producing machine's measured tile
+            // budget: adopt it when the caller didn't pin one, skipping
+            // the autotune probe.
+            tile_qubits: self.tile_qubits.or(planned.tile_qubits),
+            cache_hit: planned.cache_hit,
+            adopted: planned.adopted,
+            n_qubits: n,
+        }
+    }
+
+    /// Execution half of [`SingleNodeSimulator::try_run_t`]: runs a plan
+    /// produced by [`SingleNodeSimulator::plan_t`] on this simulator's
+    /// kernels and checkpoint settings.
+    pub fn run_planned_t<R: SweepDispatch>(
+        &self,
+        plan: SinglePlan,
+    ) -> Result<SingleOutcome<R>, SimError> {
+        let SinglePlan {
+            schedule,
+            init_uniform,
+            plan_seconds,
+            tile_qubits,
+            n_qubits: n,
+            ..
+        } = plan;
+        let track = self.telemetry.track("single");
         if let Some(p) = self.telemetry.progress() {
             // Default tile rather than `resolve_tile_qubits`: the ETA
             // prior must not pay for an autotune probe the run itself
@@ -512,7 +570,7 @@ pub fn execute_schedule_local_t<T>(
 pub fn run_single_precision(circuit: &Circuit, kmax: u32, cfg: &KernelConfig) -> StateVector<f32> {
     let sim = SingleNodeSimulator::new(*cfg, kmax);
     sim.try_run_t::<f32>(circuit)
-        .unwrap_or_else(|e| panic!("single-precision run failed: {e}"))
+        .unwrap_or_else(|e| crate::backend::abort_run("single-precision run failed", &e))
         .state
 }
 

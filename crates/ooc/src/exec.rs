@@ -44,6 +44,7 @@ use qsim_compress::Codec;
 use qsim_core::checkpoint::{schedule_fingerprint, Manifest, MANIFEST_VERSION};
 use qsim_core::dist::{apply_rank_diagonal_amps, physical_to_logical, slots_to_top_permutation};
 use qsim_core::exec::{compile_stages, execute_compiled_stage, resolve_tile_qubits};
+use qsim_core::SimError;
 use qsim_kernels::apply::{apply_gate, ApplyDispatch, KernelConfig, OptLevel};
 use qsim_kernels::parallel::par_gather;
 use qsim_kernels::specialized;
@@ -139,6 +140,37 @@ pub enum CrashPoint {
     AfterCommit,
 }
 
+/// Typed payload of an injected [`OocCheckpoint::crash`], carried
+/// inside the [`std::io::ErrorKind::Interrupted`] error the engine
+/// returns so the unified [`SimError`] surface
+/// ([`OocSimulator::try_run`]) can recover *which* checkpoint units were
+/// durable when the crash fired — without parsing the error message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectedCrash {
+    /// The streaming pass whose commit protocol the crash fired in.
+    pub pass: usize,
+    pub point: CrashPoint,
+}
+
+impl InjectedCrash {
+    /// Checkpoint units durable at the instant the crash fired: the
+    /// pass's own unit counts only once its commit completed.
+    pub fn durable_units(&self) -> usize {
+        match self.point {
+            CrashPoint::AfterCommit => self.pass + 1,
+            CrashPoint::BeforeManifest | CrashPoint::BeforeCommit => self.pass,
+        }
+    }
+}
+
+impl std::fmt::Display for InjectedCrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected crash at pass {} ({:?})", self.pass, self.point)
+    }
+}
+
+impl std::error::Error for InjectedCrash {}
+
 impl Default for OocConfig {
     fn default() -> Self {
         Self {
@@ -231,6 +263,66 @@ impl<R: SweepDispatch> OocSimulator<R> {
         Self::new(OocConfig::sequential())
     }
 
+    /// The stage runs this configuration executes for `schedule`:
+    /// swap-bounded batches when `batch_runs`, one run per stage
+    /// otherwise. `run` executes exactly this list.
+    pub fn planned_runs(&self, schedule: &Schedule) -> Vec<StageRun> {
+        if self.config.batch_runs {
+            plan_runs(schedule)
+        } else {
+            schedule
+                .stages
+                .iter()
+                .enumerate()
+                .map(|(i, s)| StageRun {
+                    stages: i..i + 1,
+                    swap: s.swap.clone(),
+                })
+                .collect()
+        }
+    }
+
+    /// Checkpoint units (streaming passes) `schedule` executes under
+    /// this configuration: one per stage run, plus the scatter pass and
+    /// — unless the slots→top permutation is the identity — the
+    /// unpermute pass of every swap.
+    pub fn total_passes(&self, schedule: &Schedule) -> usize {
+        let l = schedule.local_qubits;
+        self.planned_runs(schedule)
+            .iter()
+            .map(|r| {
+                1 + r.swap.as_ref().map_or(0, |s| {
+                    1 + usize::from(!slots_to_top_permutation(&s.local_slots, l).is_identity())
+                })
+            })
+            .sum()
+    }
+
+    /// [`OocSimulator::run`] on the typed [`SimError`] surface shared by
+    /// every backend: an injected crash whose commit completed maps to
+    /// [`SimError::InjectedStop`] (with `unit` = durable passes), any
+    /// other IO failure to [`SimError::Io`].
+    pub fn try_run(
+        &mut self,
+        dir: &Path,
+        schedule: &Schedule,
+        init_uniform: bool,
+    ) -> Result<OocOutcome, SimError> {
+        self.run(dir, schedule, init_uniform).map_err(io_to_sim)
+    }
+
+    /// [`OocSimulator::run_gather`] on the typed [`SimError`] surface
+    /// (see [`OocSimulator::try_run`]).
+    pub fn try_run_gather(
+        &mut self,
+        dir: &Path,
+        schedule: &Schedule,
+        init_uniform: bool,
+    ) -> Result<(OocOutcome, Vec<Complex<R>>), SimError> {
+        self.run_gather(dir, schedule, init_uniform)
+            .map_err(io_to_sim)
+    }
+
     /// Execute `schedule` against a chunk store rooted at `dir`.
     /// `init_uniform` selects the supremacy starting state.
     pub fn run(
@@ -246,32 +338,13 @@ impl<R: SweepDispatch> OocSimulator<R> {
         let telemetry = self.config.telemetry.clone();
         let track = telemetry.track("ooc.compute");
         let _run_span = track.span("run");
-        let runs: Vec<StageRun> = if self.config.batch_runs {
-            plan_runs(schedule)
-        } else {
-            schedule
-                .stages
-                .iter()
-                .enumerate()
-                .map(|(i, s)| StageRun {
-                    stages: i..i + 1,
-                    swap: s.swap.clone(),
-                })
-                .collect()
-        };
+        let runs: Vec<StageRun> = self.planned_runs(schedule);
         // Checkpoint units are streaming *passes*, not stage runs: the
         // external swap commits staged chunks mid-run (scatter) and then
         // rewrites them (unpermute), so a run is not recoverable as a
         // whole — but each pass leaves the store in exactly one durable
         // generation, which is what a manifest can name.
-        let total_passes: usize = runs
-            .iter()
-            .map(|r| {
-                1 + r.swap.as_ref().map_or(0, |s| {
-                    1 + usize::from(!slots_to_top_permutation(&s.local_slots, l).is_identity())
-                })
-            })
-            .sum();
+        let total_passes: usize = self.total_passes(schedule);
         let ckpt = self.config.checkpoint.clone();
         let (mut store, cursor) = {
             let resumed = match &ckpt {
@@ -691,6 +764,26 @@ impl<R: SweepDispatch> OocSimulator<R> {
     }
 }
 
+/// Map an OOC engine IO failure onto the typed [`SimError`] surface: an
+/// [`InjectedCrash`] becomes the uniform [`SimError::InjectedStop`]
+/// (with `unit` = the passes durable at the crash), everything else
+/// stays an IO error.
+fn io_to_sim(e: std::io::Error) -> SimError {
+    if let Some(c) = e.get_ref().and_then(|r| r.downcast_ref::<InjectedCrash>()) {
+        return SimError::InjectedStop {
+            unit: c.durable_units(),
+        };
+    }
+    // Manifest and chunk-digest validation surface as `InvalidData`
+    // (see `CheckpointError`'s io conversion): normalize them to the
+    // typed checkpoint error the in-memory engines return, so callers
+    // match one variant for "durable state rejected" on every backend.
+    if e.kind() == std::io::ErrorKind::InvalidData {
+        return SimError::Checkpoint(e.to_string());
+    }
+    SimError::Io(e)
+}
+
 /// One streaming pass completed: report it to the live progress engine
 /// (the Stream phase's unit) and refresh the `live.ooc.*` gauges that
 /// `/status` reads mid-run — the prefetch/compute/writeback thread
@@ -755,7 +848,7 @@ impl CkptCtx<'_> {
         if self.crash == Some((pass, point)) {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::Interrupted,
-                format!("injected crash at pass {pass} ({point:?})"),
+                InjectedCrash { pass, point },
             ));
         }
         Ok(())

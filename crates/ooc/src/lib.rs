@@ -30,12 +30,14 @@
 //! must produce bit-identical amplitudes to the in-memory engines (tested
 //! against both). [`ScratchDir`] keeps test/bench stores self-cleaning.
 
+pub mod backend;
 pub mod chunkstore;
 pub mod exec;
 mod pipeline;
 pub mod scratch;
 
+pub use backend::OocBackend;
 pub use chunkstore::{BufferPool, ChunkReader, ChunkStore, ChunkWriter, IoStats};
-pub use exec::{CrashPoint, OocCheckpoint, OocConfig, OocOutcome, OocSimulator};
+pub use exec::{CrashPoint, InjectedCrash, OocCheckpoint, OocConfig, OocOutcome, OocSimulator};
 pub use qsim_compress::Codec;
 pub use scratch::ScratchDir;

@@ -38,6 +38,7 @@
 //! race-free.
 
 mod export;
+mod iostats;
 pub mod json;
 pub mod live;
 mod metrics;
@@ -45,6 +46,7 @@ pub mod prom;
 pub mod recorder;
 mod span;
 
+pub use iostats::IoStats;
 pub use live::{Phase, Progress, ProgressTicker, RunState, StatusServer};
 pub use metrics::{
     Histogram, Metric, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS, SUMMARY_QUANTILES,

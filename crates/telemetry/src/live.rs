@@ -134,7 +134,14 @@ impl Progress {
 
     /// Seed the cost-model predicted wall seconds of `phase` (planner /
     /// CLI side).
+    ///
+    /// A degenerate cost-model prior (uncalibrated weights, a zero-time
+    /// probe) can produce NaN or ±∞ here. The `as u64` cast saturates —
+    /// +∞ would become `u64::MAX` ns (~585 years), poisoning every ETA
+    /// blend downstream — so non-finite inputs are dropped to 0 (i.e.
+    /// "no prior"), which the ETA math already handles.
     pub fn set_predicted_seconds(&self, phase: Phase, seconds: f64) {
+        let seconds = if seconds.is_finite() { seconds } else { 0.0 };
         let ns = (seconds.max(0.0) * 1e9) as u64;
         self.predicted_ns[phase as usize].store(ns, Ordering::Relaxed);
     }

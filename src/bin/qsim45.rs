@@ -69,13 +69,13 @@
 
 use qsim45::circuit::supremacy::{supremacy_circuit, SupremacySpec};
 use qsim45::core::observables::sample_bitstrings;
-use qsim45::core::single::strip_initial_hadamards;
 use qsim45::core::{
-    plan_schedule, DistConfig, DistSimulator, PlanOptions, ScheduleMode, SingleCheckpoint,
+    Backend, BackendStats, DistBackend, DistConfig, DistSimulator, ScheduleMode, SingleBackend,
     SingleNodeSimulator,
 };
 use qsim45::kernels::apply::KernelConfig;
 use qsim45::kernels::SweepDispatch;
+use qsim45::ooc::{OocBackend, OocConfig, OocSimulator};
 use qsim45::sched::{global_gate_count, plan, SchedulerConfig, SearchConfig};
 use qsim45::telemetry::Telemetry;
 use qsim45::util::Xoshiro256;
@@ -219,6 +219,12 @@ fn run_at<R: SweepDispatch>() {
     let metrics_out = arg_opt("--metrics-out");
     let checkpoint_dir = arg_opt("--checkpoint-dir");
     let resume = flag("--resume");
+    if resume && checkpoint_dir.is_none() {
+        // Silently ignoring the flag would rerun from scratch while the
+        // caller believes they resumed — make it a hard usage error.
+        eprintln!("--resume requires --checkpoint-dir (no directory to resume from)");
+        std::process::exit(2);
+    }
     let status_addr = arg_opt("--status-addr");
     let progress = flag("--progress");
     let telemetry =
@@ -279,159 +285,144 @@ fn run_at<R: SweepDispatch>() {
     let schedule_cache = arg_opt("--schedule-cache").map(std::path::PathBuf::from);
     let search_budget = arg("--search-budget", SearchConfig::default().budget as u32) as usize;
     let circuit = supremacy_circuit(&s);
-    if ranks == 1 && backend == "mem" {
-        let sim = SingleNodeSimulator {
+    let kmax = arg("--kmax", 4);
+    let compress = if backend == "ooc" {
+        qsim45::ooc::Codec::parse(&arg_str("--compress", "none")).unwrap_or_else(|e| {
+            eprintln!("bad --compress: {e}");
+            std::process::exit(2);
+        })
+    } else {
+        qsim45::ooc::Codec::None
+    };
+
+    // One dispatch for all three engines: build the Backend, point it at
+    // the checkpoint directory, plan, run. Everything below the match is
+    // engine-agnostic.
+    let single = ranks == 1 && backend == "mem";
+    let mut engine: Box<dyn Backend<R>> = if single {
+        Box::new(SingleBackend::new(SingleNodeSimulator {
             telemetry: telemetry.clone(),
-            checkpoint: checkpoint_dir.as_ref().map(|d| {
-                let mut cp = SingleCheckpoint::new(d);
-                cp.resume = resume;
-                cp
-            }),
             schedule_mode,
             schedule_cache,
             search_budget,
             ..Default::default()
-        };
-        let out = sim.try_run_t::<R>(&circuit).unwrap_or_else(|e| fail(&e));
-        println!(
-            "single-node ({}): {:.3} s sim, {:.3} s plan",
-            R::NAME,
-            out.sim_seconds,
-            out.plan_seconds
-        );
-        println!("entropy     : {:.6} bits", out.state.entropy());
-        println!("norm        : {:.12}", out.state.norm_sqr().to_f64());
-        disarm();
-        write_exports(&telemetry, &trace_out, &metrics_out);
-        return;
-    }
-    let (exec, uniform) = strip_initial_hadamards(&circuit);
-    let l = n - ranks.trailing_zeros();
-    let planned = plan_schedule(
-        &exec,
-        &SchedulerConfig::distributed(l, arg("--kmax", 4)),
-        &PlanOptions {
-            mode: schedule_mode,
-            cache_dir: schedule_cache,
-            search_budget,
-            amp_bytes: 2 * R::BYTES as u64,
+        }))
+    } else if backend == "ooc" {
+        let sim = OocSimulator::<R>::new(OocConfig {
             telemetry: telemetry.clone(),
-        },
-    );
-    let schedule = planned.schedule;
-    println!(
-        "schedule    : {} ({} swaps, {:.3} s plan{}{})",
-        if schedule_mode == ScheduleMode::Search {
-            "search"
+            compress,
+            ..Default::default()
+        });
+        let mut b = OocBackend::new(sim, ranks);
+        b.kmax = kmax;
+        b.schedule_mode = schedule_mode;
+        b.schedule_cache = schedule_cache;
+        b.search_budget = search_budget;
+        Box::new(b)
+    } else {
+        let sim = DistSimulator::new(DistConfig {
+            n_ranks: ranks,
+            kernel: KernelConfig {
+                threads: 1,
+                ..KernelConfig::default()
+            },
+            telemetry: telemetry.clone(),
+            // A rank death flushes the flight record from the dying
+            // rank's own thread, before the poison wakes its peers.
+            poison_hook: recorder.as_ref().map(|r| {
+                let r = r.clone();
+                std::sync::Arc::new(move |rank: usize| {
+                    let _ = r.flush(&format!("fabric poisoned by rank {rank}"));
+                }) as qsim45::net::PoisonHook
+            }),
+            ..Default::default()
+        });
+        let mut b = DistBackend::new(sim);
+        b.kmax = kmax;
+        b.schedule_mode = schedule_mode;
+        b.schedule_cache = schedule_cache;
+        b.search_budget = search_budget;
+        Box::new(b)
+    };
+    if let Some(d) = &checkpoint_dir {
+        let d = std::path::Path::new(d);
+        if resume {
+            engine.resume(d);
         } else {
-            "greedy"
-        },
-        schedule.n_swaps(),
-        planned.plan_seconds,
-        if planned.cache_hit { ", cache hit" } else { "" },
-        if planned.adopted {
-            ", searched plan adopted"
-        } else {
-            ""
-        },
-    );
-    // A cache hit carries the producing machine's measured tile budget:
-    // adopt it so the warm path skips the autotune probe entirely.
-    let tile_qubits = planned.tile_qubits;
-    match backend.as_str() {
-        "ooc" => {
-            let compress = qsim45::ooc::Codec::parse(&arg_str("--compress", "none"))
-                .unwrap_or_else(|e| {
-                    eprintln!("bad --compress: {e}");
-                    std::process::exit(2);
-                });
-            // With checkpointing the chunk store must outlive the
-            // process, so it lives in the (persistent) checkpoint
-            // directory rather than a self-cleaning scratch dir.
-            let mut _scratch = None;
-            let store_dir = match &checkpoint_dir {
-                Some(d) => std::path::PathBuf::from(d),
-                None => {
-                    let s = qsim45::ooc::ScratchDir::new("cli");
-                    let p = s.path().to_path_buf();
-                    _scratch = Some(s);
-                    p
-                }
-            };
-            let mut sim = qsim45::ooc::OocSimulator::<R>::new(qsim45::ooc::OocConfig {
-                telemetry: telemetry.clone(),
-                checkpoint: checkpoint_dir.as_ref().map(|_| qsim45::ooc::OocCheckpoint {
-                    resume,
-                    crash: None,
-                }),
-                compress,
-                tile_qubits,
-                ..Default::default()
-            });
-            let out = sim
-                .run(&store_dir, &schedule, uniform)
-                .unwrap_or_else(|e| fail(&e));
+            engine.checkpoint(d);
+        }
+    }
+
+    let plan = engine.plan(&circuit).unwrap_or_else(|e| fail(&e));
+    if !single {
+        println!(
+            "schedule    : {} ({} swaps, {:.3} s plan{}{})",
+            if schedule_mode == ScheduleMode::Search {
+                "search"
+            } else {
+                "greedy"
+            },
+            plan.schedule.n_swaps(),
+            plan.plan_seconds,
+            if plan.cache_hit { ", cache hit" } else { "" },
+            if plan.adopted {
+                ", searched plan adopted"
+            } else {
+                ""
+            },
+        );
+    }
+    // Seed the live ETA from the plan before execution starts, so the
+    // status endpoint has a cost-model prior while the state allocates.
+    engine.seed_progress(&plan);
+    let out = engine.run(&plan).unwrap_or_else(|e| fail(&e));
+
+    match &out.stats {
+        BackendStats::Single { .. } => {
+            println!(
+                "single-node ({}): {:.3} s sim, {:.3} s plan",
+                R::NAME,
+                out.sim_seconds,
+                plan.plan_seconds
+            );
+        }
+        BackendStats::Dist { fabric, .. } => {
+            println!(
+                "distributed ({ranks} ranks, {}): {:.3} s ({:.1}% comm, {} swaps)",
+                R::NAME,
+                out.sim_seconds,
+                100.0 * fabric.max_comm_seconds / out.sim_seconds.max(1e-12),
+                plan.schedule.n_swaps()
+            );
+        }
+        BackendStats::Ooc { io, runs, .. } => {
             println!(
                 "out-of-core ({} chunks, {}): {:.3} s ({} runs, {} traversals)",
                 ranks,
                 R::NAME,
                 out.sim_seconds,
-                out.runs,
-                out.io.traversals
+                runs,
+                io.traversals
             );
             println!(
                 "disk traffic: {:.1} MiB read, {:.1} MiB written, {:.0}% IO overlapped",
-                out.io.bytes_read as f64 / (1 << 20) as f64,
-                out.io.bytes_written as f64 / (1 << 20) as f64,
-                100.0 * out.io.overlap_fraction()
+                io.bytes_read as f64 / (1 << 20) as f64,
+                io.bytes_written as f64 / (1 << 20) as f64,
+                100.0 * io.overlap_fraction()
             );
             if !compress.is_none() {
                 println!(
                     "compression : {} — {:.2}x ({:.1} MiB logical -> {:.1} MiB on disk)",
                     compress.name(),
-                    out.io.compression_ratio(),
-                    out.io.logical_bytes_written as f64 / (1 << 20) as f64,
-                    out.io.bytes_written as f64 / (1 << 20) as f64
+                    io.compression_ratio(),
+                    io.logical_bytes_written as f64 / (1 << 20) as f64,
+                    io.bytes_written as f64 / (1 << 20) as f64
                 );
             }
-            println!("entropy     : {:.6} bits", out.entropy);
-            println!("norm        : {:.12}", out.norm);
-        }
-        _ => {
-            let sim = DistSimulator::new(DistConfig {
-                n_ranks: ranks,
-                kernel: KernelConfig {
-                    threads: 1,
-                    ..KernelConfig::default()
-                },
-                telemetry: telemetry.clone(),
-                checkpoint_dir: checkpoint_dir.as_ref().map(std::path::PathBuf::from),
-                resume,
-                tile_qubits,
-                // A rank death flushes the flight record from the dying
-                // rank's own thread, before the poison wakes its peers.
-                poison_hook: recorder.as_ref().map(|r| {
-                    let r = r.clone();
-                    std::sync::Arc::new(move |rank: usize| {
-                        let _ = r.flush(&format!("fabric poisoned by rank {rank}"));
-                    }) as qsim45::net::PoisonHook
-                }),
-                ..Default::default()
-            });
-            let out = sim
-                .try_run_t::<R>(&exec, &schedule, uniform)
-                .unwrap_or_else(|e| fail(&e));
-            println!(
-                "distributed ({ranks} ranks, {}): {:.3} s ({:.1}% comm, {} swaps)",
-                R::NAME,
-                out.sim_seconds,
-                100.0 * out.fabric.max_comm_seconds / out.sim_seconds.max(1e-12),
-                schedule.n_swaps()
-            );
-            println!("entropy     : {:.6} bits", out.entropy);
-            println!("norm        : {:.12}", out.norm);
         }
     }
+    println!("entropy     : {:.6} bits", out.entropy);
+    println!("norm        : {:.12}", out.norm);
     disarm();
     write_exports(&telemetry, &trace_out, &metrics_out);
 }

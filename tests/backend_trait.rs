@@ -1,0 +1,236 @@
+//! Conformance suite for the unified [`Backend`] trait: one generic
+//! harness drives every engine — single-node, distributed, out-of-core —
+//! through the same plan → seed → run → kill → resume sequence, at both
+//! precisions. This is the contract a fourth backend must satisfy to
+//! plug into the CLI (DESIGN.md §16): plan once, run bit-exactly with
+//! or without checkpointing, die with a typed `InjectedStop` at the
+//! requested unit, and resume to the bit-exact uninterrupted state.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qsim45::circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim45::circuit::Circuit;
+use qsim45::core::{
+    Backend, DistBackend, DistConfig, DistSimulator, SimError, SingleBackend, SingleNodeSimulator,
+};
+use qsim45::kernels::{KernelConfig, SweepDispatch};
+use qsim45::ooc::{OocBackend, OocConfig, OocSimulator};
+use qsim45::telemetry::Telemetry;
+use qsim45::util::complex::max_dist;
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let id = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("qsim_backend_{tag}_{}_{id}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn workload() -> Circuit {
+    supremacy_circuit(&SupremacySpec {
+        rows: 3,
+        cols: 4,
+        depth: 20,
+        seed: 77,
+    })
+}
+
+/// 2^4 ranks / chunks: small enough to thread cheaply, enough global
+/// qubits that the schedule needs at least one swap — so every backend
+/// has a genuine mid-run checkpoint unit to kill at.
+const RANKS: usize = 16;
+
+/// Every [`Backend`] implementation in the workspace, built over the
+/// same telemetry handle with sequential kernels (determinism across
+/// repeated runs is part of what the harness asserts). The single-node
+/// engine gets a small `kmax` so clustering leaves it more than one
+/// stage (its checkpoint unit) on this workload.
+fn backends<R: SweepDispatch>(t: &Telemetry) -> Vec<Box<dyn Backend<R>>> {
+    vec![
+        Box::new(SingleBackend::new(SingleNodeSimulator {
+            kernel: KernelConfig::sequential(),
+            kmax: 3,
+            telemetry: t.clone(),
+            ..Default::default()
+        })),
+        Box::new(DistBackend::new(DistSimulator::new(DistConfig {
+            n_ranks: RANKS,
+            kernel: KernelConfig::sequential(),
+            telemetry: t.clone(),
+            ..Default::default()
+        }))),
+        Box::new(OocBackend::new(
+            OocSimulator::<R>::new(OocConfig {
+                telemetry: t.clone(),
+                ..OocConfig::sequential()
+            }),
+            RANKS,
+        )),
+    ]
+}
+
+/// The shared conformance pass: replaces the per-engine copies that
+/// used to live in `tests/backends.rs` and the engine-specific halves
+/// of the checkpoint suites.
+fn conformance<R: SweepDispatch>(norm_tol: f64) {
+    let c = workload();
+    let t = Telemetry::enabled();
+    for mut b in backends::<R>(&t) {
+        let name = b.name();
+
+        // Plan: a valid schedule with a positive unit count. Swapful
+        // plans (dist, ooc) must expose more than one checkpoint unit
+        // so the kill below lands strictly mid-run; a single-node
+        // schedule is one swap-free stage, so its unit is the whole
+        // run and the kill fires after the final stage instead.
+        let plan = b.plan(&c).expect(name);
+        assert!(plan.total_units >= 1, "{name}: empty plan");
+        if name != "single" {
+            assert!(
+                plan.total_units >= 2,
+                "{name}: want >= 2 checkpoint units, got {}",
+                plan.total_units
+            );
+        }
+        plan.schedule.verify(&plan.exec);
+
+        // Progress seeding: the cost-model prior must land in the live
+        // progress engine before any unit executes.
+        b.seed_progress(&plan);
+        let snap = t.progress().expect("enabled telemetry").snapshot();
+        assert!(
+            snap.phases.iter().any(|p| p.predicted_seconds > 0.0),
+            "{name}: seed_progress left no cost-model prior"
+        );
+
+        // Plain gathered run: normalized state, stats tagged with the
+        // engine that produced them.
+        b.gather_state(true);
+        let out = b.run(&plan).expect(name);
+        assert_eq!(out.stats.engine(), name);
+        assert!(
+            (out.norm - 1.0).abs() < norm_tol,
+            "{name}: norm {}",
+            out.norm
+        );
+        let plain = out.state.expect("gathered state");
+        assert_eq!(plain.len(), 1usize << c.n_qubits());
+
+        // Checkpointed uninterrupted run: checkpointing must be bitwise
+        // invisible to the physics.
+        let dir = tmpdir(&format!("{name}_base"));
+        b.checkpoint(&dir);
+        let base = b.run(&plan).expect(name).state.expect("gathered state");
+        assert_eq!(
+            max_dist(&base, &plain).to_f64(),
+            0.0,
+            "{name}: checkpointed run diverged from the plain run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Kill mid-run: a typed InjectedStop naming exactly the unit
+        // count that is durable in the checkpoint directory...
+        let dir = tmpdir(&format!("{name}_kill"));
+        b.checkpoint(&dir);
+        let stop = (plan.total_units / 2).max(1);
+        match b.run_to_stage(&plan, Some(stop)) {
+            Err(SimError::InjectedStop { unit }) => {
+                assert_eq!(unit, stop, "{name}: stop landed on the wrong unit")
+            }
+            Err(e) => panic!("{name}: expected InjectedStop, got {e}"),
+            Ok(_) => panic!("{name}: kill at unit {stop} never fired"),
+        }
+
+        // ...and resume replays the identical tail: bit-exact.
+        b.resume(&dir);
+        let resumed = b.run(&plan).expect(name).state.expect("gathered state");
+        assert_eq!(
+            max_dist(&resumed, &plain).to_f64(),
+            0.0,
+            "{name}: kill at {stop}/{} + resume diverged",
+            plan.total_units
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn every_backend_conforms_at_f64() {
+    conformance::<f64>(1e-9);
+}
+
+#[test]
+fn every_backend_conforms_at_f32() {
+    conformance::<f32>(1e-4);
+}
+
+#[test]
+fn backends_agree_with_each_other_through_the_trait() {
+    // The equivalence half of the old per-engine suite, restated once
+    // over the trait: every backend's gathered state against the first.
+    let c = workload();
+    let t = Telemetry::default();
+    let mut states = Vec::new();
+    for mut b in backends::<f64>(&t) {
+        b.gather_state(true);
+        let plan = b.plan(&c).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        let out = b.run(&plan).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        states.push((b.name(), out.state.expect("gathered state")));
+    }
+    let (ref_name, reference) = &states[0];
+    for (name, state) in &states[1..] {
+        let d = max_dist(state, reference);
+        assert!(d < 1e-9, "{name} vs {ref_name}: max dist {d:e}");
+    }
+}
+
+#[test]
+fn a_stop_point_requires_a_checkpoint_directory() {
+    // Killing a run that has nowhere to persist its progress would lose
+    // the state: every backend must refuse up front with a typed error,
+    // not run-and-discard.
+    let c = workload();
+    let t = Telemetry::default();
+    for mut b in backends::<f64>(&t) {
+        let name = b.name();
+        let plan = b.plan(&c).expect(name);
+        match b.run_to_stage(&plan, Some(1)) {
+            Err(SimError::Checkpoint(_)) => {}
+            Err(e) => panic!("{name}: expected Checkpoint error, got {e}"),
+            Ok(_) => panic!("{name}: stop without a checkpoint dir must be rejected"),
+        }
+    }
+}
+
+#[test]
+fn resume_rejects_cross_precision_checkpoints_through_the_trait() {
+    // An f64 checkpoint picked up by an f32 backend would reinterpret
+    // the raw amplitude bytes: the manifest's precision field must turn
+    // this into a typed rejection on every engine.
+    let c = workload();
+    let t = Telemetry::default();
+    for (mut b64, mut b32) in backends::<f64>(&t).into_iter().zip(backends::<f32>(&t)) {
+        let name = b64.name();
+        let dir = tmpdir(&format!("{name}_xprec"));
+        b64.checkpoint(&dir);
+        let plan = b64.plan(&c).expect(name);
+        let stop = (plan.total_units / 2).max(1);
+        match b64.run_to_stage(&plan, Some(stop)) {
+            Err(SimError::InjectedStop { .. }) => {}
+            other => panic!("{name}: expected InjectedStop, got {:?}", other.map(|_| ())),
+        }
+
+        b32.resume(&dir);
+        let plan32 = b32.plan(&c).expect(name);
+        match b32.run(&plan32) {
+            Err(SimError::Checkpoint(m)) => {
+                assert!(m.contains("precision"), "{name}: unhelpful message: {m}")
+            }
+            Err(e) => panic!("{name}: expected Checkpoint error, got {e}"),
+            Ok(_) => panic!("{name}: cross-precision resume must be rejected"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,16 +1,24 @@
-//! Backend equivalence: the same schedule executed by the in-memory
+//! Backend equivalence: the same circuit executed by the in-memory
 //! distributed engine, the out-of-core engine and the single-node engine
 //! must produce identical physics — the property that justifies the §5
 //! claim that the slow tier (network or SSD) is interchangeable when the
 //! schedule only needs two all-to-alls.
+//!
+//! Every engine is driven through the unified [`Backend`] trait (the
+//! conformance half of the contract lives in `tests/backend_trait.rs`):
+//! the planner is deterministic, so two backends planning the same
+//! circuit at the same partition count execute the identical schedule —
+//! which is what makes the `== 0.0` bit-exactness assertions below
+//! meaningful.
 
 use qsim45::circuit::supremacy::{supremacy_circuit, SupremacySpec};
 use qsim45::circuit::Circuit;
-use qsim45::core::single::{strip_initial_hadamards, SingleNodeSimulator};
-use qsim45::core::{DistConfig, DistSimulator};
-use qsim45::kernels::apply::KernelConfig;
-use qsim45::ooc::{Codec, OocConfig, OocSimulator, ScratchDir};
-use qsim45::sched::{plan, SchedulerConfig};
+use qsim45::core::{
+    Backend, BackendOutcome, BackendPlan, BackendStats, DistBackend, DistConfig, DistSimulator,
+    SingleBackend, SingleNodeSimulator,
+};
+use qsim45::kernels::{KernelConfig, SweepDispatch};
+use qsim45::ooc::{Codec, OocBackend, OocConfig, OocSimulator};
 use qsim45::util::complex::max_dist;
 
 fn workload() -> Circuit {
@@ -22,33 +30,54 @@ fn workload() -> Circuit {
     })
 }
 
+fn dist_backend(n_ranks: usize) -> DistBackend {
+    DistBackend::new(DistSimulator::new(DistConfig {
+        n_ranks,
+        kernel: KernelConfig::sequential(),
+        ..Default::default()
+    }))
+}
+
+fn ooc_backend<R: SweepDispatch>(n_chunks: usize, compress: Codec) -> OocBackend<R> {
+    OocBackend::new(
+        OocSimulator::<R>::new(OocConfig {
+            compress,
+            ..OocConfig::sequential()
+        }),
+        n_chunks,
+    )
+}
+
+/// Plan + gathered run through the trait.
+fn run_gathered<R: SweepDispatch>(
+    b: &mut dyn Backend<R>,
+    c: &Circuit,
+) -> (BackendPlan, BackendOutcome<R>) {
+    b.gather_state(true);
+    let plan = b.plan(c).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+    let out = b.run(&plan).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+    (plan, out)
+}
+
 #[test]
 fn memory_and_disk_backends_agree_amplitude_for_amplitude() {
     let c = workload();
-    let n = c.n_qubits();
-    let single = SingleNodeSimulator::default().run(&c);
-    let (exec, uniform) = strip_initial_hadamards(&c);
+    let mut single = SingleBackend::new(SingleNodeSimulator::default());
+    let (_, sout) = run_gathered::<f64>(&mut single, &c);
+    let single_state = sout.state.unwrap();
     for g in [2u32, 3] {
-        let l = n - g;
-        let schedule = plan(&exec, &SchedulerConfig::distributed(l, 4));
-        schedule.verify(&exec);
+        let mut dist = dist_backend(1usize << g);
+        let (dplan, dout) = run_gathered::<f64>(&mut dist, &c);
+        dplan.schedule.verify(&dplan.exec);
+        let dist_state = dout.state.unwrap();
 
-        // In-memory distributed engine.
-        let dist = DistSimulator::new(DistConfig {
-            n_ranks: 1usize << g,
-            kernel: KernelConfig::sequential(),
-            gather_state: true,
-            ..Default::default()
-        });
-        let dist_state = dist.run(&exec, &schedule, uniform).state.unwrap();
-
-        // Out-of-core engine (full pipeline), same schedule.
-        let dir = ScratchDir::new(&format!("backends_g{g}"));
-        let mut ooc = OocSimulator::sequential();
-        let (_, ooc_state) = ooc.run_gather(dir.path(), &schedule, uniform).unwrap();
+        // Out-of-core engine: same deterministic plan, disk data path.
+        let mut ooc = ooc_backend::<f64>(1usize << g, Codec::None);
+        let (_, oout) = run_gathered(&mut ooc, &c);
+        let ooc_state = oout.state.unwrap();
 
         assert!(
-            max_dist(&dist_state, single.state.amplitudes()) < 1e-9,
+            max_dist(&dist_state, &single_state) < 1e-9,
             "dist vs single, g={g}"
         );
         assert!(
@@ -61,21 +90,21 @@ fn memory_and_disk_backends_agree_amplitude_for_amplitude() {
 
 #[test]
 fn disk_backend_handles_schedules_with_multiple_swaps() {
-    // Force many swaps with a small local window.
+    // Force many swaps with a small local window (l = n - 4).
     let c = workload();
-    let n = c.n_qubits();
-    let (exec, uniform) = strip_initial_hadamards(&c);
-    let l = n - 4;
-    let schedule = plan(&exec, &SchedulerConfig::distributed(l, 4));
-    assert!(schedule.n_swaps() >= 1);
-    let dir = ScratchDir::new("backends_multi");
-    let mut ooc = OocSimulator::sequential();
-    let (out, state) = ooc.run_gather(dir.path(), &schedule, uniform).unwrap();
-    let single = SingleNodeSimulator::default().run(&c);
-    assert!(max_dist(&state, single.state.amplitudes()) < 1e-9);
+    let mut ooc = ooc_backend::<f64>(16, Codec::None);
+    let (plan, out) = run_gathered(&mut ooc, &c);
+    assert!(plan.schedule.n_swaps() >= 1);
+    let state = out.state.unwrap();
+    let mut single = SingleBackend::new(SingleNodeSimulator::default());
+    let (_, sout) = run_gathered::<f64>(&mut single, &c);
+    assert!(max_dist(&state, &sout.state.unwrap()) < 1e-9);
     assert!((out.norm - 1.0).abs() < 1e-9);
     // Batching means one compute traversal per swap boundary.
-    assert_eq!(out.runs, schedule.n_swaps() + 1);
+    let BackendStats::Ooc { runs, .. } = out.stats else {
+        panic!("ooc stats expected");
+    };
+    assert_eq!(runs, plan.schedule.n_swaps() + 1);
 }
 
 #[test]
@@ -83,7 +112,6 @@ fn ooc_traffic_grows_with_swap_count_not_gate_count() {
     // Same state size, two circuits with very different gate counts but
     // comparable swap counts: disk traffic must track swaps.
     let n = 12u32;
-    let l = n - 2;
     let shallow = supremacy_circuit(&SupremacySpec {
         rows: 3,
         cols: 4,
@@ -96,21 +124,22 @@ fn ooc_traffic_grows_with_swap_count_not_gate_count() {
         depth: 40,
         seed: 1,
     });
-    let run = |c: &Circuit, tag: &str| {
-        let (exec, uniform) = strip_initial_hadamards(c);
-        let schedule = plan(&exec, &SchedulerConfig::distributed(l, 4));
-        let dir = ScratchDir::new(tag);
-        let mut ooc = OocSimulator::<f64>::sequential();
-        let out = ooc.run(dir.path(), &schedule, uniform).unwrap();
+    let run = |c: &Circuit| {
+        let mut b = ooc_backend::<f64>(4, Codec::None);
+        let plan = b.plan(c).unwrap();
+        let out = b.run(&plan).unwrap();
+        let BackendStats::Ooc { io, runs, .. } = out.stats else {
+            panic!("ooc stats expected");
+        };
         (
             c.len(),
-            schedule.n_swaps(),
-            out.runs,
-            out.io.bytes_read + out.io.bytes_written,
+            plan.schedule.n_swaps(),
+            runs,
+            io.bytes_read + io.bytes_written,
         )
     };
-    let (g1, s1, r1, b1) = run(&shallow, "backends_shallow");
-    let (g2, s2, r2, b2) = run(&deep, "backends_deep");
+    let (g1, s1, r1, b1) = run(&shallow);
+    let (g2, s2, r2, b2) = run(&deep);
     assert!(g2 > 3 * g1, "deep circuit must have many more gates");
     // The §5 property, sharpened by run batching: traffic is bounded by
     // the swap structure alone — one state sweep per swap boundary plus
@@ -141,41 +170,29 @@ fn f32_backends_agree_bit_for_bit() {
     // single-node engine plans its own (undistributed) schedule, so it
     // agrees only up to f32 rounding.
     let c = workload();
-    let n = c.n_qubits();
-    let single = SingleNodeSimulator {
+    let mut single = SingleBackend::new(SingleNodeSimulator {
         kernel: KernelConfig::sequential(),
         ..Default::default()
-    }
-    .try_run_t::<f32>(&c)
-    .unwrap();
-    let (exec, uniform) = strip_initial_hadamards(&c);
+    });
+    let (_, sout) = run_gathered::<f32>(&mut single, &c);
+    let single_state = sout.state.unwrap();
     for g in [2u32, 3] {
-        let l = n - g;
-        let schedule = plan(&exec, &SchedulerConfig::distributed(l, 4));
-        let dist = DistSimulator::new(DistConfig {
-            n_ranks: 1usize << g,
-            kernel: KernelConfig::sequential(),
-            gather_state: true,
-            ..Default::default()
-        });
-        let dist_state = dist
-            .try_run_t::<f32>(&exec, &schedule, uniform)
-            .unwrap()
-            .state
-            .unwrap();
+        let mut dist = dist_backend(1usize << g);
+        let (_, dout) = run_gathered::<f32>(&mut dist, &c);
+        let dist_state = dout.state.unwrap();
 
-        let dir = ScratchDir::new(&format!("backends32_g{g}"));
-        let mut ooc = OocSimulator::<f32>::sequential();
-        let (out, ooc_state) = ooc.run_gather(dir.path(), &schedule, uniform).unwrap();
+        let mut ooc = ooc_backend::<f32>(1usize << g, Codec::None);
+        let (_, oout) = run_gathered(&mut ooc, &c);
+        let ooc_state = oout.state.unwrap();
 
         assert_eq!(
             max_dist(&ooc_state, &dist_state),
             0.0,
             "ooc f32 vs dist f32 must be bit-exact, g={g}"
         );
-        assert!((out.norm - 1.0).abs() < 1e-4, "f32 norm {}", out.norm);
+        assert!((oout.norm - 1.0).abs() < 1e-4, "f32 norm {}", oout.norm);
         let mut worst = 0.0f64;
-        for (a, b) in single.state.amplitudes().iter().zip(&dist_state) {
+        for (a, b) in single_state.iter().zip(&dist_state) {
             worst = worst
                 .max((a.re as f64 - b.re as f64).abs())
                 .max((a.im as f64 - b.im as f64).abs());
@@ -195,52 +212,39 @@ fn compressed_ooc_agrees_with_dist_bit_for_bit() {
     // exact equality — at both precisions — while writing fewer bytes
     // than the raw store.
     let c = workload();
-    let n = c.n_qubits();
-    let (exec, uniform) = strip_initial_hadamards(&c);
     let g = 3u32;
-    let schedule = plan(&exec, &SchedulerConfig::distributed(n - g, 4));
-    let dist = DistSimulator::new(DistConfig {
-        n_ranks: 1usize << g,
-        kernel: KernelConfig::sequential(),
-        gather_state: true,
-        ..Default::default()
-    });
 
-    let dist64 = dist.run(&exec, &schedule, uniform).state.unwrap();
-    let dir = ScratchDir::new("backends_comp64");
-    let mut ooc = OocSimulator::<f64>::new(OocConfig {
-        compress: Codec::ShuffleRle,
-        ..OocConfig::sequential()
-    });
-    let (out, state) = ooc.run_gather(dir.path(), &schedule, uniform).unwrap();
+    let mut dist = dist_backend(1usize << g);
+    let (_, dout) = run_gathered::<f64>(&mut dist, &c);
+    let dist64 = dout.state.unwrap();
+    let mut ooc = ooc_backend::<f64>(1usize << g, Codec::ShuffleRle);
+    let (_, oout) = run_gathered(&mut ooc, &c);
+    let state = oout.state.unwrap();
     assert_eq!(
         max_dist(&state, &dist64),
         0.0,
         "compressed ooc f64 vs dist must be bit-exact"
     );
+    let BackendStats::Ooc { io, .. } = &oout.stats else {
+        panic!("ooc stats expected");
+    };
     assert!(
-        out.io.compression_ratio() > 1.0,
+        io.compression_ratio() > 1.0,
         "lossless codec must beat raw on this workload: ratio {}",
-        out.io.compression_ratio()
+        io.compression_ratio()
     );
     assert!(
-        out.io.bytes_written < out.io.logical_bytes_written,
+        io.bytes_written < io.logical_bytes_written,
         "encoded bytes on disk must undercut amplitude bytes"
     );
 
-    let dist32 = dist
-        .try_run_t::<f32>(&exec, &schedule, uniform)
-        .unwrap()
-        .state
-        .unwrap();
-    let dir = ScratchDir::new("backends_comp32");
-    let mut ooc = OocSimulator::<f32>::new(OocConfig {
-        compress: Codec::ShuffleRle,
-        ..OocConfig::sequential()
-    });
-    let (_, state) = ooc.run_gather(dir.path(), &schedule, uniform).unwrap();
+    let mut dist = dist_backend(1usize << g);
+    let (_, dout) = run_gathered::<f32>(&mut dist, &c);
+    let dist32 = dout.state.unwrap();
+    let mut ooc = ooc_backend::<f32>(1usize << g, Codec::ShuffleRle);
+    let (_, oout) = run_gathered(&mut ooc, &c);
     assert_eq!(
-        max_dist(&state, &dist32),
+        max_dist(&oout.state.unwrap(), &dist32),
         0.0,
         "compressed ooc f32 vs dist must be bit-exact"
     );
@@ -253,22 +257,16 @@ fn lossy_codec_bounds_the_error_it_introduces() {
     // differ from the exact state, but only within that budget (gates
     // are unitary, so per-pass truncation error cannot blow up).
     let c = workload();
-    let n = c.n_qubits();
-    let (exec, uniform) = strip_initial_hadamards(&c);
-    let schedule = plan(&exec, &SchedulerConfig::distributed(n - 3, 4));
-    let dir = ScratchDir::new("backends_exact");
-    let mut exact = OocSimulator::sequential();
-    let (_, oracle) = exact.run_gather(dir.path(), &schedule, uniform).unwrap();
-    let dir = ScratchDir::new("backends_lossy");
-    let mut lossy = OocSimulator::<f64>::new(OocConfig {
-        compress: Codec::Lossy(8),
-        ..OocConfig::sequential()
-    });
-    let (out, state) = lossy.run_gather(dir.path(), &schedule, uniform).unwrap();
+    let mut exact = ooc_backend::<f64>(8, Codec::None);
+    let (_, eout) = run_gathered(&mut exact, &c);
+    let oracle = eout.state.unwrap();
+    let mut lossy = ooc_backend::<f64>(8, Codec::Lossy(8));
+    let (_, lout) = run_gathered(&mut lossy, &c);
+    let state = lout.state.unwrap();
     let d = max_dist(&state, &oracle);
     assert!(d > 0.0, "lossy-8 should actually drop bits on this state");
     assert!(d < 1e-10, "lossy-8 error must stay tiny: {d:e}");
-    assert!((out.norm - 1.0).abs() < 1e-9, "norm {}", out.norm);
+    assert!((lout.norm - 1.0).abs() < 1e-9, "norm {}", lout.norm);
 }
 
 #[test]
@@ -277,15 +275,17 @@ fn pipelining_and_batching_are_bitwise_invisible() {
     // compute) against the synchronous per-gate baseline: not a single
     // bit may differ.
     let c = workload();
-    let n = c.n_qubits();
-    let (exec, uniform) = strip_initial_hadamards(&c);
-    let schedule = plan(&exec, &SchedulerConfig::distributed(n - 3, 4));
-    let dir = ScratchDir::new("backends_sync");
-    let mut sync = OocSimulator::<f64>::new(OocConfig::sync_baseline(KernelConfig::sequential()));
-    let (_, oracle) = sync.run_gather(dir.path(), &schedule, uniform).unwrap();
-    let dir = ScratchDir::new("backends_pipe");
-    let mut pipe = OocSimulator::sequential();
-    let (out, state) = pipe.run_gather(dir.path(), &schedule, uniform).unwrap();
-    assert_eq!(max_dist(&state, &oracle), 0.0);
-    assert!(out.io.traversals > 0);
+    let mut sync = OocBackend::new(
+        OocSimulator::<f64>::new(OocConfig::sync_baseline(KernelConfig::sequential())),
+        8,
+    );
+    let (_, sout) = run_gathered(&mut sync, &c);
+    let oracle = sout.state.unwrap();
+    let mut pipe = ooc_backend::<f64>(8, Codec::None);
+    let (_, pout) = run_gathered(&mut pipe, &c);
+    assert_eq!(max_dist(&pout.state.unwrap(), &oracle), 0.0);
+    let BackendStats::Ooc { io, .. } = &pout.stats else {
+        panic!("ooc stats expected");
+    };
+    assert!(io.traversals > 0);
 }

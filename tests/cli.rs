@@ -1,0 +1,65 @@
+//! CLI contract smoke tests, driven against the real binary.
+
+use std::process::Command;
+
+fn qsim45() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qsim45"))
+}
+
+#[test]
+fn resume_without_a_checkpoint_dir_is_a_usage_error() {
+    // `--resume` with nowhere to resume from used to be silently
+    // ignored — the run restarted from scratch while the caller
+    // believed it picked up where it left off. It must be a hard
+    // usage error instead.
+    let out = qsim45()
+        .args(["run", "--qubits", "8", "--depth", "4", "--resume"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit with 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--resume requires --checkpoint-dir"),
+        "unhelpful usage error: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("entropy"),
+        "the run must not have executed: {stdout}"
+    );
+}
+
+#[test]
+fn resume_with_a_checkpoint_dir_is_accepted() {
+    // The guard must reject only the missing-directory case: a
+    // checkpointed run followed by a resume of the same directory
+    // reproduces the run's observables.
+    let dir = std::env::temp_dir().join(format!("qsim_cli_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let args = [
+        "run",
+        "--qubits",
+        "8",
+        "--depth",
+        "4",
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+    ];
+    let first = qsim45().args(args).output().expect("binary runs");
+    assert!(first.status.success(), "checkpointed run failed");
+    let second = qsim45()
+        .args(args)
+        .arg("--resume")
+        .output()
+        .expect("binary runs");
+    assert!(second.status.success(), "resume run failed");
+    let observables = |bytes: &[u8]| {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .filter(|l| l.starts_with("entropy") || l.starts_with("norm"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(observables(&first.stdout), observables(&second.stdout));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,133 @@
+//! Regressions for the panic-path sweep: a checkpoint IO failure must
+//! surface as a typed [`SimError`] from the `try_*` entry points, and
+//! the infallible `run` wrappers must flush the armed flight recorder
+//! *before* panicking — a run may die, but never silently, and never
+//! without a `FLIGHT.json` when a recorder is armed.
+//!
+//! Everything lives in one `#[test]` because the armed recorder is
+//! process-global state: parallel test threads would race on it.
+
+use std::path::PathBuf;
+
+use qsim45::circuit::supremacy::{supremacy_circuit, SupremacySpec};
+use qsim45::core::single::{SingleCheckpoint, SingleNodeSimulator};
+use qsim45::core::{DistConfig, DistSimulator, SimError};
+use qsim45::kernels::KernelConfig;
+use qsim45::ooc::{CrashPoint, OocCheckpoint, OocConfig, OocSimulator, ScratchDir};
+use qsim45::sched::{plan, SchedulerConfig};
+use qsim45::telemetry::{recorder, FlightRecorder, Telemetry};
+
+fn workload() -> qsim45::circuit::Circuit {
+    supremacy_circuit(&SupremacySpec {
+        rows: 3,
+        cols: 3,
+        depth: 8,
+        seed: 3,
+    })
+}
+
+/// A path that exists and is a *file*, so `create_dir_all` on it fails —
+/// the cheapest portable stand-in for a dead checkpoint disk.
+fn dead_checkpoint_dir(scratch: &ScratchDir, tag: &str) -> PathBuf {
+    std::fs::create_dir_all(scratch.path()).unwrap();
+    let p = scratch.path().join(tag);
+    std::fs::write(&p, b"not a directory").unwrap();
+    p
+}
+
+#[test]
+fn checkpoint_io_failures_are_typed_and_flight_recorded() {
+    let c = workload();
+    let scratch = ScratchDir::new("panic_paths");
+
+    // 1. Typed surface: the single-node try path reports a checkpoint
+    // IO failure as `SimError::Checkpoint`, not a panic.
+    let mut cp = SingleCheckpoint::new(dead_checkpoint_dir(&scratch, "single"));
+    cp.resume = false;
+    let sim = SingleNodeSimulator {
+        kernel: KernelConfig::sequential(),
+        checkpoint: Some(cp),
+        ..Default::default()
+    };
+    match sim.try_run(&c) {
+        Err(SimError::Checkpoint(m)) => assert!(m.contains("single"), "path lost: {m}"),
+        Err(e) => panic!("expected Checkpoint error, got {e}"),
+        Ok(_) => panic!("a file for a checkpoint dir must fail"),
+    }
+
+    // 2. Same for the distributed try path.
+    let dist = DistSimulator::new(DistConfig {
+        n_ranks: 4,
+        kernel: KernelConfig::sequential(),
+        checkpoint_dir: Some(dead_checkpoint_dir(&scratch, "dist")),
+        ..Default::default()
+    });
+    let (exec, uniform) = qsim45::core::single::strip_initial_hadamards(&c);
+    let schedule = plan(&exec, &SchedulerConfig::distributed(c.n_qubits() - 2, 4));
+    match dist.try_run(&exec, &schedule, uniform) {
+        Err(SimError::Checkpoint(_)) => {}
+        Err(e) => panic!("expected Checkpoint error, got {e}"),
+        Ok(_) => panic!("a file for a checkpoint dir must fail"),
+    }
+
+    // 3. The OOC try path normalizes its io-flavored failures: a dead
+    // store directory is `SimError::Io`, an injected crash is the same
+    // typed `InjectedStop` the other engines return.
+    let mut ooc = OocSimulator::<f64>::sequential();
+    match ooc.try_run(&dead_checkpoint_dir(&scratch, "ooc"), &schedule, uniform) {
+        Err(SimError::Io(_)) => {}
+        Err(e) => panic!("expected Io error, got {e}"),
+        Ok(_) => panic!("a file for a chunk store must fail"),
+    }
+    let mut ooc = OocSimulator::<f64>::new(OocConfig {
+        checkpoint: Some(OocCheckpoint {
+            resume: false,
+            crash: Some((0, CrashPoint::AfterCommit)),
+        }),
+        ..OocConfig::sequential()
+    });
+    let store = scratch.path().join("ooc_store");
+    match ooc.try_run(&store, &schedule, uniform) {
+        Err(SimError::InjectedStop { unit }) => assert_eq!(unit, 1),
+        Err(e) => panic!("expected InjectedStop, got {e}"),
+        Ok(_) => panic!("injected crash must fire"),
+    }
+
+    // 4. The infallible `run` wrapper: panics on the same failure, but
+    // only after flushing the armed flight recorder.
+    let rec = FlightRecorder::new(Telemetry::enabled(), scratch.path().join("flight_single"));
+    recorder::arm_process(&rec);
+    let mut cp = SingleCheckpoint::new(dead_checkpoint_dir(&scratch, "single_panic"));
+    cp.resume = false;
+    let sim = SingleNodeSimulator {
+        kernel: KernelConfig::sequential(),
+        checkpoint: Some(cp),
+        ..Default::default()
+    };
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run(&c)));
+    assert!(caught.is_err(), "run() must still panic");
+    assert!(
+        rec.path().exists(),
+        "abort must write FLIGHT.json before dying"
+    );
+    recorder::disarm_process();
+
+    // 5. And the distributed wrapper does the same.
+    let rec = FlightRecorder::new(Telemetry::enabled(), scratch.path().join("flight_dist"));
+    recorder::arm_process(&rec);
+    let dist = DistSimulator::new(DistConfig {
+        n_ranks: 4,
+        kernel: KernelConfig::sequential(),
+        checkpoint_dir: Some(dead_checkpoint_dir(&scratch, "dist_panic")),
+        ..Default::default()
+    });
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dist.run(&exec, &schedule, uniform)
+    }));
+    assert!(caught.is_err(), "run() must still panic");
+    assert!(
+        rec.path().exists(),
+        "abort must write FLIGHT.json before dying"
+    );
+    recorder::disarm_process();
+}
